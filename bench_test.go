@@ -1,0 +1,233 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per
+// table and figure, Section VII) plus the ablations DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The cmd/experiments binary prints the same measurements as formatted
+// tables; these benches put them under the testing.B methodology.
+package xontorank
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dil"
+	"repro/internal/experiments"
+	"repro/internal/graphsearch"
+	"repro/internal/ontoscore"
+	"repro/internal/query"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.Small)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1Survey regenerates Table I: the relevance-survey
+// protocol (top-5 per approach per query, judged by the simulated
+// expert oracle) over the 11-query workload.
+func BenchmarkTable1Survey(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := env.Table1()
+		if len(res.Rows) != len(experiments.Table1Queries) {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2KendallTau regenerates Table II: pairwise normalized
+// top-10 Kendall tau between the four approaches over 20 queries.
+func BenchmarkTable2KendallTau(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := env.Table2()
+		if len(res.Distance) != 4 {
+			b.Fatal("table 2 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable3IndexCreation regenerates Table III: full XOnto-DIL
+// index creation per approach (full-text stage, OntoScore stage, DIL
+// stage) over the standing vocabulary.
+func BenchmarkTable3IndexCreation(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, s := range ontoscore.Strategies() {
+		b.Run(s.String(), func(b *testing.B) {
+			sys := env.Systems[s]
+			vocab := sys.Builder().Vocabulary(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ix, stats, err := sys.Builder().Build(vocab)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.TotalPostings), "postings")
+				b.ReportMetric(stats.AvgPostings(), "postings/kw")
+				b.ReportMetric(stats.AvgBytes()/1024, "KB/kw")
+				_ = ix
+			}
+		})
+	}
+}
+
+// BenchmarkFigure11QueryTime regenerates Figure 11: query execution
+// time against keyword count (1-4) per approach, with prebuilt
+// indexes.
+func BenchmarkFigure11QueryTime(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, s := range ontoscore.Strategies() {
+		sys := env.Systems[s]
+		if sys.BuildStats() == nil {
+			if _, err := sys.BuildIndex(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, n := range []int{1, 2, 3, 4} {
+			queries := experiments.QueriesWithKeywordCount(n, 5)
+			parsed := make([][]query.Keyword, len(queries))
+			for i, q := range queries {
+				parsed[i] = query.ParseQuery(q)
+				sys.SearchKeywords(parsed[i], 10) // warm on-demand keywords
+			}
+			b.Run(fmt.Sprintf("%s/keywords=%d", s, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sys.SearchKeywords(parsed[i%len(parsed)], 10)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGraphSearch measures the ID-IDREF graph-search extension
+// (Section III's XKeyword-style generalization) against the tree
+// engine on the same query.
+func BenchmarkGraphSearch(b *testing.B) {
+	env := benchEnvironment(b)
+	sys := env.Systems[ontoscore.StrategyRelationships]
+	ge := graphsearch.NewEngine(env.Corpus, sys.Builder(), graphsearch.DefaultParams())
+	kws := query.ParseQuery(`"cardiac arrest" epinephrine`)
+	sys.SearchKeywords(kws, 10) // warm keyword DILs
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.SearchKeywords(kws, 10)
+		}
+	})
+	b.Run("graph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(ge.Search(kws, 10)) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMergedBFS compares the Observation-1 merged
+// expansion against the naive one-BFS-per-seed evaluation.
+func BenchmarkAblationMergedBFS(b *testing.B) {
+	env := benchEnvironment(b)
+	computer := ontoscore.NewComputer(env.Ont, ontoscore.DefaultParams())
+	kw := "structure" // many seeds
+	b.Run("merged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(computer.Graph(kw)) == 0 {
+				b.Fatal("no scores")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(computer.GraphNaive(kw)) == 0 {
+				b.Fatal("no scores")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationThreshold sweeps the pruning threshold, reporting
+// OntoScore-map volume.
+func BenchmarkAblationThreshold(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, th := range []float64{0.01, 0.05, 0.1, 0.2} {
+		b.Run(fmt.Sprintf("threshold=%.2f", th), func(b *testing.B) {
+			params := ontoscore.DefaultParams()
+			params.Threshold = th
+			computer := ontoscore.NewComputer(env.Ont, params)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := ontoscore.BuildMap(computer, ontoscore.StrategyRelationships, experiments.AblationKeywords)
+				b.ReportMetric(float64(m.Entries()), "entries")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecay sweeps the Graph decay, reporting reach.
+func BenchmarkAblationDecay(b *testing.B) {
+	env := benchEnvironment(b)
+	for _, d := range []float64{0.3, 0.5, 0.7} {
+		b.Run(fmt.Sprintf("decay=%.1f", d), func(b *testing.B) {
+			params := ontoscore.DefaultParams()
+			params.Decay = d
+			computer := ontoscore.NewComputer(env.Ont, params)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := ontoscore.BuildMap(computer, ontoscore.StrategyGraph, experiments.AblationKeywords)
+				b.ReportMetric(float64(m.Entries()), "entries")
+			}
+		})
+	}
+}
+
+// BenchmarkRankedTopK compares XRANK's two query algorithms on the same
+// lists: the exhaustive Dewey-order merge (DIL) vs ranked access with
+// early termination (RDIL), for small and large k.
+func BenchmarkRankedTopK(b *testing.B) {
+	env := benchEnvironment(b)
+	sys := env.Systems[ontoscore.StrategyGraph]
+	builder := sys.Builder()
+	lists := []dil.List{
+		builder.BuildKeyword("cardiac"),
+		builder.BuildKeyword("arrest"),
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			b.Fatal("empty list")
+		}
+	}
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("DIL/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := query.RunLists(lists, 0.5)
+				if len(res) == 0 {
+					b.Fatal("no results")
+				}
+				_ = k
+			}
+		})
+		b.Run(fmt.Sprintf("RDIL/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(query.RunRanked(lists, 0.5, k)) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,257 @@
+// Command xontorank is the command-line interface to the XOntoRank
+// system: generate a synthetic EMR corpus and ontology, build and
+// persist XOnto-DIL indexes, and run ontology-aware keyword searches.
+//
+// Usage:
+//
+//	xontorank gen    -out data -docs 200 -concepts 2000 -seed 1
+//	xontorank index  -data data -strategy Relationships -store data/index
+//	xontorank search -data data -strategy Relationships -q '"bronchial structure" theophylline' -k 5
+//	xontorank stats  -data data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/store"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xontorank:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xontorank <gen|index|search|stats> [flags]
+  gen     generate a synthetic ontology and CDA corpus into a directory
+  index   build the XOnto-DIL index for a strategy and persist it
+  search  run a keyword query (quote phrases inside the query string)
+  stats   print corpus and ontology statistics
+  verify  check corpus/ontology referential integrity`)
+}
+
+const ontologyFile = "ontology.json"
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "data", "output directory")
+	docs := fs.Int("docs", 200, "number of patient records")
+	concepts := fs.Int("concepts", 2000, "synthetic concepts beyond the curated cores")
+	seed := fs.Int64("seed", 1, "generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(*out, "docs"), 0o755); err != nil {
+		return err
+	}
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: *seed, ExtraConcepts: *concepts, SynonymProb: 0.4,
+		MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(*out, ontologyFile))
+	if err != nil {
+		return err
+	}
+	if err := ont.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	gen, err := cda.NewGenerator(cda.GenConfig{
+		Seed: *seed, NumDocuments: *docs, ProblemsPerPatient: 4,
+		MedicationsPerPatient: 4, ProceduresPerPatient: 2,
+	}, ont)
+	if err != nil {
+		return err
+	}
+	corpus := gen.GenerateCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		return err
+	}
+	corpus.Add(fig1)
+	for _, doc := range corpus.Docs() {
+		path := filepath.Join(*out, "docs", doc.Name+".xml")
+		df, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := xmltree.WriteXML(df, doc.Root); err != nil {
+			df.Close()
+			return err
+		}
+		if err := df.Close(); err != nil {
+			return err
+		}
+	}
+	st := corpus.Stats()
+	fmt.Printf("generated %s: %d concepts, %d relationships; %s\n",
+		*out, ont.Len(), ont.NumRelationships(), st)
+	return nil
+}
+
+func loadData(dir string) (*xmltree.Corpus, *ontology.Ontology, error) {
+	f, err := os.Open(filepath.Join(dir, ontologyFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	ont, err := ontology.Load(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	corpus, err := xmltree.LoadDir(filepath.Join(dir, "docs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return corpus, ont, nil
+}
+
+func newSystem(dir, strategy string) (*core.System, error) {
+	corpus, ont, err := loadData(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ontoscore.ParseStrategy(strategy)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Strategy = s
+	return core.New(corpus, ont, cfg), nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	data := fs.String("data", "data", "data directory written by gen")
+	strategy := fs.String("strategy", "Relationships", "XRANK|Graph|Taxonomy|Relationships")
+	storeDir := fs.String("store", "", "index store directory (default <data>/index)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		*storeDir = filepath.Join(*data, "index")
+	}
+	sys, err := newSystem(*data, *strategy)
+	if err != nil {
+		return err
+	}
+	stats, err := sys.BuildIndex()
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(*storeDir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if err := sys.SaveIndex(st); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d keywords, %d postings, %.1f KB (full-text %v, ontoscore %v, dil %v)\n",
+		stats.Keywords, stats.TotalPostings, float64(stats.TotalBytes)/1024,
+		stats.FullTextTime, stats.OntoScoreTime, stats.DILTime)
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	data := fs.String("data", "data", "data directory written by gen")
+	strategy := fs.String("strategy", "Relationships", "XRANK|Graph|Taxonomy|Relationships")
+	storeDir := fs.String("store", "", "index store directory (optional; searches on demand if absent)")
+	q := fs.String("q", "", "keyword query; quote phrases with double quotes")
+	k := fs.Int("k", 5, "number of results")
+	frag := fs.Bool("fragments", false, "print result XML fragments")
+	ranked := fs.Bool("ranked", false, "use the RDIL ranked-access algorithm (early termination)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *q == "" {
+		return fmt.Errorf("search: -q is required")
+	}
+	sys, err := newSystem(*data, *strategy)
+	if err != nil {
+		return err
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if err := sys.LoadIndex(st); err != nil {
+			return err
+		}
+	}
+	var results []core.Result
+	if *ranked {
+		results = sys.SearchTopK(*q, *k)
+	} else {
+		results = sys.Search(*q, *k)
+	}
+	if len(results) == 0 {
+		fmt.Println("no results")
+		return nil
+	}
+	for i, r := range results {
+		fmt.Printf("%2d. score=%.4f doc=%s element=%s\n", i+1, r.Score, r.Document, r.Path)
+		for _, m := range r.Matches {
+			fmt.Printf("      %-28q via %s (ns=%.4f)\n", m.Keyword, m.Path, m.Score)
+		}
+		if *frag {
+			fmt.Println(sys.Fragment(r))
+		}
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	data := fs.String("data", "data", "data directory written by gen")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	corpus, ont, err := loadData(*data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus:   %s\n", corpus.Stats())
+	fmt.Printf("ontology: %q %d concepts, %d relationships, %d relationship types\n",
+		ont.Name, ont.Len(), ont.NumRelationships(), len(ont.RelTypes()))
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command xontoserve runs the XOntoRank HTTP search service over a data
+// directory produced by `xontorank gen` (or over freshly generated
+// synthetic data with -generate).
+//
+// Usage:
+//
+//	xontoserve -data data -addr :8080
+//	xontoserve -generate -docs 100 -concepts 1000 -addr :8080
+//
+// Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
+// /healthz (see internal/server).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/server"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "data directory written by xontorank gen")
+	generate := flag.Bool("generate", false, "serve freshly generated synthetic data")
+	docs := flag.Int("docs", 100, "documents to generate with -generate")
+	concepts := flag.Int("concepts", 1000, "synthetic concepts with -generate")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	corpus, coll, err := loadOrGenerate(*data, *generate, *docs, *concepts, *seed)
+	if err != nil {
+		log.Fatal("xontoserve: ", err)
+	}
+	stats := corpus.Stats()
+	log.Printf("serving %d documents (%d elements, %d code nodes) across %d ontologies on %s",
+		stats.Documents, stats.Elements, stats.CodeNodes, coll.Len(), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(server.New(corpus, coll, core.DefaultConfig())),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func loadOrGenerate(data string, generate bool, docs, concepts int, seed int64) (*xmltree.Corpus, *ontology.Collection, error) {
+	if !generate && data == "" {
+		return nil, nil, fmt.Errorf("either -data or -generate is required")
+	}
+	if generate {
+		ont, err := ontology.Generate(ontology.GenConfig{
+			Seed: seed, ExtraConcepts: concepts, SynonymProb: 0.4,
+			MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		gen, err := cda.NewGenerator(cda.GenConfig{
+			Seed: seed, NumDocuments: docs, ProblemsPerPatient: 4,
+			MedicationsPerPatient: 4, ProceduresPerPatient: 2,
+		}, ont)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus := gen.GenerateCorpus()
+		fig1, err := cda.GenerateFigure1(ont)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus.Add(fig1)
+		return corpus, ontology.MustCollection(ont, ontology.LOINCFragment()), nil
+	}
+
+	f, err := os.Open(filepath.Join(data, "ontology.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	ont, err := ontology.Load(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	corpus, err := xmltree.LoadDir(filepath.Join(data, "docs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return corpus, ontology.MustCollection(ont, ontology.LOINCFragment()), nil
+}
+
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %v", r.Method, r.URL.RequestURI(), time.Since(start))
+	})
+}

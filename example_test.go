@@ -1,0 +1,87 @@
+package xontorank_test
+
+import (
+	"fmt"
+	"log"
+
+	xontorank "repro"
+)
+
+// The paper's introductory scenario: the query names "bronchial
+// structure", which never occurs in the document; the ontology's
+// finding-site-of relationship connects it to the Asthma code the
+// document does carry.
+func Example() {
+	ont := xontorank.FigureTwoFragment()
+	doc, err := xontorank.GenerateFigureOne(ont)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := xontorank.NewCorpus()
+	corpus.Add(doc)
+
+	baseline := xontorank.DefaultConfig()
+	baseline.Strategy = xontorank.StrategyXRANK
+	sysBase := xontorank.New(corpus, ont, baseline)
+	fmt.Println("XRANK results:", len(sysBase.Search(`"bronchial structure" theophylline`, 5)))
+
+	sys := xontorank.New(corpus, ont, xontorank.DefaultConfig())
+	results := sys.Search(`"bronchial structure" theophylline`, 5)
+	fmt.Println("Relationships results:", len(results) > 0)
+
+	// Output:
+	// XRANK results: 0
+	// Relationships results: true
+}
+
+func ExampleParseQuery() {
+	for _, kw := range xontorank.ParseQuery(`"Bronchial Structure" Theophylline`) {
+		fmt.Println(kw)
+	}
+	// Output:
+	// bronchial structure
+	// theophylline
+}
+
+func ExampleSystem_Search() {
+	ont := xontorank.FigureTwoFragment()
+	doc, err := xontorank.GenerateFigureOne(ont)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := xontorank.NewCorpus()
+	corpus.Add(doc)
+	cfg := xontorank.DefaultConfig()
+	cfg.Strategy = xontorank.StrategyXRANK
+	sys := xontorank.New(corpus, ont, cfg)
+
+	// Figure 4 of the paper: the most specific element containing both
+	// "asthma" and "medications" is an Observation.
+	results := sys.Search("asthma medications", 1)
+	fmt.Println(results[0].Path)
+	// Output:
+	// ClinicalDocument/component/StructuredBody/component/section/entry/Observation
+}
+
+func ExampleFigureTwoFragment() {
+	ont := xontorank.FigureTwoFragment()
+	asthma := ont.ByPreferred("Asthma")
+	fmt.Println(asthma.Code)
+	for _, p := range ont.Superclasses(asthma.ID) {
+		fmt.Println("is-a", ont.Concept(p).Preferred)
+	}
+	// Output:
+	// 195967001
+	// is-a Disorder of bronchus
+}
+
+func ExampleStrategies() {
+	for _, s := range xontorank.Strategies() {
+		fmt.Println(s)
+	}
+	// Output:
+	// XRANK
+	// Graph
+	// Taxonomy
+	// Relationships
+}

@@ -1,0 +1,95 @@
+// Clinical search: the paper's introductory scenario. The query
+// ["Bronchial Structure", Theophylline] is answered from a CDA document
+// (the paper's Figure 1) that never mentions "bronchial structure" —
+// the connection runs through SNOMED: the document references the
+// Asthma concept, and the ontology defines a finding-site-of
+// relationship between Asthma and Bronchial Structure.
+//
+// The example runs the query under all four approaches and shows that
+// the XRANK baseline finds nothing while the ontology-aware strategies
+// return the asthma/theophylline record, and prints the connecting
+// result fragment (the paper's Figure 4 presentation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xontorank "repro"
+)
+
+func main() {
+	// The curated Figure-2 ontology fragment: Asthma, Bronchial
+	// Structure, Disorder of Bronchus, Theophylline and their
+	// relationships.
+	ont := xontorank.FigureTwoFragment()
+
+	// The Figure-1 document: a patient with asthma on theophylline.
+	doc, err := xontorank.GenerateFigureOne(ont)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := xontorank.NewCorpus()
+	corpus.Add(doc)
+
+	const q = `"bronchial structure" theophylline`
+	fmt.Printf("query: %s\n\n", q)
+
+	for _, strategy := range xontorank.Strategies() {
+		cfg := xontorank.DefaultConfig()
+		cfg.Strategy = strategy
+		sys := xontorank.New(corpus, ont, cfg)
+		results := sys.Search(q, 3)
+		fmt.Printf("--- %v: %d result(s)\n", strategy, len(results))
+		for _, r := range results {
+			fmt.Printf("    score=%.4f element=%s\n", r.Score, r.Path)
+			for _, m := range r.Matches {
+				how := "textual match"
+				if n := corpusNodeDisplay(sys, m); n != "" {
+					how = n
+				}
+				fmt.Printf("      %-22q <- %s\n", m.Keyword, how)
+			}
+		}
+		if strategy == xontorank.StrategyRelationships && len(results) > 0 {
+			fmt.Println("\n    result fragment (cf. paper Figure 4):")
+			fmt.Println(indent(sys.Fragment(results[0]), "    "))
+		}
+		fmt.Println()
+	}
+
+	// Also the paper's Figure-4 query: [asthma medications] returns the
+	// most specific Observation containing both terms.
+	cfg := xontorank.DefaultConfig()
+	cfg.Strategy = xontorank.StrategyXRANK
+	sys := xontorank.New(corpus, ont, cfg)
+	res := sys.Search("asthma medications", 1)
+	if len(res) == 0 {
+		log.Fatal("figure-4 query returned nothing")
+	}
+	fmt.Println("--- query [asthma medications], most specific element:")
+	fmt.Println(indent(sys.Fragment(res[0]), "    "))
+}
+
+func corpusNodeDisplay(sys *xontorank.System, m xontorank.KeywordMatch) string {
+	n := sys.Corpus().NodeAt(m.ID)
+	if n == nil {
+		return ""
+	}
+	if name, ok := n.Attr("displayName"); ok {
+		ref, _ := n.OntoRef()
+		return fmt.Sprintf("code node %s (%s), node score %.4f", name, ref, m.Score)
+	}
+	return fmt.Sprintf("element <%s>, node score %.4f", n.Tag, m.Score)
+}
+
+func indent(s, prefix string) string {
+	out := prefix
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += prefix
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package cda
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+func testOntology(t *testing.T) *ontology.Ontology {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 11, ExtraConcepts: 150, SynonymProb: 0.3,
+		MultiParentProb: 0.1, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ont
+}
+
+func TestBuilderShape(t *testing.T) {
+	ont := testOntology(t)
+	b := NewBuilder("c001", "Ada", "Lovelace")
+	b.SetPatient("Pat", "Ent", "F", "20010101")
+	sec := b.Section(LOINCMedications, "Medications")
+	asthma, _ := ont.ByCode(ontology.CodeAsthma)
+	meds, _ := ont.ByCode(ontology.CodeMedications)
+	theo, _ := ont.ByCode(ontology.CodeTheophylline)
+	AddObservation(sec, ont, meds, asthma)
+	AddMedication(sec, ont, theo, "10 mg daily")
+	doc := b.Document("t")
+	if err := Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "ClinicalDocument" {
+		t.Error("wrong root")
+	}
+	// The value node must be a code node referencing asthma.
+	val := doc.Root.Find(func(n *xmltree.Node) bool {
+		v, _ := n.Attr("displayName")
+		return v == "Asthma"
+	})
+	if val == nil {
+		t.Fatal("asthma code node missing")
+	}
+	ref, ok := val.OntoRef()
+	if !ok || ref.Code != ontology.CodeAsthma || ref.System != ont.SystemID {
+		t.Errorf("ref = %v %v", ref, ok)
+	}
+	// Medication free text present.
+	txt := doc.Root.Find(func(n *xmltree.Node) bool { return n.Tag == "content" })
+	if txt == nil || txt.Text != "Theophylline" {
+		t.Errorf("content = %+v", txt)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := Validate(&xmltree.Document{Root: &xmltree.Node{Tag: "x"}}); err == nil {
+		t.Error("non-CDA root accepted")
+	}
+	root := &xmltree.Node{Tag: "ClinicalDocument"}
+	if err := Validate(&xmltree.Document{Root: root}); err == nil {
+		t.Error("document without sections accepted")
+	}
+	b := NewBuilder("c", "A", "B")
+	sec := b.Section(LOINCProblems, "Problems")
+	bad := sec.NewChild("value")
+	bad.SetAttr("codeSystem", "2.16")
+	if err := Validate(b.Document("t")); err == nil {
+		t.Error("codeSystem without code accepted")
+	}
+}
+
+func TestGenerateDocumentShape(t *testing.T) {
+	ont := testOntology(t)
+	g, err := NewGenerator(GenConfig{Seed: 5, NumDocuments: 1, ProblemsPerPatient: 3, MedicationsPerPatient: 3, ProceduresPerPatient: 1}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := g.GenerateDocument(0)
+	if err := Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	// Must carry ontological references resolvable in the ontology.
+	refs := 0
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if ref, ok := n.OntoRef(); ok && ref.System == ont.SystemID {
+			if _, found := ont.ByCode(ref.Code); !found {
+				t.Errorf("dangling ontological reference %v", ref)
+			}
+			refs++
+		}
+		return true
+	})
+	if refs < 5 {
+		t.Errorf("document has only %d ontological references", refs)
+	}
+	// Section titles present.
+	titles := map[string]bool{}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Tag == "title" {
+			titles[n.Text] = true
+		}
+		return true
+	})
+	for _, want := range []string{"Problems", "Medications", "Vital Signs"} {
+		if !titles[want] {
+			t.Errorf("section %q missing (have %v)", want, titles)
+		}
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	ont := testOntology(t)
+	cfg := GenConfig{Seed: 8, NumDocuments: 10, ProblemsPerPatient: 3, MedicationsPerPatient: 3, ProceduresPerPatient: 1}
+	g1, err := NewGenerator(cfg, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := g1.GenerateCorpus()
+	c2 := g2.GenerateCorpus()
+	if c1.Len() != 10 || c2.Len() != 10 {
+		t.Fatalf("corpus sizes %d/%d", c1.Len(), c2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		var b1, b2 bytes.Buffer
+		if err := xmltree.WriteXML(&b1, c1.Docs()[i].Root); err != nil {
+			t.Fatal(err)
+		}
+		if err := xmltree.WriteXML(&b2, c2.Docs()[i].Root); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("document %d differs across same-seed runs", i)
+		}
+	}
+	stats := c1.Stats()
+	if stats.AvgCodeRef < 5 {
+		t.Errorf("average references per document = %.1f, too sparse", stats.AvgCodeRef)
+	}
+}
+
+func TestDrugDisorderCooccurrence(t *testing.T) {
+	// Medications should frequently be treated-by targets of the
+	// patient's problems, giving the corpus clinically coherent
+	// co-occurrence.
+	ont := testOntology(t)
+	g, err := NewGenerator(GenConfig{Seed: 3, NumDocuments: 40, ProblemsPerPatient: 3, MedicationsPerPatient: 4, ProceduresPerPatient: 1}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := g.GenerateCorpus()
+	related, total := 0, 0
+	for _, doc := range corpus.Docs() {
+		var problems, drugs []ontology.ConceptID
+		doc.Root.Walk(func(n *xmltree.Node) bool {
+			if ref, ok := n.OntoRef(); ok {
+				if c, found := ont.ByCode(ref.Code); found {
+					switch n.Parent.Tag {
+					case "Observation":
+						if n.Tag == "value" {
+							problems = append(problems, c.ID)
+						}
+					case "manufacturedLabeledDrug":
+						drugs = append(drugs, c.ID)
+					}
+				}
+			}
+			return true
+		})
+		for _, d := range drugs {
+			total++
+			for _, p := range problems {
+				isTreatment := false
+				for _, e := range ont.Out(p) {
+					if e.Type == ontology.TreatedBy && e.To == d {
+						isTreatment = true
+					}
+				}
+				if isTreatment {
+					related++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no drugs generated")
+	}
+	if ratio := float64(related) / float64(total); ratio < 0.3 {
+		t.Errorf("only %.0f%% of prescriptions relate to a problem", 100*ratio)
+	}
+}
+
+func TestGenerateFigure1(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	doc, err := GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(doc); err != nil {
+		t.Fatal(err)
+	}
+	xml := xmltree.XMLString(doc.Root)
+	for _, want := range []string{"Asthma", "Theophylline", "Albuterol", "Bronchitis", "Medications", "Vital Signs"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("figure-1 document missing %q", want)
+		}
+	}
+	// The phrase "Bronchial structure" must NOT appear: the intro
+	// example depends on it being reachable only via the ontology.
+	if strings.Contains(strings.ToLower(xml), "bronchial structure") {
+		t.Error("figure-1 document must not literally contain 'bronchial structure'")
+	}
+	// Nested albuterol value inside bronchitis value, as in Figure 1.
+	bronch := doc.Root.Find(func(n *xmltree.Node) bool {
+		v, _ := n.Attr("displayName")
+		return v == "Bronchitis"
+	})
+	if bronch == nil || len(bronch.Children) == 0 {
+		t.Fatal("nested albuterol value missing")
+	}
+	if v, _ := bronch.Children[0].Attr("displayName"); v != "Albuterol" {
+		t.Errorf("nested value = %q", v)
+	}
+	// Missing concepts produce an error, not a panic.
+	empty := ontology.New("s", "empty")
+	if _, err := GenerateFigure1(empty); err == nil {
+		t.Error("GenerateFigure1 with empty ontology should fail")
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	empty := ontology.New("s", "empty")
+	if _, err := NewGenerator(DefaultGenConfig(), empty); err == nil {
+		t.Error("generator over empty ontology should fail")
+	}
+}

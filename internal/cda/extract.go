@@ -1,0 +1,204 @@
+package cda
+
+import (
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Structured read access to CDA documents: the inverse of the builder.
+// These accessors let applications consume search results clinically
+// (which drugs, which problems, which patient) instead of walking raw
+// XML.
+
+// Section is one titled document section.
+type Section struct {
+	Code  string // LOINC section code
+	Title string
+	Node  *xmltree.Node
+}
+
+// Sections lists every section of the document in order, including
+// nested subsections.
+func Sections(doc *xmltree.Document) []Section {
+	var out []Section
+	if doc.Root == nil {
+		return nil
+	}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Tag != "section" {
+			return true
+		}
+		s := Section{Node: n}
+		for _, c := range n.Children {
+			switch c.Tag {
+			case "code":
+				s.Code, _ = c.Attr("code")
+			case "title":
+				s.Title = c.Text
+			}
+		}
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// SectionByCode returns the first section with the given LOINC code.
+func SectionByCode(doc *xmltree.Document, code string) (Section, bool) {
+	for _, s := range Sections(doc) {
+		if s.Code == code {
+			return s, true
+		}
+	}
+	return Section{}, false
+}
+
+// MedicationEntry is one SubstanceAdministration of the medications
+// section.
+type MedicationEntry struct {
+	Drug     xmltree.OntoRef
+	DrugName string
+	DoseText string
+	Node     *xmltree.Node
+}
+
+// Medications extracts every medication entry of the document.
+func Medications(doc *xmltree.Document) []MedicationEntry {
+	var out []MedicationEntry
+	if doc.Root == nil {
+		return nil
+	}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Tag != "SubstanceAdministration" {
+			return true
+		}
+		e := MedicationEntry{Node: n}
+		if code := n.Find(func(v *xmltree.Node) bool {
+			return v.Tag == "code" && v.Parent != nil && v.Parent.Tag == "manufacturedLabeledDrug"
+		}); code != nil {
+			e.Drug, _ = code.OntoRef()
+			e.DrugName, _ = code.Attr("displayName")
+		}
+		if text := n.Find(func(v *xmltree.Node) bool { return v.Tag == "text" }); text != nil {
+			e.DoseText = text.Text
+			if e.DrugName == "" {
+				if content := text.Find(func(v *xmltree.Node) bool { return v.Tag == "content" }); content != nil {
+					e.DrugName = content.Text
+				}
+			}
+		}
+		out = append(out, e)
+		return false // entries do not nest
+	})
+	return out
+}
+
+// ProblemEntry is one coded observation value (a problem-list or
+// findings entry).
+type ProblemEntry struct {
+	Ref     xmltree.OntoRef
+	Display string
+	Node    *xmltree.Node
+}
+
+// Problems extracts the coded values of every Observation in the
+// document (problem-list entries and coded findings).
+func Problems(doc *xmltree.Document) []ProblemEntry {
+	var out []ProblemEntry
+	if doc.Root == nil {
+		return nil
+	}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Tag != "value" || n.Parent == nil || n.Parent.Tag != "Observation" {
+			return true
+		}
+		ref, ok := n.OntoRef()
+		if !ok {
+			return true
+		}
+		display, _ := n.Attr("displayName")
+		out = append(out, ProblemEntry{Ref: ref, Display: display, Node: n})
+		return true
+	})
+	return out
+}
+
+// Patient is the record target's demographic header.
+type Patient struct {
+	Given     string
+	Family    string
+	Gender    string
+	BirthTime string
+}
+
+// PatientOf extracts the record target, if present.
+func PatientOf(doc *xmltree.Document) (Patient, bool) {
+	if doc.Root == nil {
+		return Patient{}, false
+	}
+	pat := doc.Root.Find(func(n *xmltree.Node) bool { return n.Tag == "patientPatient" })
+	if pat == nil {
+		return Patient{}, false
+	}
+	var p Patient
+	if name := pat.Find(func(n *xmltree.Node) bool { return n.Tag == "name" }); name != nil {
+		for _, c := range name.Children {
+			switch c.Tag {
+			case "given":
+				p.Given = c.Text
+			case "family":
+				p.Family = c.Text
+			}
+		}
+	}
+	if g := pat.Find(func(n *xmltree.Node) bool { return n.Tag == "administrativeGenderCode" }); g != nil {
+		p.Gender, _ = g.Attr("code")
+	}
+	if b := pat.Find(func(n *xmltree.Node) bool { return n.Tag == "birthTime" }); b != nil {
+		p.BirthTime, _ = b.Attr("value")
+	}
+	return p, true
+}
+
+// Summary renders a one-line clinical overview of the document, useful
+// in result listings.
+func Summary(doc *xmltree.Document) string {
+	var b strings.Builder
+	if p, ok := PatientOf(doc); ok {
+		b.WriteString(p.Given + " " + p.Family)
+	}
+	problems := Problems(doc)
+	if len(problems) > 0 {
+		names := make([]string, 0, len(problems))
+		seen := map[string]bool{}
+		for _, pr := range problems {
+			if pr.Display != "" && !seen[pr.Display] {
+				seen[pr.Display] = true
+				names = append(names, pr.Display)
+			}
+		}
+		if len(names) > 3 {
+			names = names[:3]
+		}
+		if b.Len() > 0 {
+			b.WriteString(": ")
+		}
+		b.WriteString(strings.Join(names, ", "))
+	}
+	if meds := Medications(doc); len(meds) > 0 {
+		b.WriteString(" (")
+		for i, m := range meds {
+			if i > 2 {
+				b.WriteString(", …")
+				break
+			}
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(m.DrugName)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

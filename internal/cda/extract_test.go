@@ -1,0 +1,142 @@
+package cda
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+func figure1Doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	ont := ontology.Figure2Fragment()
+	doc, err := GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestSectionsExtraction(t *testing.T) {
+	doc := figure1Doc(t)
+	secs := Sections(doc)
+	if len(secs) != 3 { // Medications, Physical Examination, Vital Signs
+		t.Fatalf("sections = %d", len(secs))
+	}
+	titles := map[string]string{}
+	for _, s := range secs {
+		titles[s.Title] = s.Code
+		if s.Node == nil {
+			t.Error("nil section node")
+		}
+	}
+	if titles["Medications"] != LOINCMedications {
+		t.Errorf("medications code = %q", titles["Medications"])
+	}
+	if titles["Vital Signs"] != LOINCVitalSigns {
+		t.Errorf("vital signs code = %q", titles["Vital Signs"])
+	}
+	sec, ok := SectionByCode(doc, LOINCMedications)
+	if !ok || sec.Title != "Medications" {
+		t.Errorf("SectionByCode = %+v, %v", sec, ok)
+	}
+	if _, ok := SectionByCode(doc, "0000-0"); ok {
+		t.Error("unknown section code resolved")
+	}
+}
+
+func TestMedicationsExtraction(t *testing.T) {
+	doc := figure1Doc(t)
+	meds := Medications(doc)
+	if len(meds) != 1 {
+		t.Fatalf("medications = %d", len(meds))
+	}
+	m := meds[0]
+	if m.DrugName != "Theophylline" {
+		t.Errorf("drug = %q", m.DrugName)
+	}
+	if m.Drug.Code != ontology.CodeTheophylline {
+		t.Errorf("code = %v", m.Drug)
+	}
+	if !strings.Contains(m.DoseText, "20 mg") {
+		t.Errorf("dose = %q", m.DoseText)
+	}
+}
+
+func TestProblemsExtraction(t *testing.T) {
+	doc := figure1Doc(t)
+	problems := Problems(doc)
+	// Asthma and Bronchitis values (the nested Albuterol value's parent
+	// is a value, not an Observation).
+	if len(problems) != 2 {
+		t.Fatalf("problems = %d: %+v", len(problems), problems)
+	}
+	names := map[string]bool{}
+	for _, p := range problems {
+		names[p.Display] = true
+	}
+	if !names["Asthma"] || !names["Bronchitis"] {
+		t.Errorf("problems = %v", names)
+	}
+}
+
+func TestPatientOf(t *testing.T) {
+	doc := figure1Doc(t)
+	p, ok := PatientOf(doc)
+	if !ok {
+		t.Fatal("no patient")
+	}
+	if p.Given != "FirstName" || p.Family != "LastName" || p.Gender != "M" {
+		t.Errorf("patient = %+v", p)
+	}
+	if p.BirthTime == "" {
+		t.Error("birth time missing")
+	}
+	if _, ok := PatientOf(&xmltree.Document{}); ok {
+		t.Error("empty document has a patient")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	doc := figure1Doc(t)
+	s := Summary(doc)
+	for _, want := range []string{"FirstName", "Asthma", "Theophylline"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+	if Summary(&xmltree.Document{}) != "" {
+		t.Error("empty document summary not empty")
+	}
+}
+
+func TestExtractionOnGeneratedCorpus(t *testing.T) {
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 4, ExtraConcepts: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(GenConfig{Seed: 4, NumDocuments: 10, ProblemsPerPatient: 3, MedicationsPerPatient: 3, ProceduresPerPatient: 1}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range g.GenerateCorpus().Docs() {
+		if _, ok := PatientOf(doc); !ok {
+			t.Fatalf("doc %s has no patient", doc.Name)
+		}
+		if len(Medications(doc)) == 0 {
+			t.Fatalf("doc %s has no medications", doc.Name)
+		}
+		if len(Problems(doc)) == 0 {
+			t.Fatalf("doc %s has no problems", doc.Name)
+		}
+		for _, m := range Medications(doc) {
+			if m.DrugName == "" || m.Drug.IsZero() {
+				t.Fatalf("doc %s: incomplete medication %+v", doc.Name, m)
+			}
+		}
+		if Summary(doc) == "" {
+			t.Fatalf("doc %s has empty summary", doc.Name)
+		}
+	}
+}

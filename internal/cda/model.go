@@ -1,0 +1,227 @@
+// Package cda models HL7 Clinical Document Architecture (CDA) Release 2
+// documents as XOntoRank consumes them, and generates a synthetic EMR
+// corpus with the shape of the paper's evaluation data (Section VII: CDA
+// documents converted from an anonymized cardiac-clinic EMR database,
+// with ontological references inserted for every value matching a
+// SNOMED concept).
+//
+// Only the structural subset relevant to information discovery is
+// modeled: the header (author, record target), the structured body, and
+// the clinical-statement entries (Observation, SubstanceAdministration,
+// Procedure) whose code nodes carry the ontological references.
+package cda
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+// LOINCSystemID is the coding system OID for LOINC section codes, as in
+// the paper's Figure 1.
+const LOINCSystemID = "2.16.840.1.113883.6.1"
+
+// LOINC section codes used by the generator (the Medications and
+// Physical Examination codes are those of Figure 1).
+const (
+	LOINCMedications  = "10160-0"
+	LOINCProblems     = "11450-4"
+	LOINCPhysicalExam = "29545-1"
+	LOINCVitalSigns   = "8716-3"
+	LOINCProcedures   = "47519-4"
+	LOINCHospCourse   = "8648-8"
+)
+
+// Builder assembles one ClinicalDocument tree.
+type Builder struct {
+	doc  *xmltree.Node
+	body *xmltree.Node
+}
+
+// NewBuilder starts a ClinicalDocument with the given document id
+// extension (e.g. "c266") and authoring clinician name.
+func NewBuilder(idExt, authorGiven, authorFamily string) *Builder {
+	root := &xmltree.Node{Tag: "ClinicalDocument"}
+	root.SetAttr("templateId", "2.16.840.1.113883.3.27.1776")
+	id := root.NewChild("id")
+	id.SetAttr("extension", idExt)
+	id.SetAttr("root", "2.16.840.1.113883.3.933")
+	author := root.NewChild("author")
+	person := author.NewChild("assignedAuthor").NewChild("assignedPerson")
+	name := person.NewChild("name")
+	name.NewChild("given").Text = authorGiven
+	name.NewChild("family").Text = authorFamily
+	name.NewChild("suffix").Text = "MD"
+	return &Builder{doc: root}
+}
+
+// SetPatient fills the recordTarget header block.
+func (b *Builder) SetPatient(given, family, gender, birthTime string) {
+	rt := b.doc.NewChild("recordTarget")
+	role := rt.NewChild("patientRole")
+	pat := role.NewChild("patientPatient")
+	name := pat.NewChild("name")
+	name.NewChild("given").Text = given
+	name.NewChild("family").Text = family
+	g := pat.NewChild("administrativeGenderCode")
+	g.SetAttr("code", gender)
+	g.SetAttr("codeSystem", "2.16.840.1.113883.5.1")
+	bt := pat.NewChild("birthTime")
+	bt.SetAttr("value", birthTime)
+}
+
+// body returns (creating on demand) the StructuredBody element.
+func (b *Builder) structuredBody() *xmltree.Node {
+	if b.body == nil {
+		b.body = b.doc.NewChild("component").NewChild("StructuredBody")
+	}
+	return b.body
+}
+
+// Section starts a new titled section with a LOINC code and returns its
+// node so entries can be appended.
+func (b *Builder) Section(loincCode, title string) *xmltree.Node {
+	sec := b.structuredBody().NewChild("component").NewChild("section")
+	code := sec.NewChild("code")
+	code.SetAttr("code", loincCode)
+	code.SetAttr("codeSystem", LOINCSystemID)
+	code.SetAttr("codeSystemName", "LOINC")
+	sec.NewChild("title").Text = title
+	return sec
+}
+
+// Subsection nests a titled section within a parent section (as the
+// Vital Signs subsection nests within Physical Examination in Figure 1).
+func Subsection(parent *xmltree.Node, loincCode, title string) *xmltree.Node {
+	sec := parent.NewChild("component").NewChild("section")
+	code := sec.NewChild("code")
+	code.SetAttr("code", loincCode)
+	code.SetAttr("codeSystem", LOINCSystemID)
+	code.SetAttr("codeSystemName", "LOINC")
+	sec.NewChild("title").Text = title
+	return sec
+}
+
+// conceptCode fills an element with the code/codeSystem/displayName
+// attribute triple referencing concept c of ontology o.
+func conceptCode(n *xmltree.Node, o *ontology.Ontology, c *ontology.Concept) {
+	n.SetAttr("code", c.Code)
+	n.SetAttr("codeSystem", o.SystemID)
+	n.SetAttr("codeSystemName", o.Name)
+	n.SetAttr("displayName", c.Preferred)
+}
+
+// AddObservation appends an Observation entry to a section: an
+// observation-kind code node plus a value code node referencing the
+// observed concept, mirroring Figure 1 lines 36-41.
+func AddObservation(sec *xmltree.Node, o *ontology.Ontology, kind, value *ontology.Concept) *xmltree.Node {
+	obs := sec.NewChild("entry").NewChild("Observation")
+	code := obs.NewChild("code")
+	conceptCode(code, o, kind)
+	val := obs.NewChild("value")
+	conceptCode(val, o, value)
+	return obs
+}
+
+// AddMedication appends a SubstanceAdministration entry: dosing free
+// text plus a manufacturedLabeledDrug code node referencing the drug
+// concept, mirroring Figure 1 lines 48-56.
+func AddMedication(sec *xmltree.Node, o *ontology.Ontology, drug *ontology.Concept, doseText string) *xmltree.Node {
+	return AddMedicationWithID(sec, o, drug, doseText, "")
+}
+
+// AddMedicationWithID is AddMedication, additionally anchoring the drug
+// name content with an XML ID so other elements can point at it with
+// <reference value="..."/> (Figure 1's content ID="m1" idiom).
+func AddMedicationWithID(sec *xmltree.Node, o *ontology.Ontology, drug *ontology.Concept, doseText, contentID string) *xmltree.Node {
+	sub := sec.NewChild("entry").NewChild("SubstanceAdministration")
+	text := sub.NewChild("text")
+	content := text.NewChild("content")
+	content.Text = drug.Preferred
+	if contentID != "" {
+		content.SetAttr("ID", contentID)
+	}
+	text.Text = doseText
+	code := sub.NewChild("consumable").
+		NewChild("manufacturedProduct").
+		NewChild("manufacturedLabeledDrug").
+		NewChild("code")
+	conceptCode(code, o, drug)
+	return sub
+}
+
+// AddOriginalTextReference attaches an <originalText><reference
+// value="..."/></originalText> child to a coded value, pointing at a
+// content anchor elsewhere in the document (Figure 1 line 40).
+func AddOriginalTextReference(value *xmltree.Node, contentID string) *xmltree.Node {
+	ref := value.NewChild("originalText").NewChild("reference")
+	ref.SetAttr("value", contentID)
+	return ref
+}
+
+// AddProcedure appends a Procedure entry referencing a procedure
+// concept.
+func AddProcedure(sec *xmltree.Node, o *ontology.Ontology, proc *ontology.Concept, narrative string) *xmltree.Node {
+	p := sec.NewChild("entry").NewChild("Procedure")
+	code := p.NewChild("code")
+	conceptCode(code, o, proc)
+	if narrative != "" {
+		p.NewChild("text").Text = narrative
+	}
+	return p
+}
+
+// AddVitalSign appends a coded physical-quantity observation (Figure 1
+// lines 76-81).
+func AddVitalSign(sec *xmltree.Node, o *ontology.Ontology, kind *ontology.Concept, value, unit string) *xmltree.Node {
+	obs := sec.NewChild("entry").NewChild("Observation")
+	code := obs.NewChild("code")
+	conceptCode(code, o, kind)
+	val := obs.NewChild("value")
+	val.SetAttr("value", value)
+	val.SetAttr("unit", unit)
+	return obs
+}
+
+// AddNarrative appends a free-text paragraph to a section.
+func AddNarrative(sec *xmltree.Node, text string) *xmltree.Node {
+	t := sec.NewChild("text")
+	t.Text = text
+	return t
+}
+
+// Document finalizes and returns the assembled tree wrapped as an
+// xmltree document.
+func (b *Builder) Document(name string) *xmltree.Document {
+	return &xmltree.Document{Root: b.doc, Name: name}
+}
+
+// Validate performs structural sanity checks on a CDA tree: a
+// ClinicalDocument root, at least one section in the structured body,
+// and code attributes present wherever codeSystem appears.
+func Validate(doc *xmltree.Document) error {
+	if doc.Root == nil || doc.Root.Tag != "ClinicalDocument" {
+		return fmt.Errorf("cda: root element must be ClinicalDocument")
+	}
+	sections := 0
+	var bad *xmltree.Node
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if n.Tag == "section" {
+			sections++
+		}
+		if _, ok := n.Attr("codeSystem"); ok {
+			if v, okc := n.Attr("code"); !okc || v == "" {
+				bad = n
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		return fmt.Errorf("cda: element %s has codeSystem without code", bad.Path())
+	}
+	if sections == 0 {
+		return fmt.Errorf("cda: document has no sections")
+	}
+	return nil
+}

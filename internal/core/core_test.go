@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/store"
+	"repro/internal/xmltree"
+)
+
+func buildSystem(t *testing.T, strategy ontoscore.Strategy) *System {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 6, ExtraConcepts: 100, SynonymProb: 0.4,
+		MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 6, NumDocuments: 10, ProblemsPerPatient: 3,
+		MedicationsPerPatient: 3, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := g.GenerateCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+	cfg := DefaultConfig()
+	cfg.Strategy = strategy
+	cfg.VocabularyHops = 1
+	return New(corpus, ont, cfg)
+}
+
+func TestSearchOnDemandWithoutBuild(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyRelationships)
+	res := s.Search(`"bronchial structure" theophylline`, 5)
+	if len(res) == 0 {
+		t.Fatal("on-demand search found nothing")
+	}
+	top := res[0]
+	if top.Document == "" {
+		t.Error("top result has no document name")
+	}
+	if top.Path == "" || top.Score <= 0 {
+		t.Errorf("unresolved result: %+v", top)
+	}
+	if len(top.Matches) != 2 {
+		t.Fatalf("matches = %d", len(top.Matches))
+	}
+	if top.Matches[0].Keyword != "bronchial structure" {
+		t.Errorf("keyword = %q", top.Matches[0].Keyword)
+	}
+	// Results may be compact single-element covers (the paper's VII-A
+	// observation). Every result must resolve to a real element whose
+	// matches lie inside its subtree, and fragments must render.
+	for _, r := range res {
+		frag := s.Fragment(r)
+		if !strings.Contains(frag, "codeSystem") && !strings.Contains(frag, "<") {
+			t.Errorf("fragment not XML: %q", frag)
+		}
+		for _, m := range r.Matches {
+			if !r.Root.IsAncestorOrSelf(m.ID) {
+				t.Errorf("match %v outside result %v", m.ID, r.Root)
+			}
+		}
+	}
+}
+
+func TestBuildIndexThenSearch(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyGraph)
+	stats, err := s.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keywords == 0 || stats.TotalPostings == 0 {
+		t.Fatalf("degenerate stats: %+v", stats)
+	}
+	if s.BuildStats() != stats {
+		t.Error("BuildStats mismatch")
+	}
+	res := s.Search("cardiac arrest", 5)
+	if len(res) == 0 {
+		t.Fatal("no results after build")
+	}
+	if !strings.Contains(s.Summary(), "index:") {
+		t.Errorf("summary = %q", s.Summary())
+	}
+}
+
+func TestSearchConsistentBeforeAndAfterBuild(t *testing.T) {
+	a := buildSystem(t, ontoscore.StrategyTaxonomy)
+	b := buildSystem(t, ontoscore.StrategyTaxonomy)
+	if _, err := b.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"asthma medications", "cardiac arrest", "amiodarone arrhythmia"} {
+		ra := a.Search(q, 10)
+		rb := b.Search(q, 10)
+		if len(ra) != len(rb) {
+			t.Fatalf("q %q: %d vs %d results", q, len(ra), len(rb))
+		}
+		for i := range ra {
+			if !ra[i].Root.Equal(rb[i].Root) || mathAbs(ra[i].Score-rb[i].Score) > 1e-9 {
+				t.Errorf("q %q result %d differs: %v/%f vs %v/%f",
+					q, i, ra[i].Root, ra[i].Score, rb[i].Root, rb[i].Score)
+			}
+		}
+	}
+}
+
+func TestSaveLoadIndex(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyGraph)
+	if _, err := s.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := s.SaveIndex(st); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := buildSystem(t, ontoscore.StrategyGraph)
+	if err := s2.LoadIndex(st); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Index().Postings() != s.Index().Postings() {
+		t.Errorf("postings after load: %d vs %d", s2.Index().Postings(), s.Index().Postings())
+	}
+	ra := s.Search("cardiac arrest", 5)
+	rb := s2.Search("cardiac arrest", 5)
+	if len(ra) != len(rb) {
+		t.Fatalf("results differ after load: %d vs %d", len(ra), len(rb))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyNone)
+	if s.Corpus() == nil || s.Ontology() == nil || s.Builder() == nil || s.Index() == nil {
+		t.Error("nil accessor")
+	}
+	if s.Config().Strategy != ontoscore.StrategyNone {
+		t.Error("config lost")
+	}
+	// Fragment of an unresolvable result is empty.
+	if got := s.Fragment(Result{Root: xmltree.Dewey{99}}); got != "" {
+		t.Errorf("fragment = %q", got)
+	}
+	if d := Measure(func() {}); d < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAddDocumentVisibleToSearch(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	corpus := xmltree.NewCorpus()
+	// Start with a corpus that cannot answer the intro query.
+	first, err := xontorankFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the theophylline entry so the query initially fails.
+	med := first.Root.Find(func(n *xmltree.Node) bool { return n.Tag == "SubstanceAdministration" })
+	if med == nil {
+		t.Fatal("no medication entry")
+	}
+	entry := med.Parent
+	sec := entry.Parent
+	kept := sec.Children[:0]
+	for _, c := range sec.Children {
+		if c != entry {
+			kept = append(kept, c)
+		}
+	}
+	sec.Children = kept
+	corpus.Add(first)
+
+	// XRANK baseline: only literal containment counts, so the stripped
+	// corpus cannot answer the query (under the ontology-aware
+	// strategies the Asthma code node alone would cover both keywords
+	// via the treated-by edge).
+	cfg := DefaultConfig()
+	cfg.Strategy = ontoscore.StrategyNone
+	sys := New(corpus, ont, cfg)
+	if _, err := sys.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if res := sys.Search("theophylline asthma", 5); len(res) != 0 {
+		t.Fatalf("query answered before the document exists: %d results", len(res))
+	}
+
+	// Add the full figure-1 document live.
+	full, err := xontorankFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := sys.AddDocument(full)
+	if added.ID == first.ID {
+		t.Fatal("duplicate document id")
+	}
+	res := sys.Search("theophylline asthma", 5)
+	if len(res) == 0 {
+		t.Fatal("added document invisible to search")
+	}
+	found := false
+	for _, r := range res {
+		if r.Root.DocID() == added.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("results do not include the added document")
+	}
+	// Rebuilding the bulk index still works after the addition.
+	if _, err := sys.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if res := sys.Search("theophylline asthma", 5); len(res) == 0 {
+		t.Fatal("rebuilt index lost the added document")
+	}
+}
+
+func xontorankFigure1(ont *ontology.Ontology) (*xmltree.Document, error) {
+	return cda.GenerateFigure1(ont)
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyRelationships)
+	queries := []string{
+		"asthma medications",
+		`"bronchial structure" theophylline`,
+		"cardiac arrest",
+		"amiodarone arrhythmia",
+	}
+	// Baseline answers for determinism comparison.
+	want := make(map[string]int, len(queries))
+	for _, q := range queries {
+		want[q] = len(s.Search(q, 10))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				q := queries[(w+i)%len(queries)]
+				if got := len(s.Search(q, 10)); got != want[q] {
+					errs <- fmt.Errorf("q %q: %d results, want %d", q, got, want[q])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSearchTopKMatchesSearch(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyGraph)
+	for _, q := range []string{"cardiac arrest", "asthma medications"} {
+		want := s.Search(q, 5)
+		got := s.SearchTopK(q, 5)
+		if len(want) != len(got) {
+			t.Fatalf("q %q: %d vs %d results", q, len(want), len(got))
+		}
+		for i := range want {
+			if !want[i].Root.Equal(got[i].Root) || mathAbs(want[i].Score-got[i].Score) > 1e-9 {
+				t.Errorf("q %q result %d differs", q, i)
+			}
+			if got[i].Document == "" || got[i].Path == "" {
+				t.Errorf("q %q result %d unresolved", q, i)
+			}
+		}
+	}
+}
+
+func TestLoadIndexErrors(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyGraph)
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Corrupt entry under this strategy's prefix.
+	if err := st.Put("dil/Graph/asthma", []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadIndex(st); err == nil {
+		t.Error("corrupt index loaded")
+	}
+	// Summary before any build omits index stats.
+	if strings.Contains(s.Summary(), "index:") {
+		t.Errorf("summary = %q", s.Summary())
+	}
+}

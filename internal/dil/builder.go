@@ -1,0 +1,447 @@
+package dil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/elemrank"
+	"repro/internal/ir"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/xmltree"
+)
+
+// Params configure index creation. Alpha weighs the ontological branch
+// of equation (5): NS(v, w) = max(IRS(v, w), Alpha * OS(O, w, code(v))).
+type Params struct {
+	Alpha float64
+	Onto  ontoscore.Params
+	Text  xmltree.TextOptions
+	// ElemRank, when non-nil, incorporates XRANK's structural ElemRank
+	// into the node scores (paper Section V: "ElemRank could be
+	// incorporated"): each posting's NS is multiplied by the node's
+	// max-normalized ElemRank, so structurally authoritative elements —
+	// e.g. targets of CDA originalText references — rank higher.
+	ElemRank *elemrank.Params
+}
+
+// DefaultParams returns the paper's experimental settings (alpha 0.5).
+func DefaultParams() Params {
+	return Params{Alpha: 0.5, Onto: ontoscore.DefaultParams(), Text: xmltree.DefaultTextOptions()}
+}
+
+// KeywordStats records per-keyword creation cost — the raw material of
+// the paper's Table III.
+type KeywordStats struct {
+	Keyword  string
+	Postings int
+	Bytes    int
+	Elapsed  time.Duration
+}
+
+// BuildStats aggregates index-creation measurements.
+type BuildStats struct {
+	Strategy       ontoscore.Strategy
+	Keywords       int
+	TotalPostings  int
+	TotalBytes     int
+	FullTextTime   time.Duration
+	OntoScoreTime  time.Duration
+	DILTime        time.Duration
+	PerKeyword     []KeywordStats
+	OntoMapEntries int
+}
+
+// AvgCreationTime is the mean per-keyword DIL creation time.
+func (s *BuildStats) AvgCreationTime() time.Duration {
+	if s.Keywords == 0 {
+		return 0
+	}
+	return s.DILTime / time.Duration(s.Keywords)
+}
+
+// AvgPostings is the mean posting count per keyword.
+func (s *BuildStats) AvgPostings() float64 {
+	if s.Keywords == 0 {
+		return 0
+	}
+	return float64(s.TotalPostings) / float64(s.Keywords)
+}
+
+// AvgBytes is the mean encoded list size per keyword.
+func (s *BuildStats) AvgBytes() float64 {
+	if s.Keywords == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / float64(s.Keywords)
+}
+
+// elemEntry pairs a node with its corpus-wide IR document key.
+type elemEntry struct {
+	node *xmltree.Node
+}
+
+// Builder is the Index Creation Module: it holds the full-text index of
+// the corpus (stage 1), computes OntoScores on demand or in bulk
+// (stage 2), and assembles XOnto-DILs (stage 3). Code nodes may
+// reference any ontology of the collection (the paper's ontological
+// systems collection O = {O1..Ok}).
+type Builder struct {
+	corpus   *xmltree.Corpus
+	coll     *ontology.Collection
+	strategy ontoscore.Strategy
+	params   Params
+
+	elements  []elemEntry                     // DocKey -> node
+	textIx    *ir.Index                       // elements as documents (bag model, BM25 stats)
+	posIx     *ir.Positional                  // token positions for exact phrase tests
+	computers map[string]*ontoscore.Computer  // system id -> computer
+	byRef     map[xmltree.OntoRef][]ir.DocKey // reference -> element keys
+	ranks     elemrank.Ranks                  // raw ranks; nil unless Params.ElemRank set
+	ranksMax  float64                         // normalization factor for ranks
+
+	fullTextTime time.Duration
+	buildErr     error
+}
+
+// Err reports a construction-time failure (ElemRank misconfiguration);
+// Build surfaces it, on-demand BuildKeyword treats ranks as absent.
+func (b *Builder) Err() error { return b.buildErr }
+
+// NewBuilder runs the full-text stage against a single ontology; it is
+// NewMultiBuilder over a one-element collection.
+func NewBuilder(corpus *xmltree.Corpus, ont *ontology.Ontology, strategy ontoscore.Strategy, params Params) *Builder {
+	return NewMultiBuilder(corpus, ontology.MustCollection(ont), strategy, params)
+}
+
+// NewMultiBuilder runs the full-text stage over the corpus and prepares
+// one OntoScore computer per ontological system. The corpus documents
+// must already carry Dewey IDs (xmltree.Corpus.Add assigns them).
+func NewMultiBuilder(corpus *xmltree.Corpus, coll *ontology.Collection, strategy ontoscore.Strategy, params Params) *Builder {
+	start := time.Now()
+	b := &Builder{
+		corpus:    corpus,
+		coll:      coll,
+		strategy:  strategy,
+		params:    params,
+		textIx:    ir.NewIndex(),
+		posIx:     ir.NewPositional(),
+		computers: make(map[string]*ontoscore.Computer, coll.Len()),
+		byRef:     make(map[xmltree.OntoRef][]ir.DocKey),
+	}
+	for _, doc := range corpus.Docs() {
+		b.indexDocument(doc)
+	}
+	for _, ont := range coll.Ontologies() {
+		b.computers[ont.SystemID] = ontoscore.NewComputer(ont, params.Onto)
+	}
+	if params.ElemRank != nil {
+		ranks, err := elemrank.ComputeCorpus(corpus, *params.ElemRank)
+		if err != nil {
+			b.buildErr = err
+		} else {
+			b.ranks = ranks
+			b.ranksMax = ranks.Max()
+		}
+	}
+	b.fullTextTime = time.Since(start)
+	return b
+}
+
+// AddDocument extends the builder's full-text stage with one more
+// document (already added to the corpus, so it carries Dewey IDs).
+// Previously built DILs do not cover the new document; callers must
+// rebuild or re-request the keywords they use (core.System.AddDocument
+// handles the invalidation).
+func (b *Builder) AddDocument(doc *xmltree.Document) {
+	b.indexDocument(doc)
+	if b.params.ElemRank != nil && b.buildErr == nil {
+		ranks, err := elemrank.Compute(doc, *b.params.ElemRank)
+		if err != nil {
+			b.buildErr = err
+			return
+		}
+		for k, v := range ranks {
+			b.ranks[k] = v
+			if v > b.ranksMax {
+				b.ranksMax = v
+			}
+		}
+	}
+}
+
+func (b *Builder) indexDocument(doc *xmltree.Document) {
+	for _, n := range doc.Nodes() {
+		key := ir.DocKey(len(b.elements))
+		b.elements = append(b.elements, elemEntry{node: n})
+		tokens := xmltree.Tokenize(xmltree.TextDescription(n, b.params.Text))
+		b.textIx.Add(key, tokens)
+		b.posIx.Add(key, tokens)
+		if ref, ok := n.OntoRef(); ok {
+			if _, inColl := b.coll.System(ref.System); inColl {
+				b.byRef[ref] = append(b.byRef[ref], key)
+			}
+		}
+	}
+}
+
+// Strategy returns the OntoScore strategy the builder indexes with.
+func (b *Builder) Strategy() ontoscore.Strategy { return b.strategy }
+
+// Collection returns the ontological-systems collection.
+func (b *Builder) Collection() *ontology.Collection { return b.coll }
+
+// Computer returns the OntoScore computer for one ontological system
+// (nil if the system is not in the collection).
+func (b *Builder) Computer(systemID string) *ontoscore.Computer {
+	return b.computers[systemID]
+}
+
+// node resolves an element key.
+func (b *Builder) node(key ir.DocKey) *xmltree.Node { return b.elements[key].node }
+
+// Vocabulary assembles the keyword universe to index: every token of
+// the corpus plus every token of ontology concepts within the given
+// number of relationship hops (undirected) of a concept referenced by
+// some document — the paper indexed 2 hops. Neighborhoods are computed
+// per ontological system.
+func (b *Builder) Vocabulary(hops int) []string {
+	set := make(map[string]bool)
+	for _, e := range b.elements {
+		for _, tok := range xmltree.Tokenize(xmltree.TextDescription(e.node, b.params.Text)) {
+			set[tok] = true
+		}
+	}
+	for _, ont := range b.coll.Ontologies() {
+		for _, tok := range b.systemNeighborhoodTokens(ont, hops) {
+			set[tok] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for tok := range set {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *Builder) systemNeighborhoodTokens(ont *ontology.Ontology, hops int) []string {
+	frontier := make(map[ontology.ConceptID]bool)
+	for ref := range b.byRef {
+		if ref.System != ont.SystemID {
+			continue
+		}
+		if c, ok := ont.ByCode(ref.Code); ok {
+			frontier[c.ID] = true
+		}
+	}
+	visited := make(map[ontology.ConceptID]bool, len(frontier))
+	for id := range frontier {
+		visited[id] = true
+	}
+	for h := 0; h < hops; h++ {
+		next := make(map[ontology.ConceptID]bool)
+		for id := range frontier {
+			for _, nb := range ont.Neighbors(id) {
+				if !visited[nb] {
+					visited[nb] = true
+					next[nb] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	var out []string
+	for id := range visited {
+		out = append(out, xmltree.Tokenize(ont.TermText(id))...)
+	}
+	return out
+}
+
+// textScores computes the normalized IR branch of NS for one keyword:
+// every element whose textual description contains the keyword (as a
+// contiguous phrase), scored by BM25 normalized over the containing
+// set.
+func (b *Builder) textScores(keyword string) map[ir.DocKey]float64 {
+	terms := xmltree.Tokenize(keyword)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Phrase candidates come from the positional index, which saw the
+	// exact token streams the builder indexed (the node-walking test
+	// would re-tokenize under default options and diverge when custom
+	// TextOptions are configured).
+	candidates := b.posIx.PhraseDocs(terms)
+	if len(candidates) == 0 {
+		return nil
+	}
+	raw := make(map[ir.DocKey]float64, len(candidates))
+	max := 0.0
+	for _, key := range candidates {
+		s := b.textIx.BM25(b.params.Onto.BM25, key, terms)
+		raw[key] = s
+		if s > max {
+			max = s
+		}
+	}
+	if max == 0 {
+		for k := range raw {
+			raw[k] = 1
+		}
+		return raw
+	}
+	for k, s := range raw {
+		raw[k] = s / max
+	}
+	return raw
+}
+
+// ontoScores evaluates the strategy for one keyword against every
+// system of the collection.
+func (b *Builder) ontoScores(keyword string) map[string]ontoscore.Scores {
+	out := make(map[string]ontoscore.Scores, len(b.computers))
+	for sys, c := range b.computers {
+		if s := c.Compute(b.strategy, keyword); len(s) > 0 {
+			out[sys] = s
+		}
+	}
+	return out
+}
+
+// BuildKeyword assembles the XOnto-DIL of one keyword: text postings
+// merged (by max, per equation (5)) with alpha-scaled OntoScore
+// postings on code nodes referencing associated concepts of any system.
+func (b *Builder) BuildKeyword(keyword string) List {
+	return b.buildKeyword(keyword, b.ontoScores(keyword))
+}
+
+func (b *Builder) buildKeyword(keyword string, onto map[string]ontoscore.Scores) List {
+	scores := make(map[ir.DocKey]float64)
+	for key, s := range b.textScores(keyword) {
+		scores[key] = s
+	}
+	for sys, perConcept := range onto {
+		ont, ok := b.coll.System(sys)
+		if !ok {
+			continue
+		}
+		for id, os := range perConcept {
+			c := ont.Concept(id)
+			if c == nil {
+				continue
+			}
+			v := b.params.Alpha * os
+			ref := xmltree.OntoRef{System: sys, Code: c.Code}
+			for _, key := range b.byRef[ref] {
+				if v > scores[key] {
+					scores[key] = v
+				}
+			}
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	out := make(List, 0, len(scores))
+	for key, s := range scores {
+		id := b.node(key).ID
+		if b.ranks != nil && b.ranksMax > 0 {
+			s *= b.ranks.Rank(id) / b.ranksMax
+		}
+		if s <= 0 {
+			continue
+		}
+		out = append(out, Posting{ID: id, Score: s})
+	}
+	out.Sort()
+	return out
+}
+
+// Build runs the OntoScore and DIL stages for an entire vocabulary,
+// returning the index and the stage timings and sizes (Table III's
+// measurements). Keywords are processed concurrently; results are
+// deterministic.
+func (b *Builder) Build(vocabulary []string) (*Index, *BuildStats, error) {
+	if len(vocabulary) == 0 {
+		return nil, nil, fmt.Errorf("dil: empty vocabulary")
+	}
+	stats := &BuildStats{Strategy: b.strategy, FullTextTime: b.fullTextTime}
+
+	ontoStart := time.Now()
+	maps := make(map[string]*ontoscore.Map, len(b.computers))
+	for sys, c := range b.computers {
+		m := ontoscore.BuildMap(c, b.strategy, vocabulary)
+		maps[sys] = m
+		stats.OntoMapEntries += m.Entries()
+	}
+	stats.OntoScoreTime = time.Since(ontoStart)
+
+	type result struct {
+		i    int
+		stat KeywordStats
+		list List
+	}
+	dilStart := time.Now()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(vocabulary) {
+		workers = len(vocabulary)
+	}
+	in := make(chan int)
+	out := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range in {
+				kw := vocabulary[i]
+				start := time.Now()
+				onto := make(map[string]ontoscore.Scores, len(maps))
+				for sys, m := range maps {
+					if s := m.ScoresFor(kw); len(s) > 0 {
+						onto[sys] = s
+					}
+				}
+				list := b.buildKeyword(kw, onto)
+				out <- result{
+					i: i,
+					stat: KeywordStats{
+						Keyword:  kw,
+						Postings: len(list),
+						Bytes:    list.EncodedSize(),
+						Elapsed:  time.Since(start),
+					},
+					list: list,
+				}
+			}
+		}()
+	}
+	go func() {
+		for i := range vocabulary {
+			in <- i
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+
+	ix := NewIndex()
+	perKw := make([]KeywordStats, len(vocabulary))
+	for r := range out {
+		perKw[r.i] = r.stat
+		if len(r.list) > 0 {
+			ix.Set(vocabulary[r.i], r.list)
+		}
+	}
+	stats.DILTime = time.Since(dilStart)
+	stats.PerKeyword = perKw
+	stats.Keywords = len(vocabulary)
+	for _, ks := range perKw {
+		stats.TotalPostings += ks.Postings
+		stats.TotalBytes += ks.Bytes
+	}
+	return ix, stats, nil
+}

@@ -1,0 +1,376 @@
+package dil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/store"
+	"repro/internal/xmltree"
+)
+
+func testCorpus(t *testing.T) (*xmltree.Corpus, *ontology.Ontology) {
+	t.Helper()
+	ont := ontology.Figure2Fragment()
+	corpus := xmltree.NewCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+	return corpus, ont
+}
+
+func bigCorpus(t *testing.T) (*xmltree.Corpus, *ontology.Ontology) {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 9, ExtraConcepts: 200, SynonymProb: 0.4,
+		MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 9, NumDocuments: 15, ProblemsPerPatient: 3,
+		MedicationsPerPatient: 3, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.GenerateCorpus(), ont
+}
+
+func TestListBinaryRoundTrip(t *testing.T) {
+	l := List{
+		{ID: xmltree.Dewey{0, 1, 2}, Score: 0.5},
+		{ID: xmltree.Dewey{0, 3}, Score: 1},
+		{ID: xmltree.Dewey{2}, Score: 0.125},
+	}
+	l.Sort()
+	buf := l.AppendBinary(nil)
+	got, err := DecodeList(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(l) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range l {
+		if !got[i].ID.Equal(l[i].ID) || got[i].Score != l[i].Score {
+			t.Errorf("posting %d: %v vs %v", i, got[i], l[i])
+		}
+	}
+	if l.EncodedSize() != len(buf) {
+		t.Error("EncodedSize mismatch")
+	}
+}
+
+func TestDecodeListErrors(t *testing.T) {
+	l := List{{ID: xmltree.Dewey{1, 2}, Score: 0.5}}
+	buf := l.AppendBinary(nil)
+	for i := 0; i < len(buf); i++ {
+		if _, err := DecodeList(buf[:i]); err == nil {
+			t.Errorf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := DecodeList(append(buf, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary lists.
+func TestQuickListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := make(List, r.Intn(20))
+		for i := range l {
+			d := make(xmltree.Dewey, 1+r.Intn(5))
+			for j := range d {
+				d[j] = int32(r.Intn(100))
+			}
+			l[i] = Posting{ID: d, Score: r.Float64()}
+		}
+		l.Sort()
+		got, err := DecodeList(l.AppendBinary(nil))
+		if err != nil || len(got) != len(l) {
+			return false
+		}
+		for i := range l {
+			if !got[i].ID.Equal(l[i].ID) || got[i].Score != l[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexSetSortsAndDropsEmpty(t *testing.T) {
+	ix := NewIndex()
+	ix.Set("kw", List{
+		{ID: xmltree.Dewey{0, 5}, Score: 1},
+		{ID: xmltree.Dewey{0, 1}, Score: 1},
+	})
+	l := ix.List("kw")
+	if !l.IsSorted() {
+		t.Error("Set did not sort")
+	}
+	ix.Set("kw", nil)
+	if ix.Has("kw") {
+		t.Error("empty list retained")
+	}
+	if ix.List("missing") != nil {
+		t.Error("missing list should be nil")
+	}
+}
+
+func TestBuildKeywordTextMatch(t *testing.T) {
+	corpus, ont := testCorpus(t)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyNone, DefaultParams())
+	l := b.BuildKeyword("theophylline")
+	if len(l) == 0 {
+		t.Fatal("no postings for a literal keyword")
+	}
+	if !l.IsSorted() {
+		t.Error("list not sorted")
+	}
+	// Every posting resolves to a node whose description contains it.
+	for _, p := range l {
+		n := corpus.NodeAt(p.ID)
+		if n == nil {
+			t.Fatalf("posting %v resolves to nothing", p.ID)
+		}
+		if !xmltree.ContainsKeyword(n, "theophylline") {
+			t.Errorf("node %v does not contain keyword", p.ID)
+		}
+		if p.Score <= 0 || p.Score > 1 {
+			t.Errorf("score %f out of range", p.Score)
+		}
+	}
+}
+
+func TestBuildKeywordPhrase(t *testing.T) {
+	corpus, ont := testCorpus(t)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyNone, DefaultParams())
+	// "vital signs" appears as a title.
+	l := b.BuildKeyword("vital signs")
+	if len(l) == 0 {
+		t.Fatal("phrase keyword found nothing")
+	}
+	for _, p := range l {
+		if !xmltree.ContainsKeyword(corpus.NodeAt(p.ID), "vital signs") {
+			t.Errorf("node %v lacks phrase", p.ID)
+		}
+	}
+	// Non-contiguous words must not match.
+	if l := b.BuildKeyword("signs vital"); len(l) != 0 {
+		t.Errorf("reversed phrase matched %d postings", len(l))
+	}
+}
+
+// The intro example at the index level: under StrategyNone the keyword
+// "bronchial structure" has no postings (it never occurs in the
+// document); under Relationships the asthma code node carries an
+// alpha-scaled OntoScore posting.
+func TestBuildKeywordOntological(t *testing.T) {
+	corpus, ont := testCorpus(t)
+	baseline := NewBuilder(corpus, ont, ontoscore.StrategyNone, DefaultParams())
+	if l := baseline.BuildKeyword("bronchial structure"); len(l) != 0 {
+		t.Fatalf("baseline found %d postings for absent phrase", len(l))
+	}
+	rel := NewBuilder(corpus, ont, ontoscore.StrategyRelationships, DefaultParams())
+	l := rel.BuildKeyword("bronchial structure")
+	if len(l) == 0 {
+		t.Fatal("Relationships found no postings for ontologically related phrase")
+	}
+	foundAsthma := false
+	for _, p := range l {
+		n := corpus.NodeAt(p.ID)
+		ref, ok := n.OntoRef()
+		if !ok {
+			t.Errorf("ontological posting on non-code node %v", p.ID)
+			continue
+		}
+		if ref.Code == ontology.CodeAsthma {
+			foundAsthma = true
+			// alpha * OS = 0.5 * 0.25 (strongest path, see ontoscore
+			// tests).
+			if math.Abs(p.Score-0.125) > 1e-9 {
+				t.Errorf("asthma posting score = %f, want 0.125", p.Score)
+			}
+		}
+	}
+	if !foundAsthma {
+		t.Error("asthma code node missing from bronchial-structure DIL")
+	}
+}
+
+func TestEquation5MaxSemantics(t *testing.T) {
+	// A node containing the keyword AND referencing a matching concept
+	// takes the larger branch. "asthma" occurs literally in the asthma
+	// code node's displayName (IRS close to 1 after normalization) while
+	// alpha*OS = 0.5; the text branch must win.
+	corpus, ont := testCorpus(t)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyRelationships, DefaultParams())
+	l := b.BuildKeyword("asthma")
+	var asthmaScore float64
+	for _, p := range l {
+		n := corpus.NodeAt(p.ID)
+		if ref, ok := n.OntoRef(); ok && ref.Code == ontology.CodeAsthma {
+			asthmaScore = p.Score
+		}
+	}
+	if asthmaScore <= 0.5 {
+		t.Errorf("text branch lost to onto branch: %f", asthmaScore)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	corpus, ont := testCorpus(t)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyGraph, DefaultParams())
+	v0 := b.Vocabulary(0)
+	v2 := b.Vocabulary(2)
+	if len(v2) <= len(v0) {
+		t.Errorf("2-hop vocabulary (%d) not larger than 0-hop (%d)", len(v2), len(v0))
+	}
+	// Corpus tokens always included.
+	has := func(v []string, w string) bool {
+		for _, x := range v {
+			if x == w {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(v0, "theophylline") {
+		t.Error("corpus token missing from vocabulary")
+	}
+	// "structure" (from Bronchial structure, one hop from asthma) only
+	// appears with hops >= 1.
+	if has(v0, "structure") {
+		t.Error("0-hop vocabulary leaked neighborhood tokens")
+	}
+	if !has(v2, "structure") {
+		t.Error("2-hop vocabulary missing neighbor token")
+	}
+	for i := 1; i < len(v2); i++ {
+		if v2[i-1] >= v2[i] {
+			t.Fatal("vocabulary not sorted")
+		}
+	}
+}
+
+func TestBuildFullIndex(t *testing.T) {
+	corpus, ont := bigCorpus(t)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyGraph, DefaultParams())
+	vocab := b.Vocabulary(1)
+	ix, stats, err := b.Build(vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keywords != len(vocab) {
+		t.Errorf("stats.Keywords = %d", stats.Keywords)
+	}
+	if stats.TotalPostings != ix.Postings() {
+		t.Errorf("postings mismatch: %d vs %d", stats.TotalPostings, ix.Postings())
+	}
+	if stats.TotalBytes != ix.EncodedSize() {
+		t.Errorf("bytes mismatch: %d vs %d", stats.TotalBytes, ix.EncodedSize())
+	}
+	if stats.AvgPostings() <= 0 || stats.AvgBytes() <= 0 || stats.AvgCreationTime() < 0 {
+		t.Error("degenerate averages")
+	}
+	if stats.OntoMapEntries == 0 {
+		t.Error("OntoScore stage produced no entries under Graph")
+	}
+	// Consistency with single-keyword builds.
+	for _, kw := range []string{"asthma", "cardiac", "medications"} {
+		direct := b.BuildKeyword(kw)
+		stored := ix.List(kw)
+		if len(direct) != len(stored) {
+			t.Fatalf("kw %q: %d direct vs %d stored", kw, len(direct), len(stored))
+		}
+		for i := range direct {
+			if !direct[i].ID.Equal(stored[i].ID) || math.Abs(direct[i].Score-stored[i].Score) > 1e-12 {
+				t.Errorf("kw %q posting %d differs", kw, i)
+			}
+		}
+	}
+	if _, _, err := b.Build(nil); err == nil {
+		t.Error("empty vocabulary accepted")
+	}
+}
+
+func TestStrategyPostingCountOrdering(t *testing.T) {
+	// XRANK indexes the fewest postings; ontology-enabled strategies add
+	// postings (Table III's qualitative shape).
+	corpus, ont := bigCorpus(t)
+	vocabBuilder := NewBuilder(corpus, ont, ontoscore.StrategyNone, DefaultParams())
+	vocab := vocabBuilder.Vocabulary(1)
+	counts := make(map[ontoscore.Strategy]int)
+	for _, s := range ontoscore.Strategies() {
+		b := NewBuilder(corpus, ont, s, DefaultParams())
+		ix, _, err := b.Build(vocab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s] = ix.Postings()
+	}
+	if counts[ontoscore.StrategyGraph] <= counts[ontoscore.StrategyNone] {
+		t.Errorf("Graph (%d) should exceed XRANK (%d)", counts[ontoscore.StrategyGraph], counts[ontoscore.StrategyNone])
+	}
+	if counts[ontoscore.StrategyRelationships] < counts[ontoscore.StrategyTaxonomy] {
+		t.Errorf("Relationships (%d) should be >= Taxonomy (%d)",
+			counts[ontoscore.StrategyRelationships], counts[ontoscore.StrategyTaxonomy])
+	}
+}
+
+func TestSaveLoadStore(t *testing.T) {
+	corpus, ont := testCorpus(t)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyRelationships, DefaultParams())
+	vocab := b.Vocabulary(1)
+	ix, _, err := b.Build(vocab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := ix.SaveTo(st, "dil/rel"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFrom(st, "dil/rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Postings() != ix.Postings() || len(got.Keywords()) != len(ix.Keywords()) {
+		t.Fatalf("round trip: %d/%d postings, %d/%d keywords",
+			got.Postings(), ix.Postings(), len(got.Keywords()), len(ix.Keywords()))
+	}
+	for _, kw := range ix.Keywords() {
+		a, bb := ix.List(kw), got.List(kw)
+		if len(a) != len(bb) {
+			t.Fatalf("kw %q lengths differ", kw)
+		}
+		for i := range a {
+			if !a[i].ID.Equal(bb[i].ID) || a[i].Score != bb[i].Score {
+				t.Errorf("kw %q posting %d differs", kw, i)
+			}
+		}
+	}
+	// Corrupt one value: LoadFrom must fail.
+	if err := st.Put("dil/rel/asthma", []byte{0xFF, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrom(st, "dil/rel"); err == nil {
+		t.Error("corrupt list loaded")
+	}
+}

@@ -1,0 +1,46 @@
+package dil
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// Persistence of XOnto-DILs through the embedded store (the paper kept
+// its inverted lists in a DBMS; see internal/store). Each keyword's
+// list is stored under "<prefix>/<keyword>".
+
+// SaveTo writes every list of the index under the given key prefix.
+func (ix *Index) SaveTo(s *store.Store, prefix string) error {
+	for _, kw := range ix.Keywords() {
+		key := prefix + "/" + kw
+		if err := s.Put(key, ix.lists[kw].AppendBinary(nil)); err != nil {
+			return fmt.Errorf("dil: saving %q: %w", kw, err)
+		}
+	}
+	return s.Sync()
+}
+
+// LoadFrom reads every list under the prefix into a fresh index.
+func LoadFrom(s *store.Store, prefix string) (*Index, error) {
+	ix := NewIndex()
+	var firstErr error
+	err := s.Scan(prefix+"/", func(key string, val []byte) bool {
+		kw := strings.TrimPrefix(key, prefix+"/")
+		list, err := DecodeList(val)
+		if err != nil {
+			firstErr = fmt.Errorf("dil: loading %q: %w", kw, err)
+			return false
+		}
+		ix.Set(kw, list)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ix, nil
+}

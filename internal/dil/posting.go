@@ -1,0 +1,146 @@
+// Package dil implements the XOntoRank Dewey Inverted Lists
+// (XOnto-DILs) and the Index Creation Module of the paper's Section V.
+//
+// A DIL maps a keyword to the list of XML nodes associated with it,
+// identified by Dewey ID and carrying the node score NS(v, w) of
+// equation (5): the maximum of the node's normalized IR score for the
+// keyword and (scaled by alpha) the OntoScore of the concept the node
+// references. Lists are kept in Dewey (document) order so the query
+// phase can merge them with XRANK's stack algorithm.
+package dil
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Posting is one entry of a Dewey inverted list.
+type Posting struct {
+	ID    xmltree.Dewey
+	Score float64
+}
+
+// List is a Dewey-ordered posting list for one keyword.
+type List []Posting
+
+// Sort orders the list in document (Dewey) order.
+func (l List) Sort() {
+	sort.Slice(l, func(i, j int) bool { return l[i].ID.Compare(l[j].ID) < 0 })
+}
+
+// IsSorted reports whether the list is in Dewey order.
+func (l List) IsSorted() bool {
+	return sort.SliceIsSorted(l, func(i, j int) bool { return l[i].ID.Compare(l[j].ID) < 0 })
+}
+
+// EncodedSize returns the size in bytes of the list's binary encoding.
+func (l List) EncodedSize() int { return len(l.AppendBinary(nil)) }
+
+// AppendBinary appends a compact binary encoding of the list: a uvarint
+// count followed by (Dewey, float64 bits) pairs.
+func (l List) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l)))
+	for _, p := range l {
+		buf = p.ID.AppendBinary(buf)
+		var f [8]byte
+		binary.LittleEndian.PutUint64(f[:], math.Float64bits(p.Score))
+		buf = append(buf, f[:]...)
+	}
+	return buf
+}
+
+// DecodeList decodes a list produced by AppendBinary. Non-canonical
+// varint encodings are rejected (see xmltree.CanonicalUvarint).
+func DecodeList(buf []byte) (List, error) {
+	n, sz, err := xmltree.CanonicalUvarint(buf)
+	if err != nil {
+		return nil, fmt.Errorf("dil: list header: %w", err)
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("dil: implausible list length %d", n)
+	}
+	off := sz
+	out := make(List, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, used, err := xmltree.DecodeDewey(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("dil: posting %d: %w", i, err)
+		}
+		off += used
+		if off+8 > len(buf) {
+			return nil, errors.New("dil: truncated posting score")
+		}
+		score := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		out = append(out, Posting{ID: id, Score: score})
+	}
+	if off != len(buf) {
+		return nil, errors.New("dil: trailing bytes after list")
+	}
+	return out, nil
+}
+
+// Index is the in-memory XOnto-DIL index: one Dewey-ordered posting
+// list per keyword.
+type Index struct {
+	lists map[string]List
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index { return &Index{lists: make(map[string]List)} }
+
+// Set installs (replacing) the list for a keyword. The list is sorted
+// if it is not already.
+func (ix *Index) Set(keyword string, l List) {
+	if !l.IsSorted() {
+		l.Sort()
+	}
+	if len(l) == 0 {
+		delete(ix.lists, keyword)
+		return
+	}
+	ix.lists[keyword] = l
+}
+
+// List returns the posting list for a keyword (nil if absent). The
+// returned slice is shared; callers must not modify it.
+func (ix *Index) List(keyword string) List { return ix.lists[keyword] }
+
+// Has reports whether the keyword has a list.
+func (ix *Index) Has(keyword string) bool {
+	_, ok := ix.lists[keyword]
+	return ok
+}
+
+// Keywords returns the indexed keywords, sorted.
+func (ix *Index) Keywords() []string {
+	out := make([]string, 0, len(ix.lists))
+	for k := range ix.lists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Postings counts all postings across all keywords.
+func (ix *Index) Postings() int {
+	n := 0
+	for _, l := range ix.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// EncodedSize sums the binary-encoded size of all lists.
+func (ix *Index) EncodedSize() int {
+	n := 0
+	for _, l := range ix.lists {
+		n += l.EncodedSize()
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package dil
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// StoreSource serves posting lists directly from the persistent store —
+// the paper's deployment shape, where the XOnto-DILs live in a DBMS and
+// the query phase fetches only the lists a query touches, instead of
+// materializing the whole index in memory. A bounded LRU keeps hot
+// keywords decoded.
+//
+// It implements the query engine's ListSource. Decode errors are
+// surfaced through Err (the ListSource interface has no error channel);
+// a corrupt list reads as absent, so queries degrade to no-result
+// rather than wrong-result.
+type StoreSource struct {
+	kv     *store.Store
+	prefix string
+
+	mu        sync.Mutex
+	cache     map[string]*list.Element
+	order     *list.List
+	cacheSize int
+	err       error
+}
+
+type sourceEntry struct {
+	keyword string
+	l       List
+}
+
+// DefaultSourceCacheSize bounds the decoded-list LRU.
+const DefaultSourceCacheSize = 256
+
+// NewStoreSource reads lists saved with Index.SaveTo under the prefix.
+// cacheSize <= 0 uses DefaultSourceCacheSize.
+func NewStoreSource(kv *store.Store, prefix string, cacheSize int) *StoreSource {
+	if cacheSize <= 0 {
+		cacheSize = DefaultSourceCacheSize
+	}
+	return &StoreSource{
+		kv:        kv,
+		prefix:    prefix,
+		cache:     make(map[string]*list.Element),
+		order:     list.New(),
+		cacheSize: cacheSize,
+	}
+}
+
+// List returns the keyword's posting list, fetching and decoding from
+// the store on miss. Absent keywords — and corrupt lists, see Err —
+// return nil.
+func (s *StoreSource) List(keyword string) List {
+	s.mu.Lock()
+	if el, ok := s.cache[keyword]; ok {
+		s.order.MoveToFront(el)
+		l := el.Value.(sourceEntry).l
+		s.mu.Unlock()
+		return l
+	}
+	s.mu.Unlock()
+
+	val, err := s.kv.Get(s.prefix + "/" + keyword)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			s.setErr(err)
+		}
+		return nil
+	}
+	l, err := DecodeList(val)
+	if err != nil {
+		s.setErr(err)
+		return nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.cache[keyword]; ok { // raced with another loader
+		s.order.MoveToFront(el)
+		return el.Value.(sourceEntry).l
+	}
+	s.cache[keyword] = s.order.PushFront(sourceEntry{keyword: keyword, l: l})
+	for s.order.Len() > s.cacheSize {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.cache, oldest.Value.(sourceEntry).keyword)
+	}
+	return l
+}
+
+func (s *StoreSource) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err reports the first storage or decode failure encountered (nil if
+// none). Callers serving queries should check it after suspiciously
+// empty answers.
+func (s *StoreSource) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,135 @@
+package dil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/store"
+	"repro/internal/xmltree"
+)
+
+func sourceFixture(t *testing.T, cacheSize int) (*StoreSource, *Index) {
+	t.Helper()
+	ont := ontology.Figure2Fragment()
+	corpus := xmltree.NewCorpus()
+	doc, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(doc)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyRelationships, DefaultParams())
+	ix, _, err := b.Build(b.Vocabulary(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	if err := ix.SaveTo(kv, "dil/rel"); err != nil {
+		t.Fatal(err)
+	}
+	return NewStoreSource(kv, "dil/rel", cacheSize), ix
+}
+
+func TestStoreSourceMatchesIndex(t *testing.T) {
+	src, ix := sourceFixture(t, 0)
+	for _, kw := range ix.Keywords() {
+		want := ix.List(kw)
+		got := src.List(kw)
+		if len(want) != len(got) {
+			t.Fatalf("kw %q: %d vs %d postings", kw, len(want), len(got))
+		}
+		for i := range want {
+			if !want[i].ID.Equal(got[i].ID) || math.Abs(want[i].Score-got[i].Score) > 0 {
+				t.Errorf("kw %q posting %d differs", kw, i)
+			}
+		}
+	}
+	if src.List("zzzmissing") != nil {
+		t.Error("missing keyword returned a list")
+	}
+	if src.Err() != nil {
+		t.Errorf("unexpected source error: %v", src.Err())
+	}
+}
+
+func TestStoreSourceLRUAndCacheHit(t *testing.T) {
+	src, ix := sourceFixture(t, 2)
+	kws := ix.Keywords()
+	if len(kws) < 4 {
+		t.Fatal("vocabulary too small")
+	}
+	// Fill beyond the cache.
+	for _, kw := range kws[:4] {
+		src.List(kw)
+	}
+	src.mu.Lock()
+	n := src.order.Len()
+	src.mu.Unlock()
+	if n != 2 {
+		t.Errorf("cache holds %d, want 2", n)
+	}
+	// Hot entry served by identity.
+	a := src.List(kws[3])
+	b := src.List(kws[3])
+	if &a[0] != &b[0] {
+		t.Error("hot list re-decoded")
+	}
+}
+
+func TestStoreSourceCorruptList(t *testing.T) {
+	src, ix := sourceFixture(t, 0)
+	kw := ix.Keywords()[0]
+	// Corrupt the stored value behind the source's back.
+	kv := src.kv
+	if err := kv.Put("dil/rel/"+kw, []byte{0xFF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.List(kw); got != nil {
+		t.Error("corrupt list served")
+	}
+	if src.Err() == nil {
+		t.Error("decode failure not surfaced")
+	}
+}
+
+// The query engine answers identically whether lists come from memory
+// or from the persistent source.
+func TestEngineOverStoreSource(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	corpus := xmltree.NewCorpus()
+	doc, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(doc)
+	b := NewBuilder(corpus, ont, ontoscore.StrategyRelationships, DefaultParams())
+	ix, _, err := b.Build(b.Vocabulary(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := ix.SaveTo(kv, "dil/rel"); err != nil {
+		t.Fatal(err)
+	}
+	src := NewStoreSource(kv, "dil/rel", 0)
+
+	// Compare list-by-list for the query keywords (the engine lives in
+	// the query package; here the contract is the ListSource itself).
+	for _, kw := range []string{"asthma", "theophylline", "medications"} {
+		mem := ix.List(kw)
+		disk := src.List(kw)
+		if len(mem) == 0 || len(disk) != len(mem) {
+			t.Fatalf("kw %q: mem %d disk %d", kw, len(mem), len(disk))
+		}
+	}
+}

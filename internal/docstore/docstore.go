@@ -1,0 +1,204 @@
+// Package docstore implements the Database Access Module of the
+// paper's Figure 8: the query phase produces Dewey identifiers, and
+// this module "obtains the appropriate XML fragments addressed by the
+// resulting Dewey IDs" from persistent storage, without requiring the
+// whole corpus in memory.
+//
+// Documents are serialized into the embedded key-value store
+// (internal/store); retrieval parses a document on demand and caches a
+// bounded number of parsed trees (LRU).
+package docstore
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/store"
+	"repro/internal/xmltree"
+)
+
+const docPrefix = "doc/"
+
+// DefaultCacheSize bounds the number of parsed documents kept in
+// memory.
+const DefaultCacheSize = 32
+
+// ErrNoDocument reports a Dewey identifier addressing an unknown
+// document.
+var ErrNoDocument = errors.New("docstore: no such document")
+
+// Save persists every document of the corpus into the key-value store.
+// The record value is a small header (document name) followed by the
+// serialized XML; the key encodes the document ID so that scans return
+// documents in ID order.
+func Save(kv *store.Store, corpus *xmltree.Corpus) error {
+	for _, doc := range corpus.Docs() {
+		var xmlBuf bytes.Buffer
+		if err := xmltree.WriteXML(&xmlBuf, doc.Root); err != nil {
+			return fmt.Errorf("docstore: serializing %q: %w", doc.Name, err)
+		}
+		val := binary.AppendUvarint(nil, uint64(len(doc.Name)))
+		val = append(val, doc.Name...)
+		val = append(val, xmlBuf.Bytes()...)
+		if err := kv.Put(docKey(doc.ID), val); err != nil {
+			return err
+		}
+	}
+	return kv.Sync()
+}
+
+func docKey(id int32) string {
+	return fmt.Sprintf("%s%08d", docPrefix, id)
+}
+
+// Store resolves Dewey identifiers against documents persisted with
+// Save. It is safe for concurrent use.
+type Store struct {
+	kv        *store.Store
+	cacheSize int
+
+	mu    sync.Mutex
+	cache map[int32]*list.Element
+	order *list.List // front = most recently used
+	ids   []int32
+}
+
+type cacheEntry struct {
+	id  int32
+	doc *xmltree.Document
+}
+
+// Open prepares a document store over a key-value store previously
+// populated by Save. cacheSize <= 0 uses DefaultCacheSize.
+func Open(kv *store.Store, cacheSize int) (*Store, error) {
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	d := &Store{
+		kv:        kv,
+		cacheSize: cacheSize,
+		cache:     make(map[int32]*list.Element),
+		order:     list.New(),
+	}
+	for _, k := range kv.Keys() {
+		if !strings.HasPrefix(k, docPrefix) {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimPrefix(k, docPrefix), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: bad document key %q", k)
+		}
+		d.ids = append(d.ids, int32(n))
+	}
+	sort.Slice(d.ids, func(i, j int) bool { return d.ids[i] < d.ids[j] })
+	return d, nil
+}
+
+// NumDocuments is the number of persisted documents.
+func (d *Store) NumDocuments() int { return len(d.ids) }
+
+// IDs returns the persisted document IDs in ascending order.
+func (d *Store) IDs() []int32 {
+	out := make([]int32, len(d.ids))
+	copy(out, d.ids)
+	return out
+}
+
+// Document loads (or returns the cached) parsed document.
+func (d *Store) Document(id int32) (*xmltree.Document, error) {
+	d.mu.Lock()
+	if el, ok := d.cache[id]; ok {
+		d.order.MoveToFront(el)
+		doc := el.Value.(cacheEntry).doc
+		d.mu.Unlock()
+		return doc, nil
+	}
+	d.mu.Unlock()
+
+	val, err := d.kv.Get(docKey(id))
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil, ErrNoDocument
+		}
+		return nil, err
+	}
+	nameLen, sz := binary.Uvarint(val)
+	if sz <= 0 || int(nameLen)+sz > len(val) {
+		return nil, fmt.Errorf("docstore: corrupt header for document %d", id)
+	}
+	name := string(val[sz : sz+int(nameLen)])
+	doc, err := xmltree.Parse(bytes.NewReader(val[sz+int(nameLen):]))
+	if err != nil {
+		return nil, fmt.Errorf("docstore: parsing document %d: %w", id, err)
+	}
+	doc.ID = id
+	doc.Name = name
+	doc.AssignDewey()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.cache[id]; ok { // raced with another loader
+		d.order.MoveToFront(el)
+		return el.Value.(cacheEntry).doc, nil
+	}
+	d.cache[id] = d.order.PushFront(cacheEntry{id: id, doc: doc})
+	for d.order.Len() > d.cacheSize {
+		oldest := d.order.Back()
+		d.order.Remove(oldest)
+		delete(d.cache, oldest.Value.(cacheEntry).id)
+	}
+	return doc, nil
+}
+
+// NodeAt resolves a corpus-wide Dewey identifier to its node.
+func (d *Store) NodeAt(id xmltree.Dewey) (*xmltree.Node, error) {
+	if len(id) == 0 {
+		return nil, ErrNoDocument
+	}
+	doc, err := d.Document(id.DocID())
+	if err != nil {
+		return nil, err
+	}
+	n := doc.NodeAt(id)
+	if n == nil {
+		return nil, fmt.Errorf("docstore: dewey %v addresses no node", id)
+	}
+	return n, nil
+}
+
+// Fragment renders the subtree addressed by a Dewey identifier as
+// indented XML — the module's job in the paper's architecture.
+func (d *Store) Fragment(id xmltree.Dewey) (string, error) {
+	n, err := d.NodeAt(id)
+	if err != nil {
+		return "", err
+	}
+	return xmltree.XMLString(n), nil
+}
+
+// LoadCorpus materializes the full corpus in memory (bypassing the
+// cache), preserving document IDs and names.
+func (d *Store) LoadCorpus() (*xmltree.Corpus, error) {
+	corpus := xmltree.NewCorpus()
+	for _, id := range d.ids {
+		doc, err := d.Document(id)
+		if err != nil {
+			return nil, err
+		}
+		added := corpus.Add(&xmltree.Document{Root: doc.Root, Name: doc.Name})
+		if added.ID != id {
+			// Corpus.Add assigns sequential IDs; persisted IDs are
+			// sequential from zero by construction, so a mismatch means
+			// the store was partially deleted.
+			return nil, fmt.Errorf("docstore: non-contiguous document ids (%d != %d)", added.ID, id)
+		}
+	}
+	return corpus, nil
+}

@@ -1,0 +1,254 @@
+package docstore
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/store"
+	"repro/internal/xmltree"
+)
+
+func buildCorpus(t *testing.T, docs int) *xmltree.Corpus {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 3, ExtraConcepts: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 3, NumDocuments: docs, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.GenerateCorpus()
+}
+
+func openStores(t *testing.T, corpus *xmltree.Corpus, cacheSize int) *Store {
+	t.Helper()
+	kv, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	if err := Save(kv, corpus); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(kv, cacheSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	corpus := buildCorpus(t, 6)
+	d := openStores(t, corpus, 0)
+	if d.NumDocuments() != 6 {
+		t.Fatalf("NumDocuments = %d", d.NumDocuments())
+	}
+	ids := d.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	for _, orig := range corpus.Docs() {
+		got, err := d.Document(orig.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != orig.Name || got.ID != orig.ID {
+			t.Errorf("identity lost: %q/%d vs %q/%d", got.Name, got.ID, orig.Name, orig.ID)
+		}
+		if got.Size() != orig.Size() {
+			t.Errorf("doc %d size %d != %d", orig.ID, got.Size(), orig.Size())
+		}
+	}
+}
+
+func TestDeweyStability(t *testing.T) {
+	// Dewey identifiers assigned after reload must address the same
+	// logical nodes as in the original corpus — the contract the whole
+	// index/query pipeline depends on.
+	corpus := buildCorpus(t, 4)
+	d := openStores(t, corpus, 0)
+	for _, orig := range corpus.Docs() {
+		for _, n := range orig.Nodes() {
+			got, err := d.NodeAt(n.ID)
+			if err != nil {
+				t.Fatalf("NodeAt(%v): %v", n.ID, err)
+			}
+			if got.Tag != n.Tag || got.Text != n.Text {
+				t.Fatalf("dewey %v resolves to different node: %s vs %s", n.ID, got.Tag, n.Tag)
+			}
+		}
+	}
+}
+
+func TestFragment(t *testing.T) {
+	corpus := buildCorpus(t, 2)
+	d := openStores(t, corpus, 0)
+	doc := corpus.Docs()[1]
+	var code *xmltree.Node
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if code == nil && n.IsCodeNode() {
+			code = n
+		}
+		return true
+	})
+	if code == nil {
+		t.Fatal("no code node")
+	}
+	frag, err := d.Fragment(code.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag, "codeSystem") {
+		t.Errorf("fragment = %q", frag)
+	}
+	if _, err := d.Fragment(xmltree.Dewey{99}); !errors.Is(err, ErrNoDocument) {
+		t.Errorf("unknown document error = %v", err)
+	}
+	if _, err := d.Fragment(xmltree.Dewey{0, 999}); err == nil {
+		t.Error("out-of-range dewey resolved")
+	}
+	if _, err := d.Fragment(nil); !errors.Is(err, ErrNoDocument) {
+		t.Errorf("nil dewey error = %v", err)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	corpus := buildCorpus(t, 8)
+	d := openStores(t, corpus, 3)
+	// Touch all documents; cache holds at most 3.
+	for _, id := range d.IDs() {
+		if _, err := d.Document(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	n := d.order.Len()
+	d.mu.Unlock()
+	if n != 3 {
+		t.Errorf("cache holds %d, want 3", n)
+	}
+	// Cached instance identity: two loads of a hot document return the
+	// same parsed tree.
+	a, _ := d.Document(7)
+	b, _ := d.Document(7)
+	if a != b {
+		t.Error("hot document re-parsed")
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	corpus := buildCorpus(t, 6)
+	d := openStores(t, corpus, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				id := int32((w + i) % 6)
+				if _, err := d.Document(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLoadCorpus(t *testing.T) {
+	corpus := buildCorpus(t, 5)
+	d := openStores(t, corpus, 0)
+	got, err := d.LoadCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != corpus.Len() {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	a, b := corpus.Stats(), got.Stats()
+	if a != b {
+		t.Errorf("stats differ: %+v vs %+v", a, b)
+	}
+}
+
+// End-to-end: search results resolved through the persistent document
+// store instead of the in-memory corpus (the full Figure-8 pipeline).
+func TestQueryResolutionThroughStore(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	doc, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := xmltree.NewCorpus()
+	corpus.Add(doc)
+	d := openStores(t, corpus, 0)
+
+	// Index + query with the in-memory pipeline, resolve via docstore.
+	frag, err := d.Fragment(doc.Root.Children[0].ID) // the <id> header element
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag, "c266") {
+		t.Errorf("fragment = %q", frag)
+	}
+}
+
+func TestOpenRejectsBadKeys(t *testing.T) {
+	kv, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("doc/notanumber", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(kv, 0); err == nil {
+		t.Error("malformed document key accepted")
+	}
+}
+
+func TestDocumentCorruptHeader(t *testing.T) {
+	corpus := buildCorpus(t, 1)
+	d := openStores(t, corpus, 0)
+	// Overwrite the record with a header whose name length exceeds the
+	// value.
+	if err := d.kv.Put("doc/00000000", []byte{0xF0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Document(0); err == nil {
+		t.Error("corrupt header accepted")
+	}
+}
+
+func TestLoadCorpusNonContiguous(t *testing.T) {
+	corpus := buildCorpus(t, 3)
+	d := openStores(t, corpus, 0)
+	// Remove the middle document: LoadCorpus must refuse rather than
+	// silently renumber.
+	if err := d.kv.Delete("doc/00000001"); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(d.kv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.LoadCorpus(); err == nil {
+		t.Error("non-contiguous document ids accepted")
+	}
+}

@@ -1,0 +1,229 @@
+// Package elemrank implements ElemRank, XRANK's adaptation of PageRank
+// to XML element structure (Guo et al., SIGMOD 2003), which the paper's
+// Section V notes "could be incorporated" into the node scores — it
+// makes no difference on documents without ID-IDREF edges, but CDA
+// documents do carry intra-document references (Figure 1's
+// <reference value="m1"/> pointing at <content ID="m1">), so this
+// package extracts those hyperlink edges and computes the ranking.
+//
+// ElemRank distributes authority over three edge classes with separate
+// damping factors:
+//
+//   - forward containment (parent -> child), weight D2, split among
+//     children;
+//   - reverse containment (child -> parent), weight D3;
+//   - hyperlinks (IDREF source -> ID target), weight D1, split among
+//     the source's outgoing references.
+//
+// Every element also receives a (1 - D1 - D2 - D3) teleport share,
+// normalized per document. Ranks are computed by fixpoint iteration.
+package elemrank
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xmltree"
+)
+
+// Params are the damping weights. The defaults follow XRANK's
+// experimental configuration style: hyperlinks weighted highest, then
+// forward containment, then reverse containment, summing below 1.
+type Params struct {
+	D1 float64 // hyperlink edges
+	D2 float64 // forward containment
+	D3 float64 // reverse containment
+	// Tolerance stops iteration when the max rank delta drops below it.
+	Tolerance float64
+	// MaxIterations bounds the fixpoint loop.
+	MaxIterations int
+}
+
+// DefaultParams returns D1=0.35, D2=0.25, D3=0.25.
+func DefaultParams() Params {
+	return Params{D1: 0.35, D2: 0.25, D3: 0.25, Tolerance: 1e-9, MaxIterations: 200}
+}
+
+// Validate checks the damping weights are usable.
+func (p Params) Validate() error {
+	if p.D1 < 0 || p.D2 < 0 || p.D3 < 0 {
+		return fmt.Errorf("elemrank: negative damping")
+	}
+	if s := p.D1 + p.D2 + p.D3; s >= 1 {
+		return fmt.Errorf("elemrank: damping sum %.3f must be < 1", s)
+	}
+	if p.MaxIterations <= 0 {
+		return fmt.Errorf("elemrank: MaxIterations must be positive")
+	}
+	return nil
+}
+
+// HyperlinkEdge is one intra-document ID-IDREF reference.
+type HyperlinkEdge struct {
+	From *xmltree.Node // the referencing element (carries the IDREF)
+	To   *xmltree.Node // the anchor element (carries the ID)
+}
+
+// ReferenceAttrs lists the attribute names treated as IDREF sources;
+// "value" is only considered on <reference> elements (the CDA idiom).
+var referenceAttrs = []string{"IDREF", "idref"}
+
+// ExtractHyperlinks finds intra-document ID-IDREF edges: an element
+// with an ID attribute is an anchor; elements with an IDREF attribute —
+// or <reference value="..."> elements, the CDA idiom — link to the
+// anchor with the matching identifier.
+func ExtractHyperlinks(doc *xmltree.Document) []HyperlinkEdge {
+	if doc.Root == nil {
+		return nil
+	}
+	anchors := make(map[string]*xmltree.Node)
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if v, ok := n.Attr("ID"); ok && v != "" {
+			anchors[v] = n
+		}
+		return true
+	})
+	if len(anchors) == 0 {
+		return nil
+	}
+	var edges []HyperlinkEdge
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		var target string
+		for _, attr := range referenceAttrs {
+			if v, ok := n.Attr(attr); ok && v != "" {
+				target = v
+				break
+			}
+		}
+		if target == "" && n.Tag == "reference" {
+			if v, ok := n.Attr("value"); ok {
+				target = v
+			}
+		}
+		if target == "" {
+			return true
+		}
+		if anchor, ok := anchors[target]; ok && anchor != n {
+			edges = append(edges, HyperlinkEdge{From: n, To: anchor})
+		}
+		return true
+	})
+	return edges
+}
+
+// Ranks maps Dewey identifiers (stringified) to ElemRank values.
+type Ranks map[string]float64
+
+// Rank returns the rank of a node (0 if unknown).
+func (r Ranks) Rank(id xmltree.Dewey) float64 { return r[id.String()] }
+
+// Max returns the largest rank (0 for empty).
+func (r Ranks) Max() float64 {
+	max := 0.0
+	for _, v := range r {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Normalized returns ranks scaled so the maximum is 1.
+func (r Ranks) Normalized() Ranks {
+	max := r.Max()
+	out := make(Ranks, len(r))
+	if max == 0 {
+		for k := range r {
+			out[k] = 0
+		}
+		return out
+	}
+	for k, v := range r {
+		out[k] = v / max
+	}
+	return out
+}
+
+// Compute runs the ElemRank fixpoint over one document. The document
+// must carry Dewey identifiers.
+func Compute(doc *xmltree.Document, p Params) (Ranks, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if doc.Root == nil {
+		return Ranks{}, nil
+	}
+	nodes := doc.Nodes()
+	n := len(nodes)
+	index := make(map[*xmltree.Node]int, n)
+	for i, v := range nodes {
+		index[v] = i
+	}
+	links := ExtractHyperlinks(doc)
+	outLinks := make([]int, n) // hyperlink out-degree per node
+	for _, e := range links {
+		outLinks[index[e.From]]++
+	}
+
+	teleport := (1 - p.D1 - p.D2 - p.D3) / float64(n)
+	ranks := make([]float64, n)
+	next := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		for i := range next {
+			next[i] = teleport
+		}
+		for i, v := range nodes {
+			r := ranks[i]
+			// Forward containment: split D2 among children.
+			if len(v.Children) > 0 {
+				share := p.D2 * r / float64(len(v.Children))
+				for _, c := range v.Children {
+					next[index[c]] += share
+				}
+			}
+			// Reverse containment: D3 to the parent.
+			if v.Parent != nil {
+				next[index[v.Parent]] += p.D3 * r
+			}
+		}
+		for _, e := range links {
+			from := index[e.From]
+			next[index[e.To]] += p.D1 * ranks[from] / float64(outLinks[from])
+		}
+		delta := 0.0
+		for i := range ranks {
+			if d := math.Abs(next[i] - ranks[i]); d > delta {
+				delta = d
+			}
+		}
+		ranks, next = next, ranks
+		if delta < p.Tolerance {
+			break
+		}
+	}
+	out := make(Ranks, n)
+	for i, v := range nodes {
+		out[v.ID.String()] = ranks[i]
+	}
+	return out, nil
+}
+
+// ComputeCorpus runs ElemRank over every document of a corpus,
+// returning one combined rank map keyed by corpus-wide Dewey
+// identifiers.
+func ComputeCorpus(corpus *xmltree.Corpus, p Params) (Ranks, error) {
+	out := make(Ranks)
+	for _, doc := range corpus.Docs() {
+		r, err := Compute(doc, p)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range r {
+			out[k] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package elemrank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+func mustParse(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.AssignDewey()
+	return doc
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.D1 = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("damping sum >= 1 accepted")
+	}
+	bad = DefaultParams()
+	bad.D2 = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative damping accepted")
+	}
+	bad = DefaultParams()
+	bad.MaxIterations = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestExtractHyperlinksCDAIdiom(t *testing.T) {
+	doc := mustParse(t, `<root>
+		<value><originalText><reference value="m1"/></originalText></value>
+		<text><content ID="m1">Theophylline</content></text>
+	</root>`)
+	edges := ExtractHyperlinks(doc)
+	if len(edges) != 1 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	if edges[0].From.Tag != "reference" || edges[0].To.Tag != "content" {
+		t.Errorf("edge = %s -> %s", edges[0].From.Tag, edges[0].To.Tag)
+	}
+}
+
+func TestExtractHyperlinksIDREF(t *testing.T) {
+	doc := mustParse(t, `<root>
+		<a IDREF="x"/>
+		<b ID="x"/>
+		<c IDREF="missing"/>
+		<d ID="self" IDREF="self"/>
+	</root>`)
+	edges := ExtractHyperlinks(doc)
+	if len(edges) != 1 {
+		t.Fatalf("edges = %d, want 1 (dangling and self refs dropped)", len(edges))
+	}
+	if edges[0].From.Tag != "a" || edges[0].To.Tag != "b" {
+		t.Errorf("edge = %s -> %s", edges[0].From.Tag, edges[0].To.Tag)
+	}
+}
+
+func TestExtractHyperlinksNone(t *testing.T) {
+	doc := mustParse(t, `<root><a/><b/></root>`)
+	if edges := ExtractHyperlinks(doc); edges != nil {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestComputeSymmetry(t *testing.T) {
+	// Two structurally identical siblings must receive identical ranks.
+	doc := mustParse(t, `<root><a><x/><y/></a><b><x/><y/></b></root>`)
+	ranks, err := Compute(doc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := doc.Root.Children[0]
+	b := doc.Root.Children[1]
+	if math.Abs(ranks.Rank(a.ID)-ranks.Rank(b.ID)) > 1e-9 {
+		t.Errorf("symmetric siblings ranked differently: %f vs %f",
+			ranks.Rank(a.ID), ranks.Rank(b.ID))
+	}
+	// All ranks positive.
+	for k, v := range ranks {
+		if v <= 0 {
+			t.Errorf("rank[%s] = %f", k, v)
+		}
+	}
+}
+
+func TestComputeHyperlinkBoost(t *testing.T) {
+	// Without links, c and d are symmetric leaves; a link into d must
+	// raise its rank above c's.
+	plain := mustParse(t, `<root><c/><d/></root>`)
+	linked := mustParse(t, `<root><c/><d ID="t"/><e IDREF="t"/></root>`)
+	p := DefaultParams()
+	rp, err := Compute(plain, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := plain.Root.Children[0]
+	d0 := plain.Root.Children[1]
+	if math.Abs(rp.Rank(c0.ID)-rp.Rank(d0.ID)) > 1e-9 {
+		t.Fatal("baseline asymmetric")
+	}
+	rl, err := Compute(linked, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := linked.Root.Children[0]
+	d := linked.Root.Children[1]
+	if rl.Rank(d.ID) <= rl.Rank(c.ID) {
+		t.Errorf("hyperlink target %f not boosted over %f", rl.Rank(d.ID), rl.Rank(c.ID))
+	}
+}
+
+func TestComputeConvergenceAndMassConservation(t *testing.T) {
+	doc := mustParse(t, `<root><a><b><c/></b></a><d/><e><f/><g/></e></root>`)
+	ranks, err := Compute(doc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total rank mass stays near 1: teleport contributes (1-d1-d2-d3),
+	// containment moves mass without creating it, and only hyperlink
+	// mass from non-linking nodes leaks. With no hyperlinks the sum is
+	// (1-D1)/... — just check it is positive and bounded.
+	sum := 0.0
+	for _, v := range ranks {
+		sum += v
+	}
+	if sum <= 0 || sum > 1.0+1e-9 {
+		t.Errorf("rank mass = %f", sum)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	doc := mustParse(t, `<root><a/><b><c/></b></root>`)
+	ranks, err := Compute(doc, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := ranks.Normalized()
+	if math.Abs(norm.Max()-1) > 1e-12 {
+		t.Errorf("max normalized = %f", norm.Max())
+	}
+	empty := Ranks{}
+	if empty.Max() != 0 || len(empty.Normalized()) != 0 {
+		t.Error("empty ranks mishandled")
+	}
+}
+
+func TestComputeCorpus(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	doc1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := xmltree.NewCorpus()
+	corpus.Add(doc1)
+	corpus.Add(doc2)
+	ranks, err := ComputeCorpus(corpus, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, d := range corpus.Docs() {
+		want += d.Size()
+	}
+	if len(ranks) != want {
+		t.Errorf("ranks for %d nodes, want %d", len(ranks), want)
+	}
+	// Identical documents: same-shaped nodes get the same rank.
+	r1 := ranks.Rank(corpus.Docs()[0].Root.ID)
+	r2 := ranks.Rank(corpus.Docs()[1].Root.ID)
+	if math.Abs(r1-r2) > 1e-9 {
+		t.Errorf("identical documents ranked differently: %f vs %f", r1, r2)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	ranks, err := Compute(&xmltree.Document{}, DefaultParams())
+	if err != nil || len(ranks) != 0 {
+		t.Errorf("empty document: %v %v", ranks, err)
+	}
+}

@@ -1,0 +1,142 @@
+package expansion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/dil"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+func figure1Engine(t *testing.T) (*Engine, *xmltree.Corpus, *ontology.Collection) {
+	t.Helper()
+	ont := ontology.Figure2Fragment()
+	corpus := xmltree.NewCorpus()
+	doc, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(doc)
+	coll := ontology.MustCollection(ont)
+	return New(corpus, coll, DefaultParams()), corpus, coll
+}
+
+func TestExpandWeightsAndCap(t *testing.T) {
+	e, _, _ := figure1Engine(t)
+	terms := e.Expand("bronchial structure")
+	if len(terms) == 0 || terms[0].Term != "bronchial structure" || terms[0].Weight != 1 {
+		t.Fatalf("expansion head = %+v", terms)
+	}
+	if len(terms) > 1+DefaultParams().MaxTerms {
+		t.Errorf("expansion exceeds cap: %d", len(terms))
+	}
+	// Weights beyond the original keyword are sorted descending and the
+	// expansion excludes concepts literally containing the phrase.
+	for i := 2; i < len(terms); i++ {
+		if terms[i-1].Weight < terms[i].Weight {
+			t.Errorf("weights unsorted at %d: %+v", i, terms)
+		}
+	}
+	for _, wt := range terms[1:] {
+		if strings.Contains(strings.ToLower(wt.Term), "bronchial structure") {
+			t.Errorf("expansion includes literal-containing term %q", wt.Term)
+		}
+	}
+	// Asthma (finding-site-of) must be among the expansions.
+	found := false
+	for _, wt := range terms {
+		if wt.Term == "Asthma" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Asthma missing from expansion: %+v", terms)
+	}
+}
+
+func TestExpandUnknownKeyword(t *testing.T) {
+	e, _, _ := figure1Engine(t)
+	terms := e.Expand("zzznothing")
+	if len(terms) != 1 {
+		t.Errorf("unknown keyword expanded: %+v", terms)
+	}
+}
+
+func TestExpansionAnswersIntroQuery(t *testing.T) {
+	e, corpus, _ := figure1Engine(t)
+	res := e.SearchQuery(`"bronchial structure" theophylline`, 5)
+	if len(res) == 0 {
+		t.Fatal("expansion baseline found nothing for the intro query")
+	}
+	top := res[0]
+	n := corpus.NodeAt(top.Root)
+	if n == nil {
+		t.Fatal("unresolvable result")
+	}
+	// Matched through the literal text of an expansion term ("Asthma"),
+	// not through an index-time ontological posting.
+	for _, m := range top.Matches {
+		if !top.Root.IsAncestorOrSelf(m.ID) {
+			t.Error("match outside result subtree")
+		}
+	}
+}
+
+func TestExpansionEmptyAndConjunctive(t *testing.T) {
+	e, _, _ := figure1Engine(t)
+	if res := e.Search(nil, 5); res != nil {
+		t.Error("empty query answered")
+	}
+	if res := e.SearchQuery("zzznothing theophylline", 5); len(res) != 0 {
+		t.Error("unknown keyword should defeat conjunctive query")
+	}
+}
+
+// The paper's argument: expansion inflates the posting volume relative
+// to the plain keyword (the same concept matched repeatedly), which is
+// what XOntoRank's index-time scoring avoids re-ranking at query time.
+func TestExpansionPostingVolumeExceedsPlain(t *testing.T) {
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 14, ExtraConcepts: 100, SynonymProb: 0.3,
+		MultiParentProb: 0.1, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 14, NumDocuments: 20, ProblemsPerPatient: 3,
+		MedicationsPerPatient: 3, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := g.GenerateCorpus()
+	coll := ontology.MustCollection(ont)
+	e := New(corpus, coll, DefaultParams())
+	plain := dil.NewMultiBuilder(corpus, coll, ontoscore.StrategyNone, dil.DefaultParams())
+
+	kws := []query.Keyword{"arrhythmia"}
+	expanded := e.PostingVolume(kws)
+	baseline := len(plain.BuildKeyword("arrhythmia"))
+	if expanded <= baseline {
+		t.Errorf("expansion volume %d not above plain %d", expanded, baseline)
+	}
+}
+
+func TestExpansionCacheStable(t *testing.T) {
+	e, _, _ := figure1Engine(t)
+	a := e.SearchQuery("asthma medications", 5)
+	b := e.SearchQuery("asthma medications", 5)
+	if len(a) != len(b) {
+		t.Fatalf("repeat query differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Root.Equal(b[i].Root) || a[i].Score != b[i].Score {
+			t.Error("repeat query unstable")
+		}
+	}
+}

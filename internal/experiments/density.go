@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ontoscore"
+)
+
+// DensityAblationRow captures how the Table-II comparison depends on
+// the ontology's relationship density. The paper (using full SNOMED CT,
+// where existential role restrictions have large in-degrees) found the
+// Relationships ranking close to Taxonomy and far from Graph; with a
+// small synthetic ontology the in-degree normalization bites less and
+// Relationships drifts toward Graph. Sweeping the density exposes the
+// trend (see EXPERIMENTS.md).
+type DensityAblationRow struct {
+	RelationshipsPerDisorder float64
+	ExtraConcepts            int
+	AvgInDegree              float64 // mean subjects per (role, filler) restriction
+	GraphRel                 float64 // d(Graph, Relationships)
+	TaxRel                   float64 // d(Taxonomy, Relationships)
+}
+
+// DensityAblation evaluates Table II's Graph/Taxonomy-vs-Relationships
+// distances across ontology densities.
+func DensityAblation(seed int64, documents int, densities []float64, extraConcepts int) ([]DensityAblationRow, error) {
+	var rows []DensityAblationRow
+	for _, d := range densities {
+		scale := Scale{
+			Name:          fmt.Sprintf("density-%.1f", d),
+			Seed:          seed,
+			OntologyExtra: extraConcepts,
+			Documents:     documents,
+		}
+		env, err := newEnvWithDensity(scale, d)
+		if err != nil {
+			return nil, err
+		}
+		t2 := env.Table2()
+		rows = append(rows, DensityAblationRow{
+			RelationshipsPerDisorder: d,
+			ExtraConcepts:            extraConcepts,
+			AvgInDegree:              avgRestrictionInDegree(env),
+			GraphRel:                 t2.Distance[ontoscore.StrategyGraph][ontoscore.StrategyRelationships],
+			TaxRel:                   t2.Distance[ontoscore.StrategyTaxonomy][ontoscore.StrategyRelationships],
+		})
+	}
+	return rows, nil
+}
+
+func avgRestrictionInDegree(env *Env) float64 {
+	type key struct {
+		role   string
+		filler int64
+	}
+	counts := make(map[key]int)
+	for _, id := range env.Ont.Concepts() {
+		for _, e := range env.Ont.Out(id) {
+			if e.Type == "is-a" {
+				continue
+			}
+			counts[key{role: string(e.Type), filler: int64(e.To)}]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(len(counts))
+}
+
+// RenderDensity formats the density ablation.
+func RenderDensity(rows []DensityAblationRow) string {
+	var b strings.Builder
+	b.WriteString("ABLATION: relationship density vs Table-II distances\n")
+	fmt.Fprintf(&b, "%-12s %12s %14s %12s\n", "RelsPerDis", "AvgInDegree", "d(Graph,Rel)", "d(Tax,Rel)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12.1f %12.2f %14.3f %12.3f\n",
+			r.RelationshipsPerDisorder, r.AvgInDegree, r.GraphRel, r.TaxRel)
+	}
+	return b.String()
+}

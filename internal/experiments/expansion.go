@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expansion"
+	"repro/internal/ontoscore"
+	"repro/internal/query"
+)
+
+// The query-expansion comparison (paper Section VIII: "query expansion
+// is not appropriate [for keyword queries], since it leads to
+// non-minimal results"). XOntoRank's Relationships strategy is compared
+// with an expansion baseline that rewrites each keyword into its top
+// ontologically related terms and runs the plain XRANK machinery.
+
+// ExpansionRow compares the two approaches on one query.
+type ExpansionRow struct {
+	Query string
+	// Relevant results among the top-5 per the oracle.
+	XOntoRelevant int
+	ExpRelevant   int
+	// Posting volume touched per query (index pressure).
+	XOntoPostings int
+	ExpPostings   int
+	// Mean result-subtree size among the top-5 (non-minimality proxy:
+	// expansion matches generic expansion terms spread across the
+	// document, pushing covers toward larger subtrees).
+	XOntoAvgSize float64
+	ExpAvgSize   float64
+}
+
+// ExpansionResult is the full comparison.
+type ExpansionResult struct {
+	Rows []ExpansionRow
+}
+
+// ExpansionComparison runs the Table-I workload under both systems.
+func (e *Env) ExpansionComparison() ExpansionResult {
+	const topK = 5
+	xonto := e.Systems[ontoscore.StrategyRelationships]
+	coll := xonto.Collection()
+	exp := expansion.New(e.Corpus, coll, expansion.DefaultParams())
+
+	var res ExpansionResult
+	for _, q := range Table1Queries {
+		keywords := query.ParseQuery(q)
+		row := ExpansionRow{Query: q}
+
+		xres := xonto.SearchKeywords(keywords, topK)
+		raw := make([]query.Result, len(xres))
+		for i, r := range xres {
+			raw[i] = r.Raw()
+		}
+		row.XOntoRelevant = e.Oracle.CountRelevant(e.Corpus, keywords, raw, topK)
+		row.XOntoAvgSize = avgSubtreeSize(e, raw)
+		for _, kw := range keywords {
+			row.XOntoPostings += len(xonto.Builder().BuildKeyword(string(kw)))
+		}
+
+		eres := exp.Search(keywords, topK)
+		row.ExpRelevant = e.Oracle.CountRelevant(e.Corpus, keywords, eres, topK)
+		row.ExpAvgSize = avgSubtreeSize(e, eres)
+		row.ExpPostings = exp.PostingVolume(keywords)
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func avgSubtreeSize(e *Env, results []query.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range results {
+		if n := e.Corpus.NodeAt(r.Root); n != nil {
+			total += n.Size()
+		}
+	}
+	return float64(total) / float64(len(results))
+}
+
+func (r ExpansionResult) String() string {
+	var b strings.Builder
+	b.WriteString("COMPARISON: XOntoRank (Relationships) vs query-expansion baseline (top-5)\n")
+	fmt.Fprintf(&b, "%-46s %7s %7s %9s %9s %8s %8s\n",
+		"Query", "XO rel", "QE rel", "XO posts", "QE posts", "XO size", "QE size")
+	var xoRel, qeRel int
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-46s %7d %7d %9d %9d %8.1f %8.1f\n",
+			row.Query, row.XOntoRelevant, row.ExpRelevant,
+			row.XOntoPostings, row.ExpPostings,
+			row.XOntoAvgSize, row.ExpAvgSize)
+		xoRel += row.XOntoRelevant
+		qeRel += row.ExpRelevant
+	}
+	fmt.Fprintf(&b, "%-46s %7.2f %7.2f\n", "AVERAGE",
+		float64(xoRel)/float64(len(r.Rows)), float64(qeRel)/float64(len(r.Rows)))
+	return b.String()
+}

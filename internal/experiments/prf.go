@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/ontoscore"
+	"repro/internal/query"
+)
+
+// Precision/recall evaluation. The paper's conclusion states "the
+// precision and recall of our algorithm is better than the baseline
+// algorithm"; Table I only reports relevant-counts. This experiment
+// makes the claim measurable with TREC-style pooling: the relevant set
+// of each query is the union of oracle-judged-relevant results across
+// every approach's top-poolDepth, and each approach is scored against
+// that pool.
+
+// PRFRow is one approach's averaged metrics.
+type PRFRow struct {
+	Strategy  ontoscore.Strategy
+	Precision float64 // mean precision@k
+	Recall    float64 // mean recall@k against the pooled relevant set
+	F1        float64
+	MAP       float64 // mean average precision over the pool-depth ranking
+	NDCG      float64 // mean nDCG@k
+	MRR       float64 // mean reciprocal rank
+}
+
+// PRFResult is the full evaluation.
+type PRFResult struct {
+	K         int
+	PoolDepth int
+	Rows      []PRFRow
+}
+
+// PrecisionRecall evaluates every approach at cutoff k with the given
+// pooling depth over the Table-I workload. Queries whose pool is empty
+// (no approach found anything relevant) are skipped for recall.
+func (e *Env) PrecisionRecall(k, poolDepth int) PRFResult {
+	strategies := ontoscore.Strategies()
+	res := PRFResult{K: k, PoolDepth: poolDepth}
+	type acc struct{ p, r, ap, ndcg, rr float64 }
+	sums := make(map[ontoscore.Strategy]acc, len(strategies))
+	queries := 0
+
+	for _, q := range Table1Queries {
+		keywords := query.ParseQuery(q)
+		// Pool: every approach's top-poolDepth, judged.
+		pool := make(map[string]bool) // relevant result roots
+		perStrategy := make(map[ontoscore.Strategy][]query.Result, len(strategies))
+		for _, s := range strategies {
+			results := e.Systems[s].SearchKeywords(keywords, poolDepth)
+			raw := make([]query.Result, len(results))
+			for i, r := range results {
+				raw[i] = r.Raw()
+			}
+			perStrategy[s] = raw
+			for _, r := range raw {
+				if e.Oracle.JudgeResult(e.Corpus, keywords, r).Relevant {
+					pool[r.Root.String()] = true
+				}
+			}
+		}
+		if len(pool) == 0 {
+			continue // nothing relevant exists for this query
+		}
+		queries++
+		for _, s := range strategies {
+			full := make([]string, 0, len(perStrategy[s]))
+			for _, r := range perStrategy[s] {
+				full = append(full, r.Root.String())
+			}
+			a := sums[s]
+			a.p += metrics.PrecisionAt(full, pool, k)
+			a.r += metrics.RecallAt(full, pool, k)
+			a.ap += metrics.AveragePrecision(full, pool)
+			a.ndcg += metrics.NDCGAt(full, pool, k)
+			a.rr += metrics.ReciprocalRank(full, pool)
+			sums[s] = a
+		}
+	}
+
+	for _, s := range strategies {
+		a := sums[s]
+		row := PRFRow{Strategy: s}
+		if queries > 0 {
+			row.Precision = a.p / float64(queries)
+			row.Recall = a.r / float64(queries)
+			row.MAP = a.ap / float64(queries)
+			row.NDCG = a.ndcg / float64(queries)
+			row.MRR = a.rr / float64(queries)
+		}
+		row.F1 = metrics.F1(row.Precision, row.Recall)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func (r PRFResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PRECISION/RECALL (pooled, k=%d, pool depth=%d)\n", r.K, r.PoolDepth)
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %10s %10s\n",
+		"Algorithm", "Precision", "Recall", "F1", "MAP", "nDCG", "MRR")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			row.Strategy, row.Precision, row.Recall, row.F1, row.MAP, row.NDCG, row.MRR)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/query"
+)
+
+// Scaling study. The paper's conclusion singles out index-creation
+// scalability as the critical future direction; this experiment
+// measures how the pre-processing phase (full-text + OntoScore + DIL
+// stages) and query latency grow with corpus size under the
+// Relationships strategy, over a fixed ontology.
+
+// ScalingRow is one corpus size's measurements.
+type ScalingRow struct {
+	Documents    int
+	Elements     int
+	IndexTime    time.Duration
+	Postings     int
+	AvgQueryTime time.Duration
+}
+
+// ScalingStudy builds and measures a system per document count. The
+// ontology is generated once (extraConcepts synthetic concepts) and
+// shared.
+func ScalingStudy(seed int64, docCounts []int, extraConcepts int) ([]ScalingRow, error) {
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: seed, ExtraConcepts: extraConcepts, SynonymProb: 0.4,
+		MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := [][]query.Keyword{
+		query.ParseQuery(`"cardiac arrest" epinephrine`),
+		query.ParseQuery(`asthma medications`),
+		query.ParseQuery(`arrhythmia amiodarone`),
+	}
+	var rows []ScalingRow
+	for _, docs := range docCounts {
+		gen, err := cda.NewGenerator(cda.GenConfig{
+			Seed: seed, NumDocuments: docs, ProblemsPerPatient: 4,
+			MedicationsPerPatient: 4, ProceduresPerPatient: 2,
+		}, ont)
+		if err != nil {
+			return nil, err
+		}
+		corpus := gen.GenerateCorpus()
+		cfg := core.DefaultConfig()
+		cfg.Strategy = ontoscore.StrategyRelationships
+		sys := core.New(corpus, ont, cfg)
+
+		start := time.Now()
+		stats, err := sys.BuildIndex()
+		if err != nil {
+			return nil, err
+		}
+		indexTime := time.Since(start)
+
+		// Warm, then time the query mix.
+		for _, kws := range queries {
+			sys.SearchKeywords(kws, 10)
+		}
+		const repeats = 5
+		qStart := time.Now()
+		for r := 0; r < repeats; r++ {
+			for _, kws := range queries {
+				sys.SearchKeywords(kws, 10)
+			}
+		}
+		avgQuery := time.Since(qStart) / time.Duration(repeats*len(queries))
+
+		rows = append(rows, ScalingRow{
+			Documents:    docs,
+			Elements:     corpus.Stats().Elements,
+			IndexTime:    indexTime,
+			Postings:     stats.TotalPostings,
+			AvgQueryTime: avgQuery,
+		})
+	}
+	return rows, nil
+}
+
+// RenderScaling formats the study.
+func RenderScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	b.WriteString("SCALING: corpus size vs index creation and query latency (Relationships)\n")
+	fmt.Fprintf(&b, "%-10s %10s %12s %10s %12s\n", "Documents", "Elements", "Index(ms)", "Postings", "Query(us)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %10d %12.1f %10d %12.1f\n",
+			r.Documents, r.Elements,
+			float64(r.IndexTime.Nanoseconds())/1e6, r.Postings,
+			float64(r.AvgQueryTime.Nanoseconds())/1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/kendall"
+	"repro/internal/ontoscore"
+	"repro/internal/query"
+)
+
+// ---------- Table I ----------
+
+// Table1Row is one query's relevant-result counts per approach.
+type Table1Row struct {
+	Query  string
+	Counts map[ontoscore.Strategy]int
+}
+
+// Table1Result reproduces Table I: for each query, the number of top-5
+// results the (simulated) domain expert marks relevant, per approach.
+type Table1Result struct {
+	Rows     []Table1Row
+	Averages map[ontoscore.Strategy]float64
+}
+
+// Table1 runs the survey protocol: the union of each approach's top-5
+// is judged by the oracle; each approach is credited with its judged-
+// relevant results among its own top-5.
+func (e *Env) Table1() Table1Result {
+	const topK = 5
+	res := Table1Result{Averages: make(map[ontoscore.Strategy]float64)}
+	for _, q := range Table1Queries {
+		row := Table1Row{Query: q, Counts: make(map[ontoscore.Strategy]int)}
+		keywords := query.ParseQuery(q)
+		for _, s := range ontoscore.Strategies() {
+			results := e.Systems[s].SearchKeywords(keywords, topK)
+			raw := make([]query.Result, len(results))
+			for i, r := range results {
+				raw[i] = r.Raw()
+			}
+			row.Counts[s] = e.Oracle.CountRelevant(e.Corpus, keywords, raw, topK)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, s := range ontoscore.Strategies() {
+		total := 0
+		for _, row := range res.Rows {
+			total += row.Counts[s]
+		}
+		res.Averages[s] = float64(total) / float64(len(res.Rows))
+	}
+	return res
+}
+
+// String renders the table in the paper's layout.
+func (r Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I: NUMBER OF RESULTS MARKED AS RELEVANT FOR EACH QUERY (top-5)\n")
+	fmt.Fprintf(&b, "%-50s %7s %7s %9s %13s\n", "Query", "XRANK", "Graph", "Taxonomy", "Relationships")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-50s %7d %7d %9d %13d\n", row.Query,
+			row.Counts[ontoscore.StrategyNone], row.Counts[ontoscore.StrategyGraph],
+			row.Counts[ontoscore.StrategyTaxonomy], row.Counts[ontoscore.StrategyRelationships])
+	}
+	fmt.Fprintf(&b, "%-50s %7.2f %7.2f %9.2f %13.2f\n", "AVERAGE",
+		r.Averages[ontoscore.StrategyNone], r.Averages[ontoscore.StrategyGraph],
+		r.Averages[ontoscore.StrategyTaxonomy], r.Averages[ontoscore.StrategyRelationships])
+	return b.String()
+}
+
+// ---------- Table II ----------
+
+// Table2Result reproduces Table II: the normalized top-k Kendall tau
+// distance between every pair of approaches, averaged over the query
+// workload.
+type Table2Result struct {
+	K        int
+	P        float64
+	Distance map[ontoscore.Strategy]map[ontoscore.Strategy]float64
+}
+
+// Table2 computes pairwise ranking distances with k = 10 and penalty
+// p = 0.5 over the 20-query workload.
+func (e *Env) Table2() Table2Result {
+	const (
+		topK = 10
+		p    = 0.5
+	)
+	strategies := ontoscore.Strategies()
+	res := Table2Result{K: topK, P: p, Distance: make(map[ontoscore.Strategy]map[ontoscore.Strategy]float64)}
+	for _, s := range strategies {
+		res.Distance[s] = make(map[ontoscore.Strategy]float64)
+	}
+	// Top-k result lists per query and strategy, as comparable strings.
+	for _, q := range Table2Queries {
+		keywords := query.ParseQuery(q)
+		lists := make(map[ontoscore.Strategy][]string, len(strategies))
+		for _, s := range strategies {
+			results := e.Systems[s].SearchKeywords(keywords, topK)
+			ids := make([]string, 0, len(results))
+			for _, r := range results {
+				ids = append(ids, r.Root.String())
+			}
+			lists[s] = ids
+		}
+		for _, a := range strategies {
+			for _, b := range strategies {
+				res.Distance[a][b] += kendall.Normalized(lists[a], lists[b], p)
+			}
+		}
+	}
+	n := float64(len(Table2Queries))
+	for _, a := range strategies {
+		for _, b := range strategies {
+			res.Distance[a][b] /= n
+		}
+	}
+	return res
+}
+
+func (r Table2Result) String() string {
+	strategies := ontoscore.Strategies()
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II: NORMALIZED KENDALL TAU VALUES (k=%d, p=%.1f, %d queries)\n",
+		r.K, r.P, len(Table2Queries))
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, s := range strategies {
+		fmt.Fprintf(&b, " %13s", s)
+	}
+	b.WriteByte('\n')
+	for _, a := range strategies {
+		fmt.Fprintf(&b, "%-14s", a)
+		for _, c := range strategies {
+			fmt.Fprintf(&b, " %13.3f", r.Distance[a][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---------- Table III ----------
+
+// Table3Row summarizes index creation for one approach.
+type Table3Row struct {
+	Strategy        ontoscore.Strategy
+	Keywords        int
+	AvgCreationTime time.Duration
+	AvgPostings     float64
+	AvgSizeKB       float64
+	TotalPostings   int
+	OntoMapEntries  int
+}
+
+// Table3Result reproduces Table III: average per-keyword XOnto-DIL
+// creation time, posting count and size for each approach.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 builds the full index under each approach over the same
+// vocabulary (corpus tokens plus the 2-hop concept neighborhood, as in
+// the paper) and reports per-keyword averages.
+func (e *Env) Table3() (Table3Result, error) {
+	var res Table3Result
+	for _, s := range ontoscore.Strategies() {
+		sys := e.Systems[s]
+		stats, err := sys.BuildIndex()
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Strategy:        s,
+			Keywords:        stats.Keywords,
+			AvgCreationTime: stats.AvgCreationTime(),
+			AvgPostings:     stats.AvgPostings(),
+			AvgSizeKB:       stats.AvgBytes() / 1024,
+			TotalPostings:   stats.TotalPostings,
+			OntoMapEntries:  stats.OntoMapEntries,
+		})
+	}
+	return res, nil
+}
+
+func (r Table3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE III: AVERAGE SIZE FOR XONTO-DIL ENTRIES (per keyword)\n")
+	fmt.Fprintf(&b, "%-14s %9s %18s %12s %11s %14s\n",
+		"Algorithm", "Keywords", "AvgCreation(us)", "Postings", "Size(KB)", "OntoMapEntries")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %9d %18.1f %12.2f %11.4f %14d\n",
+			row.Strategy, row.Keywords,
+			float64(row.AvgCreationTime.Nanoseconds())/1e3,
+			row.AvgPostings, row.AvgSizeKB, row.OntoMapEntries)
+	}
+	return b.String()
+}
+
+// ---------- Figure 11 ----------
+
+// Figure11Point is the mean execution time for queries with a given
+// keyword count under one approach.
+type Figure11Point struct {
+	Keywords int
+	Strategy ontoscore.Strategy
+	AvgTime  time.Duration
+}
+
+// Figure11Result reproduces Figure 11: average query execution time
+// against the number of query keywords, per approach.
+type Figure11Result struct {
+	Points []Figure11Point
+	Counts []int
+}
+
+// Figure11 measures query latency with prebuilt indexes (call after
+// Table3 or BuildIndex; it builds any missing index itself). Each
+// query is warmed once so on-demand keyword DILs do not pollute the
+// measurement, then timed over repeated runs.
+func (e *Env) Figure11(queriesPerPoint, repeats int) (Figure11Result, error) {
+	counts := []int{1, 2, 3, 4}
+	res := Figure11Result{Counts: counts}
+	for _, s := range ontoscore.Strategies() {
+		sys := e.Systems[s]
+		if sys.BuildStats() == nil {
+			if _, err := sys.BuildIndex(); err != nil {
+				return res, err
+			}
+		}
+		for _, n := range counts {
+			queries := QueriesWithKeywordCount(n, queriesPerPoint)
+			parsed := make([][]query.Keyword, len(queries))
+			for i, q := range queries {
+				parsed[i] = query.ParseQuery(q)
+				sys.SearchKeywords(parsed[i], 10) // warm
+			}
+			start := time.Now()
+			for r := 0; r < repeats; r++ {
+				for _, kws := range parsed {
+					sys.SearchKeywords(kws, 10)
+				}
+			}
+			elapsed := time.Since(start)
+			res.Points = append(res.Points, Figure11Point{
+				Keywords: n,
+				Strategy: s,
+				AvgTime:  elapsed / time.Duration(repeats*len(parsed)),
+			})
+		}
+	}
+	return res, nil
+}
+
+func (r Figure11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIGURE 11: AVERAGE EXECUTION TIME (us) FOR KEYWORD QUERIES vs #KEYWORDS (k=10)\n")
+	fmt.Fprintf(&b, "%-14s", "#keywords")
+	for _, n := range r.Counts {
+		fmt.Fprintf(&b, " %10d", n)
+	}
+	b.WriteByte('\n')
+	for _, s := range ontoscore.Strategies() {
+		fmt.Fprintf(&b, "%-14s", s)
+		for _, n := range r.Counts {
+			for _, p := range r.Points {
+				if p.Strategy == s && p.Keywords == n {
+					fmt.Fprintf(&b, " %10.1f", float64(p.AvgTime.Nanoseconds())/1e3)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

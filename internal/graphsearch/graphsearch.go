@@ -1,0 +1,252 @@
+// Package graphsearch extends XOntoRank's tree semantics to the XML
+// graph. The paper's Section III restricts the algorithms to trees but
+// notes the techniques "are straightforwardly applicable to graph
+// search algorithms as well (i.e. when ID-IDREF edges are considered
+// [XKeyword])" — CDA documents do carry such edges (originalText
+// references). This package implements that extension:
+//
+//   - the data graph is the element tree plus undirected hyperlink
+//     edges extracted from ID-IDREF references;
+//   - keyword associations (node scores) come from the same XOnto-DILs
+//     as the tree engine, so ontological matches participate;
+//   - a result is a *center* element connecting all keywords, scored by
+//     the natural generalization of equations (2)-(4): for each keyword
+//     the best NS(v, w) * decay^dist(center, v) over the graph distance
+//     (containment and hyperlink edges both count one step), summed
+//     across keywords.
+//
+// On a corpus without reference edges the graph distances reduce to
+// tree distances and the scores agree with the tree engine's (centers
+// generalize the most-specific-element results; the top-ranked center
+// is the tree result's root or a node on its spine).
+package graphsearch
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/dil"
+	"repro/internal/elemrank"
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+// Params configure the graph search.
+type Params struct {
+	// Decay attenuates scores per graph edge (paper equation (2)).
+	Decay float64
+	// MaxRadius bounds the multi-source BFS from keyword matches; nodes
+	// farther than this from every match of some keyword cannot be
+	// centers. It also bounds work on large documents.
+	MaxRadius int
+	// K is the default result count.
+	K int
+}
+
+// DefaultParams mirrors the tree engine (decay 0.5) with radius 12.
+func DefaultParams() Params { return Params{Decay: 0.5, MaxRadius: 12, K: 10} }
+
+// Engine runs graph searches over one corpus.
+type Engine struct {
+	params Params
+	corpus *xmltree.Corpus
+	source query.KeywordBuilder // supplies XOnto-DILs (typically *dil.Builder)
+
+	// refs holds the hyperlink adjacency (both directions) per node.
+	refs map[*xmltree.Node][]*xmltree.Node
+}
+
+// NewEngine extracts the corpus's reference edges and prepares the
+// engine. source supplies per-keyword posting lists (ontological and
+// textual node scores).
+func NewEngine(corpus *xmltree.Corpus, source query.KeywordBuilder, params Params) *Engine {
+	e := &Engine{
+		params: params,
+		corpus: corpus,
+		source: source,
+		refs:   make(map[*xmltree.Node][]*xmltree.Node),
+	}
+	for _, doc := range corpus.Docs() {
+		for _, edge := range elemrank.ExtractHyperlinks(doc) {
+			e.refs[edge.From] = append(e.refs[edge.From], edge.To)
+			e.refs[edge.To] = append(e.refs[edge.To], edge.From)
+		}
+	}
+	return e
+}
+
+// NumReferenceEdges reports how many undirected hyperlink edges the
+// corpus contributed.
+func (e *Engine) NumReferenceEdges() int {
+	n := 0
+	for _, targets := range e.refs {
+		n += len(targets)
+	}
+	return n / 2
+}
+
+// neighbors enumerates the graph adjacency of a node: parent, children,
+// and hyperlink partners.
+func (e *Engine) neighbors(n *xmltree.Node) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, 1+len(n.Children)+len(e.refs[n]))
+	if n.Parent != nil {
+		out = append(out, n.Parent)
+	}
+	out = append(out, n.Children...)
+	out = append(out, e.refs[n]...)
+	return out
+}
+
+// Result is one graph-search answer.
+type Result struct {
+	// Center is the connecting element.
+	Center xmltree.Dewey
+	// Score sums the per-keyword decayed maxima (equation (4) over
+	// graph distance).
+	Score float64
+	// PerKeyword holds each keyword's contribution at the center.
+	PerKeyword []float64
+	// Matches identifies each keyword's best supporting node and its
+	// graph distance from the center.
+	Matches []Match
+}
+
+// Match is one keyword's supporting node.
+type Match struct {
+	ID       xmltree.Dewey
+	Score    float64 // NS at the node
+	Distance int     // graph distance to the center
+}
+
+type arrival struct {
+	score float64 // decayed score at this node
+	src   xmltree.Dewey
+	ns    float64
+	dist  int
+}
+
+// Search answers a keyword query, returning up to k centers ranked by
+// score (Dewey tie-break). Centers that lie on a strictly better
+// center's match paths are not suppressed — callers wanting one answer
+// take the top result.
+func (e *Engine) Search(keywords []query.Keyword, k int) []Result {
+	if len(keywords) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = e.params.K
+	}
+	// Per keyword: multi-source decayed BFS from every posting node.
+	perKeyword := make([]map[*xmltree.Node]arrival, len(keywords))
+	for i, kw := range keywords {
+		list := e.source.BuildKeyword(string(kw))
+		if len(list) == 0 {
+			return nil
+		}
+		perKeyword[i] = e.spread(list)
+	}
+	// Centers: nodes reached by every keyword.
+	var results []Result
+	for n, a0 := range perKeyword[0] {
+		total := a0.score
+		perKw := make([]float64, len(keywords))
+		matches := make([]Match, len(keywords))
+		perKw[0] = a0.score
+		matches[0] = Match{ID: a0.src, Score: a0.ns, Distance: a0.dist}
+		covered := true
+		for i := 1; i < len(keywords); i++ {
+			a, ok := perKeyword[i][n]
+			if !ok {
+				covered = false
+				break
+			}
+			perKw[i] = a.score
+			matches[i] = Match{ID: a.src, Score: a.ns, Distance: a.dist}
+			total += a.score
+		}
+		if !covered {
+			continue
+		}
+		results = append(results, Result{
+			Center:     n.ID.Clone(),
+			Score:      total,
+			PerKeyword: perKw,
+			Matches:    matches,
+		})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Center.Compare(results[j].Center) < 0
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// SearchQuery parses and answers a query string.
+func (e *Engine) SearchQuery(q string, k int) []Result {
+	return e.Search(query.ParseQuery(q), k)
+}
+
+type spreadItem struct {
+	node *xmltree.Node
+	arr  arrival
+}
+
+type spreadHeap []spreadItem
+
+func (h spreadHeap) Len() int           { return len(h) }
+func (h spreadHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h spreadHeap) Less(i, j int) bool { return h[i].arr.score > h[j].arr.score }
+func (h *spreadHeap) Push(x any)        { *h = append(*h, x.(spreadItem)) }
+func (h *spreadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// spread runs a decayed multi-source best-first expansion: every node
+// within MaxRadius of a posting ends up with its best arrival (max
+// decayed score — Observation 1's merge rule generalized to the graph).
+// A max-heap on score finalizes each node at its true maximum because
+// every edge multiplies the score by decay <= 1.
+func (e *Engine) spread(list dil.List) map[*xmltree.Node]arrival {
+	best := make(map[*xmltree.Node]arrival)
+	h := make(spreadHeap, 0, len(list))
+	for _, p := range list {
+		n := e.corpus.NodeAt(p.ID)
+		if n == nil {
+			continue
+		}
+		h = append(h, spreadItem{node: n, arr: arrival{score: p.Score, src: p.ID, ns: p.Score, dist: 0}})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(spreadItem)
+		if _, done := best[it.node]; done {
+			continue
+		}
+		best[it.node] = it.arr
+		if it.arr.dist >= e.params.MaxRadius {
+			continue
+		}
+		nextScore := it.arr.score * e.params.Decay
+		if nextScore <= 0 {
+			continue
+		}
+		for _, nb := range e.neighbors(it.node) {
+			if _, done := best[nb]; done {
+				continue
+			}
+			heap.Push(&h, spreadItem{node: nb, arr: arrival{
+				score: nextScore, src: it.arr.src, ns: it.arr.ns, dist: it.arr.dist + 1,
+			}})
+		}
+	}
+	return best
+}

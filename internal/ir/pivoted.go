@@ -1,0 +1,92 @@
+package ir
+
+import "math"
+
+// Pivoted-length-normalization scoring (Singhal's "Modern Information
+// Retrieval: A Brief Overview", the paper's reference [20]) — provided
+// alongside BM25 as an alternative IRS function for equation (5).
+//
+// Each matching term contributes
+//
+//	(1 + ln(1 + ln(tf))) / ((1-s) + s * dl/avgdl) * ln((N+1)/df)
+//
+// with slope s (conventionally 0.2).
+
+// PivotedParams configure the scorer.
+type PivotedParams struct {
+	Slope float64
+}
+
+// DefaultPivoted returns the conventional slope 0.2.
+func DefaultPivoted() PivotedParams { return PivotedParams{Slope: 0.2} }
+
+// Pivoted scores one document against a bag of query terms.
+func (ix *Index) Pivoted(p PivotedParams, doc DocKey, terms []string) float64 {
+	avg := ix.AvgDocLen()
+	if avg == 0 {
+		return 0
+	}
+	n := float64(ix.N())
+	dl := float64(ix.DocLen(doc))
+	norm := (1 - p.Slope) + p.Slope*dl/avg
+	if norm <= 0 {
+		return 0
+	}
+	score := 0.0
+	for _, t := range terms {
+		tf := float64(ix.TF(t, doc))
+		df := float64(ix.DF(t))
+		if tf == 0 || df == 0 {
+			continue
+		}
+		score += (1 + math.Log(1+math.Log(tf))) / norm * math.Log((n+1)/df)
+	}
+	return score
+}
+
+// PivotedAll scores every document containing at least one term.
+func (ix *Index) PivotedAll(p PivotedParams, terms []string) map[DocKey]float64 {
+	out := make(map[DocKey]float64)
+	avg := ix.AvgDocLen()
+	if avg == 0 {
+		return out
+	}
+	n := float64(ix.N())
+	for _, t := range terms {
+		df := float64(ix.DF(t))
+		if df == 0 {
+			continue
+		}
+		idf := math.Log((n + 1) / df)
+		for _, post := range ix.postings[t] {
+			tf := float64(post.TF)
+			dl := float64(ix.DocLen(post.Doc))
+			norm := (1 - p.Slope) + p.Slope*dl/avg
+			if norm <= 0 {
+				continue
+			}
+			out[post.Doc] += (1 + math.Log(1+math.Log(tf))) / norm * idf
+		}
+	}
+	return out
+}
+
+// NormalizedPivoted divides each containing document's score by the
+// collection maximum for the term set, yielding [0, 1] values as
+// equation (5) requires of IRS.
+func (ix *Index) NormalizedPivoted(p PivotedParams, terms []string) map[DocKey]float64 {
+	raw := ix.PivotedAll(p, terms)
+	max := 0.0
+	for _, s := range raw {
+		if s > max {
+			max = s
+		}
+	}
+	if max == 0 {
+		return raw
+	}
+	for k, s := range raw {
+		raw[k] = s / max
+	}
+	return raw
+}

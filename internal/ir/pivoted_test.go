@@ -1,0 +1,102 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+func pivotedIndex() *Index {
+	ix := NewIndex()
+	ix.Add(1, []string{"asthma", "asthma", "theophylline", "dose"})
+	ix.Add(2, []string{"asthma"})
+	ix.Add(3, []string{"cardiac", "arrest", "epinephrine", "cpr", "unit", "icu", "monitor", "rhythm"})
+	return ix
+}
+
+func TestPivotedBasics(t *testing.T) {
+	ix := pivotedIndex()
+	p := DefaultPivoted()
+	if ix.Pivoted(p, 3, []string{"asthma"}) != 0 {
+		t.Error("non-containing doc must score 0")
+	}
+	s1 := ix.Pivoted(p, 1, []string{"asthma"})
+	s2 := ix.Pivoted(p, 2, []string{"asthma"})
+	if s1 <= 0 || s2 <= 0 {
+		t.Fatalf("containing docs: %f %f", s1, s2)
+	}
+	// tf=2 beats tf=1 modulo the length normalization; doc 2 is much
+	// shorter, so the normalization fights back. Both must at least be
+	// finite and positive; exact ordering is parameter-dependent.
+	if math.IsNaN(s1) || math.IsInf(s1, 0) {
+		t.Error("degenerate score")
+	}
+	// Rare terms outweigh common ones at comparable tf and length.
+	rare := ix.Pivoted(p, 3, []string{"epinephrine"})
+	common := ix.Pivoted(p, 2, []string{"asthma"})
+	if rare <= 0 || common <= 0 {
+		t.Fatal("zero scores")
+	}
+}
+
+func TestPivotedSlopeEffect(t *testing.T) {
+	ix := pivotedIndex()
+	// With slope 0, document length is ignored: doc 1 (tf=2) must beat
+	// doc 2 (tf=1).
+	noSlope := PivotedParams{Slope: 0}
+	s1 := ix.Pivoted(noSlope, 1, []string{"asthma"})
+	s2 := ix.Pivoted(noSlope, 2, []string{"asthma"})
+	if s1 <= s2 {
+		t.Errorf("slope 0: tf=2 score %f not above tf=1 score %f", s1, s2)
+	}
+	// With slope 1, long documents are penalized fully; the short doc
+	// gains relative ground.
+	full := PivotedParams{Slope: 1}
+	r1 := ix.Pivoted(full, 1, []string{"asthma"}) / s1
+	r2 := ix.Pivoted(full, 2, []string{"asthma"}) / s2
+	if r2 <= r1 {
+		t.Errorf("slope 1 did not favor the short document: %f vs %f", r2, r1)
+	}
+}
+
+func TestPivotedAllMatchesPointwise(t *testing.T) {
+	ix := pivotedIndex()
+	p := DefaultPivoted()
+	terms := []string{"asthma", "epinephrine"}
+	all := ix.PivotedAll(p, terms)
+	for doc := DocKey(1); doc <= 3; doc++ {
+		want := ix.Pivoted(p, doc, terms)
+		if math.Abs(all[doc]-want) > 1e-12 {
+			t.Errorf("doc %d: %f vs %f", doc, all[doc], want)
+		}
+	}
+}
+
+func TestNormalizedPivoted(t *testing.T) {
+	ix := pivotedIndex()
+	norm := ix.NormalizedPivoted(DefaultPivoted(), []string{"asthma"})
+	max := 0.0
+	for _, s := range norm {
+		if s < 0 || s > 1+1e-12 {
+			t.Fatalf("score %f out of range", s)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if math.Abs(max-1) > 1e-12 {
+		t.Errorf("max = %f", max)
+	}
+	if got := ix.NormalizedPivoted(DefaultPivoted(), []string{"zzz"}); len(got) != 0 {
+		t.Error("unknown term scored")
+	}
+}
+
+func TestPivotedEmptyIndex(t *testing.T) {
+	ix := NewIndex()
+	if ix.Pivoted(DefaultPivoted(), 1, []string{"x"}) != 0 {
+		t.Error("empty index scored")
+	}
+	if got := ix.PivotedAll(DefaultPivoted(), []string{"x"}); len(got) != 0 {
+		t.Error("empty index PivotedAll non-empty")
+	}
+}

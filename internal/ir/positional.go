@@ -1,0 +1,123 @@
+package ir
+
+import "sort"
+
+// Positional is a positional inverted index: for every term it records
+// the token offsets of each occurrence per document. It answers phrase
+// containment exactly from the index — no re-tokenization of the source
+// — which both speeds up multi-word keywords and guarantees the phrase
+// test sees precisely the tokens that were indexed.
+type Positional struct {
+	postings map[string][]PosPosting
+	docs     map[DocKey]bool
+}
+
+// PosPosting records one document's occurrence positions for a term,
+// ascending.
+type PosPosting struct {
+	Doc       DocKey
+	Positions []int32
+}
+
+// NewPositional returns an empty index.
+func NewPositional() *Positional {
+	return &Positional{
+		postings: make(map[string][]PosPosting),
+		docs:     make(map[DocKey]bool),
+	}
+}
+
+// Add indexes a document's token sequence. Documents must be added
+// once each, in ascending key order (posting lists are kept Doc-sorted
+// by construction; a violation panics rather than corrupting binary
+// searches silently). The index builder satisfies this by assigning
+// dense sequential keys.
+func (px *Positional) Add(doc DocKey, tokens []string) {
+	px.docs[doc] = true
+	for pos, t := range tokens {
+		list := px.postings[t]
+		if n := len(list); n > 0 && list[n-1].Doc == doc {
+			list[n-1].Positions = append(list[n-1].Positions, int32(pos))
+		} else {
+			if n > 0 && list[n-1].Doc > doc {
+				panic("ir: Positional.Add called with out-of-order document key")
+			}
+			list = append(list, PosPosting{Doc: doc, Positions: []int32{int32(pos)}})
+		}
+		px.postings[t] = list
+	}
+}
+
+// N is the number of indexed documents.
+func (px *Positional) N() int { return len(px.docs) }
+
+// DF is the document frequency of a term.
+func (px *Positional) DF(term string) int { return len(px.postings[term]) }
+
+// positionsIn returns the term's positions in doc (nil if absent).
+func (px *Positional) positionsIn(term string, doc DocKey) []int32 {
+	list := px.postings[term]
+	i := sort.Search(len(list), func(i int) bool { return list[i].Doc >= doc })
+	if i < len(list) && list[i].Doc == doc {
+		return list[i].Positions
+	}
+	return nil
+}
+
+// ContainsPhrase reports whether doc contains the tokens contiguously.
+func (px *Positional) ContainsPhrase(doc DocKey, phrase []string) bool {
+	return px.PhraseCount(doc, phrase) > 0
+}
+
+// PhraseCount counts the contiguous occurrences of the phrase in doc.
+func (px *Positional) PhraseCount(doc DocKey, phrase []string) int {
+	if len(phrase) == 0 {
+		return 0
+	}
+	starts := px.positionsIn(phrase[0], doc)
+	if starts == nil {
+		return 0
+	}
+	count := 0
+	for _, s := range starts {
+		ok := true
+		for j := 1; j < len(phrase); j++ {
+			if !containsPos(px.positionsIn(phrase[j], doc), s+int32(j)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+func containsPos(positions []int32, want int32) bool {
+	i := sort.Search(len(positions), func(i int) bool { return positions[i] >= want })
+	return i < len(positions) && positions[i] == want
+}
+
+// PhraseDocs returns the documents containing the phrase, sorted. For a
+// single-token phrase this is the term's posting documents.
+func (px *Positional) PhraseDocs(phrase []string) []DocKey {
+	if len(phrase) == 0 {
+		return nil
+	}
+	// Iterate the rarest term's postings.
+	rarest := phrase[0]
+	for _, t := range phrase[1:] {
+		if px.DF(t) < px.DF(rarest) {
+			rarest = t
+		}
+	}
+	var out []DocKey
+	for _, p := range px.postings[rarest] {
+		if len(phrase) == 1 || px.ContainsPhrase(p.Doc, phrase) {
+			out = append(out, p.Doc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,136 @@
+// Package kendall implements the top-k Kendall tau distance with
+// penalty parameter p of Fagin, Kumar and Sivakumar ("Comparing top k
+// lists", SODA 2003), used by the paper's Table II to compare the
+// result rankings of the four search approaches.
+//
+// Given two top-k lists (which may share only some elements), every
+// unordered pair {i, j} of distinct elements from the union contributes
+// a penalty:
+//
+//	both in both lists:        1 if the lists order them oppositely,
+//	                           0 otherwise;
+//	both in one list, one of   1 if the list ranks the absent-from-the-
+//	them in the other:         other element first, 0 otherwise (the
+//	                           other list implicitly ranks its member
+//	                           ahead of everything it omits);
+//	each in exactly one list:  1 (the lists certainly disagree);
+//	both in only one list:     p (their order in the other list is
+//	                           unknowable).
+package kendall
+
+// Distance computes the raw K^(p) distance between two ranked lists.
+// Lists must not contain duplicates; duplicates within a list are
+// ignored beyond their first (best-ranked) occurrence.
+func Distance(a, b []string, p float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	union := make([]string, 0, len(ra)+len(rb))
+	for e := range ra {
+		union = append(union, e)
+	}
+	for e := range rb {
+		if _, dup := ra[e]; !dup {
+			union = append(union, e)
+		}
+	}
+	total := 0.0
+	for x := 0; x < len(union); x++ {
+		for y := x + 1; y < len(union); y++ {
+			total += pairPenalty(union[x], union[y], ra, rb, p)
+		}
+	}
+	return total
+}
+
+func pairPenalty(i, j string, ra, rb map[string]int, p float64) float64 {
+	ia, inA1 := ra[i]
+	ja, inA2 := ra[j]
+	ib, inB1 := rb[i]
+	jb, inB2 := rb[j]
+	switch {
+	case inA1 && inA2 && inB1 && inB2:
+		// Case 1: in both lists.
+		if (ia < ja) != (ib < jb) {
+			return 1
+		}
+		return 0
+	case inA1 && inA2 && (inB1 != inB2):
+		// Case 2 anchored in list A: both in A, exactly one in B. B
+		// implicitly ranks its member ahead of the absent one; penalize
+		// if A disagrees.
+		if inB1 { // i in B, so B says i ahead of j
+			if ja < ia {
+				return 1
+			}
+			return 0
+		}
+		// j in B, so B says j ahead of i.
+		if ia < ja {
+			return 1
+		}
+		return 0
+	case inB1 && inB2 && (inA1 != inA2):
+		// Case 2 anchored in list B.
+		if inA1 {
+			if jb < ib {
+				return 1
+			}
+			return 0
+		}
+		if ib < jb {
+			return 1
+		}
+		return 0
+	case inA1 && inA2: // and neither in B
+		return p
+	case inB1 && inB2: // and neither in A
+		return p
+	default:
+		// Case 3: i in one list only, j in the other only.
+		return 1
+	}
+}
+
+// MaxDistance returns the largest possible K^(p) distance between lists
+// of lengths m and n — attained by disjoint lists: every cross pair
+// disagrees (m*n) and every same-list pair is unknowable (p per pair).
+func MaxDistance(m, n int, p float64) float64 {
+	cross := float64(m * n)
+	same := p * (choose2(m) + choose2(n))
+	return cross + same
+}
+
+func choose2(n int) float64 { return float64(n*(n-1)) / 2 }
+
+// Normalized computes Distance divided by MaxDistance, yielding a value
+// in [0, 1]; identical lists score 0, disjoint lists 1. Two empty lists
+// have distance 0.
+func Normalized(a, b []string, p float64) float64 {
+	max := MaxDistance(len(uniq(a)), len(uniq(b)), p)
+	if max == 0 {
+		return 0
+	}
+	return Distance(a, b, p) / max
+}
+
+func ranks(list []string) map[string]int {
+	m := make(map[string]int, len(list))
+	for i, e := range list {
+		if _, dup := m[e]; !dup {
+			m[e] = i
+		}
+	}
+	return m
+}
+
+func uniq(list []string) []string {
+	seen := make(map[string]bool, len(list))
+	out := make([]string, 0, len(list))
+	for _, e := range list {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

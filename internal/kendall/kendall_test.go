@@ -1,0 +1,155 @@
+package kendall
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdenticalListsZero(t *testing.T) {
+	l := []string{"a", "b", "c", "d"}
+	if got := Distance(l, l, 0.5); got != 0 {
+		t.Errorf("Distance = %f", got)
+	}
+	if got := Normalized(l, l, 0.5); got != 0 {
+		t.Errorf("Normalized = %f", got)
+	}
+}
+
+func TestDisjointListsMax(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"x", "y", "z"}
+	want := MaxDistance(3, 3, 0.5) // 9 + 0.5*(3+3) = 12
+	if got := Distance(a, b, 0.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Distance = %f, want %f", got, want)
+	}
+	if got := Normalized(a, b, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Normalized = %f, want 1", got)
+	}
+}
+
+func TestSingleSwap(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"b", "a", "c"}
+	if got := Distance(a, b, 0.5); got != 1 {
+		t.Errorf("one inversion = %f", got)
+	}
+}
+
+func TestFullReversal(t *testing.T) {
+	a := []string{"a", "b", "c", "d"}
+	b := []string{"d", "c", "b", "a"}
+	// All C(4,2)=6 pairs inverted.
+	if got := Distance(a, b, 0.5); got != 6 {
+		t.Errorf("reversal = %f", got)
+	}
+}
+
+func TestCase2OneElementMissing(t *testing.T) {
+	// a = [x, y]; b = [x, z]. Pairs over union {x,y,z}:
+	//  {x,y}: both in a, only x in b -> b says x ahead; a agrees -> 0.
+	//  {x,z}: both in b, only x in a -> a says x ahead; b agrees -> 0.
+	//  {y,z}: y only in a, z only in b -> 1.
+	a := []string{"x", "y"}
+	b := []string{"x", "z"}
+	if got := Distance(a, b, 0.5); got != 1 {
+		t.Errorf("Distance = %f, want 1", got)
+	}
+	// Flip a's order: {x,y} now disagrees -> 2 total.
+	a2 := []string{"y", "x"}
+	if got := Distance(a2, b, 0.5); got != 2 {
+		t.Errorf("Distance = %f, want 2", got)
+	}
+}
+
+func TestCase4PenaltyParameter(t *testing.T) {
+	// a = [x, y, z]; b = [x]. Pairs {y,z} both absent from b -> p.
+	// {x,y} and {x,z}: agree (x first everywhere) -> 0.
+	a := []string{"x", "y", "z"}
+	b := []string{"x"}
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := Distance(a, b, p); math.Abs(got-p) > 1e-12 {
+			t.Errorf("p=%f: Distance = %f", p, got)
+		}
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	a := []string{"a", "a", "b"}
+	b := []string{"a", "b"}
+	if got := Distance(a, b, 0.5); got != 0 {
+		t.Errorf("Distance with dup = %f", got)
+	}
+	if got := Normalized(a, b, 0.5); got != 0 {
+		t.Errorf("Normalized with dup = %f", got)
+	}
+}
+
+func TestEmptyLists(t *testing.T) {
+	if got := Normalized(nil, nil, 0.5); got != 0 {
+		t.Errorf("empty lists = %f", got)
+	}
+	// One empty: no pairs at all within union of size k — all pairs are
+	// within the non-empty list, both absent from the other -> p each.
+	a := []string{"a", "b"}
+	if got := Distance(a, nil, 0.5); got != 0.5 {
+		t.Errorf("one empty = %f", got)
+	}
+}
+
+// Property: symmetry, non-negativity, boundedness by MaxDistance.
+func TestQuickMetricProperties(t *testing.T) {
+	gen := func(r *rand.Rand) []string {
+		n := r.Intn(8)
+		perm := r.Perm(10)
+		out := make([]string, 0, n)
+		for _, i := range perm[:n] {
+			out = append(out, strconv.Itoa(i))
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		p := float64(r.Intn(3)) / 2
+		dab := Distance(a, b, p)
+		dba := Distance(b, a, p)
+		if math.Abs(dab-dba) > 1e-12 {
+			return false
+		}
+		if dab < 0 {
+			return false
+		}
+		if dab > MaxDistance(len(a), len(b), p)+1e-12 {
+			return false
+		}
+		norm := Normalized(a, b, p)
+		return norm >= 0 && norm <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle-like monotonicity under truncation — the distance
+// of a list to itself truncated is strictly less than to a disjoint
+// list.
+func TestQuickTruncationCloserThanDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(5)
+		full := make([]string, n)
+		disjoint := make([]string, n)
+		for i := range full {
+			full[i] = "a" + strconv.Itoa(i)
+			disjoint[i] = "b" + strconv.Itoa(i)
+		}
+		trunc := full[:n-1]
+		return Normalized(full, trunc, 0.5) < Normalized(full, disjoint, 0.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package metrics implements the standard ranked-retrieval evaluation
+// measures used to quantify the paper's quality claims beyond raw
+// relevant-counts: precision@k, average precision (MAP when averaged),
+// reciprocal rank (MRR when averaged), and nDCG with binary gains.
+//
+// All functions take a ranked list of result identifiers and the set of
+// relevant identifiers; they are agnostic to what the identifiers name
+// (Dewey roots, document ids, ...).
+package metrics
+
+import "math"
+
+// PrecisionAt computes the fraction of the top-k that is relevant. A
+// ranking shorter than k is evaluated at its own length (trailing
+// padding would reward nothing and punish honest short answers).
+func PrecisionAt(ranking []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(ranking) < k {
+		k = len(ranking)
+	}
+	if k == 0 {
+		return 0
+	}
+	hits := 0
+	for _, id := range ranking[:k] {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAt computes the fraction of the relevant set retrieved within
+// the top-k. Returns 0 when nothing is relevant. A relevant identifier
+// appearing more than once in the ranking counts once.
+func RecallAt(ranking []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 || k <= 0 {
+		return 0
+	}
+	if len(ranking) < k {
+		k = len(ranking)
+	}
+	seen := make(map[string]bool, k)
+	for _, id := range ranking[:k] {
+		if relevant[id] {
+			seen[id] = true
+		}
+	}
+	return float64(len(seen)) / float64(len(relevant))
+}
+
+// AveragePrecision computes AP over the full ranking: the mean of the
+// precision values at each (first occurrence of a) relevant hit,
+// normalized by the size of the relevant set. The mean of AP across
+// queries is MAP.
+func AveragePrecision(ranking []string, relevant map[string]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	seen := make(map[string]bool, len(relevant))
+	sum := 0.0
+	for i, id := range ranking {
+		if relevant[id] && !seen[id] {
+			seen[id] = true
+			sum += float64(len(seen)) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// ReciprocalRank returns 1/rank of the first relevant result (0 if none
+// appears). The mean across queries is MRR.
+func ReciprocalRank(ranking []string, relevant map[string]bool) float64 {
+	for i, id := range ranking {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// NDCGAt computes normalized discounted cumulative gain at k with
+// binary gains: gain 1 at rank r contributes 1/log2(r+1); the ideal
+// ranking places all |relevant| hits first.
+func NDCGAt(ranking []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 || k <= 0 {
+		return 0
+	}
+	if len(ranking) < k {
+		k = len(ranking)
+	}
+	dcg := 0.0
+	seen := make(map[string]bool, len(relevant))
+	for i := 0; i < k; i++ {
+		if id := ranking[i]; relevant[id] && !seen[id] {
+			seen[id] = true
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	n := len(relevant)
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ideal += 1 / math.Log2(float64(i)+2)
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return dcg / ideal
+}
+
+// F1 combines precision and recall harmonically.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func rel(ids ...string) map[string]bool {
+	m := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %f, want %f", name, got, want)
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	ranking := []string{"a", "b", "c", "d"}
+	relevant := rel("a", "c")
+	approx(t, "P@1", PrecisionAt(ranking, relevant, 1), 1)
+	approx(t, "P@2", PrecisionAt(ranking, relevant, 2), 0.5)
+	approx(t, "P@4", PrecisionAt(ranking, relevant, 4), 0.5)
+	// Short ranking evaluated at its own length.
+	approx(t, "P@10 short", PrecisionAt(ranking, relevant, 10), 0.5)
+	approx(t, "P@0", PrecisionAt(ranking, relevant, 0), 0)
+	approx(t, "P empty", PrecisionAt(nil, relevant, 5), 0)
+}
+
+func TestRecallAt(t *testing.T) {
+	ranking := []string{"a", "b", "c"}
+	relevant := rel("a", "c", "x")
+	approx(t, "R@1", RecallAt(ranking, relevant, 1), 1.0/3)
+	approx(t, "R@3", RecallAt(ranking, relevant, 3), 2.0/3)
+	approx(t, "R no-relevant", RecallAt(ranking, rel(), 3), 0)
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Relevant at ranks 1 and 3 of {a,b,c}: AP = (1/1 + 2/3)/2.
+	approx(t, "AP", AveragePrecision([]string{"a", "b", "c"}, rel("a", "c")), (1+2.0/3)/2)
+	// Unretrieved relevant item drags AP down.
+	approx(t, "AP missing", AveragePrecision([]string{"a"}, rel("a", "z")), 0.5)
+	approx(t, "AP none", AveragePrecision([]string{"a"}, rel()), 0)
+	// Perfect ranking has AP 1.
+	approx(t, "AP perfect", AveragePrecision([]string{"a", "b"}, rel("a", "b")), 1)
+}
+
+func TestReciprocalRank(t *testing.T) {
+	approx(t, "RR first", ReciprocalRank([]string{"a", "b"}, rel("a")), 1)
+	approx(t, "RR third", ReciprocalRank([]string{"x", "y", "a"}, rel("a")), 1.0/3)
+	approx(t, "RR none", ReciprocalRank([]string{"x"}, rel("a")), 0)
+}
+
+func TestNDCGAt(t *testing.T) {
+	// Single relevant at rank 1: perfect.
+	approx(t, "nDCG perfect", NDCGAt([]string{"a", "b"}, rel("a"), 2), 1)
+	// Relevant at rank 2 of 2, one relevant total: dcg = 1/log2(3),
+	// ideal = 1/log2(2) = 1.
+	approx(t, "nDCG rank2", NDCGAt([]string{"b", "a"}, rel("a"), 2), 1/math.Log2(3))
+	approx(t, "nDCG none", NDCGAt([]string{"b"}, rel("a"), 1), 0)
+	approx(t, "nDCG no-relevant", NDCGAt([]string{"a"}, rel(), 1), 0)
+	// Ideal truncation: more relevant items than k.
+	got := NDCGAt([]string{"a", "b"}, rel("a", "b", "c"), 2)
+	approx(t, "nDCG truncated ideal", got, 1)
+}
+
+func TestF1(t *testing.T) {
+	approx(t, "F1", F1(0.5, 0.5), 0.5)
+	approx(t, "F1 zero", F1(0, 0), 0)
+	approx(t, "F1 asym", F1(1, 0.5), 2.0/3)
+}
+
+// Property: all measures live in [0, 1], and a perfect prefix ranking
+// scores 1 on precision, AP, RR and nDCG.
+func TestQuickMetricBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		ranking := make([]string, n)
+		for i := range ranking {
+			ranking[i] = strconv.Itoa(r.Intn(15))
+		}
+		relevant := map[string]bool{}
+		for i := 0; i < r.Intn(6); i++ {
+			relevant[strconv.Itoa(r.Intn(15))] = true
+		}
+		k := 1 + r.Intn(n)
+		for _, v := range []float64{
+			PrecisionAt(ranking, relevant, k),
+			RecallAt(ranking, relevant, k),
+			AveragePrecision(ranking, relevant),
+			ReciprocalRank(ranking, relevant),
+			NDCGAt(ranking, relevant, k),
+		} {
+			if v < 0 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: swapping a relevant result earlier never decreases nDCG.
+func TestQuickNDCGMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		ranking := make([]string, n)
+		for i := range ranking {
+			ranking[i] = strconv.Itoa(i)
+		}
+		relevant := rel(strconv.Itoa(1 + r.Intn(n-1)))
+		before := NDCGAt(ranking, relevant, n)
+		// Move the relevant item one position earlier.
+		var pos int
+		for i, id := range ranking {
+			if relevant[id] {
+				pos = i
+			}
+		}
+		ranking[pos-1], ranking[pos] = ranking[pos], ranking[pos-1]
+		after := NDCGAt(ranking, relevant, n)
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package ontology
+
+// cardiologyCore extends an ontology with the curated pediatric-
+// cardiology concepts needed by the paper's query workload (Table I:
+// cardiac arrest, coarctation, neonatal cyanosis, carbapenem, ibuprofen,
+// supraventricular arrhythmia, pericardial effusion, regurgitant flow,
+// amiodarone, acetaminophen). The paper's corpus came from a children's
+// cardiac clinic; this core gives the synthetic corpus the same clinical
+// vocabulary and, crucially, the ontological paths the ontology-aware
+// algorithms exploit (disorder --treated-by--> drug,
+// disorder --finding-site-of--> structure, sibling drugs under a common
+// class for the acetaminophen/aspirin context-mismatch case).
+//
+// Concept entries give stable synthetic codes in the 9xx.. range so they
+// never collide with the Figure-2 fragment.
+type coreConcept struct {
+	code      string
+	preferred string
+	synonyms  []string
+	parents   []string // codes
+}
+
+type coreRel struct {
+	from, to string // codes
+	t        RelType
+}
+
+var cardiologyConcepts = []coreConcept{
+	// Structures.
+	{code: "900001", preferred: "Heart structure", synonyms: []string{"Cardiac structure"}, parents: []string{CodeBodyStructure}},
+	{code: "900002", preferred: "Atrium", synonyms: []string{"Atrial structure"}, parents: []string{"900001"}},
+	{code: "900003", preferred: "Ventricle", synonyms: []string{"Ventricular structure"}, parents: []string{"900001"}},
+	{code: "900004", preferred: "Pericardium", synonyms: []string{"Pericardial sac"}, parents: []string{"900001"}},
+	{code: "900005", preferred: "Aorta", synonyms: []string{"Aortic structure"}, parents: []string{CodeBodyStructure}},
+	{code: "900006", preferred: "Mitral valve", synonyms: []string{"Mitral valve structure"}, parents: []string{"900001"}},
+	{code: "900007", preferred: "Ductus arteriosus", parents: []string{"900005"}},
+	{code: "900008", preferred: "Cardiac conduction system", parents: []string{"900001"}},
+
+	// Disorders and findings.
+	{code: "910001", preferred: "Cardiovascular disorder", synonyms: []string{"Disorder of cardiovascular system"}, parents: []string{CodeClinicalFinding}},
+	{code: "910002", preferred: "Cardiac arrest", synonyms: []string{"Cardiopulmonary arrest"}, parents: []string{"910001"}},
+	{code: "910003", preferred: "Coarctation of aorta", synonyms: []string{"Aortic coarctation", "Coarctation"}, parents: []string{"910001"}},
+	{code: "910004", preferred: "Neonatal cyanosis", synonyms: []string{"Cyanosis of newborn"}, parents: []string{"910001"}},
+	{code: "910005", preferred: "Arrhythmia", synonyms: []string{"Cardiac arrhythmia", "Cardiac dysrhythmia"}, parents: []string{"910001"}},
+	{code: "910006", preferred: "Supraventricular arrhythmia", parents: []string{"910005"}},
+	{code: "910007", preferred: "Supraventricular tachycardia", synonyms: []string{"SVT"}, parents: []string{"910006"}},
+	{code: "910008", preferred: "Ventricular tachycardia", parents: []string{"910005"}},
+	{code: "910009", preferred: "Pericardial effusion", synonyms: []string{"Fluid in pericardial sac"}, parents: []string{"910001"}},
+	{code: "910010", preferred: "Regurgitant flow", synonyms: []string{"Valvular regurgitation"}, parents: []string{"910001"}},
+	{code: "910011", preferred: "Mitral regurgitation", synonyms: []string{"Mitral insufficiency"}, parents: []string{"910010"}},
+	{code: "910012", preferred: "Patent ductus arteriosus", synonyms: []string{"PDA"}, parents: []string{"910001"}},
+	{code: "910013", preferred: "Endocarditis", synonyms: []string{"Bacterial endocarditis"}, parents: []string{"910001"}},
+	{code: "910014", preferred: "Kawasaki disease", synonyms: []string{"Mucocutaneous lymph node syndrome"}, parents: []string{"910001"}},
+	{code: "910015", preferred: "Atrial fibrillation", parents: []string{"910006"}},
+	{code: "910016", preferred: "Atrial flutter", parents: []string{"910006"}},
+	{code: "910017", preferred: "Fever", synonyms: []string{"Pyrexia", "Febrile"}, parents: []string{CodeClinicalFinding}},
+	{code: "910018", preferred: "Pain", synonyms: []string{"Pain finding"}, parents: []string{CodeClinicalFinding}},
+
+	// Drugs.
+	{code: "920001", preferred: "Antiarrhythmic agent", parents: []string{CodePharmaProduct}},
+	{code: "920002", preferred: "Amiodarone", parents: []string{"920001"}},
+	{code: "920003", preferred: "Adenosine", parents: []string{"920001"}},
+	{code: "920004", preferred: "Digoxin", parents: []string{"920001"}},
+	{code: "920005", preferred: "Antibiotic agent", synonyms: []string{"Antibacterial agent"}, parents: []string{CodePharmaProduct}},
+	{code: "920006", preferred: "Carbapenem", parents: []string{"920005"}},
+	{code: "920007", preferred: "Meropenem", parents: []string{"920006"}},
+	{code: "920008", preferred: "Analgesic agent", synonyms: []string{"Pain relief agent"}, parents: []string{CodePharmaProduct}},
+	{code: "920009", preferred: "Acetaminophen", synonyms: []string{"Paracetamol"}, parents: []string{"920008"}},
+	{code: "920010", preferred: "Aspirin", synonyms: []string{"Acetylsalicylic acid"}, parents: []string{"920008"}},
+	{code: "920011", preferred: "Ibuprofen", parents: []string{"920008"}},
+	{code: "920012", preferred: "Epinephrine", synonyms: []string{"Adrenaline"}, parents: []string{CodePharmaProduct}},
+	{code: "920013", preferred: "Furosemide", synonyms: []string{"Frusemide"}, parents: []string{CodePharmaProduct}},
+	{code: "920014", preferred: "Prostaglandin", synonyms: []string{"Alprostadil"}, parents: []string{CodePharmaProduct}},
+	{code: "920015", preferred: "Oxygen therapy agent", synonyms: []string{"Oxygen"}, parents: []string{CodePharmaProduct}},
+
+	// Procedures.
+	{code: "930001", preferred: "Echocardiogram", synonyms: []string{"Cardiac ultrasound"}, parents: []string{CodeProcedure}},
+	{code: "930002", preferred: "Electrocardiogram", synonyms: []string{"ECG", "EKG"}, parents: []string{CodeProcedure}},
+	{code: "930003", preferred: "Cardiopulmonary resuscitation", synonyms: []string{"CPR"}, parents: []string{CodeProcedure}},
+	{code: "930004", preferred: "Cardioversion", parents: []string{CodeProcedure}},
+}
+
+var cardiologyRelationships = []coreRel{
+	// finding-site-of: disorder -> structure.
+	{"910002", "900001", FindingSiteOf}, // cardiac arrest @ heart
+	{"910003", "900005", FindingSiteOf}, // coarctation @ aorta
+	{"910005", "900008", FindingSiteOf}, // arrhythmia @ conduction system
+	{"910006", "900002", FindingSiteOf}, // SV arrhythmia @ atrium
+	{"910008", "900003", FindingSiteOf}, // v-tach @ ventricle
+	{"910009", "900004", FindingSiteOf}, // pericardial effusion @ pericardium
+	{"910010", "900006", FindingSiteOf}, // regurgitant flow @ mitral valve
+	{"910011", "900006", FindingSiteOf},
+	{"910012", "900007", FindingSiteOf}, // PDA @ ductus arteriosus
+	{"910013", "900001", FindingSiteOf}, // endocarditis @ heart
+
+	// treated-by: disorder -> drug.
+	{"910002", "920012", TreatedBy}, // cardiac arrest -> epinephrine
+	{"910003", "920014", TreatedBy}, // coarctation -> prostaglandin
+	{"910004", "920015", TreatedBy}, // neonatal cyanosis -> oxygen
+	{"910006", "920003", TreatedBy}, // SV arrhythmia -> adenosine
+	{"910007", "920003", TreatedBy},
+	{"910007", "920004", TreatedBy},
+	{"910008", "920002", TreatedBy}, // v-tach -> amiodarone
+	{"910006", "920002", TreatedBy}, // SV arrhythmia -> amiodarone
+	{"910009", "920013", TreatedBy}, // pericardial effusion -> furosemide
+	{"910012", "920011", TreatedBy}, // PDA -> ibuprofen
+	{"910013", "920006", TreatedBy}, // endocarditis -> carbapenem
+	{"910013", "920007", TreatedBy},
+	{"910014", "920010", TreatedBy}, // Kawasaki -> aspirin
+	{"910017", "920009", TreatedBy}, // fever -> acetaminophen
+	{"910018", "920009", TreatedBy}, // pain -> acetaminophen
+	{"910018", "920010", TreatedBy}, // pain -> aspirin
+	{"910018", "920011", TreatedBy}, // pain -> ibuprofen
+
+	// due-to / associated-with.
+	{"910004", "910003", DueTo},          // neonatal cyanosis due to coarctation
+	{"910002", "910008", DueTo},          // arrest due to v-tach
+	{"910011", "910010", AssociatedWith}, // mitral regurgitation ~ regurgitant flow
+	{"910014", "910013", AssociatedWith},
+}
+
+// addCardiologyCore installs the curated cardiology concepts and
+// relationships into o, which must already contain the Figure-2
+// fragment (it reuses its axis roots). Returns an error on any
+// inconsistent entry; the tables above are program data, so errors
+// indicate a bug.
+func addCardiologyCore(o *Ontology) error {
+	for _, cc := range cardiologyConcepts {
+		id, err := o.AddConcept(cc.code, cc.preferred, cc.synonyms...)
+		if err != nil {
+			return err
+		}
+		for _, p := range cc.parents {
+			pc, ok := o.ByCode(p)
+			if !ok {
+				return &missingCodeError{code: p, ctx: cc.preferred}
+			}
+			if err := o.AddRelationship(id, pc.ID, IsA); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range cardiologyRelationships {
+		from, ok := o.ByCode(r.from)
+		if !ok {
+			return &missingCodeError{code: r.from, ctx: string(r.t)}
+		}
+		to, ok := o.ByCode(r.to)
+		if !ok {
+			return &missingCodeError{code: r.to, ctx: string(r.t)}
+		}
+		if err := o.AddRelationship(from.ID, to.ID, r.t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type missingCodeError struct {
+	code, ctx string
+}
+
+func (e *missingCodeError) Error() string {
+	return "ontology: unknown concept code " + e.code + " referenced by " + e.ctx
+}

@@ -1,0 +1,101 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collection is the ontological-systems collection O = {O1..Ok} of the
+// paper's Section III: the set of ontologies referenced by code nodes
+// of a document corpus, addressed by system identifier.
+type Collection struct {
+	bySystem map[string]*Ontology
+	order    []string
+}
+
+// NewCollection builds a collection from the given ontologies. Duplicate
+// system identifiers are an error.
+func NewCollection(onts ...*Ontology) (*Collection, error) {
+	c := &Collection{bySystem: make(map[string]*Ontology, len(onts))}
+	for _, o := range onts {
+		if o == nil {
+			return nil, fmt.Errorf("ontology: nil ontology in collection")
+		}
+		if o.SystemID == "" {
+			return nil, fmt.Errorf("ontology: ontology %q has empty system id", o.Name)
+		}
+		if _, dup := c.bySystem[o.SystemID]; dup {
+			return nil, fmt.Errorf("ontology: duplicate system id %q", o.SystemID)
+		}
+		c.bySystem[o.SystemID] = o
+		c.order = append(c.order, o.SystemID)
+	}
+	return c, nil
+}
+
+// MustCollection is NewCollection panicking on error, for
+// program-controlled inputs.
+func MustCollection(onts ...*Ontology) *Collection {
+	c, err := NewCollection(onts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// System returns the ontology with the given system identifier.
+func (c *Collection) System(id string) (*Ontology, bool) {
+	o, ok := c.bySystem[id]
+	return o, ok
+}
+
+// Systems returns the system identifiers in insertion order.
+func (c *Collection) Systems() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Ontologies returns the member ontologies in insertion order.
+func (c *Collection) Ontologies() []*Ontology {
+	out := make([]*Ontology, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.bySystem[id])
+	}
+	return out
+}
+
+// Len is the number of member ontologies.
+func (c *Collection) Len() int { return len(c.order) }
+
+// Resolve is the fO function of the paper's equation (5): it maps an
+// ontological reference (system code + concept code) to the concept
+// node it names, across all systems of the collection.
+func (c *Collection) Resolve(system, code string) (*Ontology, *Concept, bool) {
+	o, ok := c.bySystem[system]
+	if !ok {
+		return nil, nil, false
+	}
+	con, ok := o.ByCode(code)
+	if !ok {
+		return nil, nil, false
+	}
+	return o, con, true
+}
+
+// Vocabulary returns the union of the member ontologies' term tokens,
+// sorted — the cross-system keyword universe of Section V-B.
+func (c *Collection) Vocabulary() []string {
+	set := make(map[string]bool)
+	for _, o := range c.Ontologies() {
+		for _, tok := range o.Vocabulary() {
+			set[tok] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for tok := range set {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package ontology
+
+import (
+	"testing"
+)
+
+func TestNewCollectionErrors(t *testing.T) {
+	if _, err := NewCollection(nil); err == nil {
+		t.Error("nil ontology accepted")
+	}
+	a := Figure2Fragment()
+	b := Figure2Fragment()
+	if _, err := NewCollection(a, b); err == nil {
+		t.Error("duplicate system id accepted")
+	}
+	empty := New("", "anonymous")
+	if _, err := NewCollection(empty); err == nil {
+		t.Error("empty system id accepted")
+	}
+}
+
+func TestCollectionLookup(t *testing.T) {
+	snomed := Figure2Fragment()
+	loinc := LOINCFragment()
+	c := MustCollection(snomed, loinc)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if got := c.Systems(); got[0] != SNOMEDSystemID || got[1] != LOINCSystemID {
+		t.Errorf("Systems = %v", got)
+	}
+	if o, ok := c.System(LOINCSystemID); !ok || o != loinc {
+		t.Error("System lookup failed")
+	}
+	if _, ok := c.System("unknown"); ok {
+		t.Error("unknown system resolved")
+	}
+	onts := c.Ontologies()
+	if len(onts) != 2 || onts[0] != snomed {
+		t.Error("Ontologies order wrong")
+	}
+}
+
+func TestCollectionResolve(t *testing.T) {
+	c := MustCollection(Figure2Fragment(), LOINCFragment())
+	o, con, ok := c.Resolve(SNOMEDSystemID, CodeAsthma)
+	if !ok || con.Preferred != "Asthma" || o.SystemID != SNOMEDSystemID {
+		t.Errorf("Resolve SNOMED: %v %v %v", o, con, ok)
+	}
+	_, con, ok = c.Resolve(LOINCSystemID, "10160-0")
+	if !ok || con.Preferred != "History of medication use" {
+		t.Errorf("Resolve LOINC: %v %v", con, ok)
+	}
+	if _, _, ok := c.Resolve(SNOMEDSystemID, "10160-0"); ok {
+		t.Error("LOINC code resolved against SNOMED")
+	}
+	if _, _, ok := c.Resolve("nope", CodeAsthma); ok {
+		t.Error("unknown system resolved")
+	}
+}
+
+func TestCollectionVocabulary(t *testing.T) {
+	c := MustCollection(Figure2Fragment(), LOINCFragment())
+	vocab := c.Vocabulary()
+	want := map[string]bool{"asthma": false, "hospital": false, "vital": false}
+	for _, tok := range vocab {
+		if _, tracked := want[tok]; tracked {
+			want[tok] = true
+		}
+	}
+	for tok, seen := range want {
+		if !seen {
+			t.Errorf("cross-system vocabulary missing %q", tok)
+		}
+	}
+	for i := 1; i < len(vocab); i++ {
+		if vocab[i-1] >= vocab[i] {
+			t.Fatal("vocabulary not sorted")
+		}
+	}
+}
+
+func TestLOINCFragmentShape(t *testing.T) {
+	o := LOINCFragment()
+	if o.SystemID != LOINCSystemID {
+		t.Errorf("system id = %q", o.SystemID)
+	}
+	if err := o.ValidateTaxonomy(); err != nil {
+		t.Fatal(err)
+	}
+	meds, ok := o.ByCode("10160-0")
+	if !ok {
+		t.Fatal("medication section code missing")
+	}
+	// Sections are part-of the summary panel.
+	found := false
+	for _, e := range o.Out(meds.ID) {
+		if e.Type == PartOf {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("panel membership missing")
+	}
+	if got := o.ConceptsContaining("medication"); len(got) == 0 {
+		t.Error("term lookup broken")
+	}
+}

@@ -1,0 +1,171 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The description-logic view (paper Section IV-C). Ontologies such as
+// SNOMED CT live in the EL family of description logics: every concept
+// is a subclass of a set of atomic concepts and existential role
+// restrictions Exists r.C. A relationship r(c, e) in the ontology graph
+// is read as the axiom
+//
+//	c  SUBCLASS-OF  Exists r.e
+//
+// which lets a graph with many relationship types be reduced to one
+// with only is-a links, at the cost of virtual "role restriction" nodes.
+// The links from a concept to a restriction, and from a restriction to
+// its filler concept, are the "dotted links" of the paper's Figure 6;
+// traversing a dotted link decays the flowing score by beta.
+//
+// The Relationships OntoScore algorithm (Section VI-C) applies the
+// arithmetic of this view directly on the original graph, without
+// materializing restriction nodes. ELView materializes them explicitly,
+// both so that library users can inspect the logic view and so that
+// tests can verify the implicit arithmetic against the explicit graph.
+
+// RestrictionID identifies a virtual existential role restriction node
+// within an ELView.
+type RestrictionID int
+
+// Restriction is the virtual node Exists r.Filler.
+type Restriction struct {
+	ID     RestrictionID
+	Role   RelType
+	Filler ConceptID
+}
+
+// ELView is the materialized description-logic view of an ontology: the
+// original concepts plus one restriction node per (role, filler) pair
+// occurring in the graph.
+type ELView struct {
+	ont *Ontology
+
+	restrictions []Restriction
+	byPair       map[restrictionKey]RestrictionID
+
+	// subjects[rid] lists the concepts c with role(c, filler) — the
+	// "subclasses" of the restriction node in the DL view.
+	subjects map[RestrictionID][]ConceptID
+	// ofConcept[c] lists the restrictions c is a subclass of.
+	ofConcept map[ConceptID][]RestrictionID
+	// fillerOf[e] lists the restrictions whose filler is e.
+	fillerOf map[ConceptID][]RestrictionID
+}
+
+type restrictionKey struct {
+	role   RelType
+	filler ConceptID
+}
+
+// NewELView builds the description-logic view of o. Every non-is-a edge
+// r(c, e) contributes the restriction Exists r.e (shared across all
+// subjects c with the same role and filler).
+func NewELView(o *Ontology) *ELView {
+	v := &ELView{
+		ont:       o,
+		byPair:    make(map[restrictionKey]RestrictionID),
+		subjects:  make(map[RestrictionID][]ConceptID),
+		ofConcept: make(map[ConceptID][]RestrictionID),
+		fillerOf:  make(map[ConceptID][]RestrictionID),
+	}
+	for _, c := range o.Concepts() {
+		for _, e := range o.Out(c) {
+			if e.Type == IsA {
+				continue
+			}
+			key := restrictionKey{role: e.Type, filler: e.To}
+			rid, ok := v.byPair[key]
+			if !ok {
+				rid = RestrictionID(len(v.restrictions))
+				v.restrictions = append(v.restrictions, Restriction{
+					ID: rid, Role: e.Type, Filler: e.To,
+				})
+				v.byPair[key] = rid
+				v.fillerOf[e.To] = append(v.fillerOf[e.To], rid)
+			}
+			v.subjects[rid] = append(v.subjects[rid], c)
+			v.ofConcept[c] = append(v.ofConcept[c], rid)
+		}
+	}
+	for rid := range v.subjects {
+		s := v.subjects[rid]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return v
+}
+
+// Restrictions returns all restriction nodes of the view.
+func (v *ELView) Restrictions() []Restriction { return v.restrictions }
+
+// Restriction returns the restriction with the given ID.
+func (v *ELView) Restriction(id RestrictionID) (Restriction, bool) {
+	if int(id) < 0 || int(id) >= len(v.restrictions) {
+		return Restriction{}, false
+	}
+	return v.restrictions[id], true
+}
+
+// Lookup finds the restriction node Exists role.filler, if any edge of
+// that shape exists in the ontology.
+func (v *ELView) Lookup(role RelType, filler ConceptID) (RestrictionID, bool) {
+	rid, ok := v.byPair[restrictionKey{role: role, filler: filler}]
+	return rid, ok
+}
+
+// Subjects returns the concepts that are subclasses of the restriction —
+// the concepts c with role(c, filler).
+func (v *ELView) Subjects(id RestrictionID) []ConceptID { return v.subjects[id] }
+
+// RestrictionsOf returns the restrictions concept c is a subclass of.
+func (v *ELView) RestrictionsOf(c ConceptID) []RestrictionID { return v.ofConcept[c] }
+
+// RestrictionsWithFiller returns the restrictions whose filler is e.
+func (v *ELView) RestrictionsWithFiller(e ConceptID) []RestrictionID { return v.fillerOf[e] }
+
+// InDegree is the number of subjects of the restriction — the
+// denominator of the Relationships strategy's flow normalization
+// (paper: "the denominator is the in-degree of the existential role
+// restriction").
+func (v *ELView) InDegree(id RestrictionID) int { return len(v.subjects[id]) }
+
+// SyntacticName renders the restriction's synthetic concept name, used
+// so that an IR score can be computed even for restriction nodes
+// (paper: "Exists_r_C", e.g. "Exists finding site of Bronchial
+// Structure").
+func (v *ELView) SyntacticName(id RestrictionID) string {
+	r, ok := v.Restriction(id)
+	if !ok {
+		return ""
+	}
+	filler := v.ont.Concept(r.Filler)
+	fillerName := fmt.Sprintf("concept-%d", r.Filler)
+	if filler != nil {
+		fillerName = filler.Preferred
+	}
+	return "Exists " + string(r.Role) + " " + fillerName
+}
+
+// Axioms renders the subclass axioms of the view in a stable textual
+// form, one per (subject, restriction) pair, e.g.
+//
+//	Asthma Attack SUBCLASS-OF Exists finding-site-of Bronchial Structure
+//
+// Useful for the ontology_explore example and for documentation tests.
+func (v *ELView) Axioms() []string {
+	var out []string
+	for _, r := range v.restrictions {
+		name := v.SyntacticName(r.ID)
+		for _, subj := range v.subjects[r.ID] {
+			c := v.ont.Concept(subj)
+			subjName := fmt.Sprintf("concept-%d", subj)
+			if c != nil {
+				subjName = c.Preferred
+			}
+			out = append(out, subjName+" SUBCLASS-OF "+name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestELViewRestrictionsShared(t *testing.T) {
+	o := Figure2Fragment()
+	v := NewELView(o)
+	bronchial := o.ByPreferred("Bronchial structure").ID
+	rid, ok := v.Lookup(FindingSiteOf, bronchial)
+	if !ok {
+		t.Fatal("Exists finding-site-of.Bronchial structure missing")
+	}
+	// Asthma, Asthma attack, Bronchitis share the same restriction node.
+	if got := v.InDegree(rid); got != 3 {
+		t.Errorf("InDegree = %d, want 3", got)
+	}
+	subs := v.Subjects(rid)
+	names := map[string]bool{}
+	for _, s := range subs {
+		names[o.Concept(s).Preferred] = true
+	}
+	for _, want := range []string{"Asthma", "Asthma attack", "Bronchitis"} {
+		if !names[want] {
+			t.Errorf("subject %q missing (have %v)", want, names)
+		}
+	}
+}
+
+func TestELViewSyntacticName(t *testing.T) {
+	o := Figure2Fragment()
+	v := NewELView(o)
+	bronchial := o.ByPreferred("Bronchial structure").ID
+	rid, _ := v.Lookup(FindingSiteOf, bronchial)
+	name := v.SyntacticName(rid)
+	if name != "Exists finding-site-of Bronchial structure" {
+		t.Errorf("SyntacticName = %q", name)
+	}
+	if v.SyntacticName(RestrictionID(9999)) != "" {
+		t.Error("out-of-range restriction should yield empty name")
+	}
+}
+
+func TestELViewNoIsAEdges(t *testing.T) {
+	o := Figure2Fragment()
+	v := NewELView(o)
+	for _, r := range v.Restrictions() {
+		if r.Role == IsA {
+			t.Fatalf("is-a edge materialized as restriction: %+v", r)
+		}
+	}
+}
+
+func TestELViewRestrictionsOfAndFiller(t *testing.T) {
+	o := Figure2Fragment()
+	v := NewELView(o)
+	asthma := o.ByPreferred("Asthma").ID
+	rids := v.RestrictionsOf(asthma)
+	// Asthma: finding-site-of bronchial, treated-by theophylline,
+	// treated-by albuterol.
+	if len(rids) != 3 {
+		t.Fatalf("RestrictionsOf(Asthma) = %d restrictions, want 3", len(rids))
+	}
+	theo := o.ByPreferred("Theophylline").ID
+	fr := v.RestrictionsWithFiller(theo)
+	if len(fr) != 1 {
+		t.Fatalf("RestrictionsWithFiller(Theophylline) = %d, want 1", len(fr))
+	}
+	r, ok := v.Restriction(fr[0])
+	if !ok || r.Role != TreatedBy || r.Filler != theo {
+		t.Errorf("restriction = %+v", r)
+	}
+	if _, ok := v.Restriction(RestrictionID(-1)); ok {
+		t.Error("negative restriction id resolved")
+	}
+}
+
+func TestELViewAxioms(t *testing.T) {
+	o := Figure2Fragment()
+	v := NewELView(o)
+	axioms := v.Axioms()
+	want := "Asthma attack SUBCLASS-OF Exists finding-site-of Bronchial structure"
+	found := false
+	for _, a := range axioms {
+		if a == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("axiom %q missing; axioms:\n%s", want, strings.Join(axioms, "\n"))
+	}
+	// Sorted.
+	for i := 1; i < len(axioms); i++ {
+		if axioms[i-1] > axioms[i] {
+			t.Fatal("axioms not sorted")
+		}
+	}
+}
+
+func TestELViewEmptyOntology(t *testing.T) {
+	o := New("s", "empty")
+	v := NewELView(o)
+	if len(v.Restrictions()) != 0 {
+		t.Error("empty ontology produced restrictions")
+	}
+}

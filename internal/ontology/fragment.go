@@ -1,0 +1,117 @@
+package ontology
+
+// SNOMEDSystemID is the HL7 OID by which CDA documents reference
+// SNOMED CT, as used throughout the paper's Figure 1.
+const SNOMEDSystemID = "2.16.840.1.113883.6.96"
+
+// Well-known concept codes of the curated fragment. The codes for
+// Asthma, Medications and Theophylline are the real SNOMED CT codes that
+// appear in the paper's Figure 1; the rest are stable synthetic codes.
+const (
+	CodeRootConcept        = "138875005" // SNOMED CT Concept (root)
+	CodeClinicalFinding    = "404684003"
+	CodeBodyStructure      = "123037004"
+	CodePharmaProduct      = "373873005"
+	CodeProcedure          = "71388002"
+	CodeMedications        = "14657009"  // Figure 1 line 38
+	CodeAsthma             = "195967001" // Figure 1 line 39
+	CodeTheophylline       = "66493003"  // Figure 1 line 54
+	CodeAlbuterol          = "372897005"
+	CodeBronchitis         = "32398004"
+	CodeBronchialStructure = "955009"
+	CodeBronchus           = "955009.1"
+	CodeThoraxStructure    = "51185008"
+	CodeDisorderOfBronchus = "85715005"
+	CodeDisorderOfThorax   = "105981003"
+	CodeFindingOfThorax    = "298705000"
+	CodeAsthmaAttack       = "266364000"
+	CodeRespiratoryDis     = "50043002"
+	CodeBronchodilator     = "372658000"
+)
+
+// Figure2Fragment builds the curated respiratory fragment reproducing
+// the paper's Figure 2 and the worked examples of Sections I and IV:
+//
+//   - Asthma is-a Disorder of Bronchus is-a Disorder of Thorax is-a
+//     Finding of Region of Thorax;
+//   - Asthma Attack is-a Asthma, with finding-site-of Bronchial
+//     Structure (the axiom "Asthma Attack SUBCLASS-OF Asthma AND
+//     Exists finding-site-of.Bronchial Structure");
+//   - the intro example: the query "Bronchial Structure Theophylline"
+//     reaches a document that mentions only Asthma and Theophylline.
+//
+// Asthma is given several direct subclasses so the Taxonomy strategy's
+// 1/nSubclasses flow division is exercised (in real SNOMED, Asthma has
+// 26 direct subclasses).
+func Figure2Fragment() *Ontology {
+	o := New(SNOMEDSystemID, "SNOMED CT (curated respiratory fragment)")
+	root := o.MustAddConcept(CodeRootConcept, "SNOMED CT Concept")
+	finding := o.MustAddConcept(CodeClinicalFinding, "Clinical finding")
+	body := o.MustAddConcept(CodeBodyStructure, "Body structure")
+	pharma := o.MustAddConcept(CodePharmaProduct, "Pharmaceutical / biologic product")
+	proc := o.MustAddConcept(CodeProcedure, "Procedure")
+	o.MustAddRelationship(finding, root, IsA)
+	o.MustAddRelationship(body, root, IsA)
+	o.MustAddRelationship(pharma, root, IsA)
+	o.MustAddRelationship(proc, root, IsA)
+
+	// Body structures.
+	thorax := o.MustAddConcept(CodeThoraxStructure, "Thorax structure", "Thoracic structure")
+	bronchial := o.MustAddConcept(CodeBronchialStructure, "Bronchial structure", "Structure of bronchus")
+	bronchus := o.MustAddConcept(CodeBronchus, "Bronchus")
+	o.MustAddRelationship(thorax, body, IsA)
+	o.MustAddRelationship(bronchial, thorax, IsA)
+	o.MustAddRelationship(bronchus, bronchial, IsA)
+	o.MustAddRelationship(bronchus, thorax, PartOf)
+
+	// Findings / disorders.
+	findingThorax := o.MustAddConcept(CodeFindingOfThorax, "Finding of region of thorax")
+	disThorax := o.MustAddConcept(CodeDisorderOfThorax, "Disorder of thorax")
+	respDis := o.MustAddConcept(CodeRespiratoryDis, "Respiratory disorder", "Disorder of respiratory system")
+	disBronchus := o.MustAddConcept(CodeDisorderOfBronchus, "Disorder of bronchus", "Bronchial disorder")
+	asthma := o.MustAddConcept(CodeAsthma, "Asthma", "Bronchial asthma")
+	asthmaAttack := o.MustAddConcept(CodeAsthmaAttack, "Asthma attack", "Acute asthma attack")
+	bronchitis := o.MustAddConcept(CodeBronchitis, "Bronchitis")
+	o.MustAddRelationship(findingThorax, finding, IsA)
+	o.MustAddRelationship(disThorax, findingThorax, IsA)
+	o.MustAddRelationship(respDis, finding, IsA)
+	o.MustAddRelationship(disBronchus, disThorax, IsA)
+	o.MustAddRelationship(disBronchus, respDis, IsA)
+	o.MustAddRelationship(asthma, disBronchus, IsA)
+	o.MustAddRelationship(bronchitis, disBronchus, IsA)
+	o.MustAddRelationship(asthmaAttack, asthma, IsA)
+
+	// Additional asthma subclasses: exercise the 1/nSubclasses division.
+	for i, name := range []string{
+		"Allergic asthma", "Exercise-induced asthma", "Childhood asthma",
+		"Severe persistent asthma", "Mild intermittent asthma",
+	} {
+		id := o.MustAddConcept(CodeAsthmaAttack+"."+string(rune('a'+i)), name)
+		o.MustAddRelationship(id, asthma, IsA)
+	}
+
+	// Attribute relationships (Figure 2's finding-site-of links).
+	o.MustAddRelationship(asthma, bronchial, FindingSiteOf)
+	o.MustAddRelationship(asthmaAttack, bronchial, FindingSiteOf)
+	o.MustAddRelationship(bronchitis, bronchial, FindingSiteOf)
+	o.MustAddRelationship(disBronchus, bronchus, FindingSiteOf)
+
+	// Drugs, and the Medications finding concept of Figure 1 (the
+	// observation-kind code 14657009). As in SNOMED CT, the
+	// "Medications" record concept is NOT a taxonomic ancestor of drug
+	// products — it lives under Clinical finding — so drug keywords do
+	// not flood every observation-kind code node through an is-a hop.
+	meds := o.MustAddConcept(CodeMedications, "Medications", "Medication")
+	o.MustAddRelationship(meds, finding, IsA)
+	broncho := o.MustAddConcept(CodeBronchodilator, "Bronchodilator agent")
+	theo := o.MustAddConcept(CodeTheophylline, "Theophylline")
+	albut := o.MustAddConcept(CodeAlbuterol, "Albuterol", "Salbutamol")
+	o.MustAddRelationship(broncho, pharma, IsA)
+	o.MustAddRelationship(theo, broncho, IsA)
+	o.MustAddRelationship(albut, broncho, IsA)
+	o.MustAddRelationship(asthma, theo, TreatedBy)
+	o.MustAddRelationship(asthma, albut, TreatedBy)
+	o.MustAddRelationship(bronchitis, albut, TreatedBy)
+
+	return o
+}

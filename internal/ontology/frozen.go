@@ -1,0 +1,181 @@
+package ontology
+
+import "sort"
+
+// Frozen is an immutable, cache-friendly snapshot of an ontology's
+// graph structure — the "in-memory representations of the ontology
+// graphs" the paper's conclusion proposes for scaling index creation.
+// All adjacency lists live in shared arenas (CSR layout) and accessor
+// calls return subslices of them: zero allocation on the expansion hot
+// path, in contrast to the map-backed Ontology whose Neighbors call
+// allocates and sorts per invocation.
+//
+// Frozen implements the same traversal accessors as *Ontology
+// (Neighbors, Superclasses, Subclasses, NumSubclasses, Out, In,
+// InDegree), so the OntoScore computer can run against either.
+type Frozen struct {
+	ont *Ontology
+
+	ids   []ConceptID         // dense index -> concept id
+	dense map[ConceptID]int32 // concept id -> dense index
+
+	nbrArena []ConceptID
+	nbrStart []int32
+
+	supArena []ConceptID
+	supStart []int32
+
+	subArena []ConceptID
+	subStart []int32
+
+	outArena []Edge
+	outStart []int32
+
+	inArena []Edge
+	inStart []int32
+
+	// inDegree[t][dense] counts incoming edges of type t.
+	inDegree map[RelType][]int32
+}
+
+// Freeze builds the immutable snapshot. Later mutations of the source
+// ontology are not reflected.
+func Freeze(o *Ontology) *Frozen {
+	ids := o.Concepts()
+	f := &Frozen{
+		ont:      o,
+		ids:      ids,
+		dense:    make(map[ConceptID]int32, len(ids)),
+		inDegree: make(map[RelType][]int32),
+	}
+	for i, id := range ids {
+		f.dense[id] = int32(i)
+	}
+	n := len(ids)
+	f.nbrStart = make([]int32, n+1)
+	f.supStart = make([]int32, n+1)
+	f.subStart = make([]int32, n+1)
+	f.outStart = make([]int32, n+1)
+	f.inStart = make([]int32, n+1)
+
+	for i, id := range ids {
+		f.nbrArena = append(f.nbrArena, o.Neighbors(id)...)
+		f.nbrStart[i+1] = int32(len(f.nbrArena))
+
+		sup := o.Superclasses(id)
+		sort.Slice(sup, func(a, b int) bool { return sup[a] < sup[b] })
+		f.supArena = append(f.supArena, sup...)
+		f.supStart[i+1] = int32(len(f.supArena))
+
+		sub := o.Subclasses(id)
+		sort.Slice(sub, func(a, b int) bool { return sub[a] < sub[b] })
+		f.subArena = append(f.subArena, sub...)
+		f.subStart[i+1] = int32(len(f.subArena))
+
+		out := append([]Edge(nil), o.Out(id)...)
+		sort.Slice(out, func(a, b int) bool {
+			if out[a].To != out[b].To {
+				return out[a].To < out[b].To
+			}
+			return out[a].Type < out[b].Type
+		})
+		f.outArena = append(f.outArena, out...)
+		f.outStart[i+1] = int32(len(f.outArena))
+
+		in := append([]Edge(nil), o.In(id)...)
+		sort.Slice(in, func(a, b int) bool {
+			if in[a].To != in[b].To {
+				return in[a].To < in[b].To
+			}
+			return in[a].Type < in[b].Type
+		})
+		f.inArena = append(f.inArena, in...)
+		f.inStart[i+1] = int32(len(f.inArena))
+
+		for _, e := range in {
+			counts, ok := f.inDegree[e.Type]
+			if !ok {
+				counts = make([]int32, n)
+				f.inDegree[e.Type] = counts
+			}
+			counts[i]++
+		}
+	}
+	return f
+}
+
+// Ontology returns the source ontology (terms, codes, concepts).
+func (f *Frozen) Ontology() *Ontology { return f.ont }
+
+// Len is the number of concepts.
+func (f *Frozen) Len() int { return len(f.ids) }
+
+func (f *Frozen) idx(c ConceptID) (int32, bool) {
+	i, ok := f.dense[c]
+	return i, ok
+}
+
+// Neighbors returns the undirected, unlabeled adjacency of c. The
+// returned slice is shared; callers must not modify it.
+func (f *Frozen) Neighbors(c ConceptID) []ConceptID {
+	i, ok := f.idx(c)
+	if !ok {
+		return nil
+	}
+	return f.nbrArena[f.nbrStart[i]:f.nbrStart[i+1]]
+}
+
+// Superclasses returns the direct is-a parents of c (shared slice).
+func (f *Frozen) Superclasses(c ConceptID) []ConceptID {
+	i, ok := f.idx(c)
+	if !ok {
+		return nil
+	}
+	return f.supArena[f.supStart[i]:f.supStart[i+1]]
+}
+
+// Subclasses returns the direct is-a children of c (shared slice).
+func (f *Frozen) Subclasses(c ConceptID) []ConceptID {
+	i, ok := f.idx(c)
+	if !ok {
+		return nil
+	}
+	return f.subArena[f.subStart[i]:f.subStart[i+1]]
+}
+
+// NumSubclasses counts the direct is-a children of c.
+func (f *Frozen) NumSubclasses(c ConceptID) int {
+	return len(f.Subclasses(c))
+}
+
+// Out returns the outgoing edges of c (shared slice).
+func (f *Frozen) Out(c ConceptID) []Edge {
+	i, ok := f.idx(c)
+	if !ok {
+		return nil
+	}
+	return f.outArena[f.outStart[i]:f.outStart[i+1]]
+}
+
+// In returns the incoming edges of c with Edge.To holding the source
+// (shared slice).
+func (f *Frozen) In(c ConceptID) []Edge {
+	i, ok := f.idx(c)
+	if !ok {
+		return nil
+	}
+	return f.inArena[f.inStart[i]:f.inStart[i+1]]
+}
+
+// InDegree counts incoming edges of the given type.
+func (f *Frozen) InDegree(c ConceptID, t RelType) int {
+	i, ok := f.idx(c)
+	if !ok {
+		return 0
+	}
+	counts, ok := f.inDegree[t]
+	if !ok {
+		return 0
+	}
+	return int(counts[i])
+}

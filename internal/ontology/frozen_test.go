@@ -1,0 +1,142 @@
+package ontology
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func frozenFixture(t *testing.T) (*Ontology, *Frozen) {
+	t.Helper()
+	o, err := Generate(GenConfig{
+		Seed: 21, ExtraConcepts: 200, SynonymProb: 0.3,
+		MultiParentProb: 0.2, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, Freeze(o)
+}
+
+func sortedIDs(ids []ConceptID) []ConceptID {
+	out := append([]ConceptID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedEdges(es []Edge) []Edge {
+	out := append([]Edge(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// Property: every accessor of the frozen snapshot agrees with the
+// map-backed ontology on every concept.
+func TestFrozenEquivalence(t *testing.T) {
+	o, f := frozenFixture(t)
+	if f.Len() != o.Len() {
+		t.Fatalf("Len: %d vs %d", f.Len(), o.Len())
+	}
+	if f.Ontology() != o {
+		t.Fatal("source ontology lost")
+	}
+	for _, id := range o.Concepts() {
+		if got, want := sortedIDs(f.Neighbors(id)), sortedIDs(o.Neighbors(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Neighbors(%d): %v vs %v", id, got, want)
+		}
+		if got, want := sortedIDs(f.Superclasses(id)), sortedIDs(o.Superclasses(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Superclasses(%d): %v vs %v", id, got, want)
+		}
+		if got, want := sortedIDs(f.Subclasses(id)), sortedIDs(o.Subclasses(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Subclasses(%d): %v vs %v", id, got, want)
+		}
+		if f.NumSubclasses(id) != o.NumSubclasses(id) {
+			t.Fatalf("NumSubclasses(%d)", id)
+		}
+		if got, want := sortedEdges(f.Out(id)), sortedEdges(o.Out(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Out(%d): %v vs %v", id, got, want)
+		}
+		if got, want := sortedEdges(f.In(id)), sortedEdges(o.In(id)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("In(%d): %v vs %v", id, got, want)
+		}
+		for _, tt := range o.RelTypes() {
+			if f.InDegree(id, tt) != o.InDegree(id, tt) {
+				t.Fatalf("InDegree(%d, %s): %d vs %d", id, tt, f.InDegree(id, tt), o.InDegree(id, tt))
+			}
+		}
+	}
+}
+
+func TestFrozenUnknownConcept(t *testing.T) {
+	_, f := frozenFixture(t)
+	const bogus = ConceptID(1 << 40)
+	if f.Neighbors(bogus) != nil || f.Superclasses(bogus) != nil ||
+		f.Subclasses(bogus) != nil || f.Out(bogus) != nil || f.In(bogus) != nil {
+		t.Error("unknown concept returned adjacency")
+	}
+	if f.NumSubclasses(bogus) != 0 || f.InDegree(bogus, IsA) != 0 {
+		t.Error("unknown concept has degree")
+	}
+}
+
+func TestFrozenIsSnapshot(t *testing.T) {
+	o := Figure2Fragment()
+	f := Freeze(o)
+	asthma := o.ByPreferred("Asthma").ID
+	before := len(f.Neighbors(asthma))
+	extra := o.MustAddConcept("snapshot-extra", "Snapshot extra")
+	o.MustAddRelationship(extra, asthma, AssociatedWith)
+	if got := len(f.Neighbors(asthma)); got != before {
+		t.Errorf("frozen snapshot reflected mutation: %d -> %d", before, got)
+	}
+	if got := len(o.Neighbors(asthma)); got != before+1 {
+		t.Errorf("live ontology missed mutation: %d", got)
+	}
+}
+
+func BenchmarkNeighborsMapBacked(b *testing.B) {
+	o, _ := frozenFixtureBench(b)
+	ids := o.Concepts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, id := range ids {
+			total += len(o.Neighbors(id))
+		}
+		if total == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkNeighborsFrozen(b *testing.B) {
+	o, f := frozenFixtureBench(b)
+	ids := o.Concepts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, id := range ids {
+			total += len(f.Neighbors(id))
+		}
+		if total == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func frozenFixtureBench(b *testing.B) (*Ontology, *Frozen) {
+	b.Helper()
+	o, err := Generate(GenConfig{
+		Seed: 21, ExtraConcepts: 500, SynonymProb: 0.3,
+		MultiParentProb: 0.2, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o, Freeze(o)
+}

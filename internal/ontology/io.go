@@ -1,0 +1,89 @@
+package ontology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The on-disk format is a single JSON object with concepts and
+// relationships, stable under round-tripping. It replaces the flat-file
+// SNOMED distribution the paper loaded through the UMLS API.
+
+type jsonOntology struct {
+	SystemID      string             `json:"systemId"`
+	Name          string             `json:"name"`
+	Concepts      []jsonConcept      `json:"concepts"`
+	Relationships []jsonRelationship `json:"relationships"`
+}
+
+type jsonConcept struct {
+	Code      string   `json:"code"`
+	Preferred string   `json:"preferred"`
+	Synonyms  []string `json:"synonyms,omitempty"`
+}
+
+type jsonRelationship struct {
+	From string `json:"from"` // concept code
+	To   string `json:"to"`   // concept code
+	Type string `json:"type"`
+}
+
+// Save writes the ontology as JSON.
+func (o *Ontology) Save(w io.Writer) error {
+	j := jsonOntology{SystemID: o.SystemID, Name: o.Name}
+	ids := o.Concepts()
+	for _, id := range ids {
+		c := o.concepts[id]
+		j.Concepts = append(j.Concepts, jsonConcept{
+			Code: c.Code, Preferred: c.Preferred, Synonyms: c.Synonyms,
+		})
+	}
+	for _, id := range ids {
+		from := o.concepts[id]
+		edges := append([]Edge(nil), o.out[id]...)
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a].To != edges[b].To {
+				return edges[a].To < edges[b].To
+			}
+			return edges[a].Type < edges[b].Type
+		})
+		for _, e := range edges {
+			j.Relationships = append(j.Relationships, jsonRelationship{
+				From: from.Code, To: o.concepts[e.To].Code, Type: string(e.Type),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(j)
+}
+
+// Load reads an ontology previously written by Save.
+func Load(r io.Reader) (*Ontology, error) {
+	var j jsonOntology
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("ontology: load: %w", err)
+	}
+	o := New(j.SystemID, j.Name)
+	for _, c := range j.Concepts {
+		if _, err := o.AddConcept(c.Code, c.Preferred, c.Synonyms...); err != nil {
+			return nil, fmt.Errorf("ontology: load: %w", err)
+		}
+	}
+	for _, rel := range j.Relationships {
+		from, ok := o.ByCode(rel.From)
+		if !ok {
+			return nil, fmt.Errorf("ontology: load: relationship from unknown code %q", rel.From)
+		}
+		to, ok := o.ByCode(rel.To)
+		if !ok {
+			return nil, fmt.Errorf("ontology: load: relationship to unknown code %q", rel.To)
+		}
+		if err := o.AddRelationship(from.ID, to.ID, RelType(rel.Type)); err != nil {
+			return nil, fmt.Errorf("ontology: load: %w", err)
+		}
+	}
+	return o, nil
+}

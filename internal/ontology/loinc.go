@@ -1,0 +1,44 @@
+package ontology
+
+// LOINCSystemID is the HL7 OID by which CDA documents reference LOINC
+// codes (section and observation codes in the paper's Figure 1).
+const LOINCSystemID = "2.16.840.1.113883.6.1"
+
+// LOINCFragment builds a small LOINC-like ontology covering the
+// document-section panel codes the CDA generator emits. The paper's
+// problem definition (Section III) allows a *collection* of ontological
+// systems O = {O1..Ok}; CDA documents reference both SNOMED CT (clinical
+// codes) and LOINC (section codes), so a faithful system must resolve
+// references against more than one ontology. LOINC is shallow —
+// panels containing document-section codes — which this fragment
+// mirrors.
+func LOINCFragment() *Ontology {
+	o := New(LOINCSystemID, "LOINC")
+	root := o.MustAddConcept("LP0", "LOINC term")
+	docOnt := o.MustAddConcept("LP7787-7", "Document ontology", "Clinical document sections")
+	panels := o.MustAddConcept("LP29693-6", "Panels", "Order set panel")
+	o.MustAddRelationship(docOnt, root, IsA)
+	o.MustAddRelationship(panels, root, IsA)
+
+	section := func(code, name string, synonyms ...string) ConceptID {
+		id := o.MustAddConcept(code, name, synonyms...)
+		o.MustAddRelationship(id, docOnt, IsA)
+		return id
+	}
+	meds := section("10160-0", "History of medication use", "Medication use narrative")
+	problems := section("11450-4", "Problem list", "Problem list reported")
+	exam := section("29545-1", "Physical findings", "Physical examination narrative")
+	vitals := section("8716-3", "Vital signs", "Vital signs measurements")
+	procs := section("47519-4", "History of procedures", "Procedure narrative")
+	course := section("8648-8", "Hospital course", "Hospital course narrative")
+
+	// Panel memberships give the fragment a second relationship type so
+	// the Graph/Relationships strategies have non-taxonomic edges to
+	// traverse within LOINC too.
+	summary := o.MustAddConcept("34133-9", "Summarization of episode note", "Continuity of care document")
+	o.MustAddRelationship(summary, panels, IsA)
+	for _, sec := range []ConceptID{meds, problems, exam, vitals, procs, course} {
+		o.MustAddRelationship(sec, summary, PartOf)
+	}
+	return o
+}

@@ -1,0 +1,279 @@
+// Package ontology implements the clinical-ontology substrate of
+// XOntoRank: a concept graph with taxonomic (is-a) and general attribute
+// relationships, a term dictionary with keyword lookup, and a
+// description-logic (EL) view with existential role restrictions.
+//
+// It plays the role of SNOMED CT in the paper. Real SNOMED CT is a
+// licensed multi-gigabyte artifact accessed through the NLM UMLS API;
+// this package reproduces the structural contract the XOntoRank
+// algorithms rely on — concepts, natural-language terms, typed
+// relationships, and an is-a DAG — and ships both a curated fragment
+// reproducing the paper's Figure 2 and a deterministic synthetic
+// generator with SNOMED-like shape (see snomedgen.go and DESIGN.md).
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ConceptID identifies a concept within one ontology.
+type ConceptID int64
+
+// RelType names a relationship type between concepts.
+type RelType string
+
+// IsA is the taxonomic subclass relationship: an edge c --is-a--> p
+// states that c is a direct subclass of p.
+const IsA RelType = "is-a"
+
+// Common SNOMED CT attribute-relationship types used by the curated
+// fragment and the synthetic generator.
+const (
+	FindingSiteOf  RelType = "finding-site-of"
+	CausativeAgent RelType = "causative-agent"
+	TreatedBy      RelType = "treated-by"
+	DueTo          RelType = "due-to"
+	AssociatedWith RelType = "associated-with"
+	PartOf         RelType = "part-of"
+	HasActiveIngr  RelType = "has-active-ingredient"
+)
+
+// Concept is a unit of knowledge: a code (as referenced from XML
+// documents), a preferred term, and zero or more synonym terms.
+type Concept struct {
+	ID        ConceptID
+	Code      string
+	Preferred string
+	Synonyms  []string
+}
+
+// Terms returns the preferred term followed by the synonyms.
+func (c *Concept) Terms() []string {
+	out := make([]string, 0, 1+len(c.Synonyms))
+	out = append(out, c.Preferred)
+	out = append(out, c.Synonyms...)
+	return out
+}
+
+// Edge is one typed, directed relationship endpoint.
+type Edge struct {
+	To   ConceptID
+	Type RelType
+}
+
+// Ontology is a directed multigraph of concepts. It corresponds to one
+// "ontological system" O_i of the paper; SystemID is the identifier by
+// which XML code nodes reference it (for SNOMED CT, the HL7 OID).
+type Ontology struct {
+	SystemID string
+	Name     string
+
+	concepts map[ConceptID]*Concept
+	byCode   map[string]ConceptID
+	out      map[ConceptID][]Edge
+	in       map[ConceptID][]Edge
+	nextID   ConceptID
+
+	terms *termIndex
+}
+
+// New returns an empty ontology with the given system identifier.
+func New(systemID, name string) *Ontology {
+	return &Ontology{
+		SystemID: systemID,
+		Name:     name,
+		concepts: make(map[ConceptID]*Concept),
+		byCode:   make(map[string]ConceptID),
+		out:      make(map[ConceptID][]Edge),
+		in:       make(map[ConceptID][]Edge),
+		nextID:   1,
+		terms:    newTermIndex(),
+	}
+}
+
+// AddConcept inserts a concept with the given code, preferred term and
+// synonyms, and returns its ID. Adding a duplicate code is an error.
+func (o *Ontology) AddConcept(code, preferred string, synonyms ...string) (ConceptID, error) {
+	if code == "" {
+		return 0, fmt.Errorf("ontology: empty concept code")
+	}
+	if _, dup := o.byCode[code]; dup {
+		return 0, fmt.Errorf("ontology: duplicate concept code %q", code)
+	}
+	id := o.nextID
+	o.nextID++
+	c := &Concept{ID: id, Code: code, Preferred: preferred, Synonyms: synonyms}
+	o.concepts[id] = c
+	o.byCode[code] = id
+	o.terms.add(c)
+	return id, nil
+}
+
+// MustAddConcept is AddConcept panicking on error; for curated fragments
+// and generators whose input is program-controlled.
+func (o *Ontology) MustAddConcept(code, preferred string, synonyms ...string) ConceptID {
+	id, err := o.AddConcept(code, preferred, synonyms...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddRelationship inserts a typed directed edge from -> to. For IsA
+// edges the direction is subclass -> superclass.
+func (o *Ontology) AddRelationship(from, to ConceptID, t RelType) error {
+	if _, ok := o.concepts[from]; !ok {
+		return fmt.Errorf("ontology: unknown source concept %d", from)
+	}
+	if _, ok := o.concepts[to]; !ok {
+		return fmt.Errorf("ontology: unknown target concept %d", to)
+	}
+	if from == to {
+		return fmt.Errorf("ontology: self relationship on concept %d", from)
+	}
+	for _, e := range o.out[from] {
+		if e.To == to && e.Type == t {
+			return nil // idempotent
+		}
+	}
+	o.out[from] = append(o.out[from], Edge{To: to, Type: t})
+	o.in[to] = append(o.in[to], Edge{To: from, Type: t})
+	return nil
+}
+
+// MustAddRelationship is AddRelationship panicking on error.
+func (o *Ontology) MustAddRelationship(from, to ConceptID, t RelType) {
+	if err := o.AddRelationship(from, to, t); err != nil {
+		panic(err)
+	}
+}
+
+// Concept returns the concept with the given ID, or nil.
+func (o *Ontology) Concept(id ConceptID) *Concept { return o.concepts[id] }
+
+// ByCode resolves a concept code (as it appears in XML code attributes)
+// to its concept. It is the substitute for the UMLS API lookup the paper
+// used as a black box.
+func (o *Ontology) ByCode(code string) (*Concept, bool) {
+	id, ok := o.byCode[code]
+	if !ok {
+		return nil, false
+	}
+	return o.concepts[id], true
+}
+
+// ByPreferred resolves an exact preferred term (case-sensitive) to a
+// concept, or nil.
+func (o *Ontology) ByPreferred(term string) *Concept {
+	for _, c := range o.concepts {
+		if c.Preferred == term {
+			return c
+		}
+	}
+	return nil
+}
+
+// Len is the number of concepts.
+func (o *Ontology) Len() int { return len(o.concepts) }
+
+// NumRelationships is the total number of directed edges.
+func (o *Ontology) NumRelationships() int {
+	n := 0
+	for _, es := range o.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Concepts returns all concept IDs in ascending order.
+func (o *Ontology) Concepts() []ConceptID {
+	ids := make([]ConceptID, 0, len(o.concepts))
+	for id := range o.concepts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Out returns the outgoing edges of c. The slice is shared; callers
+// must not modify it.
+func (o *Ontology) Out(c ConceptID) []Edge { return o.out[c] }
+
+// In returns the incoming edges of c (Edge.To holds the source concept).
+// The slice is shared; callers must not modify it.
+func (o *Ontology) In(c ConceptID) []Edge { return o.in[c] }
+
+// Neighbors returns every concept adjacent to c, ignoring direction and
+// type — the undirected, unlabeled view of Section IV-A.
+func (o *Ontology) Neighbors(c ConceptID) []ConceptID {
+	seen := make(map[ConceptID]bool)
+	var out []ConceptID
+	for _, e := range o.out[c] {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	for _, e := range o.in[c] {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InDegree counts incoming edges of the given type.
+func (o *Ontology) InDegree(c ConceptID, t RelType) int {
+	n := 0
+	for _, e := range o.in[c] {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// OutDegree counts outgoing edges of the given type.
+func (o *Ontology) OutDegree(c ConceptID, t RelType) int {
+	n := 0
+	for _, e := range o.out[c] {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// RelTypes returns the set of relationship types present in the graph,
+// sorted.
+func (o *Ontology) RelTypes() []RelType {
+	set := make(map[RelType]bool)
+	for _, es := range o.out {
+		for _, e := range es {
+			set[e.Type] = true
+		}
+	}
+	out := make([]RelType, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TermText returns the concatenation of all terms of a concept — the
+// concept's "document" for IR scoring within the ontology.
+func (o *Ontology) TermText(c ConceptID) string {
+	con := o.concepts[c]
+	if con == nil {
+		return ""
+	}
+	text := con.Preferred
+	for _, s := range con.Synonyms {
+		text += " " + s
+	}
+	return text
+}

@@ -1,0 +1,228 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustFragment(t *testing.T) *Ontology {
+	t.Helper()
+	return Figure2Fragment()
+}
+
+func conceptByPref(t *testing.T, o *Ontology, pref string) *Concept {
+	t.Helper()
+	c := o.ByPreferred(pref)
+	if c == nil {
+		t.Fatalf("concept %q not found", pref)
+	}
+	return c
+}
+
+func TestAddConceptErrors(t *testing.T) {
+	o := New("sys", "test")
+	if _, err := o.AddConcept("", "x"); err == nil {
+		t.Error("empty code accepted")
+	}
+	if _, err := o.AddConcept("1", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddConcept("1", "y"); err == nil {
+		t.Error("duplicate code accepted")
+	}
+}
+
+func TestAddRelationshipErrors(t *testing.T) {
+	o := New("sys", "test")
+	a, _ := o.AddConcept("a", "A")
+	b, _ := o.AddConcept("b", "B")
+	if err := o.AddRelationship(a, 999, IsA); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := o.AddRelationship(999, a, IsA); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := o.AddRelationship(a, a, IsA); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := o.AddRelationship(a, b, IsA); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent duplicate.
+	if err := o.AddRelationship(a, b, IsA); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.NumRelationships(); got != 1 {
+		t.Errorf("duplicate edge stored: %d relationships", got)
+	}
+}
+
+func TestByCodeAndTerms(t *testing.T) {
+	o := mustFragment(t)
+	c, ok := o.ByCode(CodeAsthma)
+	if !ok || c.Preferred != "Asthma" {
+		t.Fatalf("ByCode(%s) = %+v, %v", CodeAsthma, c, ok)
+	}
+	if _, ok := o.ByCode("nope"); ok {
+		t.Error("unknown code resolved")
+	}
+	terms := c.Terms()
+	if len(terms) != 2 || terms[0] != "Asthma" || terms[1] != "Bronchial asthma" {
+		t.Errorf("Terms = %v", terms)
+	}
+	if got := o.TermText(c.ID); !strings.Contains(got, "Bronchial asthma") {
+		t.Errorf("TermText = %q", got)
+	}
+	if o.TermText(999999) != "" {
+		t.Error("TermText of unknown concept should be empty")
+	}
+}
+
+func TestTaxonomyQueries(t *testing.T) {
+	o := mustFragment(t)
+	asthma := conceptByPref(t, o, "Asthma").ID
+	disBronchus := conceptByPref(t, o, "Disorder of bronchus").ID
+	disThorax := conceptByPref(t, o, "Disorder of thorax").ID
+	attack := conceptByPref(t, o, "Asthma attack").ID
+
+	if !o.IsSuperclassOf(disBronchus, asthma) {
+		t.Error("Disorder of bronchus should be a superclass of Asthma")
+	}
+	if !o.IsSuperclassOf(disThorax, attack) {
+		t.Error("transitive superclass not detected")
+	}
+	if o.IsSuperclassOf(asthma, disBronchus) {
+		t.Error("superclass direction inverted")
+	}
+	if o.IsSuperclassOf(asthma, asthma) {
+		t.Error("a concept is not its own proper superclass")
+	}
+	// Asthma: Asthma attack + 5 synthetic subclasses.
+	if got := o.NumSubclasses(asthma); got != 6 {
+		t.Errorf("NumSubclasses(Asthma) = %d, want 6", got)
+	}
+	anc := o.Ancestors(attack)
+	if len(anc) < 4 {
+		t.Errorf("Ancestors(Asthma attack) = %v", anc)
+	}
+	desc := o.DescendantsOf(disBronchus)
+	found := false
+	for _, d := range desc {
+		if d == attack {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Asthma attack missing from descendants of Disorder of bronchus")
+	}
+}
+
+func TestValidateTaxonomy(t *testing.T) {
+	o := mustFragment(t)
+	if err := o.ValidateTaxonomy(); err != nil {
+		t.Fatalf("fragment taxonomy invalid: %v", err)
+	}
+	// Introduce a cycle a -> b -> c -> a.
+	a, _ := o.AddConcept("cyc-a", "CycA")
+	b, _ := o.AddConcept("cyc-b", "CycB")
+	cc, _ := o.AddConcept("cyc-c", "CycC")
+	o.MustAddRelationship(a, b, IsA)
+	o.MustAddRelationship(b, cc, IsA)
+	o.MustAddRelationship(cc, a, IsA)
+	if err := o.ValidateTaxonomy(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestNeighborsUndirected(t *testing.T) {
+	o := mustFragment(t)
+	asthma := conceptByPref(t, o, "Asthma").ID
+	bronchial := conceptByPref(t, o, "Bronchial structure").ID
+	nb := o.Neighbors(asthma)
+	has := func(id ConceptID) bool {
+		for _, n := range nb {
+			if n == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(bronchial) {
+		t.Error("finding-site-of neighbor missing from undirected view")
+	}
+	// Reverse direction too.
+	nbB := o.Neighbors(bronchial)
+	foundAsthma := false
+	for _, n := range nbB {
+		if n == asthma {
+			foundAsthma = true
+		}
+	}
+	if !foundAsthma {
+		t.Error("incoming edge missing from undirected view")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	o := mustFragment(t)
+	bronchial := conceptByPref(t, o, "Bronchial structure").ID
+	// Asthma, Asthma attack and Bronchitis all have finding-site-of ->
+	// bronchial structure.
+	if got := o.InDegree(bronchial, FindingSiteOf); got != 3 {
+		t.Errorf("InDegree(bronchial, finding-site-of) = %d, want 3", got)
+	}
+	asthma := conceptByPref(t, o, "Asthma").ID
+	if got := o.OutDegree(asthma, TreatedBy); got != 2 {
+		t.Errorf("OutDegree(asthma, treated-by) = %d, want 2", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	o := mustFragment(t)
+	asthma := conceptByPref(t, o, "Asthma").ID
+	attack := conceptByPref(t, o, "Asthma attack").ID
+	bronchial := conceptByPref(t, o, "Bronchial structure").ID
+	if d := o.TaxonomicDistance(asthma, attack); d != 1 {
+		t.Errorf("taxonomic distance asthma<->attack = %d", d)
+	}
+	if d := o.TaxonomicDistance(asthma, asthma); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	if d := o.GraphDistance(attack, bronchial); d != 1 {
+		t.Errorf("graph distance attack<->bronchial = %d (finding-site-of edge)", d)
+	}
+	// Taxonomic distance ignores attribute edges: asthma->bronchial has
+	// no is-a path shorter than via the shared root.
+	td := o.TaxonomicDistance(asthma, bronchial)
+	gd := o.GraphDistance(asthma, bronchial)
+	if gd != 1 {
+		t.Errorf("graph distance = %d, want 1", gd)
+	}
+	if td <= gd {
+		t.Errorf("taxonomic distance %d should exceed graph distance %d", td, gd)
+	}
+	// Disconnected pair.
+	iso, _ := o.AddConcept("island", "Island concept")
+	if d := o.GraphDistance(iso, asthma); d != -1 {
+		t.Errorf("disconnected distance = %d, want -1", d)
+	}
+}
+
+func TestRootsAndRelTypes(t *testing.T) {
+	o := mustFragment(t)
+	roots := o.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("fragment should have one root, got %d", len(roots))
+	}
+	if o.Concept(roots[0]).Preferred != "SNOMED CT Concept" {
+		t.Errorf("root = %q", o.Concept(roots[0]).Preferred)
+	}
+	types := o.RelTypes()
+	want := map[RelType]bool{IsA: true, FindingSiteOf: true, TreatedBy: true, PartOf: true}
+	for _, tt := range types {
+		delete(want, tt)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing relationship types: %v (got %v)", want, types)
+	}
+}

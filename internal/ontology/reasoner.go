@@ -1,0 +1,223 @@
+package ontology
+
+import "sort"
+
+// An EL completion-rule reasoner. The paper grounds the Relationships
+// strategy in the EL family of description logics (Section IV-C, citing
+// Baader/Lutz/Suntisrivaraporn's "Efficient Reasoning in EL+"): SNOMED
+// CT is an EL TBox whose axioms have the forms
+//
+//	A ⊑ B          (is-a edges)
+//	A ⊑ ∃r.B       (attribute relationships)
+//	∃r.B ⊑ A       (domain-style axioms; expressible via the API)
+//
+// The Reasoner classifies such a TBox with the standard completion
+// rules, computing for every atomic concept its full subsumer set and
+// its entailed existential restrictions — including those only
+// derivable by combining axioms, e.g. from
+//
+//	Asthma attack ⊑ Asthma and Asthma ⊑ ∃treated-by.Theophylline
+//
+// it derives Asthma attack ⊑ ∃treated-by.Theophylline, which plain
+// graph reachability over typed edges does not represent.
+//
+// This gives library users sound subsumption ("is every asthma attack a
+// disorder of thorax?") and entailed-role queries ("what is an asthma
+// attack treated by?") over the same data the search strategies use.
+
+// Axiom is one EL TBox axiom in normal form.
+type Axiom struct {
+	// Sub ⊑ Sup when Role == ""; otherwise the axiom involves ∃Role.
+	Sub  ConceptID
+	Sup  ConceptID
+	Role RelType
+	// Kind selects the normal form.
+	Kind AxiomKind
+}
+
+// AxiomKind enumerates the supported normal forms.
+type AxiomKind int
+
+const (
+	// SubClass: Sub ⊑ Sup.
+	SubClass AxiomKind = iota
+	// SubExistential: Sub ⊑ ∃Role.Sup.
+	SubExistential
+	// ExistentialSub: ∃Role.Sub ⊑ Sup.
+	ExistentialSub
+)
+
+// Reasoner computes the classification of an EL TBox.
+type Reasoner struct {
+	// subsumers[c] = set of atomic concepts subsuming c (including c).
+	subsumers map[ConceptID]map[ConceptID]bool
+	// roles[r][c] = set of fillers d with c ⊑ ∃r.d entailed.
+	roles map[RelType]map[ConceptID]map[ConceptID]bool
+}
+
+// NewReasoner extracts the TBox from the ontology graph (is-a edges as
+// SubClass axioms, attribute edges as SubExistential axioms), adds the
+// extra axioms, and saturates with the EL completion rules.
+func NewReasoner(o *Ontology, extra ...Axiom) *Reasoner {
+	var axioms []Axiom
+	for _, c := range o.Concepts() {
+		for _, e := range o.Out(c) {
+			if e.Type == IsA {
+				axioms = append(axioms, Axiom{Sub: c, Sup: e.To, Kind: SubClass})
+			} else {
+				axioms = append(axioms, Axiom{Sub: c, Sup: e.To, Role: e.Type, Kind: SubExistential})
+			}
+		}
+	}
+	axioms = append(axioms, extra...)
+	return saturate(o.Concepts(), axioms)
+}
+
+// saturate runs the completion rules to fixpoint:
+//
+//	CR1: D ∈ S(C), (D ⊑ E)        ⇒ E ∈ S(C)
+//	CR3: D ∈ S(C), (D ⊑ ∃r.E)     ⇒ (C, E) ∈ R(r)
+//	CR4: (C, D) ∈ R(r), E ∈ S(D),
+//	     (∃r.E ⊑ F)               ⇒ F ∈ S(C)
+func saturate(concepts []ConceptID, axioms []Axiom) *Reasoner {
+	r := &Reasoner{
+		subsumers: make(map[ConceptID]map[ConceptID]bool, len(concepts)),
+		roles:     make(map[RelType]map[ConceptID]map[ConceptID]bool),
+	}
+	for _, c := range concepts {
+		r.subsumers[c] = map[ConceptID]bool{c: true}
+	}
+	// Axiom indexes by left-hand side.
+	subClass := make(map[ConceptID][]ConceptID)
+	subExist := make(map[ConceptID][]Axiom)
+	existSub := make(map[RelType]map[ConceptID][]ConceptID)
+	for _, ax := range axioms {
+		switch ax.Kind {
+		case SubClass:
+			subClass[ax.Sub] = append(subClass[ax.Sub], ax.Sup)
+		case SubExistential:
+			subExist[ax.Sub] = append(subExist[ax.Sub], ax)
+		case ExistentialSub:
+			m := existSub[ax.Role]
+			if m == nil {
+				m = make(map[ConceptID][]ConceptID)
+				existSub[ax.Role] = m
+			}
+			m[ax.Sub] = append(m[ax.Sub], ax.Sup)
+		}
+	}
+
+	addSubsumer := func(c, d ConceptID) bool {
+		s := r.subsumers[c]
+		if s == nil {
+			s = map[ConceptID]bool{c: true}
+			r.subsumers[c] = s
+		}
+		if s[d] {
+			return false
+		}
+		s[d] = true
+		return true
+	}
+	addRole := func(role RelType, c, d ConceptID) bool {
+		m := r.roles[role]
+		if m == nil {
+			m = make(map[ConceptID]map[ConceptID]bool)
+			r.roles[role] = m
+		}
+		fillers := m[c]
+		if fillers == nil {
+			fillers = make(map[ConceptID]bool)
+			m[c] = fillers
+		}
+		if fillers[d] {
+			return false
+		}
+		fillers[d] = true
+		return true
+	}
+
+	// Naive fixpoint iteration: apply every rule until nothing changes.
+	// SNOMED-scale TBoxes would want the queue-based CEL algorithm; at
+	// our ontology sizes the fixpoint converges in a few passes.
+	for changed := true; changed; {
+		changed = false
+		// CR1 + CR3.
+		for c, s := range r.subsumers {
+			for d := range s {
+				for _, e := range subClass[d] {
+					if addSubsumer(c, e) {
+						changed = true
+					}
+				}
+				for _, ax := range subExist[d] {
+					if addRole(ax.Role, c, ax.Sup) {
+						changed = true
+					}
+				}
+			}
+		}
+		// CR4.
+		for role, pairs := range r.roles {
+			lhs := existSub[role]
+			if lhs == nil {
+				continue
+			}
+			for c, fillers := range pairs {
+				for d := range fillers {
+					for e := range r.subsumers[d] {
+						for _, f := range lhs[e] {
+							if addSubsumer(c, f) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Subsumes reports whether sup subsumes sub (every sub is a sup),
+// including sub == sup.
+func (r *Reasoner) Subsumes(sup, sub ConceptID) bool {
+	return r.subsumers[sub][sup]
+}
+
+// Subsumers returns every atomic concept subsuming c (including c),
+// sorted.
+func (r *Reasoner) Subsumers(c ConceptID) []ConceptID {
+	out := make([]ConceptID, 0, len(r.subsumers[c]))
+	for d := range r.subsumers[c] {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fillers returns every concept d with c ⊑ ∃role.d entailed, sorted.
+// This includes restrictions inherited through the subsumption
+// hierarchy, not just the graph's direct edges.
+func (r *Reasoner) Fillers(c ConceptID, role RelType) []ConceptID {
+	fillers := r.roles[role][c]
+	out := make([]ConceptID, 0, len(fillers))
+	for d := range fillers {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EntailedRoles lists the role types with at least one entailed
+// restriction for c, sorted.
+func (r *Reasoner) EntailedRoles(c ConceptID) []RelType {
+	var out []RelType
+	for role, pairs := range r.roles {
+		if len(pairs[c]) > 0 {
+			out = append(out, role)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,172 @@
+package ontology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReasonerTaxonomicSubsumption(t *testing.T) {
+	o := Figure2Fragment()
+	r := NewReasoner(o)
+	attack := o.ByPreferred("Asthma attack").ID
+	asthma := o.ByPreferred("Asthma").ID
+	disThorax := o.ByPreferred("Disorder of thorax").ID
+	root := o.ByPreferred("SNOMED CT Concept").ID
+
+	if !r.Subsumes(asthma, attack) {
+		t.Error("Asthma should subsume Asthma attack")
+	}
+	if !r.Subsumes(disThorax, attack) {
+		t.Error("transitive subsumption missing")
+	}
+	if !r.Subsumes(root, attack) {
+		t.Error("root should subsume everything")
+	}
+	if r.Subsumes(attack, asthma) {
+		t.Error("subsumption direction inverted")
+	}
+	if !r.Subsumes(attack, attack) {
+		t.Error("reflexive subsumption missing")
+	}
+	// Reasoner subsumers == self + is-a ancestors for a taxonomy-only
+	// view of the concept.
+	want := append([]ConceptID{attack}, o.Ancestors(attack)...)
+	sortIDs := func(ids []ConceptID) []ConceptID {
+		out := append([]ConceptID(nil), ids...)
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		return out
+	}
+	if got := r.Subsumers(attack); !reflect.DeepEqual(got, sortIDs(want)) {
+		t.Errorf("Subsumers = %v, want %v", got, sortIDs(want))
+	}
+}
+
+// The headline EL entailment: existential restrictions are inherited
+// down the subsumption hierarchy.
+func TestReasonerInheritedExistentials(t *testing.T) {
+	o := Figure2Fragment()
+	r := NewReasoner(o)
+	attack := o.ByPreferred("Asthma attack").ID
+	theo := o.ByPreferred("Theophylline").ID
+	bronchial := o.ByPreferred("Bronchial structure").ID
+
+	// Asthma attack ⊑ Asthma ⊑ ∃treated-by.Theophylline.
+	fillers := r.Fillers(attack, TreatedBy)
+	found := false
+	for _, f := range fillers {
+		if f == theo {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Asthma attack ⊑ ∃treated-by.Theophylline not entailed: %v", fillers)
+	}
+	// Direct edge still present.
+	direct := r.Fillers(attack, FindingSiteOf)
+	if len(direct) == 0 || direct[0] != bronchial {
+		t.Errorf("direct finding-site-of lost: %v", direct)
+	}
+	// Roles enumerated.
+	roles := r.EntailedRoles(attack)
+	has := map[RelType]bool{}
+	for _, role := range roles {
+		has[role] = true
+	}
+	if !has[TreatedBy] || !has[FindingSiteOf] {
+		t.Errorf("EntailedRoles = %v", roles)
+	}
+}
+
+// CR4: domain-style axioms ∃r.B ⊑ A let the reasoner derive new
+// subsumptions from entailed restrictions.
+func TestReasonerExistentialSubAxiom(t *testing.T) {
+	o := Figure2Fragment()
+	respDis := o.ByPreferred("Respiratory disorder").ID
+	bronchial := o.ByPreferred("Bronchial structure").ID
+	attack := o.ByPreferred("Asthma attack").ID
+	thorax := o.ByPreferred("Thorax structure").ID
+
+	// "Anything with a finding site in the bronchial structure is a
+	// respiratory disorder."
+	r := NewReasoner(o, Axiom{
+		Kind: ExistentialSub, Role: FindingSiteOf, Sub: bronchial, Sup: respDis,
+	})
+	if !r.Subsumes(respDis, attack) {
+		t.Error("CR4 entailment missing: Asthma attack should be a Respiratory disorder")
+	}
+	// The axiom must also fire through SUBSUMERS of the filler: add one
+	// keyed on the thorax structure, reached because Bronchial structure
+	// ⊑ Thorax structure.
+	marker, _ := o.AddConcept("marker", "Thoracic-sited finding")
+	r2 := NewReasoner(o, Axiom{
+		Kind: ExistentialSub, Role: FindingSiteOf, Sub: thorax, Sup: marker,
+	})
+	if !r2.Subsumes(marker, attack) {
+		t.Error("CR4 through filler subsumption missing")
+	}
+}
+
+func TestReasonerNoSpuriousEntailments(t *testing.T) {
+	o := Figure2Fragment()
+	r := NewReasoner(o)
+	theo := o.ByPreferred("Theophylline").ID
+	asthma := o.ByPreferred("Asthma").ID
+	// Drugs are not disorders.
+	if r.Subsumes(asthma, theo) || r.Subsumes(theo, asthma) {
+		t.Error("spurious cross-axis subsumption")
+	}
+	// treated-by points from disorders to drugs; drugs entail no
+	// treated-by restrictions of their own.
+	if got := r.Fillers(theo, TreatedBy); len(got) != 0 {
+		t.Errorf("Theophylline treated-by fillers = %v", got)
+	}
+	// Unknown concept: empty answers, no panic.
+	if got := r.Subsumers(ConceptID(1 << 40)); len(got) != 0 {
+		t.Errorf("unknown concept subsumers = %v", got)
+	}
+}
+
+func TestReasonerOnGeneratedOntology(t *testing.T) {
+	o, err := Generate(GenConfig{
+		Seed: 13, ExtraConcepts: 150, SynonymProb: 0.3,
+		MultiParentProb: 0.2, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReasoner(o)
+	// Property: Subsumes agrees with is-a reachability for every concept
+	// against a sample of ancestors/non-ancestors.
+	ids := o.Concepts()
+	for _, c := range ids[:60] {
+		anc := map[ConceptID]bool{}
+		for _, a := range o.Ancestors(c) {
+			anc[a] = true
+		}
+		for _, d := range ids[:60] {
+			want := anc[d] || d == c
+			if got := r.Subsumes(d, c); got != want {
+				t.Fatalf("Subsumes(%d, %d) = %v, want %v", d, c, got, want)
+			}
+		}
+		// Entailed fillers are a superset of the direct edges.
+		for _, e := range o.Out(c) {
+			if e.Type == IsA {
+				continue
+			}
+			okFiller := false
+			for _, f := range r.Fillers(c, e.Type) {
+				if f == e.To {
+					okFiller = true
+				}
+			}
+			if !okFiller {
+				t.Fatalf("direct edge %s(%d, %d) not entailed", e.Type, c, e.To)
+			}
+		}
+	}
+}

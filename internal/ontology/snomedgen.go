@@ -1,0 +1,225 @@
+package ontology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig configures the synthetic SNOMED-like ontology generator.
+// The generator always embeds the curated Figure-2 respiratory fragment
+// and the pediatric-cardiology core, then grows them with synthetic
+// concepts mimicking SNOMED CT's shape: a deep is-a DAG (multi-parent),
+// multi-word terms with synonyms, and typed attribute relationships
+// between the clinical-finding, body-structure and product axes.
+type GenConfig struct {
+	// Seed makes the generated ontology deterministic.
+	Seed int64
+	// ExtraConcepts is the number of synthetic concepts added on top of
+	// the curated cores; they are split ~50% disorders, ~25% structures,
+	// ~25% drugs.
+	ExtraConcepts int
+	// SynonymProb is the probability a synthetic concept gets a synonym
+	// (a second one with half that probability).
+	SynonymProb float64
+	// MultiParentProb is the probability a synthetic concept receives a
+	// second is-a parent, making the taxonomy a DAG rather than a tree.
+	MultiParentProb float64
+	// RelationshipsPerDisorder is the expected number of attribute
+	// relationships (finding-site-of, treated-by, due-to) leaving each
+	// synthetic disorder.
+	RelationshipsPerDisorder float64
+}
+
+// DefaultGenConfig returns a laptop-scale configuration: roughly two
+// thousand concepts, SNOMED-like branching and relationship density.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:                     1,
+		ExtraConcepts:            2000,
+		SynonymProb:              0.4,
+		MultiParentProb:          0.15,
+		RelationshipsPerDisorder: 2.0,
+	}
+}
+
+// Word pools for synthetic clinical terms. Combined, they yield a
+// vocabulary whose tokens overlap across concepts the way clinical
+// language does (many disorders share "chronic", "stenosis", organ
+// names, ...), which is what makes IR scoring over the ontology
+// non-trivial.
+var (
+	genSeverities = []string{
+		"Acute", "Chronic", "Congenital", "Severe", "Mild", "Recurrent",
+		"Progressive", "Idiopathic", "Secondary", "Neonatal", "Juvenile",
+		"Transient",
+	}
+	genDisorderKinds = []string{
+		"stenosis", "insufficiency", "hypertrophy", "inflammation",
+		"obstruction", "malformation", "dysfunction", "hypoplasia",
+		"dilatation", "fibrosis", "prolapse", "atresia", "ischemia",
+		"rupture", "edema",
+	}
+	genRegions = []string{
+		"Left", "Right", "Anterior", "Posterior", "Superior", "Inferior",
+		"Medial", "Lateral", "Proximal", "Distal",
+	}
+	genOrgans = []string{
+		"atrial", "ventricular", "aortic", "pulmonary", "tricuspid",
+		"septal", "coronary", "valvular", "arterial", "venous",
+		"myocardial", "bronchial", "tracheal", "pleural", "diaphragmatic",
+	}
+	genDrugPrefixes = []string{
+		"card", "vaso", "broncho", "angio", "beta", "corti", "pedia",
+		"hemo", "neo", "flux", "vera", "mira",
+	}
+	genDrugSuffixes = []string{
+		"olol", "april", "idine", "amide", "azole", "micin", "cillin",
+		"statin", "parin", "oxin", "erol", "asone",
+	}
+)
+
+// Generate builds the synthetic ontology. It panics only on internal
+// inconsistencies in the curated tables (program bugs), never on user
+// configuration.
+func Generate(cfg GenConfig) (*Ontology, error) {
+	o := Figure2Fragment()
+	o.Name = "SNOMED CT (synthetic)"
+	if err := addCardiologyCore(o); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	findingAxis, _ := o.ByCode(CodeClinicalFinding)
+	bodyAxis, _ := o.ByCode(CodeBodyStructure)
+	pharmaAxis, _ := o.ByCode(CodePharmaProduct)
+	if findingAxis == nil || bodyAxis == nil || pharmaAxis == nil {
+		return nil, fmt.Errorf("ontology: curated axes missing")
+	}
+
+	// Existing concepts partition into kind pools that synthetic
+	// concepts attach to and relate with.
+	var disorders, structures, drugs []ConceptID
+	for _, id := range o.Concepts() {
+		switch {
+		case o.IsSuperclassOf(findingAxis.ID, id):
+			disorders = append(disorders, id)
+		case o.IsSuperclassOf(bodyAxis.ID, id):
+			structures = append(structures, id)
+		case o.IsSuperclassOf(pharmaAxis.ID, id):
+			drugs = append(drugs, id)
+		}
+	}
+
+	pick := func(pool []ConceptID, fallback ConceptID) ConceptID {
+		if len(pool) == 0 {
+			return fallback
+		}
+		return pool[r.Intn(len(pool))]
+	}
+
+	addSynonyms := func(base string) []string {
+		var syn []string
+		if r.Float64() < cfg.SynonymProb {
+			syn = append(syn, base+" disorder")
+			if r.Float64() < cfg.SynonymProb/2 {
+				syn = append(syn, base+" condition")
+			}
+		}
+		return syn
+	}
+
+	for i := 0; i < cfg.ExtraConcepts; i++ {
+		code := fmt.Sprintf("9900%06d", i)
+		switch r.Intn(4) {
+		case 0, 1: // disorder
+			name := fmt.Sprintf("%s %s %s",
+				genSeverities[r.Intn(len(genSeverities))],
+				genOrgans[r.Intn(len(genOrgans))],
+				genDisorderKinds[r.Intn(len(genDisorderKinds))])
+			id := o.MustAddConcept(code, name, addSynonyms(name)...)
+			parent := pick(disorders, findingAxis.ID)
+			o.MustAddRelationship(id, parent, IsA)
+			if r.Float64() < cfg.MultiParentProb {
+				if p2 := pick(disorders, findingAxis.ID); p2 != parent && p2 != id {
+					o.MustAddRelationship(id, p2, IsA)
+				}
+			}
+			// Attribute relationships.
+			n := poisson(r, cfg.RelationshipsPerDisorder)
+			for j := 0; j < n; j++ {
+				switch r.Intn(3) {
+				case 0:
+					if s := pick(structures, bodyAxis.ID); s != id {
+						o.MustAddRelationship(id, s, FindingSiteOf)
+					}
+				case 1:
+					if d := pick(drugs, pharmaAxis.ID); d != id {
+						o.MustAddRelationship(id, d, TreatedBy)
+					}
+				case 2:
+					if d2 := pick(disorders, findingAxis.ID); d2 != id {
+						o.MustAddRelationship(id, d2, AssociatedWith)
+					}
+				}
+			}
+			disorders = append(disorders, id)
+		case 2: // structure
+			name := fmt.Sprintf("%s %s structure",
+				genRegions[r.Intn(len(genRegions))],
+				genOrgans[r.Intn(len(genOrgans))])
+			id := o.MustAddConcept(code, name)
+			parent := pick(structures, bodyAxis.ID)
+			o.MustAddRelationship(id, parent, IsA)
+			if r.Float64() < cfg.MultiParentProb {
+				if p2 := pick(structures, bodyAxis.ID); p2 != parent && p2 != id {
+					o.MustAddRelationship(id, p2, PartOf)
+				}
+			}
+			structures = append(structures, id)
+		default: // drug
+			name := fmt.Sprintf("%s%s",
+				genDrugPrefixes[r.Intn(len(genDrugPrefixes))],
+				genDrugSuffixes[r.Intn(len(genDrugSuffixes))])
+			// Make drug names unique-ish but with shared tokens via a
+			// strength qualifier.
+			name = fmt.Sprintf("%s %d mg", title(name), 5*(1+r.Intn(40)))
+			id := o.MustAddConcept(code, name)
+			parent := pick(drugs, pharmaAxis.ID)
+			o.MustAddRelationship(id, parent, IsA)
+			drugs = append(drugs, id)
+		}
+	}
+
+	if err := o.ValidateTaxonomy(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// poisson draws a small Poisson-distributed count with mean lambda
+// (Knuth's method; lambda is always tiny here).
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	limit := math.Exp(-lambda)
+	l := 1.0
+	for i := 0; ; i++ {
+		l *= r.Float64()
+		if l < limit {
+			return i
+		}
+	}
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}

@@ -1,0 +1,177 @@
+package ontology
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, ExtraConcepts: 200, SynonymProb: 0.4, MultiParentProb: 0.2, RelationshipsPerDisorder: 2}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.NumRelationships() != b.NumRelationships() {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d concepts/rels",
+			a.Len(), a.NumRelationships(), b.Len(), b.NumRelationships())
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("same seed produced different serialized ontologies")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := GenConfig{Seed: 1, ExtraConcepts: 100, SynonymProb: 0.4, MultiParentProb: 0.2, RelationshipsPerDisorder: 2}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	_ = a.Save(&bufA)
+	_ = b.Save(&bufB)
+	if bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("different seeds produced identical ontologies")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.ExtraConcepts = 500
+	o, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() < 500 {
+		t.Errorf("only %d concepts", o.Len())
+	}
+	if err := o.ValidateTaxonomy(); err != nil {
+		t.Fatalf("generated taxonomy has a cycle: %v", err)
+	}
+	// Curated cores present.
+	for _, pref := range []string{"Asthma", "Cardiac arrest", "Amiodarone", "Acetaminophen", "Aspirin", "Supraventricular arrhythmia"} {
+		if o.ByPreferred(pref) == nil {
+			t.Errorf("curated concept %q missing from generated ontology", pref)
+		}
+	}
+	// Relationship mix includes attribute relationships.
+	types := map[RelType]bool{}
+	for _, tt := range o.RelTypes() {
+		types[tt] = true
+	}
+	for _, want := range []RelType{IsA, FindingSiteOf, TreatedBy} {
+		if !types[want] {
+			t.Errorf("relationship type %s missing", want)
+		}
+	}
+	// Single root (all concepts reachable upward to the SNOMED root).
+	roots := o.Roots()
+	if len(roots) != 1 {
+		t.Errorf("generated ontology has %d roots", len(roots))
+	}
+}
+
+func TestGenerateAcetaminophenAspirinSiblings(t *testing.T) {
+	// The Table-I context-mismatch case needs acetaminophen and aspirin
+	// to be taxonomy siblings under a shared analgesic class.
+	o, err := Generate(GenConfig{Seed: 3, ExtraConcepts: 0, SynonymProb: 0, MultiParentProb: 0, RelationshipsPerDisorder: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acet := o.ByPreferred("Acetaminophen")
+	asp := o.ByPreferred("Aspirin")
+	analg := o.ByPreferred("Analgesic agent")
+	if acet == nil || asp == nil || analg == nil {
+		t.Fatal("analgesic concepts missing")
+	}
+	if !o.IsSuperclassOf(analg.ID, acet.ID) || !o.IsSuperclassOf(analg.ID, asp.ID) {
+		t.Error("acetaminophen and aspirin must both be subclasses of Analgesic agent")
+	}
+	if d := o.TaxonomicDistance(acet.ID, asp.ID); d != 2 {
+		t.Errorf("sibling distance = %d, want 2", d)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 7, ExtraConcepts: 120, SynonymProb: 0.5, MultiParentProb: 0.2, RelationshipsPerDisorder: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Len() != o.Len() || o2.NumRelationships() != o.NumRelationships() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			o.Len(), o.NumRelationships(), o2.Len(), o2.NumRelationships())
+	}
+	if o2.SystemID != o.SystemID || o2.Name != o.Name {
+		t.Error("round trip changed identity")
+	}
+	// Term index rebuilt on load.
+	if len(o2.ConceptsContaining("asthma")) != len(o.ConceptsContaining("asthma")) {
+		t.Error("term index differs after round trip")
+	}
+	// Second save identical.
+	var buf2 bytes.Buffer
+	if err := o2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("save -> load -> save not stable")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"concepts":[{"code":"a","preferred":"A"}],"relationships":[{"from":"a","to":"missing","type":"is-a"}]}`,
+		`{"concepts":[{"code":"a","preferred":"A"}],"relationships":[{"from":"missing","to":"a","type":"is-a"}]}`,
+		`{"concepts":[{"code":"a","preferred":"A"},{"code":"a","preferred":"B"}]}`,
+	}
+	for _, s := range cases {
+		if _, err := Load(bytes.NewReader([]byte(s))); err == nil {
+			t.Errorf("Load(%q): want error", s)
+		}
+	}
+}
+
+func TestPoissonProperties(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 9, ExtraConcepts: 300, SynonymProb: 0.3, MultiParentProb: 0.1, RelationshipsPerDisorder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relationship density roughly matches the configured mean: with
+	// ~150 disorders at lambda 2 we expect a few hundred attribute
+	// relationships beyond the curated ones.
+	attr := 0
+	for _, id := range o.Concepts() {
+		for _, e := range o.Out(id) {
+			if e.Type != IsA {
+				attr++
+			}
+		}
+	}
+	if attr < 100 {
+		t.Errorf("only %d attribute relationships generated", attr)
+	}
+}

@@ -1,0 +1,181 @@
+package ontology
+
+import "fmt"
+
+// Superclasses returns the direct superclasses of c (targets of its
+// outgoing is-a edges).
+func (o *Ontology) Superclasses(c ConceptID) []ConceptID {
+	var out []ConceptID
+	for _, e := range o.out[c] {
+		if e.Type == IsA {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Subclasses returns the direct subclasses of c (sources of its
+// incoming is-a edges).
+func (o *Ontology) Subclasses(c ConceptID) []ConceptID {
+	var out []ConceptID
+	for _, e := range o.in[c] {
+		if e.Type == IsA {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// NumSubclasses counts the direct subclasses of c — the fan-out used by
+// the Taxonomy strategy's partial-satisfaction heuristic (OntoScore is
+// divided by this count when flowing from a class to a subclass).
+func (o *Ontology) NumSubclasses(c ConceptID) int {
+	return o.InDegree(c, IsA)
+}
+
+// Ancestors returns every proper is-a ancestor of c (transitive
+// superclasses), in BFS order from c.
+func (o *Ontology) Ancestors(c ConceptID) []ConceptID {
+	return o.isaClosure(c, o.Superclasses)
+}
+
+// DescendantsOf returns every proper is-a descendant of c (transitive
+// subclasses), in BFS order from c.
+func (o *Ontology) DescendantsOf(c ConceptID) []ConceptID {
+	return o.isaClosure(c, o.Subclasses)
+}
+
+func (o *Ontology) isaClosure(c ConceptID, next func(ConceptID) []ConceptID) []ConceptID {
+	seen := map[ConceptID]bool{c: true}
+	var out []ConceptID
+	frontier := []ConceptID{c}
+	for len(frontier) > 0 {
+		var nxt []ConceptID
+		for _, u := range frontier {
+			for _, v := range next(u) {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+					nxt = append(nxt, v)
+				}
+			}
+		}
+		frontier = nxt
+	}
+	return out
+}
+
+// IsSuperclassOf reports whether sup is a (possibly indirect) superclass
+// of sub, i.e. there is an is-a path sub -> ... -> sup.
+func (o *Ontology) IsSuperclassOf(sup, sub ConceptID) bool {
+	if sup == sub {
+		return false
+	}
+	seen := map[ConceptID]bool{sub: true}
+	stack := []ConceptID{sub}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range o.Superclasses(u) {
+			if p == sup {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// Roots returns the concepts with no superclass — the tops of the is-a
+// DAG.
+func (o *Ontology) Roots() []ConceptID {
+	var out []ConceptID
+	for _, id := range o.Concepts() {
+		if len(o.Superclasses(id)) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ValidateTaxonomy checks that the is-a edges form a DAG (the paper:
+// "The is-a links form a Directed Acyclic Graph, since cycles are not
+// permitted based on subclass relationships"). It returns an error
+// naming a concept on a cycle if one exists.
+func (o *Ontology) ValidateTaxonomy() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ConceptID]int, len(o.concepts))
+	var visit func(ConceptID) error
+	visit = func(u ConceptID) error {
+		color[u] = gray
+		for _, p := range o.Superclasses(u) {
+			switch color[p] {
+			case gray:
+				return fmt.Errorf("ontology: is-a cycle through concept %d (%s)", p, o.concepts[p].Preferred)
+			case white:
+				if err := visit(p); err != nil {
+					return err
+				}
+			}
+		}
+		color[u] = black
+		return nil
+	}
+	for id := range o.concepts {
+		if color[id] == white {
+			if err := visit(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TaxonomicDistance returns the length of the shortest path between a
+// and b using is-a edges in either direction, or -1 if disconnected.
+// Used by the simulated relevance oracle.
+func (o *Ontology) TaxonomicDistance(a, b ConceptID) int {
+	return o.graphDistance(a, b, func(c ConceptID) []ConceptID {
+		out := o.Superclasses(c)
+		return append(out, o.Subclasses(c)...)
+	})
+}
+
+// GraphDistance returns the length of the shortest undirected path
+// between a and b over all relationship types, or -1 if disconnected.
+func (o *Ontology) GraphDistance(a, b ConceptID) int {
+	return o.graphDistance(a, b, o.Neighbors)
+}
+
+func (o *Ontology) graphDistance(a, b ConceptID, next func(ConceptID) []ConceptID) int {
+	if a == b {
+		return 0
+	}
+	seen := map[ConceptID]bool{a: true}
+	frontier := []ConceptID{a}
+	dist := 0
+	for len(frontier) > 0 {
+		dist++
+		var nxt []ConceptID
+		for _, u := range frontier {
+			for _, v := range next(u) {
+				if v == b {
+					return dist
+				}
+				if !seen[v] {
+					seen[v] = true
+					nxt = append(nxt, v)
+				}
+			}
+		}
+		frontier = nxt
+	}
+	return -1
+}

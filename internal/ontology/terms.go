@@ -1,0 +1,106 @@
+package ontology
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// termIndex maps word tokens to the concepts whose terms contain them,
+// enabling the keyword -> concepts lookup of Algorithm 1 line 2 ("find
+// all concept nodes in O that contain w"). It substitutes for the UMLS
+// API's string-to-concept method.
+type termIndex struct {
+	byToken map[string][]ConceptID
+}
+
+func newTermIndex() *termIndex {
+	return &termIndex{byToken: make(map[string][]ConceptID)}
+}
+
+func (t *termIndex) add(c *Concept) {
+	seen := make(map[string]bool)
+	for _, term := range c.Terms() {
+		for _, tok := range xmltree.Tokenize(term) {
+			if seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			t.byToken[tok] = append(t.byToken[tok], c.ID)
+		}
+	}
+}
+
+// ConceptsContaining returns the concepts one of whose terms contains
+// the keyword as a contiguous token phrase (a keyword may be a quoted
+// phrase such as "bronchial structure"). Results are sorted by ID.
+func (o *Ontology) ConceptsContaining(keyword string) []ConceptID {
+	want := xmltree.Tokenize(keyword)
+	if len(want) == 0 {
+		return nil
+	}
+	// Candidates: concepts indexed under the first token.
+	cands := o.terms.byToken[want[0]]
+	if len(want) == 1 {
+		out := make([]ConceptID, len(cands))
+		copy(out, cands)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	var out []ConceptID
+	for _, id := range cands {
+		if o.conceptHasPhrase(id, want) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (o *Ontology) conceptHasPhrase(id ConceptID, phrase []string) bool {
+	c := o.concepts[id]
+	if c == nil {
+		return false
+	}
+	for _, term := range c.Terms() {
+		toks := xmltree.Tokenize(term)
+		if phraseIn(toks, phrase) {
+			return true
+		}
+	}
+	return false
+}
+
+func phraseIn(have, want []string) bool {
+	if len(want) == 0 || len(have) < len(want) {
+		return false
+	}
+outer:
+	for i := 0; i+len(want) <= len(have); i++ {
+		for j, w := range want {
+			if have[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Vocabulary returns every distinct token occurring in any concept term,
+// sorted. Together with the corpus vocabulary it forms the keyword
+// universe over which XOnto-DILs are built (paper Section V-B).
+func (o *Ontology) Vocabulary() []string {
+	out := make([]string, 0, len(o.terms.byToken))
+	for tok := range o.terms.byToken {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TokenFrequency returns how many concepts contain the token — the
+// document frequency of the token when concepts are viewed as documents.
+func (o *Ontology) TokenFrequency(tok string) int {
+	return len(o.terms.byToken[tok])
+}

@@ -1,0 +1,88 @@
+package ontology
+
+import (
+	"testing"
+)
+
+func TestConceptsContainingSingleToken(t *testing.T) {
+	o := Figure2Fragment()
+	got := o.ConceptsContaining("asthma")
+	// Asthma, Asthma attack, 5 synthetic asthma subclasses, plus
+	// "Bronchial asthma" is a synonym of Asthma (same concept).
+	if len(got) != 7 {
+		names := make([]string, 0, len(got))
+		for _, id := range got {
+			names = append(names, o.Concept(id).Preferred)
+		}
+		t.Fatalf("ConceptsContaining(asthma) = %v (%d), want 7", names, len(got))
+	}
+}
+
+func TestConceptsContainingPhrase(t *testing.T) {
+	o := Figure2Fragment()
+	got := o.ConceptsContaining("bronchial structure")
+	if len(got) != 1 {
+		t.Fatalf("phrase lookup returned %d concepts", len(got))
+	}
+	if o.Concept(got[0]).Preferred != "Bronchial structure" {
+		t.Errorf("got %q", o.Concept(got[0]).Preferred)
+	}
+	// Phrase must be contiguous: "disorder bronchus" (missing "of")
+	// matches nothing.
+	if got := o.ConceptsContaining("disorder bronchus"); len(got) != 0 {
+		t.Errorf("non-contiguous phrase matched %d concepts", len(got))
+	}
+}
+
+func TestConceptsContainingSynonym(t *testing.T) {
+	o := Figure2Fragment()
+	got := o.ConceptsContaining("salbutamol")
+	if len(got) != 1 || o.Concept(got[0]).Preferred != "Albuterol" {
+		t.Errorf("synonym lookup failed: %v", got)
+	}
+}
+
+func TestConceptsContainingCaseInsensitive(t *testing.T) {
+	o := Figure2Fragment()
+	a := o.ConceptsContaining("THEOPHYLLINE")
+	b := o.ConceptsContaining("theophylline")
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("case sensitivity: %v vs %v", a, b)
+	}
+}
+
+func TestConceptsContainingEmptyAndMissing(t *testing.T) {
+	o := Figure2Fragment()
+	if got := o.ConceptsContaining(""); got != nil {
+		t.Errorf("empty keyword matched %v", got)
+	}
+	if got := o.ConceptsContaining("zzzunknown"); len(got) != 0 {
+		t.Errorf("unknown keyword matched %v", got)
+	}
+}
+
+func TestVocabularyAndTokenFrequency(t *testing.T) {
+	o := Figure2Fragment()
+	vocab := o.Vocabulary()
+	if len(vocab) == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// Sorted and unique.
+	for i := 1; i < len(vocab); i++ {
+		if vocab[i-1] >= vocab[i] {
+			t.Fatalf("vocabulary not sorted/unique at %d: %q >= %q", i, vocab[i-1], vocab[i])
+		}
+	}
+	if o.TokenFrequency("asthma") != 7 {
+		t.Errorf("TokenFrequency(asthma) = %d", o.TokenFrequency("asthma"))
+	}
+	if o.TokenFrequency("nonexistent") != 0 {
+		t.Error("TokenFrequency of unknown token should be 0")
+	}
+	// A token appearing in several terms of one concept counts once.
+	o2 := New("s", "t")
+	o2.MustAddConcept("1", "Pain", "Pain finding", "Pain condition")
+	if o2.TokenFrequency("pain") != 1 {
+		t.Errorf("per-concept dedup failed: %d", o2.TokenFrequency("pain"))
+	}
+}

@@ -1,0 +1,106 @@
+package ontoscore
+
+import (
+	"container/heap"
+
+	"repro/internal/ontology"
+)
+
+// The expansion engine. All three strategies instantiate the same
+// merged best-first search: every concept containing the keyword is
+// seeded with its IRS score, and authority flows outward along
+// strategy-specific transitions, each multiplying the score by a factor
+// in (0, 1]. Multiple arrivals at a concept merge with max (the paper's
+// Observation 1: parallel BFS instances are merged, propagating the
+// aggregate). Because every transition factor is <= 1, a max-priority
+// queue finalizes each concept at its true maximum over all paths —
+// the fixpoint of equation (6) under max aggregation — while visiting
+// each concept once, exactly the efficiency Observation 1 is after.
+
+// transition is one outgoing flow step: the target concept and the
+// multiplicative factor applied to the score.
+type transition struct {
+	to     ontology.ConceptID
+	factor float64
+}
+
+// expandFn enumerates the transitions leaving a concept under a
+// strategy.
+type expandFn func(ontology.ConceptID) []transition
+
+type scoreItem struct {
+	id    ontology.ConceptID
+	score float64
+}
+
+type scoreHeap []scoreItem
+
+func (h scoreHeap) Len() int      { return len(h) }
+func (h scoreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h scoreHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score // max-heap on score
+	}
+	return h[i].id < h[j].id // deterministic tie-break
+}
+func (h *scoreHeap) Push(x any) { *h = append(*h, x.(scoreItem)) }
+func (h *scoreHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// expand runs the merged best-first expansion from the seeds, pruning
+// below threshold, and returns the final score of every reached concept
+// (seeds included).
+func expand(seeds Scores, threshold float64, next expandFn) Scores {
+	out := make(Scores, len(seeds))
+	h := make(scoreHeap, 0, len(seeds))
+	for id, s := range seeds {
+		if s >= threshold {
+			h = append(h, scoreItem{id: id, score: s})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(scoreItem)
+		if _, done := out[it.id]; done {
+			continue // already finalized at a >= score
+		}
+		out[it.id] = it.score
+		for _, tr := range next(it.id) {
+			if tr.factor <= 0 {
+				continue
+			}
+			s := it.score * tr.factor
+			if s < threshold {
+				continue
+			}
+			if _, done := out[tr.to]; done {
+				continue
+			}
+			heap.Push(&h, scoreItem{id: tr.to, score: s})
+		}
+	}
+	return out
+}
+
+// expandNaive runs one best-first expansion per seed independently and
+// merges the results with max. It computes the same scores as expand
+// but revisits shared regions of the graph once per seed — the
+// inefficiency Observation 1 eliminates. Exposed for the ablation
+// benchmark and as a test oracle.
+func expandNaive(seeds Scores, threshold float64, next expandFn) Scores {
+	out := make(Scores)
+	for id, s := range seeds {
+		single := expand(Scores{id: s}, threshold, next)
+		for c, v := range single {
+			if v > out[c] {
+				out[c] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package ontoscore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+// The frozen-graph computer must produce bit-identical scores under
+// every strategy.
+func TestFrozenComputerEquivalence(t *testing.T) {
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 19, ExtraConcepts: 250, SynonymProb: 0.4,
+		MultiParentProb: 0.2, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewComputer(ont, DefaultParams())
+	fz := c.Frozen()
+	for _, s := range []Strategy{StrategyGraph, StrategyTaxonomy, StrategyRelationships} {
+		for _, kw := range []string{"asthma", "structure", "cardiac", "chronic", "aspirin"} {
+			a := c.Compute(s, kw)
+			b := fz.Compute(s, kw)
+			if len(a) != len(b) {
+				t.Fatalf("%v %q: %d vs %d concepts", s, kw, len(a), len(b))
+			}
+			for id, v := range a {
+				if math.Abs(b[id]-v) > 1e-12 {
+					t.Errorf("%v %q concept %d: %f vs %f", s, kw, id, v, b[id])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExpansionMapBacked(b *testing.B) {
+	c := benchComputer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Relationships("structure")) == 0 {
+			b.Fatal("no scores")
+		}
+	}
+}
+
+func BenchmarkExpansionFrozen(b *testing.B) {
+	c := benchComputer(b).Frozen()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Relationships("structure")) == 0 {
+			b.Fatal("no scores")
+		}
+	}
+}
+
+func benchComputer(b *testing.B) *Computer {
+	b.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 19, ExtraConcepts: 800, SynonymProb: 0.4,
+		MultiParentProb: 0.2, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewComputer(ont, DefaultParams())
+}

@@ -1,0 +1,102 @@
+package ontoscore
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/ontology"
+)
+
+// Map is the OntoScore hash map of Algorithm 1: for a fixed strategy it
+// stores OS(O, w, c) for every (keyword w, concept c) pair whose score
+// meets the threshold. It is the intermediate product of the index
+// creation module, consumed when the XOnto-DILs are assembled.
+type Map struct {
+	strategy Strategy
+	scores   map[string]Scores
+}
+
+// BuildMap evaluates the strategy over every keyword of the vocabulary.
+// Keywords are evaluated concurrently (the computer is read-only after
+// construction); the result is deterministic.
+func BuildMap(c *Computer, s Strategy, vocabulary []string) *Map {
+	m := &Map{strategy: s, scores: make(map[string]Scores, len(vocabulary))}
+	if s == StrategyNone {
+		return m
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(vocabulary) {
+		workers = len(vocabulary)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		kw     string
+		scores Scores
+	}
+	in := make(chan string)
+	out := make(chan result)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for kw := range in {
+				out <- result{kw: kw, scores: c.Compute(s, kw)}
+			}
+		}()
+	}
+	go func() {
+		for _, kw := range vocabulary {
+			in <- kw
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	for r := range out {
+		if len(r.scores) > 0 {
+			m.scores[r.kw] = r.scores
+		}
+	}
+	return m
+}
+
+// Strategy returns the strategy the map was built with.
+func (m *Map) Strategy() Strategy { return m.strategy }
+
+// Get returns OS(O, keyword, concept) and whether it is recorded.
+func (m *Map) Get(keyword string, id ontology.ConceptID) (float64, bool) {
+	s, ok := m.scores[keyword]
+	if !ok {
+		return 0, false
+	}
+	v, ok := s[id]
+	return v, ok
+}
+
+// ScoresFor returns every recorded concept score for the keyword. The
+// map is shared; callers must not modify it.
+func (m *Map) ScoresFor(keyword string) Scores { return m.scores[keyword] }
+
+// Keywords returns the keywords with at least one recorded score,
+// sorted.
+func (m *Map) Keywords() []string {
+	out := make([]string, 0, len(m.scores))
+	for kw := range m.scores {
+		out = append(out, kw)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries counts the recorded (keyword, concept) pairs.
+func (m *Map) Entries() int {
+	n := 0
+	for _, s := range m.scores {
+		n += len(s)
+	}
+	return n
+}

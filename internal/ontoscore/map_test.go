@@ -1,0 +1,96 @@
+package ontoscore
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ontology"
+)
+
+func TestBuildMapMatchesDirectCompute(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	c := NewComputer(ont, DefaultParams())
+	vocab := []string{"asthma", "bronchitis", "theophylline", "unknownword"}
+	m := BuildMap(c, StrategyGraph, vocab)
+	if m.Strategy() != StrategyGraph {
+		t.Error("strategy not recorded")
+	}
+	for _, kw := range vocab {
+		direct := c.Graph(kw)
+		stored := m.ScoresFor(kw)
+		if len(direct) != len(stored) {
+			t.Fatalf("kw %q: %d direct vs %d stored", kw, len(direct), len(stored))
+		}
+		for id, v := range direct {
+			got, ok := m.Get(kw, id)
+			if !ok || math.Abs(got-v) > 1e-12 {
+				t.Errorf("kw %q concept %d: %f/%v vs %f", kw, id, got, ok, v)
+			}
+		}
+	}
+	// Keyword without matches is absent.
+	if _, ok := m.Get("unknownword", 1); ok {
+		t.Error("unknown keyword recorded")
+	}
+	kws := m.Keywords()
+	for i := 1; i < len(kws); i++ {
+		if kws[i-1] >= kws[i] {
+			t.Fatal("keywords not sorted")
+		}
+	}
+	if m.Entries() == 0 {
+		t.Error("no entries")
+	}
+}
+
+func TestBuildMapNoneStrategyEmpty(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	c := NewComputer(ont, DefaultParams())
+	m := BuildMap(c, StrategyNone, []string{"asthma"})
+	if m.Entries() != 0 {
+		t.Errorf("XRANK map has %d entries", m.Entries())
+	}
+	if len(m.Keywords()) != 0 {
+		t.Error("XRANK map has keywords")
+	}
+}
+
+func TestBuildMapConcurrencyDeterministic(t *testing.T) {
+	ont, err := ontology.Generate(ontology.GenConfig{
+		Seed: 31, ExtraConcepts: 150, SynonymProb: 0.4,
+		MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewComputer(ont, DefaultParams())
+	vocab := ont.Vocabulary()
+	if len(vocab) > 120 {
+		vocab = vocab[:120]
+	}
+	a := BuildMap(c, StrategyRelationships, vocab)
+	b := BuildMap(c, StrategyRelationships, vocab)
+	if a.Entries() != b.Entries() {
+		t.Fatalf("entries differ: %d vs %d", a.Entries(), b.Entries())
+	}
+	for _, kw := range a.Keywords() {
+		sa, sb := a.ScoresFor(kw), b.ScoresFor(kw)
+		if len(sa) != len(sb) {
+			t.Fatalf("kw %q sizes differ", kw)
+		}
+		for id, v := range sa {
+			if math.Abs(sb[id]-v) > 1e-12 {
+				t.Errorf("kw %q concept %d differs", kw, id)
+			}
+		}
+	}
+}
+
+func TestBuildMapEmptyVocabulary(t *testing.T) {
+	ont := ontology.Figure2Fragment()
+	c := NewComputer(ont, DefaultParams())
+	m := BuildMap(c, StrategyGraph, nil)
+	if m.Entries() != 0 {
+		t.Error("empty vocabulary produced entries")
+	}
+}

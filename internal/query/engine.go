@@ -1,0 +1,146 @@
+package query
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/dil"
+	"repro/internal/xmltree"
+)
+
+// ListSource supplies the XOnto-DIL of a keyword. *dil.Index satisfies
+// the read path; Engine optionally falls back to a builder for keywords
+// (typically phrases) not in the prebuilt index.
+type ListSource interface {
+	List(keyword string) dil.List
+}
+
+// KeywordBuilder builds a DIL on demand; *dil.Builder satisfies it.
+type KeywordBuilder interface {
+	BuildKeyword(keyword string) dil.List
+}
+
+// Params configure the query phase.
+type Params struct {
+	// Decay is the per-containment-edge attenuation of equation (2);
+	// the paper uses 0.5.
+	Decay float64
+	// K is the default result-list length.
+	K int
+}
+
+// DefaultParams returns decay 0.5 and top-10.
+func DefaultParams() Params { return Params{Decay: 0.5, K: 10} }
+
+// Engine answers keyword queries against an XOnto-DIL index.
+type Engine struct {
+	params  Params
+	source  ListSource
+	builder KeywordBuilder
+
+	mu    sync.Mutex
+	cache map[string]dil.List // on-demand keywords built once
+}
+
+// NewEngine returns an engine reading lists from source, consulting
+// builder (may be nil) for keywords the source lacks.
+func NewEngine(source ListSource, builder KeywordBuilder, params Params) *Engine {
+	return &Engine{
+		params:  params,
+		source:  source,
+		builder: builder,
+		cache:   make(map[string]dil.List),
+	}
+}
+
+// list resolves one keyword's posting list.
+func (e *Engine) list(kw string) dil.List {
+	if l := e.source.List(kw); l != nil {
+		return l
+	}
+	if e.builder == nil {
+		return nil
+	}
+	e.mu.Lock()
+	l, ok := e.cache[kw]
+	e.mu.Unlock()
+	if ok {
+		return l
+	}
+	l = e.builder.BuildKeyword(kw)
+	e.mu.Lock()
+	e.cache[kw] = l
+	e.mu.Unlock()
+	return l
+}
+
+// Search runs the query and returns up to k results ranked by
+// descending score (k <= 0 uses the engine default). Ties break by
+// Dewey order for determinism.
+func (e *Engine) Search(keywords []Keyword, k int) []Result {
+	if len(keywords) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = e.params.K
+	}
+	lists := make([]dil.List, len(keywords))
+	for i, kw := range keywords {
+		lists[i] = e.list(string(kw))
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	results := runDIL(lists, e.params.Decay)
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Root.Compare(results[j].Root) < 0
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// SearchQuery parses a query string and runs it.
+func (e *Engine) SearchQuery(q string, k int) []Result {
+	return e.Search(ParseQuery(q), k)
+}
+
+// SearchRanked answers the query with XRANK's RDIL ranked-access
+// algorithm: identical results to Search, but with early termination —
+// for small k on large posting lists only a fraction of the postings
+// are consumed (see RunRankedStats).
+func (e *Engine) SearchRanked(keywords []Keyword, k int) []Result {
+	if len(keywords) == 0 {
+		return nil
+	}
+	if k <= 0 {
+		k = e.params.K
+	}
+	lists := make([]dil.List, len(keywords))
+	for i, kw := range keywords {
+		lists[i] = e.list(string(kw))
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	return RunRanked(lists, e.params.Decay, k)
+}
+
+// ResultNode resolves a result's root element in the corpus.
+func ResultNode(c *xmltree.Corpus, r Result) *xmltree.Node {
+	return c.NodeAt(r.Root)
+}
+
+// Fragment renders the result's subtree as indented XML (the paper's
+// Figure 4 presentation).
+func Fragment(c *xmltree.Corpus, r Result) string {
+	n := ResultNode(c, r)
+	if n == nil {
+		return ""
+	}
+	return xmltree.XMLString(n)
+}

@@ -1,0 +1,30 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{
+		``, `asthma`, `"bronchial structure" theophylline`,
+		`"" x`, `"unterminated`, `a "b" c "d e" f`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		kws := ParseQuery(s)
+		for _, kw := range kws {
+			w := string(kw)
+			if w == "" {
+				t.Fatal("empty keyword")
+			}
+			if w != strings.ToLower(w) {
+				t.Fatalf("keyword not lowercased: %q", w)
+			}
+			if strings.HasPrefix(w, " ") || strings.HasSuffix(w, " ") {
+				t.Fatalf("keyword not trimmed: %q", w)
+			}
+		}
+	})
+}

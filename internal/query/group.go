@@ -1,0 +1,53 @@
+package query
+
+import (
+	"repro/internal/xmltree"
+)
+
+// Result grouping, after Hristidis et al. (TKDE 2006), which the paper
+// cites for "group[ing] structurally similar tree-results to avoid
+// overwhelming the user": EMR corpora are highly regular (every record
+// has the same sections), so a result list is dominated by structurally
+// identical fragments from different patients. Grouping by the result
+// root's element path collapses them into one presentation unit per
+// structure, ordered by each group's best result.
+
+// ResultGroup is one structural group of results.
+type ResultGroup struct {
+	// Path is the shared element path of the group's result roots,
+	// e.g. "ClinicalDocument/component/StructuredBody/component/section/entry/Observation".
+	Path string
+	// Results keeps the group's members in their original rank order.
+	Results []Result
+}
+
+// GroupResults partitions ranked results by the element path of their
+// roots. Groups appear in the order of their best-ranked member;
+// results within a group keep their relative order. Results whose root
+// cannot be resolved in the corpus group under the empty path.
+func GroupResults(c *xmltree.Corpus, results []Result) []ResultGroup {
+	index := make(map[string]int)
+	var groups []ResultGroup
+	for _, r := range results {
+		path := ""
+		if n := c.NodeAt(r.Root); n != nil {
+			path = n.Path()
+		}
+		gi, ok := index[path]
+		if !ok {
+			gi = len(groups)
+			index[path] = gi
+			groups = append(groups, ResultGroup{Path: path})
+		}
+		groups[gi].Results = append(groups[gi].Results, r)
+	}
+	return groups
+}
+
+// Best returns the group's top-ranked result.
+func (g ResultGroup) Best() Result {
+	if len(g.Results) == 0 {
+		return Result{}
+	}
+	return g.Results[0]
+}

@@ -1,0 +1,48 @@
+// Package query implements the XOntoRank query phase: XRANK's Dewey
+// Inverted List merge algorithm over XOnto-DILs, the result semantics of
+// equation (1) (most-specific elements whose subtrees are associated
+// with every query keyword), and the ranking of equations (2)-(4)
+// (decayed propagation, max per keyword, sum across keywords).
+package query
+
+import (
+	"strings"
+)
+
+// Keyword is one query keyword; it may be a multi-word phrase (the
+// paper's queries quote phrases such as "bronchial structure").
+type Keyword string
+
+// ParseQuery splits a query string into keywords. Double-quoted
+// segments become phrase keywords; everything else splits on
+// whitespace. Keywords are lowercased.
+//
+//	ParseQuery(`"bronchial structure" Theophylline`)
+//	  -> ["bronchial structure", "theophylline"]
+func ParseQuery(q string) []Keyword {
+	var out []Keyword
+	rest := q
+	for {
+		start := strings.IndexByte(rest, '"')
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(rest[start+1:], '"')
+		if end < 0 {
+			break
+		}
+		before := rest[:start]
+		phrase := rest[start+1 : start+1+end]
+		for _, w := range strings.Fields(before) {
+			out = append(out, Keyword(strings.ToLower(w)))
+		}
+		if p := strings.TrimSpace(phrase); p != "" {
+			out = append(out, Keyword(strings.ToLower(p)))
+		}
+		rest = rest[start+1+end+1:]
+	}
+	for _, w := range strings.Fields(rest) {
+		out = append(out, Keyword(strings.ToLower(w)))
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package query
+
+import (
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Snippet builds a short human-readable preview of a result: for each
+// query keyword, the textual description of its best supporting node,
+// trimmed to a window around the match. Nodes matched ontologically
+// (whose text does not contain the keyword) are previewed with the
+// keyword annotated, making the ontological connection visible in
+// result lists.
+func Snippet(c *xmltree.Corpus, r Result, keywords []Keyword, window int) string {
+	if window <= 0 {
+		window = 8
+	}
+	var parts []string
+	seen := make(map[string]bool)
+	for i, m := range r.Matches {
+		if i >= len(keywords) {
+			break
+		}
+		n := c.NodeAt(m.ID)
+		if n == nil {
+			continue
+		}
+		kw := string(keywords[i])
+		part := snippetFor(n, kw, window)
+		if part == "" || seen[part] {
+			continue
+		}
+		seen[part] = true
+		parts = append(parts, part)
+	}
+	return strings.Join(parts, " … ")
+}
+
+func snippetFor(n *xmltree.Node, keyword string, window int) string {
+	desc := xmltree.TextDescription(n, xmltree.DefaultTextOptions())
+	toks := strings.Fields(desc)
+	if len(toks) == 0 {
+		return ""
+	}
+	kwToks := xmltree.Tokenize(keyword)
+	pos := phrasePosition(toks, kwToks)
+	if pos < 0 {
+		// Ontological match: the keyword is absent from the text; show
+		// the node text annotated with the associated keyword.
+		return trimWindow(toks, 0, window) + " [≈ " + keyword + "]"
+	}
+	start := pos - window/2
+	if start < 0 {
+		start = 0
+	}
+	return trimWindow(toks, start, window+len(kwToks))
+}
+
+// phrasePosition finds the first field index whose normalized tokens
+// start the keyword phrase, or -1.
+func phrasePosition(fields []string, phrase []string) int {
+	if len(phrase) == 0 {
+		return -1
+	}
+outer:
+	for i := 0; i+len(phrase) <= len(fields); i++ {
+		for j, want := range phrase {
+			norm := xmltree.Tokenize(fields[i+j])
+			if len(norm) == 0 || norm[0] != want {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+func trimWindow(toks []string, start, n int) string {
+	if start >= len(toks) {
+		start = 0
+	}
+	end := start + n
+	if end > len(toks) {
+		end = len(toks)
+	}
+	out := strings.Join(toks[start:end], " ")
+	if start > 0 {
+		out = "… " + out
+	}
+	if end < len(toks) {
+		out += " …"
+	}
+	return out
+}

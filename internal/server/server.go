@@ -1,0 +1,347 @@
+// Package server exposes an XOntoRank instance as a JSON HTTP service:
+// ontology-aware search, fragment retrieval (the Database Access
+// Module's contract over HTTP), concept lookup, OntoScore explanations,
+// and corpus statistics.
+//
+// Endpoints:
+//
+//	GET /search?q=<query>&k=<n>&offset=<n>&strategy=<name>&fragments=1&snippets=1&group=1
+//	GET /fragment?id=<dewey>
+//	GET /concepts?keyword=<w>[&system=<oid>]
+//	GET /ontoscore?keyword=<w>&strategy=<name>[&system=<oid>]
+//	GET /stats
+//	GET /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/xmltree"
+)
+
+// Server answers HTTP requests against one corpus and ontology
+// collection, with one prepared system per strategy.
+type Server struct {
+	corpus  *xmltree.Corpus
+	coll    *ontology.Collection
+	systems map[ontoscore.Strategy]*core.System
+	mux     *http.ServeMux
+}
+
+// New prepares the service. Systems are built for all four strategies;
+// searches run on demand (no bulk index build), so startup is fast.
+func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config) *Server {
+	s := &Server{
+		corpus:  corpus,
+		coll:    coll,
+		systems: make(map[ontoscore.Strategy]*core.System, 4),
+		mux:     http.NewServeMux(),
+	}
+	for _, st := range ontoscore.Strategies() {
+		c := cfg
+		c.Strategy = st
+		s.systems[st] = core.NewMulti(corpus, coll, c)
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/fragment", s.handleFragment)
+	s.mux.HandleFunc("/concepts", s.handleConcepts)
+	s.mux.HandleFunc("/ontoscore", s.handleOntoScore)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	// Encoding errors after the header is written can only be logged by
+	// the transport; the value types here are all marshalable.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) strategyParam(r *http.Request) (ontoscore.Strategy, error) {
+	name := r.URL.Query().Get("strategy")
+	if name == "" {
+		return ontoscore.StrategyRelationships, nil
+	}
+	return ontoscore.ParseStrategy(name)
+}
+
+// SearchMatch is one keyword's supporting node in a search result.
+type SearchMatch struct {
+	Keyword string  `json:"keyword"`
+	ID      string  `json:"id"`
+	Path    string  `json:"path"`
+	Score   float64 `json:"score"`
+}
+
+// SearchResult is one JSON search answer.
+type SearchResult struct {
+	ID       string        `json:"id"`
+	Score    float64       `json:"score"`
+	Document string        `json:"document"`
+	Path     string        `json:"path"`
+	Matches  []SearchMatch `json:"matches"`
+	Snippet  string        `json:"snippet,omitempty"`
+	Fragment string        `json:"fragment,omitempty"`
+}
+
+// SearchGroup collects structurally identical results (same element
+// path) into one presentation unit, after Hristidis et al. (TKDE 2006).
+type SearchGroup struct {
+	Path    string         `json:"path"`
+	Results []SearchResult `json:"results"`
+}
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Query    string         `json:"query"`
+	Strategy string         `json:"strategy"`
+	K        int            `json:"k"`
+	Results  []SearchResult `json:"results"`
+	// Groups is present when group=1: the same results grouped by the
+	// element path of their roots, in order of each group's best hit.
+	Groups []SearchGroup `json:"groups,omitempty"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	strategy, err := s.strategyParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k <= 0 || k > 1000 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer up to 1000")
+			return
+		}
+	}
+	offset := 0
+	if os := r.URL.Query().Get("offset"); os != "" {
+		offset, err = strconv.Atoi(os)
+		if err != nil || offset < 0 || offset > 100000 {
+			writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
+			return
+		}
+	}
+	withFragments := r.URL.Query().Get("fragments") == "1"
+	withSnippets := r.URL.Query().Get("snippets") == "1"
+	withGroups := r.URL.Query().Get("group") == "1"
+
+	sys := s.systems[strategy]
+	results := sys.Search(q, offset+k)
+	if offset >= len(results) {
+		results = nil
+	} else {
+		results = results[offset:]
+	}
+	resp := SearchResponse{Query: q, Strategy: strategy.String(), K: k, Results: []SearchResult{}}
+	for _, res := range results {
+		sr := SearchResult{
+			ID:       res.Root.String(),
+			Score:    res.Score,
+			Document: res.Document,
+			Path:     res.Path,
+		}
+		for _, m := range res.Matches {
+			sr.Matches = append(sr.Matches, SearchMatch{
+				Keyword: m.Keyword, ID: m.ID.String(), Path: m.Path, Score: m.Score,
+			})
+		}
+		if withSnippets {
+			sr.Snippet = sys.Snippet(res)
+		}
+		if withFragments {
+			sr.Fragment = sys.Fragment(res)
+		}
+		resp.Results = append(resp.Results, sr)
+	}
+	if withGroups {
+		index := make(map[string]int)
+		for _, sr := range resp.Results {
+			gi, ok := index[sr.Path]
+			if !ok {
+				gi = len(resp.Groups)
+				index[sr.Path] = gi
+				resp.Groups = append(resp.Groups, SearchGroup{Path: sr.Path})
+			}
+			resp.Groups[gi].Results = append(resp.Groups[gi].Results, sr)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
+	idStr := r.URL.Query().Get("id")
+	if idStr == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter id")
+		return
+	}
+	id, err := xmltree.ParseDewey(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad dewey id: %v", err)
+		return
+	}
+	n := s.corpus.NodeAt(id)
+	if n == nil {
+		writeError(w, http.StatusNotFound, "no element at %s", idStr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(http.StatusOK)
+	_ = xmltree.WriteXML(w, n)
+}
+
+// ConceptInfo is one ontology concept in JSON form.
+type ConceptInfo struct {
+	System    string   `json:"system"`
+	Code      string   `json:"code"`
+	Preferred string   `json:"preferred"`
+	Synonyms  []string `json:"synonyms,omitempty"`
+}
+
+func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
+	kw := r.URL.Query().Get("keyword")
+	if kw == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter keyword")
+		return
+	}
+	systemFilter := r.URL.Query().Get("system")
+	var out []ConceptInfo
+	for _, ont := range s.coll.Ontologies() {
+		if systemFilter != "" && ont.SystemID != systemFilter {
+			continue
+		}
+		for _, id := range ont.ConceptsContaining(kw) {
+			c := ont.Concept(id)
+			out = append(out, ConceptInfo{
+				System: ont.SystemID, Code: c.Code,
+				Preferred: c.Preferred, Synonyms: c.Synonyms,
+			})
+		}
+	}
+	if out == nil {
+		out = []ConceptInfo{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// OntoScoreEntry is one concept's score for a keyword.
+type OntoScoreEntry struct {
+	System    string  `json:"system"`
+	Code      string  `json:"code"`
+	Preferred string  `json:"preferred"`
+	Score     float64 `json:"score"`
+}
+
+func (s *Server) handleOntoScore(w http.ResponseWriter, r *http.Request) {
+	kw := r.URL.Query().Get("keyword")
+	if kw == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter keyword")
+		return
+	}
+	strategy, err := s.strategyParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	systemFilter := r.URL.Query().Get("system")
+	builder := s.systems[strategy].Builder()
+	var out []OntoScoreEntry
+	for _, ont := range s.coll.Ontologies() {
+		if systemFilter != "" && ont.SystemID != systemFilter {
+			continue
+		}
+		comp := builder.Computer(ont.SystemID)
+		if comp == nil {
+			continue
+		}
+		for id, v := range comp.Compute(strategy, kw) {
+			c := ont.Concept(id)
+			out = append(out, OntoScoreEntry{
+				System: ont.SystemID, Code: c.Code, Preferred: c.Preferred, Score: v,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].System != out[j].System {
+			return out[i].System < out[j].System
+		}
+		return out[i].Code < out[j].Code
+	})
+	if out == nil {
+		out = []OntoScoreEntry{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Documents     int     `json:"documents"`
+	Elements      int     `json:"elements"`
+	CodeNodes     int     `json:"codeNodes"`
+	AvgElements   float64 `json:"avgElements"`
+	AvgReferences float64 `json:"avgReferences"`
+	Systems       []struct {
+		System        string `json:"system"`
+		Name          string `json:"name"`
+		Concepts      int    `json:"concepts"`
+		Relationships int    `json:"relationships"`
+	} `json:"ontologies"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.corpus.Stats()
+	resp := StatsResponse{
+		Documents:     cs.Documents,
+		Elements:      cs.Elements,
+		CodeNodes:     cs.CodeNodes,
+		AvgElements:   cs.AvgElems,
+		AvgReferences: cs.AvgCodeRef,
+	}
+	for _, ont := range s.coll.Ontologies() {
+		resp.Systems = append(resp.Systems, struct {
+			System        string `json:"system"`
+			Name          string `json:"name"`
+			Concepts      int    `json:"concepts"`
+			Relationships int    `json:"relationships"`
+		}{ont.SystemID, ont.Name, ont.Len(), ont.NumRelationships()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

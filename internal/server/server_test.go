@@ -1,0 +1,342 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+func testServer(t *testing.T) (*Server, *xmltree.Corpus) {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 9, ExtraConcepts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := xmltree.NewCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 9, NumDocuments: 5, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.GenerateCorpus().Docs() {
+		corpus.Add(&xmltree.Document{Root: d.Root, Name: d.Name})
+	}
+	coll := ontology.MustCollection(ont, ontology.LOINCFragment())
+	return New(corpus, coll, core.DefaultConfig()), corpus
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=asthma+medications&k=3`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != "Relationships" || resp.K != 3 {
+		t.Errorf("resp meta = %+v", resp)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	top := resp.Results[0]
+	if top.Score <= 0 || top.Document == "" || len(top.Matches) != 2 {
+		t.Errorf("top = %+v", top)
+	}
+	if top.Fragment != "" {
+		t.Error("fragment included without fragments=1")
+	}
+}
+
+func TestSearchWithFragmentsAndStrategy(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=%22bronchial+structure%22+theophylline&strategy=Graph&fragments=1`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != "Graph" {
+		t.Errorf("strategy = %q", resp.Strategy)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("intro query found nothing under Graph")
+	}
+	if !strings.Contains(resp.Results[0].Fragment, "<") {
+		t.Error("fragment missing")
+	}
+	// XRANK baseline finds nothing for the same query.
+	rec = get(t, s, `/search?q=%22bronchial+structure%22+theophylline&strategy=XRANK`)
+	var base SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != 0 {
+		t.Errorf("XRANK returned %d results", len(base.Results))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/search", http.StatusBadRequest},
+		{"/search?q=x&strategy=Nope", http.StatusBadRequest},
+		{"/search?q=x&k=0", http.StatusBadRequest},
+		{"/search?q=x&k=9999", http.StatusBadRequest},
+		{"/search?q=x&k=abc", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := get(t, s, c.path)
+		if rec.Code != c.want {
+			t.Errorf("%s -> %d, want %d", c.path, rec.Code, c.want)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error payload missing", c.path)
+		}
+	}
+}
+
+func TestFragmentEndpoint(t *testing.T) {
+	s, corpus := testServer(t)
+	target := corpus.Docs()[0].Root.Children[0]
+	rec := get(t, s, "/fragment?id="+target.ID.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/xml" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "<"+target.Tag) {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+	if rec := get(t, s, "/fragment"); rec.Code != http.StatusBadRequest {
+		t.Error("missing id accepted")
+	}
+	if rec := get(t, s, "/fragment?id=bogus"); rec.Code != http.StatusBadRequest {
+		t.Error("bad id accepted")
+	}
+	if rec := get(t, s, "/fragment?id=99.0"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id -> %d", rec.Code)
+	}
+}
+
+func TestConceptsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/concepts?keyword=asthma")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out []ConceptInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no concepts")
+	}
+	for _, c := range out {
+		if c.System == "" || c.Code == "" || c.Preferred == "" {
+			t.Errorf("incomplete concept %+v", c)
+		}
+	}
+	// System filter: LOINC has no asthma.
+	rec = get(t, s, "/concepts?keyword=asthma&system="+ontology.LOINCSystemID)
+	var filtered []ConceptInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != 0 {
+		t.Errorf("LOINC asthma concepts: %v", filtered)
+	}
+	// Cross-system: "medication" appears in both.
+	rec = get(t, s, "/concepts?keyword=medication")
+	var both []ConceptInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &both); err != nil {
+		t.Fatal(err)
+	}
+	systems := map[string]bool{}
+	for _, c := range both {
+		systems[c.System] = true
+	}
+	if len(systems) != 2 {
+		t.Errorf("systems = %v", systems)
+	}
+	if rec := get(t, s, "/concepts"); rec.Code != http.StatusBadRequest {
+		t.Error("missing keyword accepted")
+	}
+}
+
+func TestOntoScoreEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/ontoscore?keyword=bronchial+structure&strategy=Relationships")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out []OntoScoreEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no scores")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Score < out[i].Score {
+			t.Fatal("scores not sorted descending")
+		}
+	}
+	foundAsthma := false
+	for _, e := range out {
+		if e.Preferred == "Asthma" {
+			foundAsthma = true
+		}
+	}
+	if !foundAsthma {
+		t.Error("Asthma missing from bronchial-structure OntoScores")
+	}
+	if rec := get(t, s, "/ontoscore"); rec.Code != http.StatusBadRequest {
+		t.Error("missing keyword accepted")
+	}
+	if rec := get(t, s, "/ontoscore?keyword=x&strategy=Zzz"); rec.Code != http.StatusBadRequest {
+		t.Error("bad strategy accepted")
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	s, corpus := testServer(t)
+	rec := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Documents != corpus.Len() || len(stats.Systems) != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	rec = get(t, s, "/healthz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSearchSnippets(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=asthma+medications&k=1&snippets=1`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 || resp.Results[0].Snippet == "" {
+		t.Errorf("snippet missing: %+v", resp.Results)
+	}
+	// Without snippets=1 the field is omitted.
+	rec = get(t, s, `/search?q=asthma+medications&k=1`)
+	if strings.Contains(rec.Body.String(), `"snippet"`) {
+		t.Error("snippet present without snippets=1")
+	}
+}
+
+func TestSearchGrouping(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=asthma&k=20&group=1`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if len(resp.Groups) == 0 || len(resp.Groups) > len(resp.Results) {
+		t.Fatalf("groups = %d for %d results", len(resp.Groups), len(resp.Results))
+	}
+	total := 0
+	for _, g := range resp.Groups {
+		total += len(g.Results)
+		for _, r := range g.Results {
+			if r.Path != g.Path {
+				t.Errorf("result path %q in group %q", r.Path, g.Path)
+			}
+		}
+	}
+	if total != len(resp.Results) {
+		t.Errorf("groups cover %d of %d", total, len(resp.Results))
+	}
+	// Without group=1 no groups field.
+	rec = get(t, s, `/search?q=asthma&k=5`)
+	if strings.Contains(rec.Body.String(), `"groups"`) {
+		t.Error("groups present without group=1")
+	}
+}
+
+func TestSearchPagination(t *testing.T) {
+	s, _ := testServer(t)
+	var all SearchResponse
+	rec := get(t, s, `/search?q=asthma&k=10`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Results) < 4 {
+		t.Skipf("not enough results to paginate: %d", len(all.Results))
+	}
+	var page SearchResponse
+	rec = get(t, s, `/search?q=asthma&k=2&offset=2`)
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Results) != 2 {
+		t.Fatalf("page = %d results", len(page.Results))
+	}
+	for i := range page.Results {
+		if page.Results[i].ID != all.Results[i+2].ID {
+			t.Errorf("page result %d = %s, want %s", i, page.Results[i].ID, all.Results[i+2].ID)
+		}
+	}
+	// Offset beyond the result set: empty, not an error.
+	rec = get(t, s, `/search?q=asthma&k=5&offset=100000`)
+	var empty SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Results) != 0 {
+		t.Errorf("far offset returned %d results", len(empty.Results))
+	}
+	if rec := get(t, s, `/search?q=x&offset=-1`); rec.Code != http.StatusBadRequest {
+		t.Error("negative offset accepted")
+	}
+}

@@ -1,0 +1,532 @@
+// Package store implements a small embedded key-value store used to
+// persist XOnto-DIL posting lists. The paper used Microsoft SQL Server
+// 2000 purely as a keyed posting-list store; this package provides the
+// same durability and lookup contract with the standard library only:
+//
+//   - append-only segment files with CRC32-checksummed records,
+//   - an in-memory key directory rebuilt by replaying segments on open,
+//   - crash tolerance (a torn final record is detected and truncated),
+//   - tombstone deletes and whole-store compaction.
+//
+// It is safe for concurrent use.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultMaxSegmentSize is the rotation point for the active segment.
+const DefaultMaxSegmentSize = 8 << 20 // 8 MiB
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("store: key not found")
+
+const (
+	flagPut       = byte(0)
+	flagTombstone = byte(1)
+
+	segSuffix = ".seg"
+)
+
+type recordLoc struct {
+	segID  int
+	offset int64
+	length int64 // value length
+}
+
+// Store is an open key-value store rooted at a directory.
+type Store struct {
+	mu sync.RWMutex
+
+	dir            string
+	maxSegmentSize int64
+
+	index    map[string]recordLoc
+	segments map[int]*os.File
+	activeID int
+	active   *os.File
+	activeSz int64
+}
+
+// Options configure Open.
+type Options struct {
+	// MaxSegmentSize overrides the rotation size; zero means
+	// DefaultMaxSegmentSize.
+	MaxSegmentSize int64
+}
+
+// Open opens (creating if necessary) a store in dir, replaying existing
+// segments to rebuild the key directory. A torn record at the tail of
+// the newest segment — the signature of a crash mid-write — is
+// truncated away; corruption anywhere else is an error.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentSize <= 0 {
+		opts.MaxSegmentSize = DefaultMaxSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:            dir,
+		maxSegmentSize: opts.MaxSegmentSize,
+		index:          make(map[string]recordLoc),
+		segments:       make(map[int]*os.File),
+	}
+	ids, err := segmentIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		isNewest := i == len(ids)-1
+		if err := s.replaySegment(id, isNewest); err != nil {
+			s.closeAll()
+			return nil, err
+		}
+	}
+	if len(ids) == 0 {
+		if err := s.rotateLocked(0); err != nil {
+			return nil, err
+		}
+	} else {
+		last := ids[len(ids)-1]
+		f := s.segments[last]
+		sz, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			s.closeAll()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.activeID, s.active, s.activeSz = last, f, sz
+	}
+	return s, nil
+}
+
+func segmentIDs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(name, segSuffix))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func (s *Store) segPath(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%06d%s", id, segSuffix))
+}
+
+// replaySegment scans one segment, updating the index. tolerateTorn
+// permits (and truncates) a torn record at the very end.
+func (s *Store) replaySegment(id int, tolerateTorn bool) error {
+	f, err := os.OpenFile(s.segPath(id), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segments[id] = f
+	offset := int64(0)
+	for {
+		rec, next, err := readRecord(f, offset)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if tolerateTorn {
+				// Crash mid-write: discard the tail.
+				if terr := f.Truncate(offset); terr != nil {
+					return fmt.Errorf("store: truncating torn tail: %w", terr)
+				}
+				return nil
+			}
+			return fmt.Errorf("store: segment %d corrupt at offset %d: %w", id, offset, err)
+		}
+		if rec.flag == flagTombstone {
+			delete(s.index, string(rec.key))
+		} else {
+			s.index[string(rec.key)] = recordLoc{segID: id, offset: rec.valOffset, length: int64(len(rec.val))}
+		}
+		offset = next
+	}
+}
+
+type record struct {
+	flag      byte
+	key       []byte
+	val       []byte
+	valOffset int64
+}
+
+// Record layout:
+//
+//	crc32(payload) uint32 LE | payload
+//	payload = flag byte | keyLen uvarint | valLen uvarint | key | val
+func appendRecord(buf []byte, flag byte, key, val []byte) []byte {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(val))
+	payload = append(payload, flag)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = binary.AppendUvarint(payload, uint64(len(val)))
+	payload = append(payload, key...)
+	payload = append(payload, val...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, crc[:]...)
+	return append(buf, payload...)
+}
+
+func readRecord(f *os.File, offset int64) (record, int64, error) {
+	var hdr [4 + 1 + 2*binary.MaxVarintLen64]byte
+	n, err := f.ReadAt(hdr[:], offset)
+	if n == 0 && err == io.EOF {
+		return record{}, 0, io.EOF
+	}
+	if n < 6 { // crc + flag + at least 1 byte per uvarint
+		return record{}, 0, errors.New("truncated header")
+	}
+	wantCRC := binary.LittleEndian.Uint32(hdr[:4])
+	flag := hdr[4]
+	p := 5
+	keyLen, sz := binary.Uvarint(hdr[p:n])
+	if sz <= 0 {
+		return record{}, 0, errors.New("bad key length")
+	}
+	p += sz
+	valLen, sz := binary.Uvarint(hdr[p:n])
+	if sz <= 0 {
+		return record{}, 0, errors.New("bad value length")
+	}
+	p += sz
+	if keyLen > 1<<28 || valLen > 1<<31 {
+		return record{}, 0, errors.New("implausible record size")
+	}
+	payloadLen := int64(p-4) + int64(keyLen) + int64(valLen)
+	payload := make([]byte, payloadLen)
+	if _, err := f.ReadAt(payload, offset+4); err != nil {
+		return record{}, 0, errors.New("truncated payload")
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return record{}, 0, errors.New("checksum mismatch")
+	}
+	keyStart := int64(p - 4)
+	rec := record{
+		flag:      flag,
+		key:       payload[keyStart : keyStart+int64(keyLen)],
+		val:       payload[keyStart+int64(keyLen):],
+		valOffset: offset + 4 + keyStart + int64(keyLen),
+	}
+	return rec, offset + 4 + payloadLen, nil
+}
+
+func (s *Store) rotateLocked(id int) error {
+	f, err := os.OpenFile(s.segPath(id), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segments[id] = f
+	s.activeID, s.active, s.activeSz = id, f, 0
+	return nil
+}
+
+// Put stores val under key, replacing any prior value.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return errors.New("store: closed")
+	}
+	buf := appendRecord(nil, flagPut, []byte(key), val)
+	if s.activeSz+int64(len(buf)) > s.maxSegmentSize && s.activeSz > 0 {
+		if err := s.rotateLocked(s.activeID + 1); err != nil {
+			return err
+		}
+	}
+	offset := s.activeSz
+	if _, err := s.active.WriteAt(buf, offset); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.activeSz += int64(len(buf))
+	// Value offset within the record: crc(4) + flag(1) + uvarints + key.
+	prefix := int64(len(buf) - len(val))
+	s.index[key] = recordLoc{segID: s.activeID, offset: offset + prefix, length: int64(len(val))}
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	f := s.segments[loc.segID]
+	if f == nil {
+		return nil, fmt.Errorf("store: segment %d missing", loc.segID)
+	}
+	val := make([]byte, loc.length)
+	if _, err := f.ReadAt(val, loc.offset); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return val, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return errors.New("store: closed")
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	buf := appendRecord(nil, flagTombstone, []byte(key), nil)
+	if _, err := s.active.WriteAt(buf, s.activeSz); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.activeSz += int64(len(buf))
+	delete(s.index, key)
+	return nil
+}
+
+// Keys returns every live key, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Scan calls fn for every live key with a prefix, in sorted key order;
+// fn returning false stops the scan. The value is read fresh from disk.
+func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) error {
+	for _, k := range s.Keys() {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		v, err := s.Get(k)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted between Keys and Get
+			}
+			return err
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Compact rewrites all live records into a fresh segment and removes
+// the old ones, reclaiming space from overwrites and tombstones.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return errors.New("store: closed")
+	}
+	newID := s.activeID + 1
+	f, err := os.OpenFile(s.segPath(newID), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	newIndex := make(map[string]recordLoc, len(keys))
+	offset := int64(0)
+	for _, k := range keys {
+		loc := s.index[k]
+		seg := s.segments[loc.segID]
+		val := make([]byte, loc.length)
+		if _, err := seg.ReadAt(val, loc.offset); err != nil {
+			f.Close()
+			os.Remove(s.segPath(newID))
+			return fmt.Errorf("store: compact read: %w", err)
+		}
+		buf := appendRecord(nil, flagPut, []byte(k), val)
+		if _, err := f.WriteAt(buf, offset); err != nil {
+			f.Close()
+			os.Remove(s.segPath(newID))
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		prefix := int64(len(buf)) - int64(len(val))
+		newIndex[k] = recordLoc{segID: newID, offset: offset + prefix, length: int64(len(val))}
+		offset += int64(len(buf))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(s.segPath(newID))
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	// Swap in the new world, then remove old segments.
+	old := s.segments
+	s.segments = map[int]*os.File{newID: f}
+	s.index = newIndex
+	s.activeID, s.active, s.activeSz = newID, f, offset
+	for id, of := range old {
+		of.Close()
+		os.Remove(s.segPath(id))
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return errors.New("store: closed")
+	}
+	return s.active.Sync()
+}
+
+// Stats summarizes store health for maintenance decisions.
+type Stats struct {
+	// LiveKeys is the number of addressable keys.
+	LiveKeys int
+	// LiveBytes approximates the bytes needed for the live data (values
+	// plus per-record framing).
+	LiveBytes int64
+	// DiskBytes is the total size of all segment files.
+	DiskBytes int64
+	// Segments is the number of segment files.
+	Segments int
+}
+
+// Garbage estimates the fraction of disk occupied by dead data
+// (overwritten values and tombstones).
+func (s Stats) Garbage() float64 {
+	if s.DiskBytes == 0 {
+		return 0
+	}
+	g := float64(s.DiskBytes-s.LiveBytes) / float64(s.DiskBytes)
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Stats computes the store's live/disk accounting.
+func (s *Store) Stats() (Stats, error) {
+	s.mu.RLock()
+	if s.active == nil {
+		s.mu.RUnlock()
+		return Stats{}, errors.New("store: closed")
+	}
+	var live int64
+	for k, loc := range s.index {
+		// Framing: crc(4) + flag(1) + two uvarints (bounded by 10 each)
+		// + key; approximate uvarints at their max to stay conservative.
+		live += 4 + 1 + 2*int64(binary.MaxVarintLen64) + int64(len(k)) + loc.length
+	}
+	keys := len(s.index)
+	segs := len(s.segments)
+	s.mu.RUnlock()
+	disk, err := s.DiskSize()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{LiveKeys: keys, LiveBytes: live, DiskBytes: disk, Segments: segs}, nil
+}
+
+// CompactIfWasteful compacts the store when the estimated garbage
+// fraction exceeds the ratio (e.g. 0.5 = compact once half the disk is
+// dead data). Returns whether compaction ran.
+func (s *Store) CompactIfWasteful(ratio float64) (bool, error) {
+	st, err := s.Stats()
+	if err != nil {
+		return false, err
+	}
+	if st.Garbage() <= ratio {
+		return false, nil
+	}
+	if err := s.Compact(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// DiskSize returns the total size in bytes of all segment files.
+func (s *Store) DiskSize() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, f := range s.segments {
+		fi, err := f.Stat()
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// Close releases all file handles. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			first = err
+		}
+	}
+	s.closeAllLocked(&first)
+	s.active = nil
+	return first
+}
+
+func (s *Store) closeAll() {
+	var ignored error
+	s.closeAllLocked(&ignored)
+}
+
+func (s *Store) closeAllLocked(first *error) {
+	for id, f := range s.segments {
+		if err := f.Close(); err != nil && *first == nil {
+			*first = err
+		}
+		delete(s.segments, id)
+	}
+}

@@ -1,0 +1,585 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if !s.Has("a") || s.Has("b") {
+		t.Error("Has wrong")
+	}
+	// Overwrite.
+	if err := s.Put("a", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("a")
+	if string(got) != "beta" {
+		t.Errorf("after overwrite: %q", got)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete: %v", err)
+	}
+	// Deleting absent key is fine.
+	if err := s.Delete("never"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestEmptyValueAndBinaryKeys(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("empty")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty value: %v %v", got, err)
+	}
+	key := string([]byte{0, 1, 2, 255})
+	if err := s.Put(key, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(key)
+	if err != nil || !bytes.Equal(got, []byte{9}) {
+		t.Errorf("binary key: %v %v", got, err)
+	}
+}
+
+func TestReopenRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("k050"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k000", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	if s2.Len() != 99 {
+		t.Errorf("Len after reopen = %d, want 99", s2.Len())
+	}
+	if got, _ := s2.Get("k000"); string(got) != "rewritten" {
+		t.Errorf("k000 = %q", got)
+	}
+	if _, err := s2.Get("k050"); !errors.Is(err, ErrNotFound) {
+		t.Error("tombstone not replayed")
+	}
+	if got, _ := s2.Get("k099"); string(got) != "v99" {
+		t.Errorf("k099 = %q", got)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentSize: 256})
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("key%02d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := segmentIDs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < 3 {
+		t.Errorf("expected multiple segments, got %v", ids)
+	}
+	// All values still readable across segments.
+	for i := 0; i < 20; i++ {
+		got, err := s.Get(fmt.Sprintf("key%02d", i))
+		if err != nil || !bytes.Equal(got, val) {
+			t.Fatalf("key%02d unreadable after rotation: %v", i, err)
+		}
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("good", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte("this record will be cut")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the tail to simulate a crash mid-write.
+	path := filepath.Join(dir, "000000.seg")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, Options{})
+	if got, err := s2.Get("good"); err != nil || string(got) != "value" {
+		t.Fatalf("good record lost: %q %v", got, err)
+	}
+	if _, err := s2.Get("torn"); !errors.Is(err, ErrNotFound) {
+		t.Error("torn record should be discarded")
+	}
+	// The store is writable again after recovery.
+	if err := s2.Put("after", []byte("recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s2.Get("after"); string(got) != "recovery" {
+		t.Error("write after recovery failed")
+	}
+}
+
+func TestCorruptionInOlderSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxSegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte("v"), 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Flip a byte in the middle of the first segment.
+	path := filepath.Join(dir, "000000.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{MaxSegmentSize: 64}); err == nil {
+		t.Error("corruption in non-final segment must fail open")
+	}
+}
+
+func TestScanAndKeys(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	for _, k := range []string{"dil/asthma", "dil/cardiac", "meta/version", "dil/arrest"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := s.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("keys not sorted")
+		}
+	}
+	var scanned []string
+	if err := s.Scan("dil/", func(k string, v []byte) bool {
+		scanned = append(scanned, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != 3 {
+		t.Errorf("scanned %v", scanned)
+	}
+	// Early stop.
+	count := 0
+	if err := s.Scan("dil/", func(string, []byte) bool {
+		count++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{MaxSegmentSize: 512})
+	for i := 0; i < 50; i++ {
+		if err := s.Put("key", bytes.Repeat([]byte("v"), 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(fmt.Sprintf("live%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if err := s.Delete(fmt.Sprintf("live%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := s.DiskSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.DiskSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("compaction did not shrink: %d -> %d", before, after)
+	}
+	if s.Len() != 26 { // "key" + 25 live
+		t.Errorf("Len after compact = %d", s.Len())
+	}
+	if got, err := s.Get("key"); err != nil || len(got) != 64 {
+		t.Errorf("key after compact: %v %v", len(got), err)
+	}
+	// Old segments deleted from disk.
+	ids, _ := segmentIDs(dir)
+	if len(ids) != 1 {
+		t.Errorf("segments after compact: %v", ids)
+	}
+	// Store still writable and reopenable.
+	if err := s.Put("post", []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := open(t, dir, Options{MaxSegmentSize: 512})
+	if got, _ := s2.Get("post"); string(got) != "compact" {
+		t.Error("write after compact lost on reopen")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put("x", nil); err == nil {
+		t.Error("Put on closed store succeeded")
+	}
+	if err := s.Delete("x"); err == nil {
+		t.Error("Delete on closed store succeeded")
+	}
+	if err := s.Compact(); err == nil {
+		t.Error("Compact on closed store succeeded")
+	}
+	if err := s.Sync(); err == nil {
+		t.Error("Sync on closed store succeeded")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxSegmentSize: 4096})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					errs <- err
+					return
+				}
+				if got, err := s.Get(k); err != nil || string(got) != k {
+					errs <- fmt.Errorf("readback %s: %q %v", k, got, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s.Len() != 400 {
+		t.Errorf("Len = %d, want 400", s.Len())
+	}
+}
+
+// Property: a random interleaving of puts and deletes matches a map
+// model, before and after reopen.
+func TestQuickStoreModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		s, err := Open(dir, Options{MaxSegmentSize: 300})
+		if err != nil {
+			return false
+		}
+		model := make(map[string]string)
+		for i := 0; i < 120; i++ {
+			k := fmt.Sprintf("k%d", r.Intn(20))
+			if r.Intn(4) == 0 {
+				if err := s.Delete(k); err != nil {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", r.Intn(1000))
+				if err := s.Put(k, []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		check := func(st *Store) bool {
+			if st.Len() != len(model) {
+				return false
+			}
+			for k, v := range model {
+				got, err := st.Get(k)
+				if err != nil || string(got) != v {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(s) {
+			return false
+		}
+		s.Close()
+		s2, err := Open(dir, Options{MaxSegmentSize: 300})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		return check(s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAndAutoCompaction(t *testing.T) {
+	s := open(t, t.TempDir(), Options{MaxSegmentSize: 1024})
+	// Freshly written store: minimal garbage.
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte("v"), 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveKeys != 20 || st.Segments == 0 || st.DiskBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Garbage() > 0.2 {
+		t.Errorf("fresh store garbage = %.2f", st.Garbage())
+	}
+	// No compaction needed yet.
+	ran, err := s.CompactIfWasteful(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("compacted a fresh store")
+	}
+	// Overwrite everything repeatedly: garbage accumulates.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 20; i++ {
+			if err := s.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte("w"), 50)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st, _ = s.Stats()
+	if st.Garbage() < 0.5 {
+		t.Fatalf("garbage after overwrites = %.2f", st.Garbage())
+	}
+	ran, err = s.CompactIfWasteful(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("compaction did not run")
+	}
+	st2, _ := s.Stats()
+	if st2.DiskBytes >= st.DiskBytes {
+		t.Errorf("disk did not shrink: %d -> %d", st.DiskBytes, st2.DiskBytes)
+	}
+	if st2.LiveKeys != 20 {
+		t.Errorf("keys after compaction = %d", st2.LiveKeys)
+	}
+	// Data intact.
+	for i := 0; i < 20; i++ {
+		v, err := s.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || len(v) != 50 || v[0] != 'w' {
+			t.Fatalf("k%02d after compaction: %q %v", i, v, err)
+		}
+	}
+}
+
+func TestSegmentIDsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Foreign and malformed file names must be ignored on reopen.
+	for _, name := range []string{"notes.txt", "xyz.seg", "1.segment"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := open(t, dir, Options{})
+	if got, err := s2.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("data lost among foreign files: %q %v", got, err)
+	}
+}
+
+func TestOpenOnFilePathFails(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file, Options{}); err == nil {
+		t.Error("opening a store at a regular file succeeded")
+	}
+}
+
+func TestScanSkipsConcurrentlyDeletedKey(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("p/%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete mid-scan: the scan must skip the vanished key, not error.
+	seen := 0
+	err := s.Scan("p/", func(k string, v []byte) bool {
+		seen++
+		if seen == 1 {
+			if err := s.Delete("p/3"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen < 4 {
+		t.Errorf("scan saw %d keys", seen)
+	}
+}
+
+func TestCompactEmptyStore(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Error("empty store gained keys")
+	}
+	if err := s.Put("after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("after"); string(got) != "x" {
+		t.Error("write after empty compaction failed")
+	}
+}
+
+func TestCompactIfWastefulClosed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.CompactIfWasteful(0.5); err == nil {
+		t.Error("closed store compaction check succeeded")
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte("v"), 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i%1000), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte("v"), 256)
+	for i := 0; i < 1000; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("key-%d", i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

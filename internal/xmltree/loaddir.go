@@ -1,0 +1,78 @@
+package xmltree
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// LoadDir reads every .xml file of a directory into a corpus. Files are
+// parsed concurrently but added in sorted file-name order, so document
+// IDs (and with them all Dewey identifiers) are deterministic for a
+// given directory listing. Document names are the file names without
+// the .xml extension.
+func LoadDir(dir string) (*Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("xmltree: no .xml files in %s", dir)
+	}
+
+	docs := make([]*Document, len(names))
+	errs := make([]error, len(names))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				f, err := os.Open(filepath.Join(dir, names[i]))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				doc, err := Parse(f)
+				f.Close()
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", names[i], err)
+					continue
+				}
+				doc.Name = strings.TrimSuffix(names[i], ".xml")
+				docs[i] = doc
+			}
+		}()
+	}
+	for i := range names {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	corpus := NewCorpus()
+	for i, doc := range docs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("xmltree: %w", errs[i])
+		}
+		corpus.Add(doc)
+	}
+	return corpus, nil
+}

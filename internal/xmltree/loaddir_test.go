@@ -1,0 +1,79 @@
+package xmltree
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeXML(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeXML(t, dir, "b.xml", "<b><x/></b>")
+	writeXML(t, dir, "a.xml", "<a/>")
+	writeXML(t, dir, "c.xml", "<c>text</c>")
+	writeXML(t, dir, "ignore.txt", "not xml")
+	if err := os.Mkdir(filepath.Join(dir, "sub.xml"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 3 {
+		t.Fatalf("Len = %d", corpus.Len())
+	}
+	// Deterministic ID assignment by sorted name.
+	if corpus.Docs()[0].Name != "a" || corpus.Docs()[1].Name != "b" || corpus.Docs()[2].Name != "c" {
+		t.Errorf("order: %s %s %s", corpus.Docs()[0].Name, corpus.Docs()[1].Name, corpus.Docs()[2].Name)
+	}
+	if corpus.DocByName("b").Root.Tag != "b" {
+		t.Error("content mismatch")
+	}
+	// Dewey IDs assigned.
+	if corpus.Docs()[1].Root.ID.String() != "1" {
+		t.Errorf("dewey = %v", corpus.Docs()[1].Root.ID)
+	}
+}
+
+func TestLoadDirDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 12; i++ {
+		writeXML(t, dir, string(rune('a'+i))+".xml", "<doc><v/></doc>")
+	}
+	a, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Docs() {
+		if a.Docs()[i].Name != b.Docs()[i].Name || a.Docs()[i].ID != b.Docs()[i].ID {
+			t.Fatal("non-deterministic load order")
+		}
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("empty directory accepted")
+	}
+	bad := t.TempDir()
+	writeXML(t, bad, "good.xml", "<a/>")
+	writeXML(t, bad, "broken.xml", "<a><unclosed>")
+	if _, err := LoadDir(bad); err == nil {
+		t.Error("broken XML accepted")
+	}
+}

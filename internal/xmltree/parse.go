@@ -1,0 +1,81 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads one XML document from r into a labeled tree. Namespace
+// prefixes are dropped (the local element name is kept), processing
+// instructions and comments are ignored, and character data directly
+// under an element is concatenated into its Text field with surrounding
+// whitespace trimmed.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Tag: t.Name.Local}
+			n.Attrs = make([]Attr, 0, len(t.Attr))
+			for _, a := range t.Attr {
+				// Skip namespace declarations; they never carry query
+				// keywords or ontological references.
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmltree: multiple root elements")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AppendChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmltree: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.Text != "" {
+				top.Text += " "
+			}
+			top.Text += text
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmltree: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmltree: unterminated element")
+	}
+	return &Document{Root: root}, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}

@@ -1,0 +1,136 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1Fragment is a condensed version of the paper's Figure 1 CDA
+// document.
+const figure1Fragment = `<?xml version="1.0"?>
+<ClinicalDocument xmlns="urn:hl7-org:v3" templateId="2.16.840.1.113883.3.27.1776">
+  <id extension="c266" root="2.16.840.1.113883.3.933"/>
+  <recordTarget>
+    <patientRole>
+      <patientPatient>
+        <name><given>FirstName</given><family>LastName</family></name>
+      </patientPatient>
+    </patientRole>
+  </recordTarget>
+  <component>
+    <StructuredBody>
+      <component>
+        <section>
+          <code code="10160-0" codeSystem="2.16.840.1.113883.6.1" codeSystemName="LOINC"/>
+          <title>Medications</title>
+          <entry>
+            <Observation>
+              <code code="14657009" codeSystem="2.16.840.1.113883.6.96" codeSystemName="SNOMED CT" displayName="Medications"/>
+              <value code="195967001" codeSystem="2.16.840.1.113883.6.96" codeSystemName="SNOMED CT" displayName="Asthma"/>
+            </Observation>
+          </entry>
+          <entry>
+            <SubstanceAdministration>
+              <text><content ID="m1">Theophylline</content> 20 mg every other day.</text>
+            </SubstanceAdministration>
+          </entry>
+        </section>
+      </component>
+    </StructuredBody>
+  </component>
+</ClinicalDocument>`
+
+func TestParseFigure1(t *testing.T) {
+	doc, err := ParseString(figure1Fragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Tag != "ClinicalDocument" {
+		t.Fatalf("root tag = %q", doc.Root.Tag)
+	}
+	// Namespace declarations stripped, regular attrs kept.
+	if _, ok := doc.Root.Attr("xmlns"); ok {
+		t.Error("xmlns attribute should be dropped")
+	}
+	if v, ok := doc.Root.Attr("templateId"); !ok || v == "" {
+		t.Error("templateId attribute missing")
+	}
+	asthma := doc.Root.Find(func(n *Node) bool {
+		v, _ := n.Attr("displayName")
+		return v == "Asthma"
+	})
+	if asthma == nil {
+		t.Fatal("Asthma value node not parsed")
+	}
+	ref, ok := asthma.OntoRef()
+	if !ok || ref.Code != "195967001" {
+		t.Errorf("asthma OntoRef = %v, %v", ref, ok)
+	}
+	// Mixed content: "Theophylline" is inside <content>, the dose text
+	// directly under <text>.
+	text := doc.Root.Find(func(n *Node) bool { return n.Tag == "text" })
+	if text == nil || !strings.Contains(text.Text, "20 mg") {
+		t.Errorf("mixed content lost: %+v", text)
+	}
+	content := doc.Root.Find(func(n *Node) bool { return n.Tag == "content" })
+	if content == nil || content.Text != "Theophylline" {
+		t.Errorf("content text = %+v", content)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",               // no root
+		"<a><b></a>",     // mismatched
+		"<a></a><b></b>", // multiple roots
+		"<a>",            // unterminated
+		"plain text",     // no element
+	}
+	for _, s := range cases {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("ParseString(%q): want error", s)
+		}
+	}
+}
+
+func TestParseSerializeRoundTrip(t *testing.T) {
+	doc, err := ParseString(figure1Fragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := XMLString(doc.Root)
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	var flatten func(n *Node) string
+	flatten = func(n *Node) string {
+		var b strings.Builder
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteString("|" + a.Name + "=" + a.Value)
+		}
+		b.WriteString("|" + n.Text)
+		for _, c := range n.Children {
+			b.WriteString("(" + flatten(c) + ")")
+		}
+		return b.String()
+	}
+	if flatten(doc.Root) != flatten(doc2.Root) {
+		t.Error("serialize/parse round trip changed the tree")
+	}
+}
+
+func TestParseWhitespaceHandling(t *testing.T) {
+	doc, err := ParseString("<a>\n  <b>  hello   world  </b>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Text != "" {
+		t.Errorf("whitespace-only chardata kept: %q", doc.Root.Text)
+	}
+	b := doc.Root.Children[0]
+	if b.Text != "hello   world" {
+		t.Errorf("text = %q", b.Text)
+	}
+}

@@ -1,0 +1,52 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+)
+
+// WriteXML serializes the subtree rooted at n as indented XML.
+func WriteXML(w io.Writer, n *Node) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := encodeNode(enc, n); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+func encodeNode(enc *xml.Encoder, n *Node) error {
+	start := xml.StartElement{Name: xml.Name{Local: n.Tag}}
+	for _, a := range n.Attrs {
+		start.Attr = append(start.Attr, xml.Attr{
+			Name:  xml.Name{Local: a.Name},
+			Value: a.Value,
+		})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if n.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := encodeNode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// XMLString renders the subtree rooted at n as an indented XML string.
+// It is intended for presenting result fragments (paper Figure 4) and
+// for debugging; errors are impossible when writing to a builder.
+func XMLString(n *Node) string {
+	var b strings.Builder
+	if err := WriteXML(&b, n); err != nil {
+		return "<serialization error: " + err.Error() + ">"
+	}
+	return b.String()
+}

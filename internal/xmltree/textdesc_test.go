@@ -1,0 +1,141 @@
+package xmltree
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Bronchial Structure", []string{"bronchial", "structure"}},
+		{"SubstanceAdministration", []string{"substance", "administration"}},
+		{"supraventricular arrhythmia", []string{"supraventricular", "arrhythmia"}},
+		{"20 mg every other day.", []string{"20", "mg", "every", "other", "day"}},
+		{"", nil},
+		{"  --  ", nil},
+		{"HL7-CDA", []string{"hl7", "cda"}},
+		{"displayName", []string{"display", "name"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: tokens are lowercase, non-empty, and contain only letters
+// or digits.
+func TestQuickTokenizeWellFormed(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			if tok != strings.ToLower(tok) {
+				return false
+			}
+			for _, r := range tok {
+				isLetter := (r >= 'a' && r <= 'z') || r > 127
+				isDigit := r >= '0' && r <= '9'
+				if !isLetter && !isDigit && !strings.ContainsRune(tok, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenizing is idempotent over its own joined output.
+func TestQuickTokenizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Tokenize(s)
+		twice := Tokenize(strings.Join(once, " "))
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextDescriptionExcludesCodes(t *testing.T) {
+	n := &Node{Tag: "value", Text: ""}
+	n.SetAttr("code", "195967001")
+	n.SetAttr("codeSystem", "2.16.840.1.113883.6.96")
+	n.SetAttr("codeSystemName", "SNOMED CT")
+	n.SetAttr("displayName", "Asthma")
+	desc := TextDescription(n, DefaultTextOptions())
+	if strings.Contains(desc, "195967001") {
+		t.Errorf("description leaks concept code: %q", desc)
+	}
+	if strings.Contains(desc, "2.16.840") {
+		t.Errorf("description leaks code system: %q", desc)
+	}
+	if !strings.Contains(desc, "Asthma") {
+		t.Errorf("description lost displayName: %q", desc)
+	}
+	if !strings.HasPrefix(desc, "value") {
+		t.Errorf("description lost tag: %q", desc)
+	}
+}
+
+func TestTextDescriptionOptions(t *testing.T) {
+	n := &Node{Tag: "title", Text: "Medications"}
+	d := TextDescription(n, TextOptions{IncludeTag: false})
+	if d != "Medications" {
+		t.Errorf("IncludeTag=false -> %q", d)
+	}
+	d = TextDescription(n, TextOptions{IncludeTag: true})
+	if d != "title Medications" {
+		t.Errorf("IncludeTag=true -> %q", d)
+	}
+	// Custom exclusion set overrides the default.
+	n2 := &Node{Tag: "x"}
+	n2.SetAttr("code", "abc")
+	d = TextDescription(n2, TextOptions{ExcludedAttrs: map[string]bool{}, IncludeTag: false})
+	if !strings.Contains(d, "abc") {
+		t.Errorf("empty exclusion set should keep code: %q", d)
+	}
+}
+
+func TestContainsKeyword(t *testing.T) {
+	n := &Node{Tag: "value"}
+	n.SetAttr("displayName", "Disorder of Bronchus")
+	cases := []struct {
+		kw   string
+		want bool
+	}{
+		{"bronchus", true},
+		{"Bronchus", true},
+		{"disorder of bronchus", true},
+		{"of bronchus", true},
+		{"bronchial", false},
+		{"disorder bronchus", false}, // not contiguous
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := ContainsKeyword(n, c.kw); got != c.want {
+			t.Errorf("ContainsKeyword(%q) = %v, want %v", c.kw, got, c.want)
+		}
+	}
+}
+
+func TestContainsPhraseEdges(t *testing.T) {
+	if containsPhrase([]string{"a"}, []string{"a", "b"}) {
+		t.Error("phrase longer than text must not match")
+	}
+	if !containsPhrase([]string{"x", "a", "b", "y"}, []string{"a", "b"}) {
+		t.Error("interior phrase should match")
+	}
+	if containsPhrase(nil, nil) {
+		t.Error("empty phrase must not match")
+	}
+}

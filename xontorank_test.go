@@ -1,0 +1,100 @@
+package xontorank
+
+import (
+	"strings"
+	"testing"
+)
+
+// The public-API integration test: the full paper pipeline through the
+// exported surface only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ontCfg := DefaultOntologyConfig()
+	ontCfg.ExtraConcepts = 150
+	ont, err := GenerateOntology(ontCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpCfg := DefaultCorpusConfig()
+	corpCfg.NumDocuments = 15
+	corpus, err := GenerateCorpus(corpCfg, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig1, err := GenerateFigureOne(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+
+	for _, s := range Strategies() {
+		cfg := DefaultConfig()
+		cfg.Strategy = s
+		sys := New(corpus, ont, cfg)
+		res := sys.Search(`"bronchial structure" theophylline`, 5)
+		if s == StrategyXRANK {
+			if len(res) != 0 {
+				t.Errorf("XRANK found %d results for the intro query", len(res))
+			}
+			continue
+		}
+		if s == StrategyGraph || s == StrategyRelationships {
+			if len(res) == 0 {
+				t.Errorf("%v found nothing for the intro query", s)
+				continue
+			}
+			frag := sys.Fragment(res[0])
+			if !strings.Contains(frag, "codeSystem") {
+				t.Errorf("%v fragment not a CDA code fragment:\n%s", s, frag)
+			}
+		}
+	}
+}
+
+func TestPublicAPIParseAndLoad(t *testing.T) {
+	kws := ParseQuery(`"cardiac arrest" epinephrine`)
+	if len(kws) != 2 || kws[0] != "cardiac arrest" {
+		t.Errorf("ParseQuery = %v", kws)
+	}
+	doc, err := ParseXML(strings.NewReader(`<ClinicalDocument><component/></ClinicalDocument>`))
+	if err != nil || doc.Root.Tag != "ClinicalDocument" {
+		t.Errorf("ParseXML: %v %v", doc, err)
+	}
+	ont := FigureTwoFragment()
+	var buf strings.Builder
+	if err := ont.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ont2, err := LoadOntology(strings.NewReader(buf.String()))
+	if err != nil || ont2.Len() != ont.Len() {
+		t.Errorf("LoadOntology: %v (%d vs %d concepts)", err, ont2.Len(), ont.Len())
+	}
+	c := NewCorpus()
+	if c.Len() != 0 {
+		t.Error("NewCorpus not empty")
+	}
+}
+
+func TestPublicAPIBuildIndexAndPersist(t *testing.T) {
+	ont := FigureTwoFragment()
+	fig1, err := GenerateFigureOne(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := NewCorpus()
+	corpus.Add(fig1)
+	sys := New(corpus, ont, DefaultConfig())
+	stats, err := sys.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Keywords == 0 {
+		t.Fatal("no keywords indexed")
+	}
+	res := sys.Search("asthma medications", 3)
+	if len(res) == 0 {
+		t.Fatal("prebuilt index finds nothing")
+	}
+	if res[0].Document != "figure-1" {
+		t.Errorf("document = %q", res[0].Document)
+	}
+}
