@@ -1,0 +1,26 @@
+# Verification lanes for the XOntoRank reproduction.
+#
+#   make check   - tier-1 build+test plus vet and the race-detector lane
+#   make test    - tier-1: build everything, run every test
+#   make race    - race-detector lane over the concurrent packages
+#   make vet     - static checks
+#   make bench   - serving-layer benchmarks (cache hit/miss, parallel load)
+
+GO ?= go
+
+.PHONY: check test race vet bench
+
+check: test vet race
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/serving/... ./internal/query/... ./internal/server/...
+
+bench:
+	$(GO) test -run xxx -bench 'Serving' -benchmem .

@@ -9,15 +9,18 @@
 package xontorank
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dil"
 	"repro/internal/experiments"
 	"repro/internal/graphsearch"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
+	"repro/internal/serving"
 )
 
 var (
@@ -194,6 +197,86 @@ func BenchmarkAblationDecay(b *testing.B) {
 			}
 		})
 	}
+}
+
+// servingBench builds a serving layer over the Relationships system of
+// the shared benchmark environment, with explicit bounds so runs are
+// comparable across machines.
+func servingBench(b *testing.B, cfg serving.Config) *serving.Service[[]core.Result] {
+	env := benchEnvironment(b)
+	sys := env.Systems[ontoscore.StrategyRelationships]
+	return serving.NewService(cfg, func(ctx context.Context, req serving.Request) ([]core.Result, error) {
+		return sys.SearchKeywordsContext(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
+	})
+}
+
+// BenchmarkServingCacheHit measures the serving fast path: a repeated
+// identical query answered from the sharded LRU without touching the
+// engine.
+func BenchmarkServingCacheHit(b *testing.B) {
+	svc := servingBench(b, serving.DefaultConfig())
+	req := serving.Request{Strategy: "Relationships", Query: "cardiac arrest", K: 10}
+	if _, err := svc.Search(context.Background(), req); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Search(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(svc.Stats().Snapshot().CacheHits), "hits")
+}
+
+// BenchmarkServingCacheMiss measures the full serving path on a cold
+// cache: a capacity-2 cache cycled over more queries than it holds, so
+// every request goes admission → singleflight → engine.
+func BenchmarkServingCacheMiss(b *testing.B) {
+	cfg := serving.DefaultConfig()
+	cfg.CacheCapacity = 2
+	svc := servingBench(b, cfg)
+	queries := experiments.QueriesWithKeywordCount(2, 6)
+	for _, q := range queries { // warm the engine's keyword DILs only
+		if _, err := svc.Search(context.Background(), serving.Request{Query: query.Normalize(q), K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc.Cache().Purge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := serving.Request{Query: query.Normalize(queries[i%len(queries)]), K: 10}
+		if _, err := svc.Search(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingParallelLoad drives the serving layer from all
+// benchmark procs at once over a small hot query set — the
+// concurrent-load profile the admission and cache layers exist for.
+func BenchmarkServingParallelLoad(b *testing.B) {
+	svc := servingBench(b, serving.DefaultConfig())
+	queries := experiments.QueriesWithKeywordCount(2, 4)
+	reqs := make([]serving.Request, len(queries))
+	for i, q := range queries {
+		reqs[i] = serving.Request{Strategy: "Relationships", Query: query.Normalize(q), K: 10}
+		if _, err := svc.Search(context.Background(), reqs[i]); err != nil { // warm
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := svc.Search(context.Background(), reqs[i%len(reqs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	snap := svc.Stats().Snapshot()
+	b.ReportMetric(float64(snap.Shed), "shed")
+	b.ReportMetric(snap.Latency.P99Ms, "p99ms")
 }
 
 // BenchmarkRankedTopK compares XRANK's two query algorithms on the same

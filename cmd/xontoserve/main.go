@@ -7,23 +7,33 @@
 //	xontoserve -data data -addr :8080
 //	xontoserve -generate -docs 100 -concepts 1000 -addr :8080
 //
+// The serving layer (internal/serving) is tuned with -cache-size,
+// -cache-ttl, -max-concurrent, -queue-wait, and -timeout; overload is
+// answered with 429 and deadline expiry with 504. The process shuts
+// down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+//
 // Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
-// /healthz (see internal/server).
+// /metrics, /healthz (see internal/server).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/cda"
 	"repro/internal/core"
 	"repro/internal/ontology"
 	"repro/internal/server"
+	"repro/internal/serving"
 	"repro/internal/xmltree"
 )
 
@@ -34,6 +44,14 @@ func main() {
 	docs := flag.Int("docs", 100, "documents to generate with -generate")
 	concepts := flag.Int("concepts", 1000, "synthetic concepts with -generate")
 	seed := flag.Int64("seed", 1, "generation seed")
+
+	scfg := serving.DefaultConfig()
+	flag.IntVar(&scfg.CacheCapacity, "cache-size", scfg.CacheCapacity, "query result cache capacity (entries)")
+	flag.DurationVar(&scfg.CacheTTL, "cache-ttl", scfg.CacheTTL, "query result cache TTL (0 disables expiry)")
+	flag.IntVar(&scfg.MaxConcurrent, "max-concurrent", scfg.MaxConcurrent, "maximum concurrent search executions")
+	flag.DurationVar(&scfg.QueueWait, "queue-wait", scfg.QueueWait, "how long a request may wait for a slot before a 429")
+	flag.DurationVar(&scfg.Timeout, "timeout", scfg.Timeout, "per-search deadline before a 504")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	corpus, coll, err := loadOrGenerate(*data, *generate, *docs, *concepts, *seed)
@@ -43,13 +61,42 @@ func main() {
 	stats := corpus.Stats()
 	log.Printf("serving %d documents (%d elements, %d code nodes) across %d ontologies on %s",
 		stats.Documents, stats.Elements, stats.CodeNodes, coll.Len(), *addr)
+	log.Printf("serving layer: cache=%d entries ttl=%v max-concurrent=%d queue-wait=%v timeout=%v",
+		scfg.CacheCapacity, scfg.CacheTTL, scfg.MaxConcurrent, scfg.QueueWait, scfg.Timeout)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(server.New(corpus, coll, core.DefaultConfig())),
+		Handler:           logging(server.NewServing(corpus, coll, core.DefaultConfig(), scfg)),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// WriteTimeout must cover the serving deadline plus response
+		// encoding, or slow-but-admitted searches would be cut off
+		// mid-body instead of answered.
+		WriteTimeout: scfg.Timeout + 20*time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal("xontoserve: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining for up to %v", *shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			_ = srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		log.Print("bye")
+	}
 }
 
 func loadOrGenerate(data string, generate bool, docs, concepts int, seed int64) (*xmltree.Corpus, *ontology.Collection, error) {

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
+	"repro/internal/serving"
 	"repro/internal/store"
 	"repro/internal/xmltree"
 )
@@ -171,14 +173,38 @@ func (s *System) Search(q string, k int) []Result {
 	return s.SearchKeywords(query.ParseQuery(q), k)
 }
 
+// SearchContext is Search with cancellation and deadline support (the
+// serving layer's per-request budget). The only possible error is the
+// context's.
+func (s *System) SearchContext(ctx context.Context, q string, k int) ([]Result, error) {
+	return s.SearchKeywordsContext(ctx, query.ParseQuery(q), k)
+}
+
 // SearchKeywords answers a pre-parsed keyword query.
 func (s *System) SearchKeywords(keywords []query.Keyword, k int) []Result {
-	raw := s.engine.Search(keywords, k)
+	out, _ := s.SearchKeywordsContext(context.Background(), keywords, k)
+	return out
+}
+
+// SearchKeywordsContext answers a pre-parsed keyword query under a
+// context: keyword posting lists are resolved in parallel and the wait
+// is abandoned when ctx expires.
+func (s *System) SearchKeywordsContext(ctx context.Context, keywords []query.Keyword, k int) ([]Result, error) {
+	raw, err := s.engine.SearchContext(ctx, keywords, k)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Result, 0, len(raw))
 	for _, r := range raw {
 		out = append(out, s.resolve(keywords, r))
 	}
-	return out
+	return out, nil
+}
+
+// KeywordCacheMetrics reports the engine's bounded on-demand keyword
+// cache counters (exposed by the server's /metrics endpoint).
+func (s *System) KeywordCacheMetrics() serving.CacheMetrics {
+	return s.engine.CacheMetrics()
 }
 
 // SearchTopK answers the query with XRANK's ranked-access algorithm

@@ -1,10 +1,12 @@
 package query
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/dil"
+	"repro/internal/serving"
 	"repro/internal/xmltree"
 )
 
@@ -27,68 +29,136 @@ type Params struct {
 	Decay float64
 	// K is the default result-list length.
 	K int
+	// CacheSize bounds the on-demand keyword cache (entries); <= 0
+	// uses DefaultKeywordCacheSize. The cache is a sharded LRU, so a
+	// long-running server cannot grow without limit however many
+	// distinct phrases it is asked for.
+	CacheSize int
 }
 
-// DefaultParams returns decay 0.5 and top-10.
-func DefaultParams() Params { return Params{Decay: 0.5, K: 10} }
+// DefaultKeywordCacheSize is the on-demand keyword cache bound used
+// when Params.CacheSize is unset.
+const DefaultKeywordCacheSize = 4096
 
-// Engine answers keyword queries against an XOnto-DIL index.
+// DefaultParams returns decay 0.5, top-10, and the default keyword
+// cache bound.
+func DefaultParams() Params {
+	return Params{Decay: 0.5, K: 10, CacheSize: DefaultKeywordCacheSize}
+}
+
+// Engine answers keyword queries against an XOnto-DIL index. It is
+// safe for concurrent use: posting lists are resolved in parallel (one
+// goroutine per keyword), on-demand builds are deduplicated across
+// concurrent queries, and built lists land in a bounded LRU.
 type Engine struct {
 	params  Params
 	source  ListSource
 	builder KeywordBuilder
 
-	mu    sync.Mutex
-	cache map[string]dil.List // on-demand keywords built once
+	cache   *serving.Cache[dil.List] // on-demand keywords, bounded LRU
+	flights serving.Group[dil.List]  // dedup of concurrent builds
 }
 
 // NewEngine returns an engine reading lists from source, consulting
 // builder (may be nil) for keywords the source lacks.
 func NewEngine(source ListSource, builder KeywordBuilder, params Params) *Engine {
+	size := params.CacheSize
+	if size <= 0 {
+		size = DefaultKeywordCacheSize
+	}
 	return &Engine{
 		params:  params,
 		source:  source,
 		builder: builder,
-		cache:   make(map[string]dil.List),
+		cache:   serving.NewCache[dil.List](size, 0),
 	}
 }
 
-// list resolves one keyword's posting list.
-func (e *Engine) list(kw string) dil.List {
+// CacheMetrics reports the on-demand keyword cache counters.
+func (e *Engine) CacheMetrics() serving.CacheMetrics { return e.cache.Metrics() }
+
+// list resolves one keyword's posting list, building and caching it on
+// demand. Concurrent requests for the same missing keyword build once.
+func (e *Engine) list(ctx context.Context, kw string) (dil.List, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if l := e.source.List(kw); l != nil {
-		return l
+		return l, nil
 	}
 	if e.builder == nil {
-		return nil
+		return nil, nil
 	}
-	e.mu.Lock()
-	l, ok := e.cache[kw]
-	e.mu.Unlock()
-	if ok {
-		return l
+	if l, ok := e.cache.Get(kw); ok {
+		return l, nil
 	}
-	l = e.builder.BuildKeyword(kw)
-	e.mu.Lock()
-	e.cache[kw] = l
-	e.mu.Unlock()
-	return l
+	l, err, _ := e.flights.Do(ctx, kw, func(context.Context) (dil.List, error) {
+		if l, ok := e.cache.Get(kw); ok { // raced with another build
+			return l, nil
+		}
+		l := e.builder.BuildKeyword(kw)
+		e.cache.Set(kw, l)
+		return l, nil
+	})
+	return l, err
+}
+
+// resolve gathers every keyword's posting list, one goroutine per
+// keyword for multi-keyword queries. It honors ctx: cancellation stops
+// the wait and returns the context error (in-flight builds complete in
+// the background and still populate the cache).
+func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]dil.List, error) {
+	lists := make([]dil.List, len(keywords))
+	if len(keywords) == 1 {
+		l, err := e.list(ctx, string(keywords[0]))
+		if err != nil {
+			return nil, err
+		}
+		lists[0] = l
+		return lists, nil
+	}
+	errs := make([]error, len(keywords))
+	var wg sync.WaitGroup
+	for i, kw := range keywords {
+		wg.Add(1)
+		go func(i int, kw string) {
+			defer wg.Done()
+			lists[i], errs[i] = e.list(ctx, kw)
+		}(i, string(kw))
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lists, nil
 }
 
 // Search runs the query and returns up to k results ranked by
 // descending score (k <= 0 uses the engine default). Ties break by
 // Dewey order for determinism.
 func (e *Engine) Search(keywords []Keyword, k int) []Result {
+	res, _ := e.SearchContext(context.Background(), keywords, k)
+	return res
+}
+
+// SearchContext is Search with cancellation and deadline support: the
+// only possible error is the context's, in which case results are nil.
+func (e *Engine) SearchContext(ctx context.Context, keywords []Keyword, k int) ([]Result, error) {
 	if len(keywords) == 0 {
-		return nil
+		return nil, nil
 	}
 	if k <= 0 {
 		k = e.params.K
 	}
-	lists := make([]dil.List, len(keywords))
-	for i, kw := range keywords {
-		lists[i] = e.list(string(kw))
-		if len(lists[i]) == 0 {
-			return nil
+	lists, err := e.resolve(ctx, keywords)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil, nil
 		}
 	}
 	results := runDIL(lists, e.params.Decay)
@@ -101,7 +171,7 @@ func (e *Engine) Search(keywords []Keyword, k int) []Result {
 	if len(results) > k {
 		results = results[:k]
 	}
-	return results
+	return results, nil
 }
 
 // SearchQuery parses a query string and runs it.
@@ -114,20 +184,28 @@ func (e *Engine) SearchQuery(q string, k int) []Result {
 // for small k on large posting lists only a fraction of the postings
 // are consumed (see RunRankedStats).
 func (e *Engine) SearchRanked(keywords []Keyword, k int) []Result {
+	res, _ := e.SearchRankedContext(context.Background(), keywords, k)
+	return res
+}
+
+// SearchRankedContext is SearchRanked with cancellation support.
+func (e *Engine) SearchRankedContext(ctx context.Context, keywords []Keyword, k int) ([]Result, error) {
 	if len(keywords) == 0 {
-		return nil
+		return nil, nil
 	}
 	if k <= 0 {
 		k = e.params.K
 	}
-	lists := make([]dil.List, len(keywords))
-	for i, kw := range keywords {
-		lists[i] = e.list(string(kw))
-		if len(lists[i]) == 0 {
-			return nil
+	lists, err := e.resolve(ctx, keywords)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil, nil
 		}
 	}
-	return RunRanked(lists, e.params.Decay, k)
+	return RunRanked(lists, e.params.Decay, k), nil
 }
 
 // ResultNode resolves a result's root element in the corpus.

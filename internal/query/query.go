@@ -46,3 +46,27 @@ func ParseQuery(q string) []Keyword {
 	}
 	return out
 }
+
+// Normalize renders a query in canonical form — lowercased keywords,
+// phrases re-quoted, single-space separated — so that spellings that
+// parse identically share one cache key:
+//
+//	Normalize(`  Theophylline "Bronchial  Structure"`)
+//	  -> `theophylline "bronchial  structure"`
+//
+// ParseQuery(Normalize(q)) always equals ParseQuery(q).
+func Normalize(q string) string {
+	kws := ParseQuery(q)
+	if len(kws) == 0 {
+		return ""
+	}
+	parts := make([]string, len(kws))
+	for i, kw := range kws {
+		s := string(kw)
+		if strings.ContainsAny(s, " \t\n\v\f\r") {
+			s = `"` + s + `"`
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, " ")
+}

@@ -10,10 +10,18 @@
 //	GET /concepts?keyword=<w>[&system=<oid>]
 //	GET /ontoscore?keyword=<w>&strategy=<name>[&system=<oid>]
 //	GET /stats
+//	GET /metrics
 //	GET /healthz
+//
+// Searches flow through the internal/serving layer: a sharded LRU
+// result cache, singleflight deduplication of concurrent identical
+// queries, and semaphore admission control with per-request deadlines.
+// Overload is answered with 429, deadline expiry with 504, both as
+// JSON errors. /metrics exposes the serving counters.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -23,6 +31,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
+	"repro/internal/query"
+	"repro/internal/serving"
 	"repro/internal/xmltree"
 )
 
@@ -32,12 +42,20 @@ type Server struct {
 	corpus  *xmltree.Corpus
 	coll    *ontology.Collection
 	systems map[ontoscore.Strategy]*core.System
+	svc     *serving.Service[[]core.Result]
 	mux     *http.ServeMux
 }
 
-// New prepares the service. Systems are built for all four strategies;
-// searches run on demand (no bulk index build), so startup is fast.
+// New prepares the service with serving.DefaultConfig bounds. Systems
+// are built for all four strategies; searches run on demand (no bulk
+// index build), so startup is fast.
 func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config) *Server {
+	return NewServing(corpus, coll, cfg, serving.DefaultConfig())
+}
+
+// NewServing is New with explicit serving-layer bounds (cache size and
+// TTL, concurrency, queue wait, per-request deadline).
+func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config, scfg serving.Config) *Server {
 	s := &Server{
 		corpus:  corpus,
 		coll:    coll,
@@ -49,13 +67,30 @@ func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config) *Se
 		c.Strategy = st
 		s.systems[st] = core.NewMulti(corpus, coll, c)
 	}
+	s.svc = serving.NewService(scfg, s.execSearch)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/fragment", s.handleFragment)
 	s.mux.HandleFunc("/concepts", s.handleConcepts)
 	s.mux.HandleFunc("/ontoscore", s.handleOntoScore)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// Serving exposes the serving layer (tests and benchmarks inspect its
+// metrics and cache).
+func (s *Server) Serving() *serving.Service[[]core.Result] { return s.svc }
+
+// execSearch is the serving layer's uncached path: resolve the
+// strategy's system and run the ontology-aware search under ctx. It
+// returns the full offset+k prefix; handlers slice per request.
+func (s *Server) execSearch(ctx context.Context, req serving.Request) ([]core.Result, error) {
+	st, err := ontoscore.ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return s.systems[st].SearchKeywordsContext(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
 }
 
 // ServeHTTP implements http.Handler.
@@ -79,6 +114,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeServingError maps serving-layer failures onto the JSON error
+// contract: 429 when shedding load, 504 on deadline expiry.
+func writeServingError(w http.ResponseWriter, err error) {
+	status := serving.StatusFor(err)
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, status, "server overloaded, retry later")
+	case http.StatusGatewayTimeout:
+		writeError(w, status, "search deadline exceeded")
+	default:
+		writeError(w, status, "%v", err)
+	}
 }
 
 func (s *Server) strategyParam(r *http.Request) (ontoscore.Strategy, error) {
@@ -158,7 +208,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	withGroups := r.URL.Query().Get("group") == "1"
 
 	sys := s.systems[strategy]
-	results := sys.Search(q, offset+k)
+	results, err := s.svc.Search(r.Context(), serving.Request{
+		Strategy: strategy.String(),
+		Query:    query.Normalize(q),
+		K:        k,
+		Offset:   offset,
+	})
+	if err != nil {
+		writeServingError(w, err)
+		return
+	}
 	if offset >= len(results) {
 		results = nil
 	} else {
@@ -274,12 +333,25 @@ func (s *Server) handleOntoScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// OntoScore explanations run full ontology-graph expansions, so
+	// they share the serving layer's admission semaphore and deadline
+	// (without result caching).
+	ctx, release, err := s.svc.Admit(r.Context())
+	if err != nil {
+		writeServingError(w, err)
+		return
+	}
+	defer release()
 	systemFilter := r.URL.Query().Get("system")
 	builder := s.systems[strategy].Builder()
 	var out []OntoScoreEntry
 	for _, ont := range s.coll.Ontologies() {
 		if systemFilter != "" && ont.SystemID != systemFilter {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			writeServingError(w, err)
+			return
 		}
 		comp := builder.Computer(ont.SystemID)
 		if comp == nil {
@@ -338,6 +410,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Concepts      int    `json:"concepts"`
 			Relationships int    `json:"relationships"`
 		}{ont.SystemID, ont.Name, ont.Len(), ont.NumRelationships()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MetricsResponse is the /metrics payload: serving-layer counters plus
+// each strategy's bounded keyword-cache counters.
+type MetricsResponse struct {
+	Serving       serving.Metrics                 `json:"serving"`
+	KeywordCaches map[string]serving.CacheMetrics `json:"keywordCaches"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		Serving:       s.svc.Metrics(),
+		KeywordCaches: make(map[string]serving.CacheMetrics, len(s.systems)),
+	}
+	for st, sys := range s.systems {
+		resp.KeywordCaches[st.String()] = sys.KeywordCacheMetrics()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

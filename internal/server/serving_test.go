@@ -1,0 +1,248 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/query"
+	"repro/internal/serving"
+	"repro/internal/xmltree"
+)
+
+// testCorpus builds the same corpus and collection as testServer but
+// hands them back raw so tests can construct servers with custom
+// serving bounds.
+func testCorpus(t *testing.T) (*ontology.Ontology, *xmltree.Corpus, *ontology.Collection) {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 9, ExtraConcepts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := xmltree.NewCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 9, NumDocuments: 5, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.GenerateCorpus().Docs() {
+		corpus.Add(&xmltree.Document{Root: d.Root, Name: d.Name})
+	}
+	return ont, corpus, ontology.MustCollection(ont, ontology.LOINCFragment())
+}
+
+// The serving layer must be a transparent wrapper: a search issued
+// through serving.Service returns results identical to calling
+// core.System.Search directly, on first (uncached) and second (cached)
+// execution alike.
+func TestServingEquivalence(t *testing.T) {
+	s, _ := testServer(t)
+	queries := []string{
+		"asthma medications",
+		`"bronchial structure" theophylline`,
+		"cardiac arrest",
+		"zzznothing",
+	}
+	for _, strategy := range []string{"XRANK", "Graph", "Relationships"} {
+		sys := s.systemByName(t, strategy)
+		for _, q := range queries {
+			direct := sys.Search(q, 10)
+			req := serving.Request{Strategy: strategy, Query: query.Normalize(q), K: 10}
+			for pass, label := range []string{"uncached", "cached"} {
+				served, err := s.svc.Search(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s/%q pass %d: %v", strategy, q, pass, err)
+				}
+				if len(served) != len(direct) {
+					t.Fatalf("%s/%q %s: %d served vs %d direct results",
+						strategy, q, label, len(served), len(direct))
+				}
+				for i := range direct {
+					if !reflect.DeepEqual(direct[i], served[i]) {
+						t.Errorf("%s/%q %s: result %d differs:\ndirect %+v\nserved %+v",
+							strategy, q, label, i, direct[i], served[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) systemByName(t *testing.T, name string) *core.System {
+	t.Helper()
+	for st, sys := range s.systems {
+		if st.String() == name {
+			return sys
+		}
+	}
+	t.Fatalf("no system for strategy %q", name)
+	return nil
+}
+
+// A repeated identical /search is served from the cache: the hit
+// counter increments and the engine does not run again.
+func TestSearchEndpointCacheHit(t *testing.T) {
+	s, _ := testServer(t)
+	before := s.svc.Stats().Snapshot()
+	rec1 := get(t, s, `/search?q=asthma+medications&k=3`)
+	rec2 := get(t, s, `/search?q=asthma+medications&k=3`)
+	if rec1.Code != http.StatusOK || rec2.Code != http.StatusOK {
+		t.Fatalf("status = %d, %d", rec1.Code, rec2.Code)
+	}
+	if rec1.Body.String() != rec2.Body.String() {
+		t.Fatal("cached response differs from computed response")
+	}
+	after := s.svc.Stats().Snapshot()
+	if got := after.CacheHits - before.CacheHits; got != 1 {
+		t.Fatalf("cache hits +%d, want +1", got)
+	}
+	if got := after.Executions - before.Executions; got != 1 {
+		t.Fatalf("executions +%d, want +1 (second request must not re-run the engine)", got)
+	}
+	// Normalization: different spelling, same cache entry.
+	rec3 := get(t, s, `/search?q=ASTHMA++Medications&k=3`)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec3.Code)
+	}
+	if s.svc.Stats().Snapshot().Executions != after.Executions {
+		t.Fatal("normalized respelling re-ran the engine")
+	}
+}
+
+func TestSearchEndpointShedsWith429(t *testing.T) {
+	ont, corpus, coll := testCorpus(t)
+	_ = ont
+	scfg := serving.DefaultConfig()
+	scfg.MaxConcurrent = 1
+	scfg.QueueWait = 0
+	scfg.CacheCapacity = 4
+	s := NewServing(corpus, coll, core.DefaultConfig(), scfg)
+
+	// Saturate the one slot straight through the admission controller
+	// (an HTTP request would race the test's shed probe).
+	_, release, err := s.svc.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	rec := get(t, s, `/search?q=asthma+medications&k=3`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Fatalf("shed response not a JSON error: %v %q", err, rec.Body.String())
+	}
+}
+
+func TestOntoScoreEndpointAdmission(t *testing.T) {
+	_, corpus, coll := testCorpus(t)
+	scfg := serving.DefaultConfig()
+	scfg.MaxConcurrent = 1
+	scfg.QueueWait = 0
+	s := NewServing(corpus, coll, core.DefaultConfig(), scfg)
+	_, release, err := s.svc.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, s, `/ontoscore?keyword=asthma`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	release()
+	rec = get(t, s, `/ontoscore?keyword=asthma`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after release: status = %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	get(t, s, `/search?q=asthma+medications&k=3`)
+	get(t, s, `/search?q=asthma+medications&k=3`)
+	rec := get(t, s, `/metrics`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var m MetricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving.Requests.Requests < 2 {
+		t.Errorf("requests = %d, want >= 2", m.Serving.Requests.Requests)
+	}
+	if m.Serving.Requests.CacheHits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", m.Serving.Requests.CacheHits)
+	}
+	if m.Serving.Cache.Capacity <= 0 || m.Serving.Admission.Capacity <= 0 {
+		t.Errorf("bounds missing from metrics: %+v", m.Serving)
+	}
+	if m.Serving.Requests.Latency.Count < 2 {
+		t.Errorf("latency count = %d", m.Serving.Requests.Latency.Count)
+	}
+	if len(m.KeywordCaches) != 4 {
+		t.Errorf("keyword caches for %d strategies, want 4", len(m.KeywordCaches))
+	}
+	for name, km := range m.KeywordCaches {
+		if km.Capacity <= 0 {
+			t.Errorf("strategy %s keyword cache unbounded: %+v", name, km)
+		}
+	}
+}
+
+// Concurrent identical HTTP searches: all succeed, the engine runs
+// once. Run with -race this also exercises handler-level concurrency.
+func TestSearchEndpointConcurrentIdentical(t *testing.T) {
+	s, _ := testServer(t)
+	const n = 12
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := get(t, s, `/search?q=cardiac+arrest&k=5&strategy=Graph`)
+			codes[i] = rec.Code
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+	if ex := s.svc.Stats().Snapshot().Executions; ex != 1 {
+		t.Fatalf("engine executed %d times for %d concurrent identical queries, want 1", ex, n)
+	}
+}
+
+func TestServingDeadlineMapsTo504(t *testing.T) {
+	// A service whose exec ignores results and blocks demonstrates the
+	// full 504 path through writeServingError.
+	cfg := serving.Config{Timeout: 15 * time.Millisecond, MaxConcurrent: 2, CacheCapacity: 4}
+	svc := serving.NewService(cfg, func(ctx context.Context, req serving.Request) ([]core.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	_, err := svc.Search(context.Background(), serving.Request{Query: "x"})
+	if serving.StatusFor(err) != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%v), want 504", serving.StatusFor(err), err)
+	}
+}

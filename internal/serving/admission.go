@@ -1,0 +1,93 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned when admission control sheds a request
+// because every worker slot stayed busy for the whole queue wait.
+// HTTP front ends map it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serving: overloaded, request shed")
+
+// Admission is a semaphore-bounded admission controller: at most max
+// requests hold a slot at once, and a request that cannot get a slot
+// within the configured wait is shed with ErrOverloaded instead of
+// queueing without bound.
+type Admission struct {
+	slots   chan struct{}
+	maxWait time.Duration
+	shed    atomic.Int64
+	adm     atomic.Int64
+}
+
+// AdmissionMetrics is a point-in-time view of the controller.
+type AdmissionMetrics struct {
+	Capacity int   `json:"capacity"`
+	InFlight int   `json:"inFlight"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
+// NewAdmission returns a controller with max slots (raised to 1 if
+// smaller). maxWait is how long an arriving request may wait for a
+// slot before being shed; 0 sheds immediately when saturated.
+func NewAdmission(max int, maxWait time.Duration) *Admission {
+	if max < 1 {
+		max = 1
+	}
+	return &Admission{slots: make(chan struct{}, max), maxWait: maxWait}
+}
+
+// Acquire obtains a worker slot, waiting up to the queue wait. It
+// returns a release function that must be called exactly once, or
+// ErrOverloaded when shedding (ctx errors pass through when the caller
+// gives up first).
+func (a *Admission) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		a.adm.Add(1)
+		return a.releaseFunc(), nil
+	default:
+	}
+	if a.maxWait <= 0 {
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.adm.Add(1)
+		return a.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		a.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+func (a *Admission) releaseFunc() func() {
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			<-a.slots
+		}
+	}
+}
+
+// InFlight reports how many slots are currently held.
+func (a *Admission) InFlight() int { return len(a.slots) }
+
+// Metrics returns the controller counters.
+func (a *Admission) Metrics() AdmissionMetrics {
+	return AdmissionMetrics{
+		Capacity: cap(a.slots),
+		InFlight: len(a.slots),
+		Admitted: a.adm.Load(),
+		Shed:     a.shed.Load(),
+	}
+}

@@ -1,0 +1,104 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionBoundsAndShedsImmediately(t *testing.T) {
+	a := NewAdmission(2, 0)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", a.InFlight())
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated Acquire = %v, want ErrOverloaded", err)
+	}
+	r1()
+	r3, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r2()
+	r3()
+	r3() // double release must be a no-op
+	if a.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after releases", a.InFlight())
+	}
+	m := a.Metrics()
+	if m.Shed != 1 || m.Admitted != 3 || m.Capacity != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestAdmissionQueueWaitSucceeds(t *testing.T) {
+	a := NewAdmission(1, time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r, err := a.Acquire(context.Background()) // waits for the slot
+		if err != nil {
+			t.Errorf("queued Acquire = %v", err)
+			return
+		}
+		r()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	release()
+	wg.Wait()
+	if shed := a.Metrics().Shed; shed != 0 {
+		t.Fatalf("shed = %d, want 0", shed)
+	}
+}
+
+func TestAdmissionQueueWaitExpires(t *testing.T) {
+	a := NewAdmission(1, 15*time.Millisecond)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired wait = %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("shed before the queue wait elapsed")
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, time.Minute)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+	}
+	// A caller abandoning the queue is not a shed.
+	if shed := a.Metrics().Shed; shed != 0 {
+		t.Fatalf("shed = %d, want 0", shed)
+	}
+}

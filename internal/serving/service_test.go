@@ -1,0 +1,281 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		CacheCapacity: 32,
+		CacheTTL:      time.Minute,
+		MaxConcurrent: 4,
+		QueueWait:     0,
+		Timeout:       time.Second,
+	}
+}
+
+func TestServiceCachesRepeatedQueries(t *testing.T) {
+	var execs atomic.Int64
+	svc := NewService(testConfig(), func(ctx context.Context, req Request) ([]string, error) {
+		execs.Add(1)
+		return []string{req.Query, "result"}, nil
+	})
+	req := Request{Strategy: "Relationships", Query: "asthma", K: 10}
+	for i := 0; i < 5; i++ {
+		v, err := svc.Search(context.Background(), req)
+		if err != nil || len(v) != 2 {
+			t.Fatalf("call %d: (%v, %v)", i, v, err)
+		}
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("exec ran %d times, want 1 (cached)", execs.Load())
+	}
+	snap := svc.Stats().Snapshot()
+	if snap.CacheHits != 4 || snap.CacheMiss != 1 || snap.Executions != 1 {
+		t.Fatalf("stats = %+v", snap)
+	}
+	if m := svc.Metrics(); m.Cache.Entries != 1 {
+		t.Fatalf("cache entries = %d", m.Cache.Entries)
+	}
+}
+
+func TestServiceKeySeparatesRequests(t *testing.T) {
+	var execs atomic.Int64
+	svc := NewService(testConfig(), func(ctx context.Context, req Request) (string, error) {
+		execs.Add(1)
+		return req.Key(), nil
+	})
+	reqs := []Request{
+		{Strategy: "Graph", Query: "asthma", K: 10},
+		{Strategy: "Relationships", Query: "asthma", K: 10},
+		{Strategy: "Graph", Query: "asthma", K: 20},
+		{Strategy: "Graph", Query: "asthma", K: 10, Offset: 10},
+	}
+	for _, r := range reqs {
+		if _, err := svc.Search(context.Background(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if execs.Load() != int64(len(reqs)) {
+		t.Fatalf("exec ran %d times, want %d (distinct keys)", execs.Load(), len(reqs))
+	}
+}
+
+// The acceptance path: concurrent identical queries execute the engine
+// exactly once; everyone gets the same answer.
+func TestServiceSingleflightUnderConcurrency(t *testing.T) {
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	svc := NewService(testConfig(), func(ctx context.Context, req Request) (int, error) {
+		execs.Add(1)
+		<-gate
+		return 42, nil
+	})
+	req := Request{Strategy: "Graph", Query: "cardiac arrest", K: 10}
+	const n = 20
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	vals := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = svc.Search(context.Background(), req)
+		}(i)
+	}
+	for svc.flights.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the remaining callers join the flight
+	close(gate)
+	wg.Wait()
+	if execs.Load() != 1 {
+		t.Fatalf("engine executed %d times under %d concurrent identical queries", execs.Load(), n)
+	}
+	for i := range vals {
+		if errs[i] != nil || vals[i] != 42 {
+			t.Fatalf("caller %d: (%d, %v)", i, vals[i], errs[i])
+		}
+	}
+	// And a subsequent call is a plain cache hit.
+	before := svc.Stats().Snapshot().CacheHits
+	if _, err := svc.Search(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if after := svc.Stats().Snapshot().CacheHits; after != before+1 {
+		t.Fatalf("cache hits %d -> %d, want +1", before, after)
+	}
+}
+
+func TestServiceShedsWhenSaturated(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	cfg.QueueWait = 0
+	gate := make(chan struct{})
+	svc := NewService(cfg, func(ctx context.Context, req Request) (int, error) {
+		<-gate
+		return 1, nil
+	})
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		if _, err := svc.Search(context.Background(), Request{Query: "blocker"}); err != nil {
+			t.Errorf("blocker: %v", err)
+		}
+	}()
+	for svc.adm.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := svc.Search(context.Background(), Request{Query: "shed-me"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated search = %v, want ErrOverloaded", err)
+	}
+	if StatusFor(ErrOverloaded) != 429 {
+		t.Fatal("ErrOverloaded must map to 429")
+	}
+	snap := svc.Stats().Snapshot()
+	if snap.Shed == 0 {
+		t.Fatalf("shed counter = %d, want > 0", snap.Shed)
+	}
+	close(gate)
+	<-blockerDone
+}
+
+func TestServiceTimeout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Timeout = 20 * time.Millisecond
+	svc := NewService(cfg, func(ctx context.Context, req Request) (int, error) {
+		<-ctx.Done() // a well-behaved exec observes the deadline
+		return 0, ctx.Err()
+	})
+	_, err := svc.Search(context.Background(), Request{Query: "slow"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if StatusFor(err) != 504 {
+		t.Fatalf("status = %d, want 504", StatusFor(err))
+	}
+	if snap := svc.Stats().Snapshot(); snap.Timeouts != 1 {
+		t.Fatalf("timeouts = %d", snap.Timeouts)
+	}
+	// A failed execution must not be cached.
+	if _, ok := svc.Cache().Get(Request{Query: "slow"}.Key()); ok {
+		t.Fatal("timed-out result was cached")
+	}
+}
+
+// Caller cancellation detaches the caller but neither aborts the shared
+// flight for others nor leaks goroutines once flights drain.
+func TestServiceCanceledCallersDoNotLeakGoroutines(t *testing.T) {
+	cfg := testConfig()
+	cfg.Timeout = 50 * time.Millisecond
+	cfg.MaxConcurrent = 8
+	svc := NewService(cfg, func(ctx context.Context, req Request) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				time.Sleep(time.Duration(i%5) * time.Millisecond)
+				cancel()
+			}()
+			_, err := svc.Search(ctx, Request{Query: fmt.Sprintf("q-%d", i%8)})
+			if err == nil {
+				t.Errorf("request %d unexpectedly succeeded", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Flights keep running for up to Timeout after callers left; wait
+	// for the goroutine count to return to baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: baseline %d, now %d — serving layer leaked", baseline, runtime.NumGoroutine())
+}
+
+func TestServiceTTLExpiryReexecutes(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheTTL = 30 * time.Second
+	var execs atomic.Int64
+	svc := NewService(cfg, func(ctx context.Context, req Request) (int, error) {
+		execs.Add(1)
+		return int(execs.Load()), nil
+	})
+	now := time.Unix(5000, 0)
+	svc.Cache().now = func() time.Time { return now }
+	req := Request{Query: "q", K: 5}
+	if v, _ := svc.Search(context.Background(), req); v != 1 {
+		t.Fatalf("first = %d", v)
+	}
+	if v, _ := svc.Search(context.Background(), req); v != 1 {
+		t.Fatalf("cached = %d", v)
+	}
+	now = now.Add(31 * time.Second)
+	if v, _ := svc.Search(context.Background(), req); v != 2 {
+		t.Fatalf("after TTL = %d, want re-execution", v)
+	}
+}
+
+func TestServiceAdmit(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	svc := NewService(cfg, func(ctx context.Context, req Request) (int, error) { return 0, nil })
+	ctx, release, err := svc.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("admitted context has no deadline")
+	}
+	if _, _, err := svc.Admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second Admit = %v, want ErrOverloaded", err)
+	}
+	release()
+	ctx2, release2, err := svc.Admit(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	release2()
+	if ctx2.Err() == nil {
+		t.Fatal("release must cancel the admitted context")
+	}
+}
+
+func TestRequestKeyRoundTrip(t *testing.T) {
+	a := Request{Strategy: "Graph", Query: `"cardiac arrest" epi`, K: 10, Offset: 5}
+	b := a
+	if a.Key() != b.Key() {
+		t.Fatal("identical requests produced different keys")
+	}
+	b.Offset = 6
+	if a.Key() == b.Key() {
+		t.Fatal("offset not part of key")
+	}
+	c := Request{Strategy: "Graph", Query: "q", K: 1, Offset: 23}
+	d := Request{Strategy: "Graph", Query: "q", K: 12, Offset: 3}
+	if c.Key() == d.Key() {
+		t.Fatal("k/offset concatenation ambiguous")
+	}
+}

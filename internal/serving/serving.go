@@ -1,0 +1,233 @@
+// Package serving is the production serving layer between the HTTP
+// handlers and the query pipeline. It makes the hot path bounded and
+// reusable without changing what a search returns:
+//
+//	request ──► result cache (fast path)
+//	                │ miss
+//	                ▼
+//	        singleflight group ──► admission semaphore ──► deadline ──► exec
+//	                                      │ saturated                    │ ok
+//	                                      ▼                              ▼
+//	                                 ErrOverloaded                  cache fill
+//
+// Concurrent identical requests execute once (singleflight); repeated
+// requests are served from a sharded LRU with TTL; total concurrent
+// executions are bounded by a semaphore that sheds excess load with
+// ErrOverloaded instead of queueing without bound; and every execution
+// runs under a context deadline. The layer is generic over the result
+// type so the same machinery backs the HTTP result cache and the query
+// engine's keyword-list cache.
+package serving
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Request identifies one cacheable search. Query must already be
+// normalized (lowercased, phrase-quoted) by the caller so that
+// equivalent spellings share a cache entry.
+type Request struct {
+	Strategy string
+	Query    string
+	K        int
+	Offset   int
+}
+
+// Key is the cache and singleflight identity of the request.
+func (r Request) Key() string {
+	return r.Strategy + "\x1f" + r.Query + "\x1f" +
+		strconv.Itoa(r.K) + "\x1f" + strconv.Itoa(r.Offset)
+}
+
+// Exec computes the uncached answer for a request. It must honor the
+// context deadline.
+type Exec[V any] func(ctx context.Context, req Request) (V, error)
+
+// Config bounds the serving layer.
+type Config struct {
+	// CacheCapacity is the maximum number of cached results.
+	CacheCapacity int
+	// CacheTTL expires cached results; <= 0 means no expiry.
+	CacheTTL time.Duration
+	// MaxConcurrent bounds simultaneous executions.
+	MaxConcurrent int
+	// QueueWait is how long a request may wait for an execution slot
+	// before being shed with ErrOverloaded.
+	QueueWait time.Duration
+	// Timeout is the per-execution deadline.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns serving bounds suitable for the demo service:
+// 1024 cached results for 60s, 32 concurrent executions, 100ms queue
+// wait, 10s execution deadline.
+func DefaultConfig() Config {
+	return Config{
+		CacheCapacity: 1024,
+		CacheTTL:      60 * time.Second,
+		MaxConcurrent: 32,
+		QueueWait:     100 * time.Millisecond,
+		Timeout:       10 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = d.CacheCapacity
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = d.MaxConcurrent
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = d.Timeout
+	}
+	return c
+}
+
+// Service serves requests through the cache → singleflight → admission
+// pipeline. V is the (immutable, shareable) result type.
+type Service[V any] struct {
+	cfg     Config
+	exec    Exec[V]
+	cache   *Cache[V]
+	flights Group[V]
+	adm     *Admission
+	stats   Stats
+}
+
+// NewService builds a service around exec with the given bounds
+// (zero-valued fields fall back to DefaultConfig).
+func NewService[V any](cfg Config, exec Exec[V]) *Service[V] {
+	cfg = cfg.withDefaults()
+	return &Service[V]{
+		cfg:   cfg,
+		exec:  exec,
+		cache: NewCache[V](cfg.CacheCapacity, cfg.CacheTTL),
+		adm:   NewAdmission(cfg.MaxConcurrent, cfg.QueueWait),
+	}
+}
+
+// Search answers the request, from cache when possible. On a miss the
+// execution is deduplicated across concurrent identical requests,
+// admitted through the semaphore (ErrOverloaded when shedding), run
+// under the configured deadline (context.DeadlineExceeded on expiry),
+// and cached on success.
+func (s *Service[V]) Search(ctx context.Context, req Request) (V, error) {
+	start := time.Now()
+	s.stats.requests.Add(1)
+	key := req.Key()
+	if v, ok := s.cache.Get(key); ok {
+		s.stats.hits.Add(1)
+		s.stats.Observe(time.Since(start))
+		return v, nil
+	}
+	s.stats.misses.Add(1)
+	v, err, shared := s.flights.Do(ctx, key, func(fctx context.Context) (V, error) {
+		release, err := s.adm.Acquire(fctx)
+		if err != nil {
+			var zero V
+			return zero, err
+		}
+		defer release()
+		// A concurrent flight may have filled the cache between our
+		// lookup and this flight starting.
+		if v, ok := s.cache.Get(key); ok {
+			return v, nil
+		}
+		ectx, cancel := context.WithTimeout(fctx, s.cfg.Timeout)
+		defer cancel()
+		s.stats.executions.Add(1)
+		v, err := s.exec(ectx, req)
+		if err == nil {
+			s.cache.Set(key, v)
+		}
+		return v, err
+	})
+	if shared {
+		s.stats.shared.Add(1)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded):
+		s.stats.shed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.stats.canceled.Add(1)
+	default:
+		s.stats.errors.Add(1)
+	}
+	s.stats.Observe(time.Since(start))
+	return v, err
+}
+
+// Admit exposes the admission semaphore for handlers that want
+// concurrency bounds and deadlines without result caching (e.g.
+// expensive explanation endpoints). The returned context carries the
+// serving deadline; release must be called when the work finishes.
+func (s *Service[V]) Admit(ctx context.Context) (context.Context, func(), error) {
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.stats.shed.Add(1)
+		}
+		return ctx, nil, err
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	return dctx, func() { cancel(); release() }, nil
+}
+
+// Cache exposes the result cache (benchmarks purge it between runs).
+func (s *Service[V]) Cache() *Cache[V] { return s.cache }
+
+// Stats exposes the request counters.
+func (s *Service[V]) Stats() *Stats { return &s.stats }
+
+// Config returns the effective (defaulted) bounds.
+func (s *Service[V]) Config() Config { return s.cfg }
+
+// Metrics is the /metrics view of one service.
+type Metrics struct {
+	Requests     StatsSnapshot    `json:"requests"`
+	Cache        CacheMetrics     `json:"cache"`
+	Admission    AdmissionMetrics `json:"admission"`
+	Singleflight struct {
+		Coalesced int64 `json:"coalesced"`
+		InFlight  int   `json:"inFlight"`
+	} `json:"singleflight"`
+}
+
+// Metrics assembles the counters of every component.
+func (s *Service[V]) Metrics() Metrics {
+	m := Metrics{
+		Requests:  s.stats.Snapshot(),
+		Cache:     s.cache.Metrics(),
+		Admission: s.adm.Metrics(),
+	}
+	m.Singleflight.Coalesced = s.flights.Shared()
+	m.Singleflight.InFlight = s.flights.InFlight()
+	return m
+}
+
+// StatusFor maps a serving error to an HTTP status: ErrOverloaded →
+// 429, deadline expiry → 504, caller cancellation → 499 (nginx's
+// client-closed-request), anything else → 500.
+func StatusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}

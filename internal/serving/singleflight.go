@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Group deduplicates concurrent calls that share a key: the first call
+// starts the work, later calls wait for the same result. The work runs
+// in its own goroutine with a caller-independent context, so one
+// impatient caller canceling does not abort the shared computation —
+// waiters that cancel simply stop waiting (and get their ctx error),
+// while the flight completes and can still populate caches.
+type Group[V any] struct {
+	mu     sync.Mutex
+	calls  map[string]*flight[V]
+	shared atomic.Int64
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the result of fn for key, executing fn at most once among
+// concurrent callers with the same key. The boolean reports whether the
+// result was shared with (or abandoned while waiting on) another
+// caller's flight. fn receives a context detached from any caller; it
+// must bound its own lifetime (the serving layer passes a deadline).
+func (g *Group[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flight[V])
+	}
+	if f, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.shared.Add(1)
+		return g.wait(ctx, f, true)
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.calls[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		f.val, f.err = fn(context.WithoutCancel(ctx))
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	return g.wait(ctx, f, false)
+}
+
+func (g *Group[V]) wait(ctx context.Context, f *flight[V], shared bool) (V, error, bool) {
+	select {
+	case <-f.done:
+		return f.val, f.err, shared
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err(), shared
+	}
+}
+
+// Shared reports how many calls were coalesced onto another caller's
+// flight since the group was created.
+func (g *Group[V]) Shared() int64 { return g.shared.Load() }
+
+// InFlight reports the number of keys currently executing.
+func (g *Group[V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,110 @@
+package serving
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is how many recent request latencies the quantile estimator
+// retains; older observations fall out of the window.
+const latWindow = 2048
+
+// Stats collects request-level serving counters and a sliding window of
+// latencies for quantile estimation. All methods are safe for
+// concurrent use.
+type Stats struct {
+	requests   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	shared     atomic.Int64
+	shed       atomic.Int64
+	timeouts   atomic.Int64
+	canceled   atomic.Int64
+	errors     atomic.Int64
+	executions atomic.Int64
+
+	mu    sync.Mutex
+	ring  [latWindow]time.Duration
+	next  int
+	count int64 // total observations ever
+}
+
+// StatsSnapshot is the JSON-friendly view of Stats.
+type StatsSnapshot struct {
+	Requests   int64           `json:"requests"`
+	CacheHits  int64           `json:"cacheHits"`
+	CacheMiss  int64           `json:"cacheMisses"`
+	Coalesced  int64           `json:"coalesced"`
+	Shed       int64           `json:"shed"`
+	Timeouts   int64           `json:"timeouts"`
+	Canceled   int64           `json:"canceled"`
+	Errors     int64           `json:"errors"`
+	Executions int64           `json:"executions"`
+	Latency    LatencySnapshot `json:"latency"`
+}
+
+// LatencySnapshot reports quantiles over the retained window, in
+// milliseconds.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	Window int     `json:"window"`
+	P50Ms  float64 `json:"p50ms"`
+	P90Ms  float64 `json:"p90ms"`
+	P99Ms  float64 `json:"p99ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// Observe records one completed request's latency.
+func (s *Stats) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.ring[s.next] = d
+	s.next = (s.next + 1) % latWindow
+	s.count++
+	s.mu.Unlock()
+}
+
+// Snapshot returns the current counters and latency quantiles.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:   s.requests.Load(),
+		CacheHits:  s.hits.Load(),
+		CacheMiss:  s.misses.Load(),
+		Coalesced:  s.shared.Load(),
+		Shed:       s.shed.Load(),
+		Timeouts:   s.timeouts.Load(),
+		Canceled:   s.canceled.Load(),
+		Errors:     s.errors.Load(),
+		Executions: s.executions.Load(),
+		Latency:    s.latency(),
+	}
+}
+
+func (s *Stats) latency() LatencySnapshot {
+	s.mu.Lock()
+	n := int(s.count)
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, s.ring[:n])
+	total := s.count
+	s.mu.Unlock()
+
+	snap := LatencySnapshot{Count: total, Window: n}
+	if n == 0 {
+		return snap
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return ms(window[i])
+	}
+	snap.P50Ms = q(0.50)
+	snap.P90Ms = q(0.90)
+	snap.P99Ms = q(0.99)
+	snap.MaxMs = ms(window[n-1])
+	return snap
+}

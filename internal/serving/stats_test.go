@@ -1,0 +1,57 @@
+package serving
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStatsLatencyQuantiles(t *testing.T) {
+	var s Stats
+	// 1..100 ms, uniformly.
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	snap := s.Snapshot().Latency
+	if snap.Count != 100 || snap.Window != 100 {
+		t.Fatalf("count/window = %d/%d", snap.Count, snap.Window)
+	}
+	if snap.P50Ms < 45 || snap.P50Ms > 55 {
+		t.Errorf("p50 = %.1fms", snap.P50Ms)
+	}
+	if snap.P90Ms < 85 || snap.P90Ms > 95 {
+		t.Errorf("p90 = %.1fms", snap.P90Ms)
+	}
+	if snap.P99Ms < 95 || snap.P99Ms > 100 {
+		t.Errorf("p99 = %.1fms", snap.P99Ms)
+	}
+	if snap.MaxMs != 100 {
+		t.Errorf("max = %.1fms", snap.MaxMs)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	var s Stats
+	snap := s.Snapshot()
+	if snap.Latency.Count != 0 || snap.Latency.P99Ms != 0 {
+		t.Fatalf("empty snapshot = %+v", snap.Latency)
+	}
+}
+
+// The ring keeps only the trailing window: after overwriting the whole
+// ring with a new regime, old observations stop influencing quantiles.
+func TestStatsWindowSlides(t *testing.T) {
+	var s Stats
+	for i := 0; i < latWindow; i++ {
+		s.Observe(time.Second) // old regime: 1000ms
+	}
+	for i := 0; i < latWindow; i++ {
+		s.Observe(time.Millisecond) // new regime: 1ms
+	}
+	snap := s.Snapshot().Latency
+	if snap.Count != 2*latWindow || snap.Window != latWindow {
+		t.Fatalf("count/window = %d/%d", snap.Count, snap.Window)
+	}
+	if snap.MaxMs > 1.5 {
+		t.Fatalf("max = %.1fms, old regime leaked into window", snap.MaxMs)
+	}
+}
