@@ -1,16 +1,23 @@
 # Verification lanes for the XOntoRank reproduction.
 #
-#   make check   - tier-1 build+test plus vet and the race-detector lane
+#   make check   - tier-1 build+test plus vet, the race-detector lane, and faults
 #   make test    - tier-1: build everything, run every test
 #   make race    - race-detector lane over the concurrent packages
 #   make vet     - static checks
+#   make faults  - fault-injection suite under -race (failpoint leak check
+#                  is enforced by each package's TestMain)
 #   make bench   - serving-layer benchmarks (cache hit/miss, parallel load)
 
 GO ?= go
 
-.PHONY: check test race vet bench
+# Packages with failpoint-instrumented code or fault-injection tests.
+FAULT_PKGS = ./internal/faultinject/... ./internal/resilience/... \
+	./internal/store/... ./internal/dil/... ./internal/query/... \
+	./internal/server/...
 
-check: test vet race
+.PHONY: check test race vet faults bench
+
+check: test vet race faults
 
 test:
 	$(GO) build ./...
@@ -21,6 +28,10 @@ vet:
 
 race:
 	$(GO) test -race ./internal/serving/... ./internal/query/... ./internal/server/...
+
+faults:
+	$(GO) vet $(FAULT_PKGS)
+	$(GO) test -race -count=1 $(FAULT_PKGS)
 
 bench:
 	$(GO) test -run xxx -bench 'Serving' -benchmem .

@@ -9,11 +9,17 @@
 //
 // The serving layer (internal/serving) is tuned with -cache-size,
 // -cache-ttl, -max-concurrent, -queue-wait, and -timeout; overload is
-// answered with 429 and deadline expiry with 504. The process shuts
-// down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+// answered with 429 and deadline expiry with 504. The ontology path is
+// guarded by a per-strategy circuit breaker (-breaker-threshold,
+// -breaker-cooldown) with bounded retries (-retry-max); when it trips,
+// search degrades to IR-only ranking with "degraded": true instead of
+// failing. The process shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests.
 //
 // Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
-// /metrics, /healthz (see internal/server).
+// /metrics, /healthz (shallow liveness), /readyz (deep readiness:
+// data directory reachable, corpus loaded, breaker states) — see
+// internal/server.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/cda"
 	"repro/internal/core"
 	"repro/internal/ontology"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/serving"
 	"repro/internal/xmltree"
@@ -52,6 +59,14 @@ func main() {
 	flag.DurationVar(&scfg.QueueWait, "queue-wait", scfg.QueueWait, "how long a request may wait for a slot before a 429")
 	flag.DurationVar(&scfg.Timeout, "timeout", scfg.Timeout, "per-search deadline before a 504")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
+
+	ccfg := core.DefaultConfig()
+	flag.IntVar(&ccfg.Query.Breaker.Threshold, "breaker-threshold", resilience.DefaultBreakerThreshold,
+		"ontology-path failures within the window that trip the breaker (search then degrades to IR-only)")
+	flag.DurationVar(&ccfg.Query.Breaker.Cooldown, "breaker-cooldown", resilience.DefaultBreakerCooldown,
+		"how long a tripped breaker stays open before probing the ontology path again")
+	flag.IntVar(&ccfg.Query.Retry.MaxAttempts, "retry-max", resilience.DefaultMaxAttempts,
+		"ontology-path build attempts (first call included) before a keyword degrades")
 	flag.Parse()
 
 	corpus, coll, err := loadOrGenerate(*data, *generate, *docs, *concepts, *seed)
@@ -63,10 +78,23 @@ func main() {
 		stats.Documents, stats.Elements, stats.CodeNodes, coll.Len(), *addr)
 	log.Printf("serving layer: cache=%d entries ttl=%v max-concurrent=%d queue-wait=%v timeout=%v",
 		scfg.CacheCapacity, scfg.CacheTTL, scfg.MaxConcurrent, scfg.QueueWait, scfg.Timeout)
+	log.Printf("resilience: breaker-threshold=%d breaker-cooldown=%v retry-max=%d",
+		ccfg.Query.Breaker.Threshold, ccfg.Query.Breaker.Cooldown, ccfg.Query.Retry.MaxAttempts)
 
+	h := server.NewServing(corpus, coll, ccfg, scfg)
+	if *data != "" {
+		// Deep readiness: the data directory must stay reachable (it is
+		// reread on reload paths; losing the mount means the instance
+		// should leave rotation).
+		dir := *data
+		h.AddReadyCheck("data-dir", func() error {
+			_, err := os.Stat(dir)
+			return err
+		})
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(server.NewServing(corpus, coll, core.DefaultConfig(), scfg)),
+		Handler:           logging(h),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		// WriteTimeout must cover the serving deadline plus response

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/serving"
 	"repro/internal/store"
 	"repro/internal/xmltree"
@@ -190,16 +191,28 @@ func (s *System) SearchKeywords(keywords []query.Keyword, k int) []Result {
 // context: keyword posting lists are resolved in parallel and the wait
 // is abandoned when ctx expires.
 func (s *System) SearchKeywordsContext(ctx context.Context, keywords []query.Keyword, k int) ([]Result, error) {
-	raw, err := s.engine.SearchContext(ctx, keywords, k)
+	out, _, err := s.SearchKeywordsInfo(ctx, keywords, k)
+	return out, err
+}
+
+// SearchKeywordsInfo is SearchKeywordsContext plus degradation info:
+// whether any keyword was answered with IR-only scoring because the
+// ontology path was unavailable (retries exhausted or breaker open).
+func (s *System) SearchKeywordsInfo(ctx context.Context, keywords []query.Keyword, k int) ([]Result, query.Info, error) {
+	raw, info, err := s.engine.SearchInfo(ctx, keywords, k)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	out := make([]Result, 0, len(raw))
 	for _, r := range raw {
 		out = append(out, s.resolve(keywords, r))
 	}
-	return out, nil
+	return out, info, nil
 }
+
+// Breaker exposes the engine's ontology-path circuit breaker (for
+// readiness and metrics reporting).
+func (s *System) Breaker() *resilience.Breaker { return s.engine.Breaker() }
 
 // KeywordCacheMetrics reports the engine's bounded on-demand keyword
 // cache counters (exposed by the server's /metrics endpoint).

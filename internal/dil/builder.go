@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/elemrank"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
@@ -311,11 +312,50 @@ func (b *Builder) ontoScores(keyword string) map[string]ontoscore.Scores {
 	return out
 }
 
+// FPOntoResolve fires during ontology concept resolution on the
+// fallible build path (BuildKeywordE) — the query engine's circuit
+// breaker guards exactly this boundary.
+const FPOntoResolve = "dil.ontoscore"
+
+// ontoScoresE is ontoScores with the ontology-resolution failpoint,
+// surfacing faults instead of hiding them.
+func (b *Builder) ontoScoresE(keyword string) (map[string]ontoscore.Scores, error) {
+	out := make(map[string]ontoscore.Scores, len(b.computers))
+	for sys, c := range b.computers {
+		if err := faultinject.Hit(FPOntoResolve); err != nil {
+			return nil, fmt.Errorf("dil: resolving %q against system %s: %w", keyword, sys, err)
+		}
+		if s := c.Compute(b.strategy, keyword); len(s) > 0 {
+			out[sys] = s
+		}
+	}
+	return out, nil
+}
+
 // BuildKeyword assembles the XOnto-DIL of one keyword: text postings
 // merged (by max, per equation (5)) with alpha-scaled OntoScore
 // postings on code nodes referencing associated concepts of any system.
 func (b *Builder) BuildKeyword(keyword string) List {
 	return b.buildKeyword(keyword, b.ontoScores(keyword))
+}
+
+// BuildKeywordE is BuildKeyword with an error channel for the ontology
+// path; the query engine retries and circuit-breaks around it.
+func (b *Builder) BuildKeywordE(keyword string) (List, error) {
+	onto, err := b.ontoScoresE(keyword)
+	if err != nil {
+		return nil, err
+	}
+	return b.buildKeyword(keyword, onto), nil
+}
+
+// BuildKeywordIR assembles the degraded, IR-only DIL of one keyword:
+// NS(v, w) = IRS(v, w), skipping the ontology branch entirely. This is
+// exactly what a StrategyNone (XRANK baseline) system computes, and it
+// is what searches fall back to when the ontology path's circuit
+// breaker is open.
+func (b *Builder) BuildKeywordIR(keyword string) List {
+	return b.buildKeyword(keyword, nil)
 }
 
 func (b *Builder) buildKeyword(keyword string, onto map[string]ontoscore.Scores) List {

@@ -366,8 +366,13 @@ func TestSaveLoadStore(t *testing.T) {
 			}
 		}
 	}
-	// Corrupt one value: LoadFrom must fail.
-	if err := st.Put("dil/rel/asthma", []byte{0xFF, 0x01, 0x02}); err != nil {
+	// Corrupt one value (at the current generation's key — saves are
+	// generational, see persist.go): LoadFrom must fail.
+	dataPfx, err := resolveDataPrefix(st, "dil/rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(dataPfx+"/asthma", []byte{0xFF, 0x01, 0x02}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadFrom(st, "dil/rel"); err == nil {

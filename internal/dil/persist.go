@@ -1,46 +1,209 @@
 package dil
 
 import (
+	"errors"
 	"fmt"
+	"log"
+	"strconv"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/store"
 )
 
 // Persistence of XOnto-DILs through the embedded store (the paper kept
-// its inverted lists in a DBMS; see internal/store). Each keyword's
-// list is stored under "<prefix>/<keyword>".
+// its inverted lists in a DBMS; see internal/store).
+//
+// Saves are staged and atomically swapped: lists are written under a
+// fresh generation prefix, then a single pointer record flips the
+// "current" generation, then the previous generation is deleted. A
+// crash or error at any point before the pointer flip leaves the old
+// index fully loadable; after the flip, the new one is. Key layout
+// under a prefix P:
+//
+//	P!gen      current generation number (decimal)
+//	P@<g>/<kw> the list of <kw> in generation <g>
+//	P/<kw>     legacy flat layout (pre-generation saves), still readable
+const (
+	// FPSave fires once per list during SaveTo (armed by tests to
+	// simulate a crash midway through a save).
+	FPSave = "dil.save"
+	// FPLoad fires once per list during LoadFrom.
+	FPLoad = "dil.load"
+)
 
-// SaveTo writes every list of the index under the given key prefix.
-func (ix *Index) SaveTo(s *store.Store, prefix string) error {
-	for _, kw := range ix.Keywords() {
-		key := prefix + "/" + kw
-		if err := s.Put(key, ix.lists[kw].AppendBinary(nil)); err != nil {
-			return fmt.Errorf("dil: saving %q: %w", kw, err)
-		}
-	}
-	return s.Sync()
+func genKey(prefix string) string { return prefix + "!gen" }
+
+func dataPrefix(prefix string, gen uint64) string {
+	return fmt.Sprintf("%s@%d", prefix, gen)
 }
 
-// LoadFrom reads every list under the prefix into a fresh index.
+// currentGen reads the generation pointer; 0 means "no pointer" (empty
+// store or legacy flat layout).
+func currentGen(s *store.Store, prefix string) (uint64, error) {
+	val, err := s.Get(genKey(prefix))
+	if errors.Is(err, store.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("dil: reading generation pointer: %w", err)
+	}
+	gen, err := strconv.ParseUint(string(val), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("dil: corrupt generation pointer %q: %w", val, err)
+	}
+	return gen, nil
+}
+
+// resolveDataPrefix returns the key prefix current lists live under:
+// the pointed-to generation, or the legacy flat prefix when no pointer
+// exists.
+func resolveDataPrefix(s *store.Store, prefix string) (string, error) {
+	gen, err := currentGen(s, prefix)
+	if err != nil {
+		return "", err
+	}
+	if gen == 0 {
+		return prefix, nil
+	}
+	return dataPrefix(prefix, gen), nil
+}
+
+// SaveTo writes every list of the index under the given key prefix,
+// staged under a new generation and atomically swapped in. On error the
+// previously saved index remains the loadable one; staged keys are
+// cleaned up best-effort.
+func (ix *Index) SaveTo(s *store.Store, prefix string) error {
+	cur, err := currentGen(s, prefix)
+	if err != nil {
+		return err
+	}
+	next := cur + 1
+	stage := dataPrefix(prefix, next)
+	var staged []string
+	cleanup := func() {
+		for _, k := range staged {
+			_ = s.Delete(k) // best effort; stray staged keys are unreachable anyway
+		}
+	}
+	for _, kw := range ix.Keywords() {
+		if err := faultinject.Hit(FPSave); err != nil {
+			cleanup()
+			return fmt.Errorf("dil: saving %q: %w", kw, err)
+		}
+		key := stage + "/" + kw
+		if err := s.Put(key, ix.lists[kw].AppendBinary(nil)); err != nil {
+			cleanup()
+			return fmt.Errorf("dil: saving %q: %w", kw, err)
+		}
+		staged = append(staged, key)
+	}
+	// The staged generation must be durable before the pointer names it.
+	if err := s.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("dil: syncing staged save: %w", err)
+	}
+	if err := s.Put(genKey(prefix), []byte(strconv.FormatUint(next, 10))); err != nil {
+		cleanup()
+		return fmt.Errorf("dil: flipping generation pointer: %w", err)
+	}
+	if err := s.Sync(); err != nil {
+		return fmt.Errorf("dil: syncing generation pointer: %w", err)
+	}
+	// The swap is complete; delete the superseded generation (or the
+	// legacy flat keys). A failure here wastes space but cannot affect
+	// correctness — loads follow the pointer.
+	oldPrefix := prefix
+	if cur > 0 {
+		oldPrefix = dataPrefix(prefix, cur)
+	}
+	for _, k := range s.Keys() {
+		if strings.HasPrefix(k, oldPrefix+"/") {
+			if err := s.Delete(k); err != nil {
+				return fmt.Errorf("dil: deleting superseded %q: %w", k, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadOptions configure LoadFromOptions.
+type LoadOptions struct {
+	// Lenient skips undecodable lists — counting and logging them —
+	// instead of aborting the whole load on the first bad list.
+	Lenient bool
+	// Logf receives lenient-skip warnings; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// LoadReport summarizes a load.
+type LoadReport struct {
+	// Lists is the number of lists loaded into the index.
+	Lists int
+	// Skipped names the keywords whose lists were undecodable and
+	// skipped (Lenient only).
+	Skipped []string
+}
+
+// LoadFrom reads every current list under the prefix into a fresh
+// index, aborting on the first undecodable list.
 func LoadFrom(s *store.Store, prefix string) (*Index, error) {
+	ix, _, err := LoadFromOptions(s, prefix, LoadOptions{})
+	return ix, err
+}
+
+// LoadFromOptions is LoadFrom with failure-handling options and a
+// report. Decode errors identify the failing key's segment and offset
+// in the store; with Lenient set, bad lists are skipped with a counted
+// warning instead of failing the load.
+func LoadFromOptions(s *store.Store, prefix string, opts LoadOptions) (*Index, *LoadReport, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	dataPfx, err := resolveDataPrefix(s, prefix)
+	if err != nil {
+		return nil, nil, err
+	}
 	ix := NewIndex()
-	var firstErr error
-	err := s.Scan(prefix+"/", func(key string, val []byte) bool {
-		kw := strings.TrimPrefix(key, prefix+"/")
-		list, err := DecodeList(val)
-		if err != nil {
-			firstErr = fmt.Errorf("dil: loading %q: %w", kw, err)
+	report := &LoadReport{}
+	var loadErr error
+	err = s.Scan(dataPfx+"/", func(key string, val []byte) bool {
+		kw := strings.TrimPrefix(key, dataPfx+"/")
+		var list List
+		ferr := faultinject.Hit(FPLoad)
+		if ferr == nil {
+			list, ferr = DecodeList(val)
+		}
+		if ferr != nil {
+			if opts.Lenient {
+				report.Skipped = append(report.Skipped, kw)
+				logf("dil: skipping undecodable list %q (%s): %v", kw, locateKey(s, key), ferr)
+				return true
+			}
+			loadErr = fmt.Errorf("dil: loading %q (%s): %w", kw, locateKey(s, key), ferr)
 			return false
 		}
 		ix.Set(kw, list)
+		report.Lists++
 		return true
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if loadErr != nil {
+		return nil, nil, loadErr
 	}
-	return ix, nil
+	if n := len(report.Skipped); n > 0 {
+		logf("dil: load of %q skipped %d undecodable list(s)", prefix, n)
+	}
+	return ix, report, nil
+}
+
+// locateKey renders a key's physical location for error messages.
+func locateKey(s *store.Store, key string) string {
+	if seg, off, ok := s.Location(key); ok {
+		return fmt.Sprintf("segment %d, offset %d", seg, off)
+	}
+	return "location unknown"
 }

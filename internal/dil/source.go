@@ -65,7 +65,15 @@ func (s *StoreSource) List(keyword string) List {
 	}
 	s.mu.Unlock()
 
-	val, err := s.kv.Get(s.prefix + "/" + keyword)
+	// Saves are generational (see persist.go): resolve the pointer so a
+	// SaveTo concurrent with serving flips reads atomically to the new
+	// index.
+	dataPfx, err := resolveDataPrefix(s.kv, s.prefix)
+	if err != nil {
+		s.setErr(err)
+		return nil
+	}
+	val, err := s.kv.Get(dataPfx + "/" + keyword)
 	if err != nil {
 		if !errors.Is(err, store.ErrNotFound) {
 			s.setErr(err)

@@ -85,9 +85,14 @@ func TestStoreSourceLRUAndCacheHit(t *testing.T) {
 func TestStoreSourceCorruptList(t *testing.T) {
 	src, ix := sourceFixture(t, 0)
 	kw := ix.Keywords()[0]
-	// Corrupt the stored value behind the source's back.
+	// Corrupt the stored value behind the source's back (at the current
+	// generation's key — saves are generational, see persist.go).
 	kv := src.kv
-	if err := kv.Put("dil/rel/"+kw, []byte{0xFF, 0x01}); err != nil {
+	dataPfx, err := resolveDataPrefix(kv, "dil/rel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Put(dataPfx+"/"+kw, []byte{0xFF, 0x01}); err != nil {
 		t.Fatal(err)
 	}
 	if got := src.List(kw); got != nil {

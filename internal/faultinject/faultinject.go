@@ -1,0 +1,201 @@
+// Package faultinject is a deterministic fault-injection framework for
+// testing the resilience layer. Production code registers *failpoints*
+// — named hooks at failure-prone boundaries (store I/O, ontology
+// concept resolution, DIL load) — by calling Hit; tests arm them with
+// Enable to inject errors, latency, or panics on demand.
+//
+// The disarmed fast path is a single atomic load, so instrumented hot
+// paths pay effectively nothing in production. Injection is
+// deterministic: probabilistic specs draw from a seeded per-failpoint
+// RNG, and Count bounds how many times a spec fires. All operations are
+// safe for concurrent use.
+//
+// Tests must disarm what they arm (t.Cleanup(faultinject.DisableAll)
+// is the usual shape); the `make faults` lane fails the build if a
+// failpoint is left enabled after a test binary finishes (see
+// CheckDisabled).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error that does
+// not carry an explicit Spec.Err.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Mode selects what an armed failpoint does when it fires.
+type Mode int
+
+const (
+	// ModeError makes Hit return an error (Spec.Err, or ErrInjected).
+	ModeError Mode = iota
+	// ModeLatency makes Hit sleep for Spec.Delay, then return nil.
+	ModeLatency
+	// ModePanic makes Hit panic.
+	ModePanic
+)
+
+// Spec configures one armed failpoint.
+type Spec struct {
+	// Mode is the injection behavior; ModeError is the zero value.
+	Mode Mode
+	// Err overrides the injected error for ModeError; nil uses a
+	// name-annotated wrap of ErrInjected.
+	Err error
+	// Delay is the injected latency for ModeLatency.
+	Delay time.Duration
+	// Prob is the firing probability per hit; values <= 0 or >= 1 mean
+	// "always". Draws come from a per-failpoint RNG seeded with Seed,
+	// so runs are reproducible.
+	Prob float64
+	// Seed seeds the probability RNG (only consulted when 0 < Prob < 1).
+	Seed int64
+	// Count bounds how many times the spec fires; 0 means unlimited.
+	// After Count firings the failpoint stays enabled but inert.
+	Count int64
+	// After skips the first After hits before injection begins — "fail
+	// on the Nth operation" shapes, e.g. an error midway through a
+	// multi-key save.
+	After int64
+}
+
+type point struct {
+	mu       sync.Mutex
+	spec     Spec
+	rng      *rand.Rand
+	hits     int64 // evaluations while enabled
+	triggers int64 // actual injections
+}
+
+var (
+	regMu  sync.RWMutex
+	points = make(map[string]*point)
+	armed  atomic.Int32 // number of enabled failpoints; 0 = fast path
+)
+
+// Enable arms the named failpoint with the spec, replacing any prior
+// spec (and resetting its counters).
+func Enable(name string, spec Spec) {
+	p := &point{spec: spec}
+	if spec.Prob > 0 && spec.Prob < 1 {
+		p.rng = rand.New(rand.NewSource(spec.Seed))
+	}
+	regMu.Lock()
+	if _, existed := points[name]; !existed {
+		armed.Add(1)
+	}
+	points[name] = p
+	regMu.Unlock()
+}
+
+// Disable disarms the named failpoint. Disabling an unarmed name is a
+// no-op.
+func Disable(name string) {
+	regMu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	regMu.Unlock()
+}
+
+// DisableAll disarms every failpoint.
+func DisableAll() {
+	regMu.Lock()
+	for name := range points {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	regMu.Unlock()
+}
+
+// Enabled returns the names of all armed failpoints, sorted.
+func Enabled() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(points))
+	for name := range points {
+		out = append(out, name)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// CheckDisabled returns an error naming every still-armed failpoint —
+// the leak check test binaries run from TestMain so no test can leave a
+// fault behind for its neighbors.
+func CheckDisabled() error {
+	if names := Enabled(); len(names) > 0 {
+		return fmt.Errorf("faultinject: failpoints left enabled: %v", names)
+	}
+	return nil
+}
+
+// Counts reports how many times the named failpoint was evaluated while
+// enabled and how many times it actually injected.
+func Counts(name string) (hits, triggers int64) {
+	regMu.RLock()
+	p := points[name]
+	regMu.RUnlock()
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.triggers
+}
+
+// Hit evaluates the named failpoint. Disarmed (the overwhelmingly
+// common case) it returns nil after one atomic load. Armed, it applies
+// the spec: returns the injected error (ModeError), sleeps and returns
+// nil (ModeLatency), or panics (ModePanic).
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	regMu.RLock()
+	p := points[name]
+	regMu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.hits++
+	spec := p.spec
+	fire := true
+	if spec.After > 0 && p.hits <= spec.After {
+		fire = false
+	}
+	if spec.Count > 0 && p.triggers >= spec.Count {
+		fire = false
+	}
+	if fire && p.rng != nil {
+		fire = p.rng.Float64() < spec.Prob
+	}
+	if fire {
+		p.triggers++
+	}
+	p.mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch spec.Mode {
+	case ModeLatency:
+		time.Sleep(spec.Delay)
+		return nil
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: failpoint %q", name))
+	default:
+		if spec.Err != nil {
+			return spec.Err
+		}
+		return fmt.Errorf("failpoint %q: %w", name, ErrInjected)
+	}
+}

@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := CheckDisabled(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func TestDisarmedReturnsNil(t *testing.T) {
+	if err := Hit("nothing/here"); err != nil {
+		t.Fatalf("disarmed Hit = %v", err)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	defer DisableAll()
+	Enable("p", Spec{})
+	err := Hit("p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	custom := errors.New("boom")
+	Enable("p", Spec{Err: custom})
+	if err := Hit("p"); !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want custom", err)
+	}
+	Disable("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("after Disable: %v", err)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	defer DisableAll()
+	Enable("limited", Spec{Count: 2})
+	var injected int
+	for i := 0; i < 5; i++ {
+		if Hit("limited") != nil {
+			injected++
+		}
+	}
+	if injected != 2 {
+		t.Fatalf("injected %d times, want 2", injected)
+	}
+	hits, triggers := Counts("limited")
+	if hits != 5 || triggers != 2 {
+		t.Fatalf("counts = (%d, %d), want (5, 2)", hits, triggers)
+	}
+}
+
+// The same seed must reproduce the same injection pattern.
+func TestProbDeterminism(t *testing.T) {
+	defer DisableAll()
+	pattern := func(seed int64) []bool {
+		Enable("prob", Spec{Prob: 0.5, Seed: seed})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Hit("prob") != nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	some, all := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		some = some || a[i]
+		all = all && a[i]
+	}
+	if !some || all {
+		t.Fatalf("prob 0.5 pattern degenerate: some=%v all=%v", some, all)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	defer DisableAll()
+	Enable("slow", Spec{Mode: ModeLatency, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("latency mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency injection too short: %v", d)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer DisableAll()
+	Enable("kaboom", Spec{Mode: ModePanic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic mode did not panic")
+		}
+	}()
+	_ = Hit("kaboom")
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer DisableAll()
+	Enable("racy", Spec{Prob: 0.3, Seed: 1, Count: 100})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = Hit("racy")
+				if i%50 == 0 {
+					_ = Enabled()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, triggers := Counts("racy")
+	if hits != 1600 {
+		t.Fatalf("hits = %d, want 1600", hits)
+	}
+	if triggers > 100 {
+		t.Fatalf("triggers = %d exceeds Count", triggers)
+	}
+}
+
+func TestCheckDisabledReportsLeak(t *testing.T) {
+	Enable("leak", Spec{})
+	if err := CheckDisabled(); err == nil {
+		t.Fatal("CheckDisabled missed an armed failpoint")
+	}
+	Disable("leak")
+	if err := CheckDisabled(); err != nil {
+		t.Fatalf("after disable: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/dil"
+)
+
+// Graceful degradation of the ontology path. On-demand DIL builds
+// consult the ontology (OntoScore, equation (5) of the paper); when
+// that dependency fails, search must not: the engine retries under
+// Params.Retry, records the outcome with the circuit breaker, and —
+// when the breaker is open or retries are exhausted — rebuilds the
+// keyword IR-only, i.e. NS(v,w) = IRS(v,w), the plain XRANK baseline.
+// Degraded lists are cached under a distinct key so that a recovered
+// ontology path is not shadowed by stale IR-only entries.
+
+// irCacheKey prefixes degraded-list cache and flight keys. The NUL
+// byte cannot appear in a query keyword, so the namespaces are
+// disjoint.
+const irCacheKey = "\x00ir\x1f"
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// listResilient is the on-demand build path for builders with a
+// fallible ontology dependency. It returns the list, whether it is the
+// IR-only degraded form, and a context error if the caller gave up.
+func (e *Engine) listResilient(ctx context.Context, kw string, fb FallibleKeywordBuilder) (dil.List, bool, error) {
+	if l, ok := e.cache.Get(kw); ok {
+		return l, false, nil
+	}
+	if !e.breaker.Allow() {
+		l, err := e.listIR(ctx, kw)
+		return l, true, err
+	}
+	l, err, _ := e.flights.Do(ctx, kw, func(ctx context.Context) (dil.List, error) {
+		if l, ok := e.cache.Get(kw); ok { // raced with another build
+			return l, nil
+		}
+		var built dil.List
+		rerr := e.retry.Do(ctx, func() error {
+			var berr error
+			built, berr = fb.BuildKeywordE(kw)
+			if berr != nil && !isContextErr(berr) {
+				e.breaker.Failure()
+			}
+			return berr
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		e.breaker.Success()
+		e.cache.Set(kw, built)
+		return built, nil
+	})
+	if err == nil {
+		return l, false, nil
+	}
+	if isContextErr(err) {
+		return nil, false, err
+	}
+	// Ontology path down after retries: degrade this keyword to IR-only
+	// scoring rather than failing the query.
+	l, ferr := e.listIR(ctx, kw)
+	return l, true, ferr
+}
+
+// listIR builds (and caches, under a separate key) the IR-only list of
+// a keyword. Builders without an IR fallback yield no list — the
+// keyword reads as absent, which is still not an error.
+func (e *Engine) listIR(ctx context.Context, kw string) (dil.List, error) {
+	irb, ok := e.builder.(IRKeywordBuilder)
+	if !ok {
+		return nil, nil
+	}
+	ckey := irCacheKey + kw
+	if l, ok := e.cache.Get(ckey); ok {
+		return l, nil
+	}
+	l, err, _ := e.flights.Do(ctx, ckey, func(context.Context) (dil.List, error) {
+		if l, ok := e.cache.Get(ckey); ok {
+			return l, nil
+		}
+		l := irb.BuildKeywordIR(kw)
+		e.cache.Set(ckey, l)
+		return l, nil
+	})
+	if err != nil && !isContextErr(err) {
+		// The IR build is infallible; only context errors can surface.
+		err = nil
+	}
+	return l, err
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dil"
+	"repro/internal/resilience"
 	"repro/internal/serving"
 	"repro/internal/xmltree"
 )
@@ -22,6 +23,23 @@ type KeywordBuilder interface {
 	BuildKeyword(keyword string) dil.List
 }
 
+// FallibleKeywordBuilder is a KeywordBuilder whose ontology path can
+// fail. When the engine's builder implements it, on-demand builds run
+// under the retry policy and circuit breaker, and failures degrade the
+// keyword to IR-only scoring instead of surfacing an error.
+// *dil.Builder satisfies it.
+type FallibleKeywordBuilder interface {
+	BuildKeywordE(keyword string) (dil.List, error)
+}
+
+// IRKeywordBuilder builds a DIL without consulting the ontology —
+// NS(v,w) = IRS(v,w), the XRANK baseline — used as the degraded
+// fallback when the ontology path is unavailable. *dil.Builder
+// satisfies it.
+type IRKeywordBuilder interface {
+	BuildKeywordIR(keyword string) dil.List
+}
+
 // Params configure the query phase.
 type Params struct {
 	// Decay is the per-containment-edge attenuation of equation (2);
@@ -34,6 +52,12 @@ type Params struct {
 	// long-running server cannot grow without limit however many
 	// distinct phrases it is asked for.
 	CacheSize int
+	// Retry bounds the ontology-path build attempts before a keyword
+	// degrades to IR-only scoring (zero value: resilience defaults).
+	Retry resilience.RetryPolicy
+	// Breaker tunes the circuit breaker guarding the ontology path
+	// (zero value: resilience defaults).
+	Breaker resilience.BreakerConfig
 }
 
 // DefaultKeywordCacheSize is the on-demand keyword cache bound used
@@ -57,6 +81,9 @@ type Engine struct {
 
 	cache   *serving.Cache[dil.List] // on-demand keywords, bounded LRU
 	flights serving.Group[dil.List]  // dedup of concurrent builds
+
+	breaker *resilience.Breaker // guards the ontology build path
+	retry   resilience.RetryPolicy
 }
 
 // NewEngine returns an engine reading lists from source, consulting
@@ -71,26 +98,37 @@ func NewEngine(source ListSource, builder KeywordBuilder, params Params) *Engine
 		source:  source,
 		builder: builder,
 		cache:   serving.NewCache[dil.List](size, 0),
+		breaker: resilience.NewBreaker(params.Breaker),
+		retry:   params.Retry,
 	}
 }
 
 // CacheMetrics reports the on-demand keyword cache counters.
 func (e *Engine) CacheMetrics() serving.CacheMetrics { return e.cache.Metrics() }
 
+// Breaker exposes the circuit breaker guarding the ontology path (for
+// /readyz and /metrics).
+func (e *Engine) Breaker() *resilience.Breaker { return e.breaker }
+
 // list resolves one keyword's posting list, building and caching it on
 // demand. Concurrent requests for the same missing keyword build once.
-func (e *Engine) list(ctx context.Context, kw string) (dil.List, error) {
+// The degraded return is true when the list was built IR-only because
+// the ontology path failed or the breaker was open (see degrade.go).
+func (e *Engine) list(ctx context.Context, kw string) (dil.List, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if l := e.source.List(kw); l != nil {
-		return l, nil
+		return l, false, nil
 	}
 	if e.builder == nil {
-		return nil, nil
+		return nil, false, nil
+	}
+	if fb, ok := e.builder.(FallibleKeywordBuilder); ok {
+		return e.listResilient(ctx, kw, fb)
 	}
 	if l, ok := e.cache.Get(kw); ok {
-		return l, nil
+		return l, false, nil
 	}
 	l, err, _ := e.flights.Do(ctx, kw, func(context.Context) (dil.List, error) {
 		if l, ok := e.cache.Get(kw); ok { // raced with another build
@@ -100,22 +138,24 @@ func (e *Engine) list(ctx context.Context, kw string) (dil.List, error) {
 		e.cache.Set(kw, l)
 		return l, nil
 	})
-	return l, err
+	return l, false, err
 }
 
 // resolve gathers every keyword's posting list, one goroutine per
 // keyword for multi-keyword queries. It honors ctx: cancellation stops
 // the wait and returns the context error (in-flight builds complete in
-// the background and still populate the cache).
-func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]dil.List, error) {
+// the background and still populate the cache). The second return names
+// the keywords whose lists degraded to IR-only scoring.
+func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]dil.List, []string, error) {
 	lists := make([]dil.List, len(keywords))
+	degraded := make([]bool, len(keywords))
 	if len(keywords) == 1 {
-		l, err := e.list(ctx, string(keywords[0]))
+		l, deg, err := e.list(ctx, string(keywords[0]))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		lists[0] = l
-		return lists, nil
+		lists[0], degraded[0] = l, deg
+		return lists, degradedKeywords(keywords, degraded), nil
 	}
 	errs := make([]error, len(keywords))
 	var wg sync.WaitGroup
@@ -123,16 +163,31 @@ func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]dil.List, e
 		wg.Add(1)
 		go func(i int, kw string) {
 			defer wg.Done()
-			lists[i], errs[i] = e.list(ctx, kw)
+			lists[i], degraded[i], errs[i] = e.list(ctx, kw)
 		}(i, string(kw))
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return lists, nil
+	return lists, degradedKeywords(keywords, degraded), nil
+}
+
+// degradedKeywords collects the (deduplicated, query-ordered) keywords
+// flagged degraded.
+func degradedKeywords(keywords []Keyword, flags []bool) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for i, d := range flags {
+		kw := string(keywords[i])
+		if d && !seen[kw] {
+			seen[kw] = true
+			out = append(out, kw)
+		}
+	}
+	return out
 }
 
 // Search runs the query and returns up to k results ranked by
@@ -143,22 +198,40 @@ func (e *Engine) Search(keywords []Keyword, k int) []Result {
 	return res
 }
 
+// Info reports how a search was answered.
+type Info struct {
+	// Degraded is true when at least one keyword's list fell back to
+	// IR-only scoring (NS(v,w) = IRS(v,w)) because the ontology path
+	// failed or its breaker was open.
+	Degraded bool `json:"degraded"`
+	// DegradedKeywords names the affected keywords, in query order.
+	DegradedKeywords []string `json:"degraded_keywords,omitempty"`
+}
+
 // SearchContext is Search with cancellation and deadline support: the
 // only possible error is the context's, in which case results are nil.
 func (e *Engine) SearchContext(ctx context.Context, keywords []Keyword, k int) ([]Result, error) {
+	res, _, err := e.SearchInfo(ctx, keywords, k)
+	return res, err
+}
+
+// SearchInfo is SearchContext plus degradation info: whether any
+// keyword was answered IR-only because the ontology path was down.
+func (e *Engine) SearchInfo(ctx context.Context, keywords []Keyword, k int) ([]Result, Info, error) {
 	if len(keywords) == 0 {
-		return nil, nil
+		return nil, Info{}, nil
 	}
 	if k <= 0 {
 		k = e.params.K
 	}
-	lists, err := e.resolve(ctx, keywords)
+	lists, degraded, err := e.resolve(ctx, keywords)
 	if err != nil {
-		return nil, err
+		return nil, Info{}, err
 	}
+	info := Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}
 	for _, l := range lists {
 		if len(l) == 0 {
-			return nil, nil
+			return nil, info, nil
 		}
 	}
 	results := runDIL(lists, e.params.Decay)
@@ -171,7 +244,7 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []Keyword, k int) (
 	if len(results) > k {
 		results = results[:k]
 	}
-	return results, nil
+	return results, info, nil
 }
 
 // SearchQuery parses a query string and runs it.
@@ -190,22 +263,29 @@ func (e *Engine) SearchRanked(keywords []Keyword, k int) []Result {
 
 // SearchRankedContext is SearchRanked with cancellation support.
 func (e *Engine) SearchRankedContext(ctx context.Context, keywords []Keyword, k int) ([]Result, error) {
+	res, _, err := e.SearchRankedInfo(ctx, keywords, k)
+	return res, err
+}
+
+// SearchRankedInfo is SearchRankedContext plus degradation info.
+func (e *Engine) SearchRankedInfo(ctx context.Context, keywords []Keyword, k int) ([]Result, Info, error) {
 	if len(keywords) == 0 {
-		return nil, nil
+		return nil, Info{}, nil
 	}
 	if k <= 0 {
 		k = e.params.K
 	}
-	lists, err := e.resolve(ctx, keywords)
+	lists, degraded, err := e.resolve(ctx, keywords)
 	if err != nil {
-		return nil, err
+		return nil, Info{}, err
 	}
+	info := Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}
 	for _, l := range lists {
 		if len(l) == 0 {
-			return nil, nil
+			return nil, info, nil
 		}
 	}
-	return RunRanked(lists, e.params.Decay, k), nil
+	return RunRanked(lists, e.params.Decay, k), info, nil
 }
 
 // ResultNode resolves a result's root element in the corpus.

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for deterministic transition tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(threshold int, window, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		Threshold: threshold, Window: window, Cooldown: cooldown, Clock: clk.Now,
+	})
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after %d failures, want closed", b.State(), 2)
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open at threshold", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+}
+
+// Failures outside the sliding window must not accumulate toward the
+// threshold.
+func TestBreakerWindowSlides(t *testing.T) {
+	b, clk := testBreaker(3, 10*time.Second, time.Second)
+	b.Failure()
+	b.Failure()
+	clk.Advance(11 * time.Second) // both failures age out
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (stale failures counted)", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndReclose(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute, 5*time.Second)
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("want open")
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	// Only the configured number of probes may pass.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted with Probes=1")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker rejected a call")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute, 5*time.Second)
+	b.Failure()
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after probe failure", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a call immediately")
+	}
+	// A fresh cooldown applies.
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe round rejected")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+// A probe whose caller never reports back must not wedge the breaker:
+// after another cooldown a fresh probe is admitted.
+func TestBreakerAbandonedProbeRecovers(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute, 5*time.Second)
+	b.Failure()
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	// No Success/Failure follows (caller vanished).
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker wedged half-open by an abandoned probe")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerMetrics(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute, time.Second)
+	b.Failure()
+	b.Allow() // rejected
+	m := b.Metrics()
+	if m.State != "open" || m.Opens != 1 || m.Rejected != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	clk.Advance(time.Second)
+	if got := b.Metrics().State; got != "half-open" {
+		t.Fatalf("state = %s, want half-open", got)
+	}
+}
+
+// Concurrent load against a real clock: the breaker opens under a
+// failure storm, rejects while open, then re-closes once the dependency
+// heals. Run with -race this is the satellite's concurrency check.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{
+		Threshold: 5, Window: time.Minute, Cooldown: 30 * time.Millisecond,
+	})
+	var healthy atomic.Bool // the guarded dependency's state
+
+	worker := func(n int) (allowed, rejected int64) {
+		for i := 0; i < n; i++ {
+			if b.Allow() {
+				allowed++
+				if healthy.Load() {
+					b.Success()
+				} else {
+					b.Failure()
+				}
+			} else {
+				rejected++
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return
+	}
+
+	// Phase 1: failure storm from 8 goroutines → breaker must open.
+	var wg sync.WaitGroup
+	var totalRejected atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, rej := worker(20)
+			totalRejected.Add(rej)
+		}()
+	}
+	wg.Wait()
+	if b.State() == Closed {
+		t.Fatal("breaker still closed after sustained failures")
+	}
+	if totalRejected.Load() == 0 {
+		t.Fatal("open breaker rejected nothing under load")
+	}
+
+	// Phase 2: dependency heals; after cooldown a probe succeeds and the
+	// breaker re-closes for everyone.
+	healthy.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for b.State() != Closed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker did not re-close; state = %v", b.State())
+		}
+		if b.Allow() {
+			b.Success()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			allowed, rejected := worker(10)
+			if allowed == 0 || rejected != 0 {
+				t.Errorf("after re-close: allowed=%d rejected=%d", allowed, rejected)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,91 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	sentinel := errors.New("permanent")
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond}
+	calls := 0
+	start := time.Now()
+	err := p.Do(ctx, func() error {
+		calls++
+		cancel()
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancel must stop the retry loop)", calls)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("retry kept sleeping after cancellation")
+	}
+}
+
+func TestRetryDoesNotRetryContextErrors(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return context.DeadlineExceeded
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (deadline errors are not retryable)", calls)
+	}
+}
+
+// Backoff grows and is capped; with jitter disabled the delays are the
+// deterministic base, 2*base, capped sequence.
+func TestRetryBackoffBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 15 * time.Millisecond, Jitter: -1}
+	start := time.Now()
+	_ = p.Do(context.Background(), func() error { return errors.New("x") })
+	elapsed := time.Since(start)
+	// Delays: 10ms + 15ms + 15ms = 40ms (20ms capped at 15ms).
+	if elapsed < 35*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= 35ms of backoff", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("elapsed %v, backoff not capped", elapsed)
+	}
+}

@@ -12,29 +12,57 @@
 //	GET /stats
 //	GET /metrics
 //	GET /healthz
+//	GET /readyz
 //
 // Searches flow through the internal/serving layer: a sharded LRU
 // result cache, singleflight deduplication of concurrent identical
 // queries, and semaphore admission control with per-request deadlines.
 // Overload is answered with 429, deadline expiry with 504, both as
 // JSON errors. /metrics exposes the serving counters.
+//
+// Failure handling: every handler runs under panic recovery (a bug in
+// one request becomes a 500, not a dead process); ontology-path
+// failures degrade search to IR-only ranking, flagged with
+// "degraded": true and a Warning header rather than an error status;
+// /healthz is shallow liveness while /readyz runs deep checks
+// (registered dependencies, corpus loaded, per-strategy breaker
+// states).
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/serving"
 	"repro/internal/xmltree"
 )
+
+// FPSearch fires at the top of the /search handler (tests arm it in
+// panic mode to exercise the recovery middleware).
+const FPSearch = "server.search"
+
+// SearchOutcome is the unit one search execution produces and the
+// serving layer caches: the results plus how they were computed.
+// Degraded outcomes (IR-only because the ontology path was down) are
+// excluded from the result cache so recovery is visible immediately.
+type SearchOutcome struct {
+	Results          []core.Result
+	Degraded         bool
+	DegradedKeywords []string
+}
 
 // Server answers HTTP requests against one corpus and ontology
 // collection, with one prepared system per strategy.
@@ -42,8 +70,17 @@ type Server struct {
 	corpus  *xmltree.Corpus
 	coll    *ontology.Collection
 	systems map[ontoscore.Strategy]*core.System
-	svc     *serving.Service[[]core.Result]
+	svc     *serving.Service[SearchOutcome]
 	mux     *http.ServeMux
+	logf    func(format string, args ...any)
+
+	readyMu sync.Mutex
+	ready   []readyCheck
+}
+
+type readyCheck struct {
+	name  string
+	check func() error
 }
 
 // New prepares the service with serving.DefaultConfig bounds. Systems
@@ -61,6 +98,7 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 		coll:    coll,
 		systems: make(map[ontoscore.Strategy]*core.System, 4),
 		mux:     http.NewServeMux(),
+		logf:    log.Printf,
 	}
 	for _, st := range ontoscore.Strategies() {
 		c := cfg
@@ -68,6 +106,7 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 		s.systems[st] = core.NewMulti(corpus, coll, c)
 	}
 	s.svc = serving.NewService(scfg, s.execSearch)
+	s.svc.SetCacheFilter(func(o SearchOutcome) bool { return !o.Degraded })
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/fragment", s.handleFragment)
 	s.mux.HandleFunc("/concepts", s.handleConcepts)
@@ -75,26 +114,73 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
+}
+
+// SetLogf redirects the server's log output (panics, readiness
+// failures); nil restores log.Printf.
+func (s *Server) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s.logf = logf
+}
+
+// AddReadyCheck registers a named dependency probe for /readyz (e.g.
+// the persistent store). Checks run on every /readyz request; an error
+// marks the server unready (503).
+func (s *Server) AddReadyCheck(name string, check func() error) {
+	s.readyMu.Lock()
+	s.ready = append(s.ready, readyCheck{name: name, check: check})
+	s.readyMu.Unlock()
 }
 
 // Serving exposes the serving layer (tests and benchmarks inspect its
 // metrics and cache).
-func (s *Server) Serving() *serving.Service[[]core.Result] { return s.svc }
+func (s *Server) Serving() *serving.Service[SearchOutcome] { return s.svc }
+
+// System returns the prepared system for a strategy (tests compare
+// degraded serving output against direct system searches).
+func (s *Server) System(st ontoscore.Strategy) *core.System { return s.systems[st] }
 
 // execSearch is the serving layer's uncached path: resolve the
 // strategy's system and run the ontology-aware search under ctx. It
 // returns the full offset+k prefix; handlers slice per request.
-func (s *Server) execSearch(ctx context.Context, req serving.Request) ([]core.Result, error) {
+func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOutcome, error) {
 	st, err := ontoscore.ParseStrategy(req.Strategy)
 	if err != nil {
-		return nil, err
+		return SearchOutcome{}, err
 	}
-	return s.systems[st].SearchKeywordsContext(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
+	results, info, err := s.systems[st].SearchKeywordsInfo(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
+	if err != nil {
+		return SearchOutcome{}, err
+	}
+	return SearchOutcome{
+		Results:          results,
+		Degraded:         info.Degraded,
+		DegradedKeywords: info.DegradedKeywords,
+	}, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every handler runs under panic
+// recovery: a panicking request is answered with a JSON 500 (when the
+// header is still unwritten) and logged with its stack, instead of
+// tearing down the connection — or, under http.Server without this
+// middleware, killing the whole process via an unhandled goroutine
+// panic in handler-spawned work.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { // deliberate abort, not a bug
+			panic(rec)
+		}
+		s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+		writeError(w, http.StatusInternalServerError, "internal server error")
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -171,12 +257,23 @@ type SearchResponse struct {
 	Strategy string         `json:"strategy"`
 	K        int            `json:"k"`
 	Results  []SearchResult `json:"results"`
+	// Degraded is true when the ontology path was unavailable and the
+	// ranking fell back to IR-only scoring (NS(v,w) = IRS(v,w)); the
+	// response also carries a Warning header. The results are correct
+	// XRANK-baseline answers, just without ontological enrichment.
+	Degraded bool `json:"degraded"`
+	// DegradedKeywords names the affected keywords.
+	DegradedKeywords []string `json:"degradedKeywords,omitempty"`
 	// Groups is present when group=1: the same results grouped by the
 	// element path of their roots, in order of each group's best hit.
 	Groups []SearchGroup `json:"groups,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Hit(FPSearch); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, "missing query parameter q")
@@ -208,7 +305,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	withGroups := r.URL.Query().Get("group") == "1"
 
 	sys := s.systems[strategy]
-	results, err := s.svc.Search(r.Context(), serving.Request{
+	out, err := s.svc.Search(r.Context(), serving.Request{
 		Strategy: strategy.String(),
 		Query:    query.Normalize(q),
 		K:        k,
@@ -218,12 +315,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeServingError(w, err)
 		return
 	}
+	results := out.Results
 	if offset >= len(results) {
 		results = nil
 	} else {
 		results = results[offset:]
 	}
-	resp := SearchResponse{Query: q, Strategy: strategy.String(), K: k, Results: []SearchResult{}}
+	resp := SearchResponse{
+		Query: q, Strategy: strategy.String(), K: k, Results: []SearchResult{},
+		Degraded: out.Degraded, DegradedKeywords: out.DegradedKeywords,
+	}
+	if out.Degraded {
+		w.Header().Set("Warning", `199 - "ontology path unavailable; results are IR-only"`)
+	}
 	for _, res := range results {
 		sr := SearchResult{
 			ID:       res.Root.String(),
@@ -432,6 +536,64 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is shallow liveness: the process is up and able to
+// answer HTTP. Deep dependency checks live on /readyz so that a sick
+// dependency does not get the process restarted by a liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyResponse is the /readyz payload.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Checks maps each registered dependency probe to "ok" or its error.
+	Checks map[string]string `json:"checks,omitempty"`
+	// Breakers reports each strategy's ontology-path breaker. An open
+	// breaker does NOT make the server unready — search still answers,
+	// degraded to IR-only — but Degraded is set so operators see it.
+	Breakers map[string]resilience.BreakerMetrics `json:"breakers"`
+	Degraded bool                                 `json:"degraded"`
+}
+
+// handleReadyz is deep readiness: every registered dependency check
+// must pass and the corpus must hold documents; otherwise 503. Breaker
+// state is reported (and flips Degraded) without failing readiness —
+// pulling a degraded-but-serving instance out of rotation would turn a
+// partial outage into a full one.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{
+		Ready:    true,
+		Checks:   make(map[string]string),
+		Breakers: make(map[string]resilience.BreakerMetrics, len(s.systems)),
+	}
+	if s.corpus.Stats().Documents == 0 {
+		resp.Ready = false
+		resp.Checks["corpus"] = "no documents loaded"
+	} else {
+		resp.Checks["corpus"] = "ok"
+	}
+	s.readyMu.Lock()
+	checks := append([]readyCheck(nil), s.ready...)
+	s.readyMu.Unlock()
+	for _, c := range checks {
+		if err := c.check(); err != nil {
+			resp.Ready = false
+			resp.Checks[c.name] = err.Error()
+			s.logf("server: readiness check %q failed: %v", c.name, err)
+		} else {
+			resp.Checks[c.name] = "ok"
+		}
+	}
+	for st, sys := range s.systems {
+		m := sys.Breaker().Metrics()
+		resp.Breakers[st.String()] = m
+		if m.State != resilience.Closed.String() {
+			resp.Degraded = true
+		}
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }

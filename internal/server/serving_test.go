@@ -63,9 +63,13 @@ func TestServingEquivalence(t *testing.T) {
 			direct := sys.Search(q, 10)
 			req := serving.Request{Strategy: strategy, Query: query.Normalize(q), K: 10}
 			for pass, label := range []string{"uncached", "cached"} {
-				served, err := s.svc.Search(context.Background(), req)
+				out, err := s.svc.Search(context.Background(), req)
 				if err != nil {
 					t.Fatalf("%s/%q pass %d: %v", strategy, q, pass, err)
+				}
+				served := out.Results
+				if out.Degraded {
+					t.Fatalf("%s/%q %s: degraded without any fault", strategy, q, label)
 				}
 				if len(served) != len(direct) {
 					t.Fatalf("%s/%q %s: %d served vs %d direct results",

@@ -92,12 +92,13 @@ func (c Config) withDefaults() Config {
 // Service serves requests through the cache → singleflight → admission
 // pipeline. V is the (immutable, shareable) result type.
 type Service[V any] struct {
-	cfg     Config
-	exec    Exec[V]
-	cache   *Cache[V]
-	flights Group[V]
-	adm     *Admission
-	stats   Stats
+	cfg       Config
+	exec      Exec[V]
+	cache     *Cache[V]
+	flights   Group[V]
+	adm       *Admission
+	stats     Stats
+	cacheable func(V) bool
 }
 
 // NewService builds a service around exec with the given bounds
@@ -111,6 +112,15 @@ func NewService[V any](cfg Config, exec Exec[V]) *Service[V] {
 		adm:   NewAdmission(cfg.MaxConcurrent, cfg.QueueWait),
 	}
 }
+
+// SetCacheFilter installs a predicate deciding whether a successful
+// result may be cached; results it rejects are still returned but
+// recomputed on the next request. The server uses this to keep
+// degraded (IR-only) search answers out of the result cache, so that a
+// recovered ontology path is visible immediately rather than after TTL
+// expiry. Call before serving traffic; it is not synchronized with
+// in-flight requests.
+func (s *Service[V]) SetCacheFilter(f func(V) bool) { s.cacheable = f }
 
 // Search answers the request, from cache when possible. On a miss the
 // execution is deduplicated across concurrent identical requests,
@@ -143,7 +153,7 @@ func (s *Service[V]) Search(ctx context.Context, req Request) (V, error) {
 		defer cancel()
 		s.stats.executions.Add(1)
 		v, err := s.exec(ectx, req)
-		if err == nil {
+		if err == nil && (s.cacheable == nil || s.cacheable(v)) {
 			s.cache.Set(key, v)
 		}
 		return v, err

@@ -1,0 +1,261 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestMain enforces the failpoint-leak contract: no test in this
+// package may leave a failpoint enabled.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := faultinject.CheckDisabled(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// A crash between the compaction temp write and the rename must leave
+// the pre-compaction segments fully authoritative: reopening serves
+// every live key, and the stale temp file is cleaned up.
+func TestCompactCrashMidCompaction(t *testing.T) {
+	defer faultinject.DisableAll()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 20; i++ {
+		k, v := fmt.Sprintf("key%02d", i), fmt.Sprintf("value-%d", i)
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key%02d", i)
+		if err := s.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, k)
+	}
+
+	faultinject.Enable(FPCompact, faultinject.Spec{})
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact survived the injected crash point")
+	}
+	faultinject.Disable(FPCompact)
+
+	// The "crashed" process: close without further writes. The synced
+	// temp file is still on disk, exactly as a real crash would leave it.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 1 {
+		t.Fatalf("temp files on disk = %d, want 1 (the interrupted compaction)", len(tmps))
+	}
+
+	s2, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen after mid-compaction crash: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.ReplayReport().TempFilesRemoved; got != 1 {
+		t.Errorf("TempFilesRemoved = %d, want 1", got)
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("live keys = %d, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, err := s2.Get(k)
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%q) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+	// And compaction completes cleanly once the fault is gone.
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("compact after recovery: %v", err)
+	}
+	for k, v := range want {
+		if got, _ := s2.Get(k); string(got) != v {
+			t.Fatalf("post-compaction Get(%q) = %q, want %q", k, got, v)
+		}
+	}
+}
+
+// A bit flip in a record that has intact records after it is
+// corruption, not a torn write — reopening must refuse to replay it
+// even in the newest segment.
+func TestCorruptMiddleRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(strings.Repeat("v", 50))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "000000.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF // inside the first record's key/value region
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Logf: t.Logf}); err == nil {
+		t.Fatal("mid-segment corruption silently replayed")
+	}
+}
+
+// A bit flip confined to the final record is indistinguishable from a
+// torn write: it is truncated away, reported, and the rest survives.
+func TestCorruptFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("keep", []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("flip", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "000000.seg")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	s2, err := Open(dir, Options{Logf: func(f string, a ...any) {
+		logged = append(logged, fmt.Sprintf(f, a...))
+	}})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got, err := s2.Get("keep"); err != nil || string(got) != "safe" {
+		t.Fatalf("keep = %q, %v", got, err)
+	}
+	if _, err := s2.Get("flip"); !errors.Is(err, ErrNotFound) {
+		t.Error("corrupted final record still addressable")
+	}
+	rep := s2.ReplayReport()
+	if rep.TornSegments != 1 || rep.TornBytes == 0 {
+		t.Errorf("replay report = %+v, want 1 torn segment with bytes > 0", rep)
+	}
+	if len(logged) == 0 {
+		t.Error("truncation was not logged")
+	}
+}
+
+// A zero-filled tail — the shape of a crash after the filesystem
+// extended the file but before data reached it — is truncated away.
+func TestZeroFilledTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("keep", []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "000000.seg")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen with zero tail: %v", err)
+	}
+	defer s2.Close()
+	if got, err := s2.Get("keep"); err != nil || string(got) != "safe" {
+		t.Fatalf("keep = %q, %v", got, err)
+	}
+	if rep := s2.ReplayReport(); rep.TornSegments != 1 {
+		t.Errorf("replay report = %+v, want 1 torn segment", rep)
+	}
+}
+
+// The store.write / store.read failpoints surface as ordinary errors at
+// the Put/Get boundary and disappear when disarmed.
+func TestStoreIOFailpoints(t *testing.T) {
+	defer faultinject.DisableAll()
+	s, err := Open(t.TempDir(), Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(FPWrite, faultinject.Spec{})
+	if err := s.Put("k2", []byte("v2")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Put with armed write failpoint = %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Delete with armed write failpoint = %v", err)
+	}
+	faultinject.Disable(FPWrite)
+
+	faultinject.Enable(FPRead, faultinject.Spec{})
+	if _, err := s.Get("k"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Get with armed read failpoint = %v", err)
+	}
+	faultinject.Disable(FPRead)
+
+	if got, err := s.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("after disarm: %q, %v", got, err)
+	}
+}
+
+func TestLocation(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	seg, off, ok := s.Location("k")
+	if !ok || seg != 0 || off <= 0 {
+		t.Fatalf("Location = (%d, %d, %v)", seg, off, ok)
+	}
+	if _, _, ok := s.Location("absent"); ok {
+		t.Fatal("Location reported an absent key")
+	}
+}

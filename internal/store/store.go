@@ -3,12 +3,16 @@
 // 2000 purely as a keyed posting-list store; this package provides the
 // same durability and lookup contract with the standard library only:
 //
-//   - append-only segment files with CRC32-checksummed records,
+//   - append-only segment files with CRC32C-checksummed records,
 //   - an in-memory key directory rebuilt by replaying segments on open,
-//   - crash tolerance (a torn final record is detected and truncated),
-//   - tombstone deletes and whole-store compaction.
+//   - crash tolerance: a torn final record (the signature of a crash
+//     mid-write) is detected, truncated, and reported; corruption
+//     anywhere else is rejected rather than silently replayed,
+//   - tombstone deletes and whole-store compaction that stages into a
+//     temp file and renames, so a crash mid-compact cannot lose data.
 //
-// It is safe for concurrent use.
+// It is safe for concurrent use. The store.* failpoints (see
+// internal/faultinject) let tests inject I/O faults at this boundary.
 package store
 
 import (
@@ -17,12 +21,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // DefaultMaxSegmentSize is the rotation point for the active segment.
@@ -31,12 +38,28 @@ const DefaultMaxSegmentSize = 8 << 20 // 8 MiB
 // ErrNotFound reports a missing key.
 var ErrNotFound = errors.New("store: key not found")
 
+// Failpoints registered at the store's I/O boundary (armed only by
+// tests; see internal/faultinject).
+const (
+	// FPWrite fires in Put before the record hits the segment.
+	FPWrite = "store.write"
+	// FPRead fires in Get before the value is read back.
+	FPRead = "store.read"
+	// FPCompact fires in Compact between the synced temp file and the
+	// rename — the "crash mid-compaction" point.
+	FPCompact = "store.compact.rename"
+)
+
 const (
 	flagPut       = byte(0)
 	flagTombstone = byte(1)
 
 	segSuffix = ".seg"
+	tmpSuffix = ".tmp"
 )
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 type recordLoc struct {
 	segID  int
@@ -50,12 +73,14 @@ type Store struct {
 
 	dir            string
 	maxSegmentSize int64
+	logf           func(format string, args ...any)
 
 	index    map[string]recordLoc
 	segments map[int]*os.File
 	activeID int
 	active   *os.File
 	activeSz int64
+	report   ReplayReport
 }
 
 // Options configure Open.
@@ -63,15 +88,35 @@ type Options struct {
 	// MaxSegmentSize overrides the rotation size; zero means
 	// DefaultMaxSegmentSize.
 	MaxSegmentSize int64
+	// Logf receives replay diagnostics (torn-tail truncations, stray
+	// temp files); nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// ReplayReport summarizes what Open had to repair.
+type ReplayReport struct {
+	// TornSegments counts segments whose tail was truncated.
+	TornSegments int
+	// TornBytes is the total number of bytes truncated away.
+	TornBytes int64
+	// TempFilesRemoved counts leftover compaction temp files deleted
+	// (the residue of a crash mid-compaction).
+	TempFilesRemoved int
 }
 
 // Open opens (creating if necessary) a store in dir, replaying existing
 // segments to rebuild the key directory. A torn record at the tail of
 // the newest segment — the signature of a crash mid-write — is
-// truncated away; corruption anywhere else is an error.
+// truncated away and reported; corruption anywhere else (a bit-flipped
+// record with valid data after it, or any damage in an older segment)
+// is an error: damaged data is never silently replayed. Leftover
+// compaction temp files are removed.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxSegmentSize <= 0 {
 		opts.MaxSegmentSize = DefaultMaxSegmentSize
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -79,8 +124,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:            dir,
 		maxSegmentSize: opts.MaxSegmentSize,
+		logf:           opts.Logf,
 		index:          make(map[string]recordLoc),
 		segments:       make(map[int]*os.File),
+	}
+	if err := s.removeTempFiles(); err != nil {
+		return nil, err
 	}
 	ids, err := segmentIDs(dir)
 	if err != nil {
@@ -110,6 +159,35 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// removeTempFiles deletes compaction temp files left by a crash between
+// the temp write and the rename; the pre-compaction segments are still
+// authoritative.
+func (s *Store) removeTempFiles() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), tmpSuffix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil {
+			return fmt.Errorf("store: removing stale temp file: %w", err)
+		}
+		s.report.TempFilesRemoved++
+		s.logf("store: removed stale compaction temp file %s", e.Name())
+	}
+	return nil
+}
+
+// ReplayReport returns what Open repaired (torn tails truncated, temp
+// files removed).
+func (s *Store) ReplayReport() ReplayReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.report
+}
+
 func segmentIDs(dir string) ([]int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -136,25 +214,41 @@ func (s *Store) segPath(id int) string {
 }
 
 // replaySegment scans one segment, updating the index. tolerateTorn
-// permits (and truncates) a torn record at the very end.
+// (newest segment only) permits — and truncates — a torn tail: a record
+// that extends past end-of-file, a checksum failure confined to the
+// final record, or an all-zero tail. A failed record with intact data
+// after it is corruption, not a torn write, and fails the open.
 func (s *Store) replaySegment(id int, tolerateTorn bool) error {
 	f, err := os.OpenFile(s.segPath(id), os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.segments[id] = f
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
 	offset := int64(0)
 	for {
-		rec, next, err := readRecord(f, offset)
+		rec, next, err := readRecord(f, offset, size)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			if tolerateTorn {
-				// Crash mid-write: discard the tail.
+			torn := errors.Is(err, errTorn) ||
+				// A checksum failure on the very last record is
+				// indistinguishable from a torn write of that record.
+				(errors.Is(err, errChecksum) && next == size) ||
+				zeroTail(f, offset, size)
+			if tolerateTorn && torn {
 				if terr := f.Truncate(offset); terr != nil {
 					return fmt.Errorf("store: truncating torn tail: %w", terr)
 				}
+				s.report.TornSegments++
+				s.report.TornBytes += size - offset
+				s.logf("store: segment %d: truncated torn tail at offset %d (%d bytes dropped: %v)",
+					id, offset, size-offset, err)
 				return nil
 			}
 			return fmt.Errorf("store: segment %d corrupt at offset %d: %w", id, offset, err)
@@ -168,6 +262,29 @@ func (s *Store) replaySegment(id int, tolerateTorn bool) error {
 	}
 }
 
+// zeroTail reports whether every byte from offset to size is zero — the
+// shape a crash leaves when the filesystem extended the file before the
+// data reached it.
+func zeroTail(f *os.File, offset, size int64) bool {
+	buf := make([]byte, 32<<10)
+	for offset < size {
+		n := int64(len(buf))
+		if size-offset < n {
+			n = size - offset
+		}
+		if _, err := f.ReadAt(buf[:n], offset); err != nil {
+			return false
+		}
+		for _, b := range buf[:n] {
+			if b != 0 {
+				return false
+			}
+		}
+		offset += n
+	}
+	return true
+}
+
 type record struct {
 	flag      byte
 	key       []byte
@@ -175,9 +292,18 @@ type record struct {
 	valOffset int64
 }
 
+// Replay failure classification: errTorn means the record extends past
+// the end of the segment (crash mid-write); errChecksum means the bytes
+// are all present but the CRC32C does not match (corruption — unless it
+// is the final record, where a torn write looks the same).
+var (
+	errTorn     = errors.New("record extends past end of segment")
+	errChecksum = errors.New("checksum mismatch")
+)
+
 // Record layout:
 //
-//	crc32(payload) uint32 LE | payload
+//	crc32c(payload) uint32 LE | payload
 //	payload = flag byte | keyLen uvarint | valLen uvarint | key | val
 func appendRecord(buf []byte, flag byte, key, val []byte) []byte {
 	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(val))
@@ -187,30 +313,43 @@ func appendRecord(buf []byte, flag byte, key, val []byte) []byte {
 	payload = append(payload, key...)
 	payload = append(payload, val...)
 	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
 	buf = append(buf, crc[:]...)
 	return append(buf, payload...)
 }
 
-func readRecord(f *os.File, offset int64) (record, int64, error) {
-	var hdr [4 + 1 + 2*binary.MaxVarintLen64]byte
-	n, err := f.ReadAt(hdr[:], offset)
-	if n == 0 && err == io.EOF {
+// readRecord decodes the record at offset in a segment of the given
+// size. On errChecksum the returned next offset is still the record's
+// end, so callers can tell a damaged final record from damage with
+// valid data after it.
+func readRecord(f *os.File, offset, size int64) (record, int64, error) {
+	if offset >= size {
 		return record{}, 0, io.EOF
 	}
+	var hdr [4 + 1 + 2*binary.MaxVarintLen64]byte
+	n, err := f.ReadAt(hdr[:], offset)
+	if err != nil && err != io.EOF {
+		return record{}, 0, err
+	}
 	if n < 6 { // crc + flag + at least 1 byte per uvarint
-		return record{}, 0, errors.New("truncated header")
+		return record{}, 0, errTorn
 	}
 	wantCRC := binary.LittleEndian.Uint32(hdr[:4])
 	flag := hdr[4]
 	p := 5
 	keyLen, sz := binary.Uvarint(hdr[p:n])
-	if sz <= 0 {
+	if sz == 0 {
+		return record{}, 0, errTorn // varint ran past the available bytes
+	}
+	if sz < 0 {
 		return record{}, 0, errors.New("bad key length")
 	}
 	p += sz
 	valLen, sz := binary.Uvarint(hdr[p:n])
-	if sz <= 0 {
+	if sz == 0 {
+		return record{}, 0, errTorn
+	}
+	if sz < 0 {
 		return record{}, 0, errors.New("bad value length")
 	}
 	p += sz
@@ -218,12 +357,16 @@ func readRecord(f *os.File, offset int64) (record, int64, error) {
 		return record{}, 0, errors.New("implausible record size")
 	}
 	payloadLen := int64(p-4) + int64(keyLen) + int64(valLen)
+	if offset+4+payloadLen > size {
+		return record{}, 0, errTorn
+	}
 	payload := make([]byte, payloadLen)
 	if _, err := f.ReadAt(payload, offset+4); err != nil {
-		return record{}, 0, errors.New("truncated payload")
+		return record{}, 0, fmt.Errorf("reading payload: %w", err)
 	}
-	if crc32.ChecksumIEEE(payload) != wantCRC {
-		return record{}, 0, errors.New("checksum mismatch")
+	next := offset + 4 + payloadLen
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return record{}, next, errChecksum
 	}
 	keyStart := int64(p - 4)
 	rec := record{
@@ -232,7 +375,7 @@ func readRecord(f *os.File, offset int64) (record, int64, error) {
 		val:       payload[keyStart+int64(keyLen):],
 		valOffset: offset + 4 + keyStart + int64(keyLen),
 	}
-	return rec, offset + 4 + payloadLen, nil
+	return rec, next, nil
 }
 
 func (s *Store) rotateLocked(id int) error {
@@ -251,6 +394,9 @@ func (s *Store) Put(key string, val []byte) error {
 	defer s.mu.Unlock()
 	if s.active == nil {
 		return errors.New("store: closed")
+	}
+	if err := faultinject.Hit(FPWrite); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	buf := appendRecord(nil, flagPut, []byte(key), val)
 	if s.activeSz+int64(len(buf)) > s.maxSegmentSize && s.activeSz > 0 {
@@ -277,6 +423,9 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
+	if err := faultinject.Hit(FPRead); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	f := s.segments[loc.segID]
 	if f == nil {
 		return nil, fmt.Errorf("store: segment %d missing", loc.segID)
@@ -286,6 +435,18 @@ func (s *Store) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	return val, nil
+}
+
+// Location reports where a key's value lives — segment id and byte
+// offset — for error messages and diagnostics.
+func (s *Store) Location(key string) (segment int, offset int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.index[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return loc.segID, loc.offset, true
 }
 
 // Has reports whether key is present.
@@ -305,6 +466,9 @@ func (s *Store) Delete(key string) error {
 	}
 	if _, ok := s.index[key]; !ok {
 		return nil
+	}
+	if err := faultinject.Hit(FPWrite); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	buf := appendRecord(nil, flagTombstone, []byte(key), nil)
 	if _, err := s.active.WriteAt(buf, s.activeSz); err != nil {
@@ -356,7 +520,11 @@ func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) error 
 }
 
 // Compact rewrites all live records into a fresh segment and removes
-// the old ones, reclaiming space from overwrites and tombstones.
+// the old ones, reclaiming space from overwrites and tombstones. The
+// new segment is staged as a temp file, synced, and renamed into place,
+// so a crash at any point leaves either the old segments or the
+// complete new one — never a half-compacted store (Open ignores and
+// deletes temp files).
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -364,7 +532,8 @@ func (s *Store) Compact() error {
 		return errors.New("store: closed")
 	}
 	newID := s.activeID + 1
-	f, err := os.OpenFile(s.segPath(newID), os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	tmpPath := filepath.Join(s.dir, fmt.Sprintf("compact-%06d%s", newID, tmpSuffix))
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -381,13 +550,13 @@ func (s *Store) Compact() error {
 		val := make([]byte, loc.length)
 		if _, err := seg.ReadAt(val, loc.offset); err != nil {
 			f.Close()
-			os.Remove(s.segPath(newID))
+			os.Remove(tmpPath)
 			return fmt.Errorf("store: compact read: %w", err)
 		}
 		buf := appendRecord(nil, flagPut, []byte(k), val)
 		if _, err := f.WriteAt(buf, offset); err != nil {
 			f.Close()
-			os.Remove(s.segPath(newID))
+			os.Remove(tmpPath)
 			return fmt.Errorf("store: compact write: %w", err)
 		}
 		prefix := int64(len(buf)) - int64(len(val))
@@ -396,9 +565,22 @@ func (s *Store) Compact() error {
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(s.segPath(newID))
+		os.Remove(tmpPath)
 		return fmt.Errorf("store: compact sync: %w", err)
 	}
+	// The crash window: temp file complete and synced, rename not yet
+	// done. A failure here must leave the old segments authoritative
+	// (and does — the temp file is ignored on reopen).
+	if err := faultinject.Hit(FPCompact); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.segPath(newID)); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	syncDir(s.dir)
 	// Swap in the new world, then remove old segments.
 	old := s.segments
 	s.segments = map[int]*os.File{newID: f}
@@ -409,6 +591,17 @@ func (s *Store) Compact() error {
 		os.Remove(s.segPath(id))
 	}
 	return nil
+}
+
+// syncDir flushes directory metadata (the rename) to stable storage;
+// best-effort, as not every platform supports fsync on directories.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 // Sync flushes the active segment to stable storage.
