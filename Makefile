@@ -1,23 +1,35 @@
 # Verification lanes for the XOntoRank reproduction.
 #
-#   make check   - tier-1 build+test plus vet, the race-detector lane, and faults
-#   make test    - tier-1: build everything, run every test
-#   make race    - race-detector lane over the concurrent packages
-#   make vet     - static checks
-#   make faults  - fault-injection suite under -race (failpoint leak check
-#                  is enforced by each package's TestMain)
-#   make bench   - serving-layer benchmarks (cache hit/miss, parallel load)
+#   make check       - tier-1 build+test plus vet/staticcheck, the
+#                      race-detector lane, faults, and fuzz-smoke
+#   make test        - tier-1: build everything, run every test
+#   make race        - race-detector lane over the concurrent packages
+#   make vet         - static checks (staticcheck too, when installed)
+#   make faults      - fault-injection suite under -race (failpoint leak
+#                      check is enforced by each package's TestMain)
+#   make fuzz-smoke  - ~10s of coverage-guided fuzzing per target
+#   make bench       - serving-layer benchmarks (cache hit/miss, parallel load)
 
 GO ?= go
 
 # Packages with failpoint-instrumented code or fault-injection tests.
 FAULT_PKGS = ./internal/faultinject/... ./internal/resilience/... \
 	./internal/store/... ./internal/dil/... ./internal/query/... \
-	./internal/server/...
+	./internal/ingest/... ./internal/server/...
 
-.PHONY: check test race vet faults bench
+# Native fuzz targets, as package:Target pairs (each gets FUZZ_TIME).
+FUZZ_TARGETS = \
+	./internal/xmltree:FuzzParseDewey \
+	./internal/xmltree:FuzzDecodeDewey \
+	./internal/xmltree:FuzzTokenize \
+	./internal/xmltree:FuzzParse \
+	./internal/cda:FuzzExtract \
+	./internal/ontology:FuzzLoad
+FUZZ_TIME ?= 10s
 
-check: test vet race faults
+.PHONY: check test race vet faults fuzz-smoke bench
+
+check: test vet race faults fuzz-smoke
 
 test:
 	$(GO) build ./...
@@ -25,13 +37,26 @@ test:
 
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 race:
-	$(GO) test -race ./internal/serving/... ./internal/query/... ./internal/server/...
+	$(GO) test -race ./internal/serving/... ./internal/query/... \
+		./internal/ingest/... ./internal/server/... ./cmd/xontoserve/...
 
 faults:
 	$(GO) vet $(FAULT_PKGS)
 	$(GO) test -race -count=1 $(FAULT_PKGS)
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; target=$${t#*:}; \
+		echo "fuzz $$pkg $$target ($(FUZZ_TIME))"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) >/dev/null; \
+	done
 
 bench:
 	$(GO) test -run xxx -bench 'Serving' -benchmem .

@@ -135,9 +135,12 @@ func loadData(dir string) (*xmltree.Corpus, *ontology.Ontology, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	corpus, err := xmltree.LoadDir(filepath.Join(dir, "docs"))
+	corpus, report, err := xmltree.LoadDir(filepath.Join(dir, "docs"))
 	if err != nil {
 		return nil, nil, err
+	}
+	for _, fe := range report.Skipped {
+		fmt.Fprintf(os.Stderr, "warning: skipped %s\n", fe)
 	}
 	return corpus, ont, nil
 }

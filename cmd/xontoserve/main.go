@@ -7,6 +7,20 @@
 //	xontoserve -data data -addr :8080
 //	xontoserve -generate -docs 100 -concepts 1000 -addr :8080
 //
+// Documents are ingested through internal/ingest: each file is parsed
+// and validated in isolation under size/depth guards (-max-file-size,
+// -max-depth, -validate); failures are quarantined to
+// <data>/quarantine with machine-readable reason files, and a
+// checkpointed manifest (<data>/ingest.manifest) makes ingestion
+// resumable — a crash mid-ingest re-processes only unfinished
+// documents on the next start.
+//
+// The corpus serves as an immutable generation. SIGHUP or POST
+// /admin/reload re-runs ingestion and builds the next generation while
+// the old one keeps serving, then swaps atomically: zero downtime, old
+// generation drained and released. /readyz reports the active
+// generation and last-ingest summary.
+//
 // The serving layer (internal/serving) is tuned with -cache-size,
 // -cache-ttl, -max-concurrent, -queue-wait, and -timeout; overload is
 // answered with 429 and deadline expiry with 504. The ontology path is
@@ -17,9 +31,9 @@
 // draining in-flight requests.
 //
 // Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
-// /metrics, /healthz (shallow liveness), /readyz (deep readiness:
-// data directory reachable, corpus loaded, breaker states) — see
-// internal/server.
+// /metrics, /admin/reload, /healthz (shallow liveness), /readyz (deep
+// readiness: data directory reachable, corpus loaded, breaker states,
+// active generation) — see internal/server.
 package main
 
 import (
@@ -28,15 +42,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/cda"
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/ontology"
 	"repro/internal/resilience"
 	"repro/internal/server"
@@ -45,136 +62,238 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	data := flag.String("data", "", "data directory written by xontorank gen")
-	generate := flag.Bool("generate", false, "serve freshly generated synthetic data")
-	docs := flag.Int("docs", 100, "documents to generate with -generate")
-	concepts := flag.Int("concepts", 1000, "synthetic concepts with -generate")
-	seed := flag.Int64("seed", 1, "generation seed")
-
-	scfg := serving.DefaultConfig()
-	flag.IntVar(&scfg.CacheCapacity, "cache-size", scfg.CacheCapacity, "query result cache capacity (entries)")
-	flag.DurationVar(&scfg.CacheTTL, "cache-ttl", scfg.CacheTTL, "query result cache TTL (0 disables expiry)")
-	flag.IntVar(&scfg.MaxConcurrent, "max-concurrent", scfg.MaxConcurrent, "maximum concurrent search executions")
-	flag.DurationVar(&scfg.QueueWait, "queue-wait", scfg.QueueWait, "how long a request may wait for a slot before a 429")
-	flag.DurationVar(&scfg.Timeout, "timeout", scfg.Timeout, "per-search deadline before a 504")
-	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
-
-	ccfg := core.DefaultConfig()
-	flag.IntVar(&ccfg.Query.Breaker.Threshold, "breaker-threshold", resilience.DefaultBreakerThreshold,
-		"ontology-path failures within the window that trip the breaker (search then degrades to IR-only)")
-	flag.DurationVar(&ccfg.Query.Breaker.Cooldown, "breaker-cooldown", resilience.DefaultBreakerCooldown,
-		"how long a tripped breaker stays open before probing the ontology path again")
-	flag.IntVar(&ccfg.Query.Retry.MaxAttempts, "retry-max", resilience.DefaultMaxAttempts,
-		"ontology-path build attempts (first call included) before a keyword degrades")
-	flag.Parse()
-
-	corpus, coll, err := loadOrGenerate(*data, *generate, *docs, *concepts, *seed)
-	if err != nil {
+	a := newApp(flag.CommandLine, os.Args[1:])
+	if err := a.run(context.Background()); err != nil {
 		log.Fatal("xontoserve: ", err)
 	}
-	stats := corpus.Stats()
-	log.Printf("serving %d documents (%d elements, %d code nodes) across %d ontologies on %s",
-		stats.Documents, stats.Elements, stats.CodeNodes, coll.Len(), *addr)
-	log.Printf("serving layer: cache=%d entries ttl=%v max-concurrent=%d queue-wait=%v timeout=%v",
-		scfg.CacheCapacity, scfg.CacheTTL, scfg.MaxConcurrent, scfg.QueueWait, scfg.Timeout)
-	log.Printf("resilience: breaker-threshold=%d breaker-cooldown=%v retry-max=%d",
-		ccfg.Query.Breaker.Threshold, ccfg.Query.Breaker.Cooldown, ccfg.Query.Retry.MaxAttempts)
+}
 
-	h := server.NewServing(corpus, coll, ccfg, scfg)
-	if *data != "" {
+// app is the whole server process in testable form: flags parsed into
+// fields, run(ctx) owning the listener, the signal handlers, and the
+// reload loop. Tests construct one, run it on :0, and drive it with
+// real signals.
+type app struct {
+	addr     string
+	data     string
+	generate bool
+	docs     int
+	concepts int
+	seed     int64
+
+	validate    bool
+	maxFileSize int64
+	maxDepth    int
+
+	scfg          serving.Config
+	ccfg          core.Config
+	shutdownGrace time.Duration
+	logf          func(format string, args ...any)
+
+	// ready is closed once the listener is bound, signal handling is
+	// installed, and requests are being served; boundAddr then holds the
+	// real listen address (useful with ":0").
+	ready     chan struct{}
+	readyOnce sync.Once
+	boundAddr string
+}
+
+func newApp(fs *flag.FlagSet, args []string) *app {
+	a := &app{scfg: serving.DefaultConfig(), ccfg: core.DefaultConfig(), logf: log.Printf,
+		ready: make(chan struct{})}
+	lim := xmltree.DefaultLimits()
+	fs.StringVar(&a.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&a.data, "data", "", "data directory written by xontorank gen")
+	fs.BoolVar(&a.generate, "generate", false, "serve freshly generated synthetic data")
+	fs.IntVar(&a.docs, "docs", 100, "documents to generate with -generate")
+	fs.IntVar(&a.concepts, "concepts", 1000, "synthetic concepts with -generate")
+	fs.Int64Var(&a.seed, "seed", 1, "generation seed")
+	fs.BoolVar(&a.validate, "validate", true, "validate CDA structure during ingest (failures are quarantined)")
+	fs.Int64Var(&a.maxFileSize, "max-file-size", lim.MaxBytes, "per-document size guard in bytes (0 disables)")
+	fs.IntVar(&a.maxDepth, "max-depth", lim.MaxDepth, "per-document element nesting guard (0 disables)")
+	fs.IntVar(&a.scfg.CacheCapacity, "cache-size", a.scfg.CacheCapacity, "query result cache capacity (entries)")
+	fs.DurationVar(&a.scfg.CacheTTL, "cache-ttl", a.scfg.CacheTTL, "query result cache TTL (0 disables expiry)")
+	fs.IntVar(&a.scfg.MaxConcurrent, "max-concurrent", a.scfg.MaxConcurrent, "maximum concurrent search executions")
+	fs.DurationVar(&a.scfg.QueueWait, "queue-wait", a.scfg.QueueWait, "how long a request may wait for a slot before a 429")
+	fs.DurationVar(&a.scfg.Timeout, "timeout", a.scfg.Timeout, "per-search deadline before a 504")
+	fs.DurationVar(&a.shutdownGrace, "shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGINT/SIGTERM")
+	fs.IntVar(&a.ccfg.Query.Breaker.Threshold, "breaker-threshold", resilience.DefaultBreakerThreshold,
+		"ontology-path failures within the window that trip the breaker (search then degrades to IR-only)")
+	fs.DurationVar(&a.ccfg.Query.Breaker.Cooldown, "breaker-cooldown", resilience.DefaultBreakerCooldown,
+		"how long a tripped breaker stays open before probing the ontology path again")
+	fs.IntVar(&a.ccfg.Query.Retry.MaxAttempts, "retry-max", resilience.DefaultMaxAttempts,
+		"ontology-path build attempts (first call included) before a keyword degrades")
+	fs.Parse(args)
+	return a
+}
+
+func (a *app) limits() xmltree.Limits {
+	return xmltree.Limits{MaxBytes: a.maxFileSize, MaxDepth: a.maxDepth}
+}
+
+func (a *app) ingestConfig() ingest.Config {
+	return ingest.Config{
+		SourceDir:   filepath.Join(a.data, "docs"),
+		Limits:      a.limits(),
+		ValidateCDA: a.validate,
+		Logf:        a.logf,
+	}
+}
+
+// loadCollection reads <data>/ontology.json and wraps it with the
+// built-in LOINC fragment.
+func (a *app) loadCollection() (*ontology.Collection, error) {
+	f, err := os.Open(filepath.Join(a.data, "ontology.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ont, err := ontology.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	return ontology.MustCollection(ont, ontology.LOINCFragment()), nil
+}
+
+// loadData produces one corpus snapshot: via the ingestion pipeline
+// for -data, or synthetic generation for -generate (no report).
+func (a *app) loadData(ctx context.Context) (*xmltree.Corpus, *ontology.Collection, *ingest.Report, error) {
+	if a.generate {
+		ont, err := ontology.Generate(ontology.GenConfig{
+			Seed: a.seed, ExtraConcepts: a.concepts, SynonymProb: 0.4,
+			MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		gen, err := cda.NewGenerator(cda.GenConfig{
+			Seed: a.seed, NumDocuments: a.docs, ProblemsPerPatient: 4,
+			MedicationsPerPatient: 4, ProceduresPerPatient: 2,
+		}, ont)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		corpus := gen.GenerateCorpus()
+		fig1, err := cda.GenerateFigure1(ont)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		corpus.Add(fig1)
+		return corpus, ontology.MustCollection(ont, ontology.LOINCFragment()), nil, nil
+	}
+	coll, err := a.loadCollection()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := ingest.Run(ctx, a.ingestConfig())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Corpus, coll, res.Report, nil
+}
+
+// run ingests the corpus, serves it, and blocks until ctx is done or a
+// shutdown signal arrives, reloading on SIGHUP. It returns nil on a
+// clean drain.
+func (a *app) run(ctx context.Context) error {
+	if !a.generate && a.data == "" {
+		return fmt.Errorf("either -data or -generate is required")
+	}
+	corpus, coll, report, err := a.loadData(ctx)
+	if err != nil {
+		return err
+	}
+	stats := corpus.Stats()
+	a.logf("serving %d documents (%d elements, %d code nodes) across %d ontologies on %s",
+		stats.Documents, stats.Elements, stats.CodeNodes, coll.Len(), a.addr)
+	if report != nil {
+		a.logf("ingest: %s", report.Summary())
+	}
+	a.logf("serving layer: cache=%d entries ttl=%v max-concurrent=%d queue-wait=%v timeout=%v",
+		a.scfg.CacheCapacity, a.scfg.CacheTTL, a.scfg.MaxConcurrent, a.scfg.QueueWait, a.scfg.Timeout)
+	a.logf("resilience: breaker-threshold=%d breaker-cooldown=%v retry-max=%d",
+		a.ccfg.Query.Breaker.Threshold, a.ccfg.Query.Breaker.Cooldown, a.ccfg.Query.Retry.MaxAttempts)
+
+	h := server.NewServing(corpus, coll, a.ccfg, a.scfg)
+	h.SetLogf(a.logf)
+	h.SetLastIngest(report)
+	if a.data != "" {
 		// Deep readiness: the data directory must stay reachable (it is
-		// reread on reload paths; losing the mount means the instance
-		// should leave rotation).
-		dir := *data
+		// reread on reload; losing the mount means the instance should
+		// leave rotation).
+		dir := a.data
 		h.AddReadyCheck("data-dir", func() error {
 			_, err := os.Stat(dir)
 			return err
 		})
+		h.SetReloader(func(ctx context.Context) (*server.ReloadData, error) {
+			corpus, coll, report, err := a.loadData(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &server.ReloadData{Corpus: corpus, Collection: coll, Ingest: report}, nil
+		})
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logging(h),
+		Handler:           logging(a.logf, h),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		// WriteTimeout must cover the serving deadline plus response
 		// encoding, or slow-but-admitted searches would be cut off
 		// mid-body instead of answered.
-		WriteTimeout: scfg.Timeout + 20*time.Second,
+		WriteTimeout: a.scfg.Timeout + 20*time.Second,
 		IdleTimeout:  120 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ln, err := net.Listen("tcp", a.addr)
+	if err != nil {
+		return err
+	}
+	a.boundAddr = ln.Addr().String()
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		log.Fatal("xontoserve: ", err)
-	case <-ctx.Done():
-		stop()
-		log.Printf("signal received, draining for up to %v", *shutdownGrace)
-		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
-			_ = srv.Close()
+	go func() { errc <- srv.Serve(ln) }()
+	a.readyOnce.Do(func() { close(a.ready) })
+
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case <-hup:
+			a.logf("SIGHUP received, reloading")
+			if status, err := h.Reload(context.Background()); err != nil {
+				a.logf("reload failed, keeping current generation: %v", err)
+			} else {
+				a.logf("reload complete: generation %d, %d documents in %v",
+					status.Generation, status.Documents, status.Took.Round(time.Millisecond))
+			}
+		case <-ctx.Done():
+			stop()
+			a.logf("signal received, draining for up to %v", a.shutdownGrace)
+			sctx, cancel := context.WithTimeout(context.Background(), a.shutdownGrace)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				a.logf("shutdown: %v", err)
+				_ = srv.Close()
+			}
+			if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				a.logf("serve: %v", err)
+			}
+			a.logf("bye")
+			return nil
 		}
-		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("serve: %v", err)
-		}
-		log.Print("bye")
 	}
 }
 
-func loadOrGenerate(data string, generate bool, docs, concepts int, seed int64) (*xmltree.Corpus, *ontology.Collection, error) {
-	if !generate && data == "" {
-		return nil, nil, fmt.Errorf("either -data or -generate is required")
-	}
-	if generate {
-		ont, err := ontology.Generate(ontology.GenConfig{
-			Seed: seed, ExtraConcepts: concepts, SynonymProb: 0.4,
-			MultiParentProb: 0.15, RelationshipsPerDisorder: 2,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		gen, err := cda.NewGenerator(cda.GenConfig{
-			Seed: seed, NumDocuments: docs, ProblemsPerPatient: 4,
-			MedicationsPerPatient: 4, ProceduresPerPatient: 2,
-		}, ont)
-		if err != nil {
-			return nil, nil, err
-		}
-		corpus := gen.GenerateCorpus()
-		fig1, err := cda.GenerateFigure1(ont)
-		if err != nil {
-			return nil, nil, err
-		}
-		corpus.Add(fig1)
-		return corpus, ontology.MustCollection(ont, ontology.LOINCFragment()), nil
-	}
-
-	f, err := os.Open(filepath.Join(data, "ontology.json"))
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	ont, err := ontology.Load(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	corpus, err := xmltree.LoadDir(filepath.Join(data, "docs"))
-	if err != nil {
-		return nil, nil, err
-	}
-	return corpus, ontology.MustCollection(ont, ontology.LOINCFragment()), nil
-}
-
-func logging(next http.Handler) http.Handler {
+func logging(logf func(string, ...any), next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("%s %s %v", r.Method, r.URL.RequestURI(), time.Since(start))
+		logf("%s %s %v", r.Method, r.URL.RequestURI(), time.Since(start))
 	})
 }

@@ -1,0 +1,87 @@
+package cda
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+// fuzzLimits keeps hostile inputs cheap: the extraction invariants do
+// not depend on document size.
+var fuzzLimits = xmltree.Limits{MaxBytes: 1 << 20, MaxDepth: 64}
+
+// FuzzExtract feeds arbitrary XML through parse + every extraction
+// entry point. Extraction must never panic, and repeated extraction
+// over the same tree must be deterministic.
+func FuzzExtract(f *testing.F) {
+	// Seed with real generated documents alongside the checked-in
+	// corpus, so coverage starts inside CDA structure rather than at
+	// "not XML".
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 3, ExtraConcepts: 20})
+	if err != nil {
+		f.Fatal(err)
+	}
+	g, err := NewGenerator(GenConfig{Seed: 3, NumDocuments: 2, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1}, ont)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, doc := range g.GenerateCorpus().Docs() {
+		var sb strings.Builder
+		if err := xmltree.WriteXML(&sb, doc.Root); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.String())
+	}
+	fig1, err := GenerateFigure1(ont)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := xmltree.WriteXML(&sb, fig1.Root); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb.String())
+
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := xmltree.ParseLimited(strings.NewReader(input), fuzzLimits)
+		if err != nil {
+			return
+		}
+		doc.Name = "fuzz"
+
+		secs := Sections(doc)
+		meds := Medications(doc)
+		probs := Problems(doc)
+		pat, patOK := PatientOf(doc)
+		sum := Summary(doc)
+		if pat2, ok2 := PatientOf(doc); ok2 != patOK || pat2 != pat {
+			t.Fatal("PatientOf not deterministic")
+		}
+
+		// Determinism: a second pass over the identical tree agrees.
+		if got := len(Sections(doc)); got != len(secs) {
+			t.Fatalf("Sections not deterministic: %d then %d", len(secs), got)
+		}
+		if got := len(Medications(doc)); got != len(meds) {
+			t.Fatalf("Medications not deterministic: %d then %d", len(meds), got)
+		}
+		if got := len(Problems(doc)); got != len(probs) {
+			t.Fatalf("Problems not deterministic: %d then %d", len(probs), got)
+		}
+		if got := Summary(doc); got != sum {
+			t.Fatalf("Summary not deterministic: %q then %q", sum, got)
+		}
+		// Every section found by code lookup must be in the full list.
+		for _, s := range secs {
+			if s.Code == "" {
+				continue
+			}
+			if _, ok := SectionByCode(doc, s.Code); !ok {
+				t.Fatalf("section %q found by walk but not by code", s.Code)
+			}
+		}
+	})
+}

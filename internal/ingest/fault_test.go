@@ -1,0 +1,199 @@
+package ingest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// A crash between documents — simulated as a manifest append that
+// never happens, exactly the state a kill -9 leaves behind — aborts
+// the run; the rerun resumes from the manifest and re-processes only
+// the unfinished documents.
+func TestCrashDuringIngestResumes(t *testing.T) {
+	defer faultinject.DisableAll()
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := writeTestCorpus(t, src, 6)
+	cfg := Config{SourceDir: src, ValidateCDA: true, Logf: t.Logf}
+
+	// Crash after 3 documents reached their checkpoint.
+	faultinject.Enable(FPManifestAppend, faultinject.Spec{After: 3, Count: 1})
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("crashed run reported success")
+	}
+	faultinject.DisableAll()
+
+	m, err := OpenManifest(filepath.Join(base, "ingest.manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointed := m.Len()
+	m.Close()
+	if checkpointed != 3 {
+		t.Fatalf("checkpointed = %d, want 3", checkpointed)
+	}
+
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r.Resumed != 3 {
+		t.Errorf("resumed = %d, want 3 (completed documents were re-processed)", r.Resumed)
+	}
+	if r.Ingested != len(names)-3 {
+		t.Errorf("ingested = %d, want %d", r.Ingested, len(names)-3)
+	}
+	if res.Corpus.Len() != len(names) {
+		t.Errorf("corpus = %d, want %d", res.Corpus.Len(), len(names))
+	}
+}
+
+// A crash between the quarantine checkpoint and the file move leaves
+// the bad file in the source dir with a quarantined manifest record;
+// the rerun finishes the move without writing a duplicate record.
+func TestCrashBetweenManifestAndQuarantineMove(t *testing.T) {
+	defer faultinject.DisableAll()
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestCorpus(t, src, 2)
+	write(t, src, "bad.xml", "<ClinicalDocument><unclosed>")
+	cfg := Config{SourceDir: src, ValidateCDA: true, Logf: t.Logf}
+
+	faultinject.Enable(FPQuarantine, faultinject.Spec{})
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("run with failing quarantine move reported success")
+	}
+	faultinject.DisableAll()
+	if _, err := os.Stat(filepath.Join(src, "bad.xml")); err != nil {
+		t.Fatalf("bad.xml should still be in source dir: %v", err)
+	}
+
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Quarantined != 1 || res.Corpus.Len() != 2 {
+		t.Fatalf("report = %+v corpus = %d", res.Report, res.Corpus.Len())
+	}
+	if _, err := os.Stat(filepath.Join(src, "bad.xml")); !os.IsNotExist(err) {
+		t.Error("bad.xml not moved on resume")
+	}
+	if _, err := os.Stat(filepath.Join(base, "quarantine", "bad.xml")); err != nil {
+		t.Errorf("bad.xml not in quarantine: %v", err)
+	}
+
+	// The manifest holds exactly one record for bad.xml.
+	m, err := OpenManifest(filepath.Join(base, "ingest.manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if e, ok := m.Lookup("bad.xml"); !ok || e.Status != StatusQuarantined {
+		t.Fatalf("bad.xml manifest = %+v ok=%v", e, ok)
+	}
+}
+
+// An injected read failure quarantines the record of the file (reason
+// file only) without aborting the batch; the file itself stays for the
+// next run to retry.
+func TestReadFailureDoesNotAbortBatch(t *testing.T) {
+	defer faultinject.DisableAll()
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := writeTestCorpus(t, src, 4)
+	cfg := Config{SourceDir: src, ValidateCDA: true, Logf: t.Logf}
+
+	faultinject.Enable(FPRead, faultinject.Spec{After: 1, Count: 1})
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Quarantined != 1 || res.Corpus.Len() != len(names)-1 {
+		t.Fatalf("report = %+v corpus = %d", res.Report, res.Corpus.Len())
+	}
+	faultinject.DisableAll()
+
+	// Retry run: the unreadable file is healthy now, so it is ingested;
+	// its earlier quarantined record is superseded.
+	res2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Corpus.Len() != len(names) || res2.Report.Ingested != 1 || res2.Report.Resumed != len(names)-1 {
+		t.Fatalf("retry report = %+v corpus = %d", res2.Report, res2.Corpus.Len())
+	}
+}
+
+// An injected validation failure sends a healthy document through the
+// quarantine path (exercising the full reject machinery on real CDA
+// content).
+func TestInjectedValidationFailure(t *testing.T) {
+	defer faultinject.DisableAll()
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := writeTestCorpus(t, src, 3)
+	cfg := Config{SourceDir: src, ValidateCDA: true, Logf: t.Logf}
+
+	faultinject.Enable(FPValidate, faultinject.Spec{Count: 1})
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.DisableAll()
+	if res.Report.Quarantined != 1 || res.Corpus.Len() != len(names)-1 {
+		t.Fatalf("report = %+v corpus = %d", res.Report, res.Corpus.Len())
+	}
+	if len(res.Report.Failures) != 1 || res.Report.Failures[0].Stage != "validate" {
+		t.Fatalf("failures = %+v", res.Report.Failures)
+	}
+}
+
+// The full crash → resume → reingest soak: repeated crashes at every
+// possible checkpoint boundary always converge to the same corpus.
+func TestCrashSoakEveryBoundary(t *testing.T) {
+	defer faultinject.DisableAll()
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := writeTestCorpus(t, src, 5)
+	write(t, src, "zz-bad.xml", "<ClinicalDocument><unclosed>")
+	cfg := Config{SourceDir: src, ValidateCDA: true, Logf: t.Logf}
+
+	for after := int64(0); after <= int64(len(names)); after++ {
+		faultinject.Enable(FPManifestAppend, faultinject.Spec{After: after, Count: 1})
+		_, _ = Run(context.Background(), cfg) // may fail: simulated crash
+		faultinject.DisableAll()
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != len(names) {
+		t.Fatalf("corpus = %d, want %d", res.Corpus.Len(), len(names))
+	}
+	if res.Report.Ingested != 0 {
+		t.Errorf("final run re-ingested %d documents", res.Report.Ingested)
+	}
+	if got := res.Report.Resumed; got != len(names) {
+		t.Errorf("resumed = %d, want %d", got, len(names))
+	}
+}

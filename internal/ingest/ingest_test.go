@@ -1,0 +1,220 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+// writeTestCorpus writes n generated CDA documents into dir and
+// returns their file names in sorted order.
+func writeTestCorpus(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 4, ExtraConcepts: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 4, NumDocuments: n, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, doc := range g.GenerateCorpus().Docs() {
+		name := doc.Name + ".xml"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := xmltree.WriteXML(f, doc.Root); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		names = append(names, name)
+	}
+	return names
+}
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Generated documents must pass the structural validator — otherwise
+// the pipeline would quarantine its own corpus.
+func TestValidateCDAGeneratedCorpus(t *testing.T) {
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 7, ExtraConcepts: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{Seed: 7, NumDocuments: 6, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range g.GenerateCorpus().Docs() {
+		if err := ValidateCDA(doc); err != nil {
+			t.Errorf("%s: %v", doc.Name, err)
+		}
+	}
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateCDA(fig1); err != nil {
+		t.Errorf("figure1: %v", err)
+	}
+}
+
+func TestValidateCDARejects(t *testing.T) {
+	cases := []struct {
+		name, xml string
+	}{
+		{"wrong root", `<Order><id extension="1"/></Order>`},
+		{"no id", `<ClinicalDocument><component/></ClinicalDocument>`},
+		{"no content", `<ClinicalDocument><id extension="1"/></ClinicalDocument>`},
+		{"partial ref", `<ClinicalDocument><id extension="1"/><section><code codeSystem="2.16"/>x</section></ClinicalDocument>`},
+	}
+	for _, c := range cases {
+		doc, err := xmltree.ParseString(c.xml)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := ValidateCDA(doc); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// The core contract: one batch with healthy and broken documents ends
+// with the healthy ones in the corpus and every broken one quarantined
+// with a machine-readable reason, never a failed batch.
+func TestRunQuarantinesBadDocuments(t *testing.T) {
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good := writeTestCorpus(t, src, 4)
+	write(t, src, "broken.xml", "<ClinicalDocument><unclosed>")
+	write(t, src, "huge.xml", "<ClinicalDocument>"+strings.Repeat("x", 1<<20)+"</ClinicalDocument>")
+	write(t, src, "notcda.xml", "<Order><id extension=\"1\"/>x</Order>")
+
+	cfg := Config{
+		SourceDir:   src,
+		Limits:      xmltree.Limits{MaxBytes: 1 << 18, MaxDepth: 64},
+		ValidateCDA: true,
+		Logf:        t.Logf,
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus.Len() != len(good) {
+		t.Fatalf("corpus = %d docs, want %d", res.Corpus.Len(), len(good))
+	}
+	r := res.Report
+	if r.Total != len(good)+3 || r.Ingested != len(good) || r.Quarantined != 3 || r.Resumed != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+
+	// Quarantined files were moved out of the source dir, with reasons.
+	qdir := filepath.Join(base, "quarantine")
+	for _, name := range []string{"broken.xml", "huge.xml", "notcda.xml"} {
+		if _, err := os.Stat(filepath.Join(src, name)); !os.IsNotExist(err) {
+			t.Errorf("%s still in source dir (err=%v)", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(qdir, name)); err != nil {
+			t.Errorf("%s not quarantined: %v", name, err)
+		}
+		buf, err := os.ReadFile(filepath.Join(qdir, name+".reason.json"))
+		if err != nil {
+			t.Fatalf("%s reason: %v", name, err)
+		}
+		var reason Reason
+		if err := json.Unmarshal(buf, &reason); err != nil {
+			t.Fatalf("%s reason not machine-readable: %v", name, err)
+		}
+		if reason.File != name || reason.Stage == "" || reason.Error == "" {
+			t.Errorf("%s reason = %+v", name, reason)
+		}
+	}
+
+	// The corpus is deterministic: same IDs as a plain sorted load.
+	for i, doc := range res.Corpus.Docs() {
+		if doc.Name+".xml" != good[i] {
+			t.Errorf("doc %d = %s, want %s", i, doc.Name, good[i])
+		}
+	}
+}
+
+// A second run over an unchanged directory re-processes nothing.
+func TestRunResumesFromManifest(t *testing.T) {
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestCorpus(t, src, 5)
+	cfg := Config{SourceDir: src, ValidateCDA: true, Logf: t.Logf}
+
+	first, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.Ingested != 5 || first.Report.Resumed != 0 {
+		t.Fatalf("first = %+v", first.Report)
+	}
+	second, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Report.Ingested != 0 || second.Report.Resumed != 5 {
+		t.Fatalf("second = %+v", second.Report)
+	}
+	if second.Corpus.Len() != 5 {
+		t.Fatalf("corpus = %d", second.Corpus.Len())
+	}
+
+	// A changed file is re-validated; the rest still resume.
+	docs := second.Corpus.Docs()
+	write(t, src, docs[0].Name+".xml", `<ClinicalDocument><id extension="n"/><section><code code="1" codeSystem="2"/>updated</section></ClinicalDocument>`)
+	third, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Report.Ingested != 1 || third.Report.Resumed != 4 {
+		t.Fatalf("third = %+v", third.Report)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	base := t.TempDir()
+	src := filepath.Join(base, "docs")
+	if err := os.Mkdir(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestCorpus(t, src, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{SourceDir: src, Logf: t.Logf}); err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+}
+
+func TestRunMissingSourceDir(t *testing.T) {
+	if _, err := Run(context.Background(), Config{SourceDir: filepath.Join(t.TempDir(), "nope"), Logf: t.Logf}); err == nil {
+		t.Fatal("missing source dir accepted")
+	}
+}

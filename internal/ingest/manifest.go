@@ -1,0 +1,167 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+// The manifest is the ingestion checkpoint: one JSON object per line,
+// appended and fsynced after each document reaches a terminal status
+// (ok or quarantined). A crash mid-ingest therefore loses at most the
+// document being processed; on restart, every manifested document with
+// an unchanged content hash is carried forward without re-validation.
+//
+// Appends after a kill -9 can leave a torn final line; OpenManifest
+// tolerates it by truncating the file back to the last intact record.
+// Re-ingesting a changed file simply appends a fresh record — on load,
+// the last record per file name wins.
+
+// Status is a document's terminal ingestion state.
+type Status string
+
+const (
+	// StatusOK marks a document that passed validation and entered the
+	// corpus.
+	StatusOK Status = "ok"
+	// StatusQuarantined marks a document that failed validation and was
+	// moved to the quarantine directory.
+	StatusQuarantined Status = "quarantined"
+)
+
+// Entry is one manifest record.
+type Entry struct {
+	// Name is the file name within the source directory.
+	Name string `json:"name"`
+	// Hash is the SHA-256 of the file content, hex-encoded. Resume only
+	// trusts a record whose hash still matches the file.
+	Hash string `json:"hash"`
+	// Bytes is the file size when processed.
+	Bytes int64 `json:"bytes"`
+	// Status is the terminal state.
+	Status Status `json:"status"`
+	// Reason is the machine-readable failure stage for quarantined
+	// documents (empty for ok).
+	Reason string `json:"reason,omitempty"`
+}
+
+// FPManifestAppend fires before each manifest append; tests arm it to
+// simulate a crash between documents (the record is then never
+// written, exactly like a kill -9 before the append).
+const FPManifestAppend = "ingest.manifest"
+
+// Manifest is the append-only checkpoint file. Not safe for concurrent
+// use; the ingester is single-writer by design.
+type Manifest struct {
+	path    string
+	f       *os.File
+	entries map[string]Entry
+	// torn reports that a trailing partial record (crash artifact) was
+	// found and truncated away on open.
+	torn bool
+}
+
+// OpenManifest loads (creating if absent) the manifest at path and
+// opens it for appending. A torn final line — the signature of a crash
+// mid-append — is truncated away and reported via Torn.
+func OpenManifest(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: opening manifest: %w", err)
+	}
+	m := &Manifest{path: path, f: f, entries: make(map[string]Entry)}
+	if err := m.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// load replays the records and positions the write offset after the
+// last intact one. A record counts only when terminated by a newline
+// AND decodable — a trailing fragment that happens to parse as JSON
+// (e.g. a record truncated after a closing brace of a nested field)
+// must not be trusted.
+func (m *Manifest) load() error {
+	buf, err := io.ReadAll(m.f)
+	if err != nil {
+		return fmt.Errorf("ingest: manifest read: %w", err)
+	}
+	var good int64
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			m.torn = true // partial final record: crash artifact
+			break
+		}
+		line := buf[:nl]
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Name == "" {
+			// A garbled record can only be the final append of a crashed
+			// run; everything after it is unreachable.
+			m.torn = true
+			break
+		}
+		m.entries[e.Name] = e
+		good += int64(nl) + 1
+		buf = buf[nl+1:]
+	}
+	if err := m.f.Truncate(good); err != nil {
+		return fmt.Errorf("ingest: truncating torn manifest: %w", err)
+	}
+	if _, err := m.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("ingest: manifest seek: %w", err)
+	}
+	return nil
+}
+
+// Torn reports whether a partial trailing record was dropped on open.
+func (m *Manifest) Torn() bool { return m.torn }
+
+// Len is the number of distinct manifested documents.
+func (m *Manifest) Len() int { return len(m.entries) }
+
+// Lookup returns the last record for a file name.
+func (m *Manifest) Lookup(name string) (Entry, bool) {
+	e, ok := m.entries[name]
+	return e, ok
+}
+
+// Entries returns the current record per file name (insertion order not
+// preserved).
+func (m *Manifest) Entries() map[string]Entry {
+	out := make(map[string]Entry, len(m.entries))
+	for k, v := range m.entries {
+		out[k] = v
+	}
+	return out
+}
+
+// Append durably records one document's terminal status: the record is
+// written and fsynced before Append returns, making it a checkpoint a
+// crashed ingest can resume from.
+func (m *Manifest) Append(e Entry) error {
+	if err := faultinject.Hit(FPManifestAppend); err != nil {
+		return fmt.Errorf("ingest: manifest append: %w", err)
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ingest: manifest append: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := m.f.Write(buf); err != nil {
+		return fmt.Errorf("ingest: manifest append: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: manifest sync: %w", err)
+	}
+	m.entries[e.Name] = e
+	return nil
+}
+
+// Close releases the file handle.
+func (m *Manifest) Close() error { return m.f.Close() }

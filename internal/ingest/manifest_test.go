@@ -1,0 +1,142 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestMain enforces the failpoint-leak contract for this package.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := faultinject.CheckDisabled(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Torn() || m.Len() != 0 {
+		t.Fatalf("fresh manifest: torn=%v len=%d", m.Torn(), m.Len())
+	}
+	if err := m.Append(Entry{Name: "a.xml", Hash: "h1", Bytes: 10, Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(Entry{Name: "b.xml", Hash: "h2", Status: StatusQuarantined, Reason: "parse: boom"}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-ingest of a changed file: last record wins.
+	if err := m.Append(Entry{Name: "a.xml", Hash: "h3", Bytes: 12, Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Torn() || m2.Len() != 2 {
+		t.Fatalf("reloaded: torn=%v len=%d", m2.Torn(), m2.Len())
+	}
+	a, ok := m2.Lookup("a.xml")
+	if !ok || a.Hash != "h3" || a.Bytes != 12 {
+		t.Fatalf("a.xml = %+v ok=%v", a, ok)
+	}
+	b, ok := m2.Lookup("b.xml")
+	if !ok || b.Status != StatusQuarantined || b.Reason != "parse: boom" {
+		t.Fatalf("b.xml = %+v ok=%v", b, ok)
+	}
+}
+
+// A kill -9 mid-append leaves a partial trailing line; reopening must
+// drop exactly that record and keep appending cleanly after it.
+func TestManifestTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Append(Entry{Name: fmt.Sprintf("d%d.xml", i), Hash: "h", Status: StatusOK}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record in half.
+	if err := os.Truncate(path, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Torn() {
+		t.Error("torn line not reported")
+	}
+	if m2.Len() != 2 {
+		t.Fatalf("len = %d after torn tail", m2.Len())
+	}
+	if _, ok := m2.Lookup("d2.xml"); ok {
+		t.Error("torn record survived")
+	}
+	// Appends after truncation land on a clean boundary.
+	if err := m2.Append(Entry{Name: "d2.xml", Hash: "h", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	m3, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if m3.Torn() || m3.Len() != 3 {
+		t.Fatalf("after repair: torn=%v len=%d", m3.Torn(), m3.Len())
+	}
+}
+
+// A file ending in garbage that is not valid JSON is treated the same
+// way as a half-written record.
+func TestManifestGarbledTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(Entry{Name: "a.xml", Hash: "h", Status: StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"name\":\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Torn() || m2.Len() != 1 {
+		t.Fatalf("torn=%v len=%d", m2.Torn(), m2.Len())
+	}
+}

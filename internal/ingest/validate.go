@@ -1,0 +1,88 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// CDA structure validation: beyond well-formed XML, an ingested record
+// must look like an HL7 ClinicalDocument before it may join the
+// corpus. The rules are deliberately shallow — schema validation
+// proper is out of scope — but they catch the feed failures that
+// matter to search: wrong document kind, missing identity, and
+// half-written ontological references that would silently drop out of
+// the XOnto-DIL join.
+
+// ErrNotCDA reports a document whose root is not a ClinicalDocument.
+var ErrNotCDA = errors.New("ingest: root element is not ClinicalDocument")
+
+// ErrNoID reports a ClinicalDocument without an id element.
+var ErrNoID = errors.New("ingest: ClinicalDocument has no id")
+
+// ErrNoContent reports a ClinicalDocument with no section and no text
+// anywhere — nothing for search to index.
+var ErrNoContent = errors.New("ingest: ClinicalDocument has no sections or text")
+
+// ValidateCDA checks the structural invariants. The returned error is
+// the first violation found (document order).
+func ValidateCDA(doc *xmltree.Document) error {
+	if doc == nil || doc.Root == nil {
+		return ErrNotCDA
+	}
+	root := doc.Root
+	if root.Tag != "ClinicalDocument" {
+		return fmt.Errorf("%w (got <%s>)", ErrNotCDA, root.Tag)
+	}
+	hasID := false
+	for _, c := range root.Children {
+		if c.Tag != "id" {
+			continue
+		}
+		if ext, _ := c.Attr("extension"); ext != "" {
+			hasID = true
+			break
+		}
+		if r, _ := c.Attr("root"); r != "" {
+			hasID = true
+			break
+		}
+	}
+	if !hasID {
+		return ErrNoID
+	}
+	content := false
+	var bad *xmltree.Node
+	root.Walk(func(n *xmltree.Node) bool {
+		if bad != nil {
+			return false
+		}
+		if n.Tag == "section" || n.Text != "" {
+			content = true
+		}
+		// A codeSystem attribute without a code (or vice versa) is a
+		// half-written ontological reference: the DIL join would skip it
+		// silently, so reject it loudly at the boundary instead.
+		code, okC := n.Attr("code")
+		sys, okS := n.Attr("codeSystem")
+		if (okC && code != "") != (okS && sys != "") {
+			bad = n
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		return fmt.Errorf("ingest: element <%s> at %s has a partial ontological reference (code=%q codeSystem=%q)",
+			bad.Tag, bad.Path(), attrOr(bad, "code"), attrOr(bad, "codeSystem"))
+	}
+	if !content {
+		return ErrNoContent
+	}
+	return nil
+}
+
+func attrOr(n *xmltree.Node, name string) string {
+	v, _ := n.Attr(name)
+	return v
+}

@@ -1,0 +1,70 @@
+package ontology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes through the ontology file loader.
+// Load must never panic, and anything it accepts must round-trip
+// stably: Load → Save → Load → Save produces identical bytes, and the
+// reloaded graph answers the same lookups.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real saved ontology plus structural near-misses.
+	ont, err := Generate(GenConfig{Seed: 5, ExtraConcepts: 15, SynonymProb: 0.5,
+		MultiParentProb: 0.2, RelationshipsPerDisorder: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ont.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"systemId":"x","name":"y","concepts":[]}`))
+	f.Add([]byte(`{"systemId":"s","name":"n","concepts":[{"code":"C1","preferred":"a"},{"code":"C2","preferred":"b","synonyms":["bee"]}],"relationships":[{"from":"C1","to":"C2","type":"isa"},{"from":"C1","to":"CX","type":"isa"}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := o.Save(&first); err != nil {
+			t.Fatalf("Save after successful Load: %v", err)
+		}
+		o2, err := Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reload of own Save output: %v", err)
+		}
+		var second bytes.Buffer
+		if err := o2.Save(&second); err != nil {
+			t.Fatalf("second Save: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Save not canonical:\nfirst  %s\nsecond %s", first.Bytes(), second.Bytes())
+		}
+		if o.Len() != o2.Len() {
+			t.Fatalf("concept count changed across round trip: %d -> %d", o.Len(), o2.Len())
+		}
+		if o.NumRelationships() != o2.NumRelationships() {
+			t.Fatalf("relationship count changed across round trip: %d -> %d",
+				o.NumRelationships(), o2.NumRelationships())
+		}
+		for _, id := range o.Concepts() {
+			c := o.Concept(id)
+			if c == nil {
+				t.Fatalf("Concepts lists %v but Concept misses it", id)
+			}
+			c2, ok := o2.ByCode(c.Code)
+			if !ok {
+				t.Fatalf("concept %q lost across round trip", c.Code)
+			}
+			if c.Preferred != c2.Preferred || len(c.Synonyms) != len(c2.Synonyms) {
+				t.Fatalf("concept %q changed across round trip: %+v vs %+v", c.Code, c, c2)
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/xmltree"
+)
+
+// A generation is one immutable serving snapshot: a corpus, its
+// ontology collection, and the per-strategy systems built over them.
+// The server holds an atomic pointer to the active generation; a
+// reload builds the next generation completely off-line and flips the
+// pointer, so queries never observe a half-built index.
+//
+// Generations are reference-counted for draining: every request pins
+// the generation it started on and releases it when done, so a swap
+// never pulls a corpus out from under an in-flight search. The swap
+// drops the "active" reference; when the last in-flight request
+// finishes, the generation is drained and the release hook fires
+// (tests and logs observe old generations being freed).
+type generation struct {
+	num     uint64
+	corpus  *xmltree.Corpus
+	coll    *ontology.Collection
+	systems map[ontoscore.Strategy]*core.System
+
+	// refs counts pins plus one for being (or having been) the active
+	// generation; 0 means drained.
+	refs      atomic.Int64
+	onRelease func(num uint64)
+}
+
+// newGeneration builds the per-strategy systems over one corpus
+// snapshot. It touches no shared state, so it is safe to run while an
+// older generation serves traffic.
+func newGeneration(num uint64, corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config) *generation {
+	g := &generation{
+		num:     num,
+		corpus:  corpus,
+		coll:    coll,
+		systems: make(map[ontoscore.Strategy]*core.System, 4),
+	}
+	for _, st := range ontoscore.Strategies() {
+		c := cfg
+		c.Strategy = st
+		g.systems[st] = core.NewMulti(corpus, coll, c)
+	}
+	g.refs.Store(1) // the active reference
+	return g
+}
+
+// acquire pins the generation; false means it was already drained (the
+// caller must reload the pointer and retry).
+func (g *generation) acquire() bool {
+	for {
+		n := g.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release unpins; the last release marks the generation drained and
+// fires the hook.
+func (g *generation) release() {
+	if g.refs.Add(-1) == 0 && g.onRelease != nil {
+		g.onRelease(g.num)
+	}
+}
+
+type genCtxKey struct{}
+
+// pin returns the active generation with a reference held. The retry
+// loop covers the race where the loaded generation drains between the
+// load and the acquire.
+func (s *Server) pin() *generation {
+	for {
+		g := s.gen.Load()
+		if g.acquire() {
+			return g
+		}
+	}
+}
+
+// generationFrom recovers the generation pinned by ServeHTTP. The
+// serving layer's singleflight detaches cancellation but preserves
+// context values, so an execution coalesced across requests still sees
+// the generation its cache key (epoch) names.
+func generationFrom(ctx context.Context) (*generation, bool) {
+	g, ok := ctx.Value(genCtxKey{}).(*generation)
+	return g, ok
+}
+
+// ReloadData is what a reload produces: a fresh corpus and collection
+// (and, when the data came through the ingestion pipeline, its
+// report).
+type ReloadData struct {
+	Corpus     *xmltree.Corpus
+	Collection *ontology.Collection
+	Ingest     *ingest.Report
+}
+
+// ReloadFunc rebuilds the serving data set — typically by re-running
+// the ingestion pipeline over the data directory. It runs outside the
+// request path; the old generation keeps serving until it returns.
+type ReloadFunc func(ctx context.Context) (*ReloadData, error)
+
+// SetReloader installs the data source for Reload (and with it the
+// POST /admin/reload endpoint and any SIGHUP wiring the command layer
+// adds). Call before serving traffic.
+func (s *Server) SetReloader(fn ReloadFunc) { s.reloader = fn }
+
+// SetReleaseHook registers fn to run whenever a superseded generation
+// fully drains (its number is passed). Tests use it to assert
+// zero-downtime swaps actually release the old corpus.
+func (s *Server) SetReleaseHook(fn func(num uint64)) {
+	s.releaseHook = fn
+	// The active generation was created before the hook existed.
+	if g := s.gen.Load(); g != nil {
+		g.onRelease = s.fireRelease
+	}
+}
+
+func (s *Server) fireRelease(num uint64) {
+	s.logf("server: generation %d drained and released", num)
+	if s.releaseHook != nil {
+		s.releaseHook(num)
+	}
+}
+
+// GenerationNum reports the active generation.
+func (s *Server) GenerationNum() uint64 { return s.gen.Load().num }
+
+// LastIngest reports the most recent ingestion report (nil when the
+// corpus never went through the pipeline).
+func (s *Server) LastIngest() *ingest.Report { return s.lastIngest.Load() }
+
+// SetLastIngest records the report of the boot-time ingest so /readyz
+// can expose it before the first reload.
+func (s *Server) SetLastIngest(r *ingest.Report) {
+	if r != nil {
+		s.lastIngest.Store(r)
+	}
+}
+
+// ReloadStatus summarizes one completed reload.
+type ReloadStatus struct {
+	// Generation is the now-active generation number.
+	Generation uint64 `json:"generation"`
+	// Documents is the active corpus size.
+	Documents int `json:"documents"`
+	// Ingest is the ingestion report behind this generation, if any.
+	Ingest *ingest.Report `json:"ingest,omitempty"`
+	// Took is the off-line rebuild duration (old generation kept
+	// serving throughout).
+	Took time.Duration `json:"took"`
+}
+
+// Reload builds the next generation through the registered ReloadFunc
+// and atomically swaps it in: the old generation serves every request
+// admitted before the flip and is released once they finish; the
+// result cache is purged (entries are epoch-keyed, so this frees
+// memory rather than correctness); breaker and keyword-cache state
+// start fresh with the new generation's systems. Concurrent reloads
+// are serialized.
+func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
+	if s.reloader == nil {
+		return nil, errReloadNotConfigured
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	data, err := s.reloader(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("reload: %w", err)
+	}
+	if data == nil || data.Corpus == nil || data.Collection == nil {
+		return nil, fmt.Errorf("reload: reloader returned no data")
+	}
+	next := newGeneration(s.gen.Load().num+1, data.Corpus, data.Collection, s.cfg)
+	next.onRelease = s.fireRelease
+	old := s.gen.Swap(next)
+	// Epoch-keyed entries for the old generation are unreachable by new
+	// requests; purge them so the memory goes with the old corpus.
+	s.svc.Cache().Purge()
+	if data.Ingest != nil {
+		s.lastIngest.Store(data.Ingest)
+	}
+	old.release()
+	status := &ReloadStatus{
+		Generation: next.num,
+		Documents:  data.Corpus.Len(),
+		Ingest:     data.Ingest,
+		Took:       time.Since(start),
+	}
+	s.logf("server: generation %d active (%d documents, reload took %v); draining generation %d",
+		next.num, status.Documents, status.Took.Round(time.Millisecond), old.num)
+	return status, nil
+}
+
+var errReloadNotConfigured = fmt.Errorf("reload: no reloader configured")

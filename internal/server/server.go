@@ -13,6 +13,7 @@
 //	GET /metrics
 //	GET /healthz
 //	GET /readyz
+//	POST /admin/reload
 //
 // Searches flow through the internal/serving layer: a sharded LRU
 // result cache, singleflight deduplication of concurrent identical
@@ -26,7 +27,15 @@
 // "degraded": true and a Warning header rather than an error status;
 // /healthz is shallow liveness while /readyz runs deep checks
 // (registered dependencies, corpus loaded, per-strategy breaker
-// states).
+// states, active generation, last-ingest summary).
+//
+// Data plane: the corpus, collection, and per-strategy systems live in
+// an immutable generation behind an atomic pointer (see
+// generation.go). POST /admin/reload (or SIGHUP in xontoserve)
+// rebuilds the data set off-line through the registered ReloadFunc and
+// swaps generations with zero downtime: in-flight requests finish on
+// the generation they started with, new requests land on the new one,
+// and the old generation is released once drained.
 package server
 
 import (
@@ -39,8 +48,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/faultinject"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
@@ -64,15 +75,20 @@ type SearchOutcome struct {
 	DegradedKeywords []string
 }
 
-// Server answers HTTP requests against one corpus and ontology
-// collection, with one prepared system per strategy.
+// Server answers HTTP requests against the active generation — an
+// immutable snapshot of corpus, ontology collection, and one prepared
+// system per strategy — swappable at runtime via Reload.
 type Server struct {
-	corpus  *xmltree.Corpus
-	coll    *ontology.Collection
-	systems map[ontoscore.Strategy]*core.System
-	svc     *serving.Service[SearchOutcome]
-	mux     *http.ServeMux
-	logf    func(format string, args ...any)
+	cfg  core.Config
+	gen  atomic.Pointer[generation]
+	svc  *serving.Service[SearchOutcome]
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
+
+	reloadMu    sync.Mutex
+	reloader    ReloadFunc
+	releaseHook func(num uint64)
+	lastIngest  atomic.Pointer[ingest.Report]
 
 	readyMu sync.Mutex
 	ready   []readyCheck
@@ -94,17 +110,11 @@ func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config) *Se
 // TTL, concurrency, queue wait, per-request deadline).
 func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config, scfg serving.Config) *Server {
 	s := &Server{
-		corpus:  corpus,
-		coll:    coll,
-		systems: make(map[ontoscore.Strategy]*core.System, 4),
-		mux:     http.NewServeMux(),
-		logf:    log.Printf,
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		logf: log.Printf,
 	}
-	for _, st := range ontoscore.Strategies() {
-		c := cfg
-		c.Strategy = st
-		s.systems[st] = core.NewMulti(corpus, coll, c)
-	}
+	s.gen.Store(newGeneration(1, corpus, coll, cfg))
 	s.svc = serving.NewService(scfg, s.execSearch)
 	s.svc.SetCacheFilter(func(o SearchOutcome) bool { return !o.Degraded })
 	s.mux.HandleFunc("/search", s.handleSearch)
@@ -115,6 +125,7 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	return s
 }
 
@@ -140,19 +151,29 @@ func (s *Server) AddReadyCheck(name string, check func() error) {
 // metrics and cache).
 func (s *Server) Serving() *serving.Service[SearchOutcome] { return s.svc }
 
-// System returns the prepared system for a strategy (tests compare
-// degraded serving output against direct system searches).
-func (s *Server) System(st ontoscore.Strategy) *core.System { return s.systems[st] }
+// System returns the active generation's prepared system for a
+// strategy (tests compare degraded serving output against direct
+// system searches).
+func (s *Server) System(st ontoscore.Strategy) *core.System { return s.gen.Load().systems[st] }
 
 // execSearch is the serving layer's uncached path: resolve the
-// strategy's system and run the ontology-aware search under ctx. It
-// returns the full offset+k prefix; handlers slice per request.
+// generation the request pinned (preserved through the singleflight's
+// detached context) and the strategy's system, and run the
+// ontology-aware search under ctx. It returns the full offset+k
+// prefix; handlers slice per request.
 func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOutcome, error) {
 	st, err := ontoscore.ParseStrategy(req.Strategy)
 	if err != nil {
 		return SearchOutcome{}, err
 	}
-	results, info, err := s.systems[st].SearchKeywordsInfo(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
+	g, ok := generationFrom(ctx)
+	if !ok {
+		// Direct serving-layer callers (benchmarks, tests) bypass
+		// ServeHTTP; serve them from the active generation.
+		g = s.pin()
+		defer g.release()
+	}
+	results, info, err := g.systems[st].SearchKeywordsInfo(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
 	if err != nil {
 		return SearchOutcome{}, err
 	}
@@ -169,7 +190,16 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 // tearing down the connection — or, under http.Server without this
 // middleware, killing the whole process via an unhandled goroutine
 // panic in handler-spawned work.
+//
+// Each request also pins the active generation for its whole lifetime
+// (carried in the request context): a concurrent reload swaps the
+// pointer for future requests but cannot take this request's corpus
+// away mid-flight. The pin is released when the handler returns; the
+// last release of a superseded generation marks it drained.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g := s.pin()
+	defer g.release()
+	r = r.WithContext(context.WithValue(r.Context(), genCtxKey{}, g))
 	defer func() {
 		rec := recover()
 		if rec == nil {
@@ -182,6 +212,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "internal server error")
 	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// reqGen returns the generation ServeHTTP pinned for this request.
+func (s *Server) reqGen(r *http.Request) *generation {
+	if g, ok := generationFrom(r.Context()); ok {
+		return g
+	}
+	// Handlers invoked outside ServeHTTP (not expected): active
+	// generation, unpinned — reads stay safe, drain accounting may be
+	// early but never corrupts.
+	return s.gen.Load()
 }
 
 type errorResponse struct {
@@ -304,12 +345,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	withSnippets := r.URL.Query().Get("snippets") == "1"
 	withGroups := r.URL.Query().Get("group") == "1"
 
-	sys := s.systems[strategy]
+	g := s.reqGen(r)
+	sys := g.systems[strategy]
 	out, err := s.svc.Search(r.Context(), serving.Request{
 		Strategy: strategy.String(),
 		Query:    query.Normalize(q),
 		K:        k,
 		Offset:   offset,
+		Epoch:    g.num,
 	})
 	if err != nil {
 		writeServingError(w, err)
@@ -374,7 +417,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad dewey id: %v", err)
 		return
 	}
-	n := s.corpus.NodeAt(id)
+	n := s.reqGen(r).corpus.NodeAt(id)
 	if n == nil {
 		writeError(w, http.StatusNotFound, "no element at %s", idStr)
 		return
@@ -400,7 +443,7 @@ func (s *Server) handleConcepts(w http.ResponseWriter, r *http.Request) {
 	}
 	systemFilter := r.URL.Query().Get("system")
 	var out []ConceptInfo
-	for _, ont := range s.coll.Ontologies() {
+	for _, ont := range s.reqGen(r).coll.Ontologies() {
 		if systemFilter != "" && ont.SystemID != systemFilter {
 			continue
 		}
@@ -446,10 +489,11 @@ func (s *Server) handleOntoScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	g := s.reqGen(r)
 	systemFilter := r.URL.Query().Get("system")
-	builder := s.systems[strategy].Builder()
+	builder := g.systems[strategy].Builder()
 	var out []OntoScoreEntry
-	for _, ont := range s.coll.Ontologies() {
+	for _, ont := range g.coll.Ontologies() {
 		if systemFilter != "" && ont.SystemID != systemFilter {
 			continue
 		}
@@ -499,7 +543,8 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	cs := s.corpus.Stats()
+	g := s.reqGen(r)
+	cs := g.corpus.Stats()
 	resp := StatsResponse{
 		Documents:     cs.Documents,
 		Elements:      cs.Elements,
@@ -507,7 +552,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AvgElements:   cs.AvgElems,
 		AvgReferences: cs.AvgCodeRef,
 	}
-	for _, ont := range s.coll.Ontologies() {
+	for _, ont := range g.coll.Ontologies() {
 		resp.Systems = append(resp.Systems, struct {
 			System        string `json:"system"`
 			Name          string `json:"name"`
@@ -526,11 +571,12 @@ type MetricsResponse struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g := s.reqGen(r)
 	resp := MetricsResponse{
 		Serving:       s.svc.Metrics(),
-		KeywordCaches: make(map[string]serving.CacheMetrics, len(s.systems)),
+		KeywordCaches: make(map[string]serving.CacheMetrics, len(g.systems)),
 	}
-	for st, sys := range s.systems {
+	for st, sys := range g.systems {
 		resp.KeywordCaches[st.String()] = sys.KeywordCacheMetrics()
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -546,6 +592,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // ReadyResponse is the /readyz payload.
 type ReadyResponse struct {
 	Ready bool `json:"ready"`
+	// Generation is the active data-plane generation (advances on each
+	// successful reload).
+	Generation uint64 `json:"generation"`
+	// Documents is the active corpus size.
+	Documents int `json:"documents"`
 	// Checks maps each registered dependency probe to "ok" or its error.
 	Checks map[string]string `json:"checks,omitempty"`
 	// Breakers reports each strategy's ontology-path breaker. An open
@@ -553,6 +604,9 @@ type ReadyResponse struct {
 	// degraded to IR-only — but Degraded is set so operators see it.
 	Breakers map[string]resilience.BreakerMetrics `json:"breakers"`
 	Degraded bool                                 `json:"degraded"`
+	// LastIngest summarizes the ingestion run behind the active data
+	// set, when the corpus came through the pipeline.
+	LastIngest *ingest.Report `json:"lastIngest,omitempty"`
 }
 
 // handleReadyz is deep readiness: every registered dependency check
@@ -561,12 +615,16 @@ type ReadyResponse struct {
 // pulling a degraded-but-serving instance out of rotation would turn a
 // partial outage into a full one.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	g := s.reqGen(r)
 	resp := ReadyResponse{
-		Ready:    true,
-		Checks:   make(map[string]string),
-		Breakers: make(map[string]resilience.BreakerMetrics, len(s.systems)),
+		Ready:      true,
+		Generation: g.num,
+		Documents:  g.corpus.Len(),
+		Checks:     make(map[string]string),
+		Breakers:   make(map[string]resilience.BreakerMetrics, len(g.systems)),
+		LastIngest: s.lastIngest.Load(),
 	}
-	if s.corpus.Stats().Documents == 0 {
+	if g.corpus.Stats().Documents == 0 {
 		resp.Ready = false
 		resp.Checks["corpus"] = "no documents loaded"
 	} else {
@@ -584,7 +642,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			resp.Checks[c.name] = "ok"
 		}
 	}
-	for st, sys := range s.systems {
+	for st, sys := range g.systems {
 		m := sys.Breaker().Metrics()
 		resp.Breakers[st.String()] = m
 		if m.State != resilience.Closed.String() {
@@ -596,4 +654,29 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleAdminReload triggers a zero-downtime data reload: the
+// registered ReloadFunc rebuilds the corpus (running the ingestion
+// pipeline when configured), a new generation is built off-line, and
+// the server swaps to it atomically. The old generation finishes its
+// in-flight requests and is then released. Reloads are serialized;
+// POST only.
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "reload requires POST")
+		return
+	}
+	status, err := s.Reload(r.Context())
+	if err != nil {
+		if err == errReloadNotConfigured {
+			writeError(w, http.StatusNotImplemented, "%v", err)
+			return
+		}
+		s.logf("server: reload failed: %v", err)
+		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
 }

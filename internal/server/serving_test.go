@@ -88,7 +88,7 @@ func TestServingEquivalence(t *testing.T) {
 
 func (s *Server) systemByName(t *testing.T, name string) *core.System {
 	t.Helper()
-	for st, sys := range s.systems {
+	for st, sys := range s.gen.Load().systems {
 		if st.String() == name {
 			return sys
 		}

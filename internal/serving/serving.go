@@ -35,11 +35,16 @@ type Request struct {
 	Query    string
 	K        int
 	Offset   int
+	// Epoch namespaces the cache by data-plane generation: after a hot
+	// reload, requests carry the new generation's epoch and can never
+	// observe results computed over the old corpus. Zero for callers
+	// without generational data.
+	Epoch uint64
 }
 
 // Key is the cache and singleflight identity of the request.
 func (r Request) Key() string {
-	return r.Strategy + "\x1f" + r.Query + "\x1f" +
+	return strconv.FormatUint(r.Epoch, 10) + "\x1f" + r.Strategy + "\x1f" + r.Query + "\x1f" +
 		strconv.Itoa(r.K) + "\x1f" + strconv.Itoa(r.Offset)
 }
 

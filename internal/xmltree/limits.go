@@ -1,0 +1,61 @@
+package xmltree
+
+import (
+	"errors"
+	"io"
+)
+
+// Limits bound what Parse will accept from one document, so a single
+// oversized or adversarial upstream file cannot exhaust the process.
+// The zero value means "no limits" (ParseUnlimited); Parse itself uses
+// DefaultLimits.
+//
+// Entity expansion needs no separate bound: the decoder runs in strict
+// mode, which rejects undefined entities, Go's encoding/xml does not
+// process DTDs (so there is no way to define expanding entities), and
+// the predefined five (&lt; &amp; ...) never grow the input. MaxBytes
+// therefore also caps the fully expanded document size.
+type Limits struct {
+	// MaxBytes caps the raw input size in bytes; <= 0 means unlimited.
+	MaxBytes int64
+	// MaxDepth caps element nesting; <= 0 means unlimited.
+	MaxDepth int
+}
+
+// DefaultLimits are the guards Parse applies: generous for any real
+// CDA document (the paper's records are a few hundred KB at most) while
+// stopping runaway inputs.
+func DefaultLimits() Limits {
+	return Limits{MaxBytes: 64 << 20, MaxDepth: 512}
+}
+
+// ErrTooLarge reports an input exceeding Limits.MaxBytes.
+var ErrTooLarge = errors.New("xmltree: document exceeds size limit")
+
+// ErrTooDeep reports element nesting exceeding Limits.MaxDepth.
+var ErrTooDeep = errors.New("xmltree: document exceeds depth limit")
+
+// boundedReader returns ErrTooLarge once more than max bytes have been
+// read, aborting the decoder mid-document instead of buffering an
+// unbounded input.
+type boundedReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (b *boundedReader) Read(p []byte) (int, error) {
+	if b.remaining < 0 {
+		return 0, ErrTooLarge
+	}
+	if int64(len(p)) > b.remaining+1 {
+		// Allow one byte past the limit so overflow is observed as
+		// ErrTooLarge rather than a short read mistaken for EOF.
+		p = p[:b.remaining+1]
+	}
+	n, err := b.r.Read(p)
+	b.remaining -= int64(n)
+	if b.remaining < 0 {
+		return n, ErrTooLarge
+	}
+	return n, err
+}

@@ -10,15 +10,62 @@ import (
 	"sync"
 )
 
-// LoadDir reads every .xml file of a directory into a corpus. Files are
-// parsed concurrently but added in sorted file-name order, so document
-// IDs (and with them all Dewey identifiers) are deterministic for a
-// given directory listing. Document names are the file names without
-// the .xml extension.
-func LoadDir(dir string) (*Corpus, error) {
+// FileError records why one file of a directory load was skipped.
+type FileError struct {
+	// File is the file name within the loaded directory.
+	File string
+	// Err is the open or parse failure.
+	Err error
+}
+
+func (e FileError) Error() string { return e.File + ": " + e.Err.Error() }
+
+func (e FileError) Unwrap() error { return e.Err }
+
+// DirReport summarizes one LoadDir: how many documents loaded and, per
+// skipped file, why. A load with skips is still usable — the corpus
+// holds every loadable document — but callers should surface the
+// report (the ingestion pipeline instead quarantines such files before
+// they ever reach LoadDir).
+type DirReport struct {
+	// Loaded is the number of documents added to the corpus.
+	Loaded int
+	// Skipped lists the unreadable or malformed files, in name order.
+	Skipped []FileError
+}
+
+// Err returns nil for a clean load, or one error summarizing every
+// skipped file.
+func (r *DirReport) Err() error {
+	if len(r.Skipped) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(r.Skipped))
+	for i, fe := range r.Skipped {
+		msgs[i] = fe.Error()
+	}
+	return fmt.Errorf("xmltree: %d file(s) skipped: %s", len(r.Skipped), strings.Join(msgs, "; "))
+}
+
+// LoadDir reads every .xml file of a directory into a corpus under
+// DefaultLimits. Files are parsed concurrently but added in sorted
+// file-name order, so document IDs (and with them all Dewey
+// identifiers) are deterministic for a given directory listing.
+// Document names are the file names without the .xml extension.
+//
+// Unreadable or malformed files do not fail the load: they are skipped
+// and reported per-file in the returned DirReport. The error is
+// non-nil only when the directory itself is unreadable, contains no
+// .xml files, or no file could be loaded at all.
+func LoadDir(dir string) (*Corpus, *DirReport, error) {
+	return LoadDirLimited(dir, DefaultLimits())
+}
+
+// LoadDirLimited is LoadDir with explicit per-file parse guards.
+func LoadDirLimited(dir string, lim Limits) (*Corpus, *DirReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("xmltree: %w", err)
+		return nil, nil, fmt.Errorf("xmltree: %w", err)
 	}
 	var names []string
 	for _, e := range entries {
@@ -29,7 +76,7 @@ func LoadDir(dir string) (*Corpus, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("xmltree: no .xml files in %s", dir)
+		return nil, nil, fmt.Errorf("xmltree: no .xml files in %s", dir)
 	}
 
 	docs := make([]*Document, len(names))
@@ -50,10 +97,10 @@ func LoadDir(dir string) (*Corpus, error) {
 					errs[i] = err
 					continue
 				}
-				doc, err := Parse(f)
+				doc, err := ParseLimited(f, lim)
 				f.Close()
 				if err != nil {
-					errs[i] = fmt.Errorf("%s: %w", names[i], err)
+					errs[i] = err
 					continue
 				}
 				doc.Name = strings.TrimSuffix(names[i], ".xml")
@@ -68,11 +115,17 @@ func LoadDir(dir string) (*Corpus, error) {
 	wg.Wait()
 
 	corpus := NewCorpus()
+	report := &DirReport{}
 	for i, doc := range docs {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("xmltree: %w", errs[i])
+			report.Skipped = append(report.Skipped, FileError{File: names[i], Err: errs[i]})
+			continue
 		}
 		corpus.Add(doc)
+		report.Loaded++
 	}
-	return corpus, nil
+	if report.Loaded == 0 {
+		return nil, report, fmt.Errorf("xmltree: no loadable .xml files in %s: %w", dir, report.Err())
+	}
+	return corpus, report, nil
 }

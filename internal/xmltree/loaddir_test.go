@@ -1,8 +1,10 @@
 package xmltree
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -22,12 +24,15 @@ func TestLoadDir(t *testing.T) {
 	if err := os.Mkdir(filepath.Join(dir, "sub.xml"), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	corpus, err := LoadDir(dir)
+	corpus, report, err := LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if corpus.Len() != 3 {
 		t.Fatalf("Len = %d", corpus.Len())
+	}
+	if report.Loaded != 3 || len(report.Skipped) != 0 || report.Err() != nil {
+		t.Fatalf("report = %+v", report)
 	}
 	// Deterministic ID assignment by sorted name.
 	if corpus.Docs()[0].Name != "a" || corpus.Docs()[1].Name != "b" || corpus.Docs()[2].Name != "c" {
@@ -47,11 +52,11 @@ func TestLoadDirDeterministic(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		writeXML(t, dir, string(rune('a'+i))+".xml", "<doc><v/></doc>")
 	}
-	a, err := LoadDir(dir)
+	a, _, err := LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := LoadDir(dir)
+	b, _, err := LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,18 +67,91 @@ func TestLoadDirDeterministic(t *testing.T) {
 	}
 }
 
+// A malformed file is skipped and reported; the rest of the directory
+// still loads, with IDs assigned over the surviving files.
+func TestLoadDirSkipsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	writeXML(t, dir, "good.xml", "<a/>")
+	writeXML(t, dir, "broken.xml", "<a><unclosed>")
+	writeXML(t, dir, "zzz.xml", "<z/>")
+	corpus, report, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 2 || report.Loaded != 2 {
+		t.Fatalf("loaded %d (report %+v)", corpus.Len(), report)
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].File != "broken.xml" {
+		t.Fatalf("skipped = %+v", report.Skipped)
+	}
+	if report.Err() == nil || !strings.Contains(report.Err().Error(), "broken.xml") {
+		t.Fatalf("report.Err() = %v", report.Err())
+	}
+	if corpus.Docs()[0].Name != "good" || corpus.Docs()[1].Name != "zzz" {
+		t.Errorf("order: %s %s", corpus.Docs()[0].Name, corpus.Docs()[1].Name)
+	}
+}
+
 func TestLoadDirErrors(t *testing.T) {
-	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+	if _, _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing directory accepted")
 	}
 	empty := t.TempDir()
-	if _, err := LoadDir(empty); err == nil {
+	if _, _, err := LoadDir(empty); err == nil {
 		t.Error("empty directory accepted")
 	}
+	// Every file malformed: the load fails, but the report still names
+	// the culprits.
 	bad := t.TempDir()
-	writeXML(t, bad, "good.xml", "<a/>")
-	writeXML(t, bad, "broken.xml", "<a><unclosed>")
-	if _, err := LoadDir(bad); err == nil {
-		t.Error("broken XML accepted")
+	writeXML(t, bad, "one.xml", "<a><unclosed>")
+	writeXML(t, bad, "two.xml", "not xml at all")
+	_, report, err := LoadDir(bad)
+	if err == nil {
+		t.Error("directory with zero loadable files accepted")
+	}
+	if report == nil || len(report.Skipped) != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestLoadDirLimited(t *testing.T) {
+	dir := t.TempDir()
+	writeXML(t, dir, "small.xml", "<a>ok</a>")
+	writeXML(t, dir, "big.xml", "<a>"+strings.Repeat("x", 4096)+"</a>")
+	corpus, report, err := LoadDirLimited(dir, Limits{MaxBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 1 || corpus.Docs()[0].Name != "small" {
+		t.Fatalf("loaded %d", corpus.Len())
+	}
+	if len(report.Skipped) != 1 || !errors.Is(report.Skipped[0].Err, ErrTooLarge) {
+		t.Fatalf("skipped = %+v", report.Skipped)
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	deep := strings.Repeat("<a>", 40) + strings.Repeat("</a>", 40)
+	if _, err := ParseLimited(strings.NewReader(deep), Limits{MaxDepth: 16}); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("deep doc: %v", err)
+	}
+	if _, err := ParseLimited(strings.NewReader(deep), Limits{MaxDepth: 64}); err != nil {
+		t.Fatalf("within depth: %v", err)
+	}
+	big := "<a>" + strings.Repeat("x", 1000) + "</a>"
+	if _, err := ParseLimited(strings.NewReader(big), Limits{MaxBytes: 100}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("big doc: %v", err)
+	}
+	if _, err := ParseLimited(strings.NewReader(big), Limits{MaxBytes: 100000}); err != nil {
+		t.Fatalf("within size: %v", err)
+	}
+	// Exactly at the limit parses.
+	exact := "<a/>"
+	if _, err := ParseLimited(strings.NewReader(exact), Limits{MaxBytes: int64(len(exact))}); err != nil {
+		t.Fatalf("exact size: %v", err)
+	}
+	// Undefined entities are rejected (strict mode): no expansion vector.
+	if _, err := ParseString("<!DOCTYPE a [<!ENTITY b \"x\">]><a>&b;</a>"); err == nil {
+		t.Fatal("custom entity accepted")
 	}
 }

@@ -8,12 +8,30 @@ import (
 	"strings"
 )
 
-// Parse reads one XML document from r into a labeled tree. Namespace
+// Parse reads one XML document from r into a labeled tree under
+// DefaultLimits (see ParseLimited for configurable guards). Namespace
 // prefixes are dropped (the local element name is kept), processing
 // instructions and comments are ignored, and character data directly
 // under an element is concatenated into its Text field with surrounding
 // whitespace trimmed.
 func Parse(r io.Reader) (*Document, error) {
+	return ParseLimited(r, DefaultLimits())
+}
+
+// ParseUnlimited parses with no size or depth guards (trusted input,
+// e.g. documents this process serialized itself).
+func ParseUnlimited(r io.Reader) (*Document, error) {
+	return ParseLimited(r, Limits{})
+}
+
+// ParseLimited is Parse with explicit guards: inputs larger than
+// lim.MaxBytes fail with ErrTooLarge, nesting deeper than lim.MaxDepth
+// with ErrTooDeep (both testable with errors.Is through the returned
+// wrap). Zero-valued fields are unlimited.
+func ParseLimited(r io.Reader, lim Limits) (*Document, error) {
+	if lim.MaxBytes > 0 {
+		r = &boundedReader{r: r, remaining: lim.MaxBytes}
+	}
 	dec := xml.NewDecoder(r)
 	var root *Node
 	var stack []*Node
@@ -27,6 +45,9 @@ func Parse(r io.Reader) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if lim.MaxDepth > 0 && len(stack) >= lim.MaxDepth {
+				return nil, fmt.Errorf("xmltree: parse: %w (depth %d)", ErrTooDeep, lim.MaxDepth)
+			}
 			n := &Node{Tag: t.Name.Local}
 			n.Attrs = make([]Attr, 0, len(t.Attr))
 			for _, a := range t.Attr {
