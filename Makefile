@@ -9,6 +9,11 @@
 #                      check is enforced by each package's TestMain)
 #   make fuzz-smoke  - ~10s of coverage-guided fuzzing per target
 #   make bench       - serving-layer benchmarks (cache hit/miss, parallel load)
+#   make obs         - observability lane: vet + race tests for internal/obs,
+#                      and the API guard (removed Search* variants must not
+#                      reappear on the public facade)
+#   make trace-demo  - generate a small corpus and print one traced search
+#                      (the span tree with per-stage durations)
 
 GO ?= go
 
@@ -27,9 +32,9 @@ FUZZ_TARGETS = \
 	./internal/ontology:FuzzLoad
 FUZZ_TIME ?= 10s
 
-.PHONY: check test race vet faults fuzz-smoke bench
+.PHONY: check test race vet faults fuzz-smoke bench obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke
+check: test vet race faults fuzz-smoke obs
 
 test:
 	$(GO) build ./...
@@ -60,3 +65,23 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run xxx -bench 'Serving' -benchmem .
+
+obs: api-guard
+	$(GO) vet ./internal/obs/...
+	$(GO) test -race ./internal/obs/...
+
+# The PR-4 consolidation replaced the SearchKeywords /
+# SearchKeywordsContext / SearchKeywordsInfo / SearchTopK family with
+# System.Query; fail if any of them grows back on the public facade.
+api-guard:
+	@if grep -nE 'func \(s \*System\) (SearchKeywords|SearchKeywordsContext|SearchKeywordsInfo|SearchTopK)\(' \
+		internal/core/*.go xontorank.go 2>/dev/null; then \
+		echo "api-guard: removed Search* variant reappeared on the public facade (use Query)"; \
+		exit 1; \
+	fi
+	@echo "api-guard: ok"
+
+trace-demo:
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) run ./cmd/xontorank gen -out $$tmp -docs 20 -concepts 300 -seed 1 >/dev/null; \
+	$(GO) run ./cmd/xontorank search -data $$tmp -q "asthma medications" -k 3 -trace

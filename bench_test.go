@@ -29,6 +29,17 @@ var (
 	benchErr  error
 )
 
+// benchSearchKeywords answers a pre-parsed query through the
+// consolidated Query API (benchmarks never cancel, so the context
+// error cannot occur).
+func benchSearchKeywords(sys *core.System, keywords []query.Keyword, k int) []core.Result {
+	resp, err := sys.Query(context.Background(), core.SearchRequest{Keywords: keywords, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
+}
+
 func benchEnvironment(b *testing.B) *experiments.Env {
 	b.Helper()
 	benchOnce.Do(func() {
@@ -108,11 +119,11 @@ func BenchmarkFigure11QueryTime(b *testing.B) {
 			parsed := make([][]query.Keyword, len(queries))
 			for i, q := range queries {
 				parsed[i] = query.ParseQuery(q)
-				sys.SearchKeywords(parsed[i], 10) // warm on-demand keywords
+				benchSearchKeywords(sys, parsed[i], 10) // warm on-demand keywords
 			}
 			b.Run(fmt.Sprintf("%s/keywords=%d", s, n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					sys.SearchKeywords(parsed[i%len(parsed)], 10)
+					benchSearchKeywords(sys, parsed[i%len(parsed)], 10)
 				}
 			})
 		}
@@ -127,10 +138,10 @@ func BenchmarkGraphSearch(b *testing.B) {
 	sys := env.Systems[ontoscore.StrategyRelationships]
 	ge := graphsearch.NewEngine(env.Corpus, sys.Builder(), graphsearch.DefaultParams())
 	kws := query.ParseQuery(`"cardiac arrest" epinephrine`)
-	sys.SearchKeywords(kws, 10) // warm keyword DILs
+	benchSearchKeywords(sys, kws, 10) // warm keyword DILs
 	b.Run("tree", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			sys.SearchKeywords(kws, 10)
+			benchSearchKeywords(sys, kws, 10)
 		}
 	})
 	b.Run("graph", func(b *testing.B) {
@@ -206,7 +217,11 @@ func servingBench(b *testing.B, cfg serving.Config) *serving.Service[[]core.Resu
 	env := benchEnvironment(b)
 	sys := env.Systems[ontoscore.StrategyRelationships]
 	return serving.NewService(cfg, func(ctx context.Context, req serving.Request) ([]core.Result, error) {
-		return sys.SearchKeywordsContext(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
+		resp, err := sys.Query(ctx, core.SearchRequest{Query: req.Query, K: req.Offset + req.K})
+		if err != nil {
+			return nil, err
+		}
+		return resp.Results, nil
 	})
 }
 

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -201,6 +203,7 @@ func cmdSearch(args []string) error {
 	k := fs.Int("k", 5, "number of results")
 	frag := fs.Bool("fragments", false, "print result XML fragments")
 	ranked := fs.Bool("ranked", false, "use the RDIL ranked-access algorithm (early termination)")
+	trace := fs.Bool("trace", false, "print the request's span tree with per-stage durations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -221,17 +224,20 @@ func cmdSearch(args []string) error {
 			return err
 		}
 	}
-	var results []core.Result
-	if *ranked {
-		results = sys.SearchTopK(*q, *k)
-	} else {
-		results = sys.Search(*q, *k)
+	resp, err := sys.Query(context.Background(), core.SearchRequest{
+		Query:    *q,
+		K:        *k,
+		Strategy: *strategy,
+		Ranked:   *ranked,
+		Trace:    *trace,
+	})
+	if err != nil {
+		return err
 	}
-	if len(results) == 0 {
+	if len(resp.Results) == 0 {
 		fmt.Println("no results")
-		return nil
 	}
-	for i, r := range results {
+	for i, r := range resp.Results {
 		fmt.Printf("%2d. score=%.4f doc=%s element=%s\n", i+1, r.Score, r.Document, r.Path)
 		for _, m := range r.Matches {
 			fmt.Printf("      %-28q via %s (ns=%.4f)\n", m.Keyword, m.Path, m.Score)
@@ -239,6 +245,14 @@ func cmdSearch(args []string) error {
 		if *frag {
 			fmt.Println(sys.Fragment(r))
 		}
+	}
+	if *trace && resp.Trace != nil {
+		out, err := json.MarshalIndent(resp.Trace, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace %s (total %dus, search %dus, hydrate %dus):\n%s\n",
+			resp.TraceID, resp.Timing.TotalUS, resp.Timing.SearchUS, resp.Timing.HydrateUS, out)
 	}
 	return nil
 }

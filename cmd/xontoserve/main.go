@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +55,7 @@ import (
 	"repro/internal/cda"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/resilience"
 	"repro/internal/server"
@@ -84,6 +86,9 @@ type app struct {
 	maxFileSize int64
 	maxDepth    int
 
+	debug   bool
+	jsonLog bool
+
 	scfg          serving.Config
 	ccfg          core.Config
 	shutdownGrace time.Duration
@@ -110,6 +115,8 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 	fs.BoolVar(&a.validate, "validate", true, "validate CDA structure during ingest (failures are quarantined)")
 	fs.Int64Var(&a.maxFileSize, "max-file-size", lim.MaxBytes, "per-document size guard in bytes (0 disables)")
 	fs.IntVar(&a.maxDepth, "max-depth", lim.MaxDepth, "per-document element nesting guard (0 disables)")
+	fs.BoolVar(&a.debug, "debug", false, "expose net/http/pprof under /debug/pprof/ (admin use only)")
+	fs.BoolVar(&a.jsonLog, "json-log", false, "emit structured JSON access/degradation logs on stderr (trace-correlated)")
 	fs.IntVar(&a.scfg.CacheCapacity, "cache-size", a.scfg.CacheCapacity, "query result cache capacity (entries)")
 	fs.DurationVar(&a.scfg.CacheTTL, "cache-ttl", a.scfg.CacheTTL, "query result cache TTL (0 disables expiry)")
 	fs.IntVar(&a.scfg.MaxConcurrent, "max-concurrent", a.scfg.MaxConcurrent, "maximum concurrent search executions")
@@ -216,6 +223,13 @@ func (a *app) run(ctx context.Context) error {
 	h := server.NewServing(corpus, coll, a.ccfg, a.scfg)
 	h.SetLogf(a.logf)
 	h.SetLastIngest(report)
+	if a.debug {
+		h.EnableDebug()
+		a.logf("debug: /debug/pprof/ enabled")
+	}
+	if a.jsonLog {
+		obs.SetDefault(obs.NewLogger(os.Stderr, slog.LevelInfo))
+	}
 	if a.data != "" {
 		// Deep readiness: the data directory must stay reachable (it is
 		// reread on reload; losing the mount means the instance should

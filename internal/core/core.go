@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dil"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
@@ -169,45 +170,28 @@ func (s *System) AddDocument(doc *xmltree.Document) *xmltree.Document {
 
 // Search parses and answers a keyword query, resolving results against
 // the corpus. Keywords missing from the prebuilt index (typically
-// quoted phrases) are indexed on demand.
+// quoted phrases) are indexed on demand. It is a shim over Query; an
+// error (only possible from a canceled context embedded by the caller)
+// is logged through the obs default logger rather than silently
+// swallowed.
 func (s *System) Search(q string, k int) []Result {
-	return s.SearchKeywords(query.ParseQuery(q), k)
+	resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: k})
+	if err != nil {
+		obs.Default().Warn("search failed", "query", q, "error", err.Error())
+		return nil
+	}
+	return resp.Results
 }
 
 // SearchContext is Search with cancellation and deadline support (the
 // serving layer's per-request budget). The only possible error is the
 // context's.
 func (s *System) SearchContext(ctx context.Context, q string, k int) ([]Result, error) {
-	return s.SearchKeywordsContext(ctx, query.ParseQuery(q), k)
-}
-
-// SearchKeywords answers a pre-parsed keyword query.
-func (s *System) SearchKeywords(keywords []query.Keyword, k int) []Result {
-	out, _ := s.SearchKeywordsContext(context.Background(), keywords, k)
-	return out
-}
-
-// SearchKeywordsContext answers a pre-parsed keyword query under a
-// context: keyword posting lists are resolved in parallel and the wait
-// is abandoned when ctx expires.
-func (s *System) SearchKeywordsContext(ctx context.Context, keywords []query.Keyword, k int) ([]Result, error) {
-	out, _, err := s.SearchKeywordsInfo(ctx, keywords, k)
-	return out, err
-}
-
-// SearchKeywordsInfo is SearchKeywordsContext plus degradation info:
-// whether any keyword was answered with IR-only scoring because the
-// ontology path was unavailable (retries exhausted or breaker open).
-func (s *System) SearchKeywordsInfo(ctx context.Context, keywords []query.Keyword, k int) ([]Result, query.Info, error) {
-	raw, info, err := s.engine.SearchInfo(ctx, keywords, k)
+	resp, err := s.Query(ctx, SearchRequest{Query: q, K: k})
 	if err != nil {
-		return nil, info, err
+		return nil, err
 	}
-	out := make([]Result, 0, len(raw))
-	for _, r := range raw {
-		out = append(out, s.resolve(keywords, r))
-	}
-	return out, info, nil
+	return resp.Results, nil
 }
 
 // Breaker exposes the engine's ontology-path circuit breaker (for
@@ -218,19 +202,6 @@ func (s *System) Breaker() *resilience.Breaker { return s.engine.Breaker() }
 // cache counters (exposed by the server's /metrics endpoint).
 func (s *System) KeywordCacheMetrics() serving.CacheMetrics {
 	return s.engine.CacheMetrics()
-}
-
-// SearchTopK answers the query with XRANK's ranked-access algorithm
-// (RDIL): identical results to Search but with early termination,
-// profitable for small k over long posting lists.
-func (s *System) SearchTopK(q string, k int) []Result {
-	keywords := query.ParseQuery(q)
-	raw := s.engine.SearchRanked(keywords, k)
-	out := make([]Result, 0, len(raw))
-	for _, r := range raw {
-		out = append(out, s.resolve(keywords, r))
-	}
-	return out
 }
 
 func (s *System) resolve(keywords []query.Keyword, r query.Result) Result {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -282,7 +283,11 @@ func TestSearchTopKMatchesSearch(t *testing.T) {
 	s := buildSystem(t, ontoscore.StrategyGraph)
 	for _, q := range []string{"cardiac arrest", "asthma medications"} {
 		want := s.Search(q, 5)
-		got := s.SearchTopK(q, 5)
+		resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: 5, Ranked: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Results
 		if len(want) != len(got) {
 			t.Fatalf("q %q: %d vs %d results", q, len(want), len(got))
 		}

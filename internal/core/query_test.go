@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/ontoscore"
+)
+
+// Equivalence: Query with all options at their zero value must produce
+// byte-identical results to the classic Search shim (and therefore to
+// the pre-consolidation Search path it replaced).
+func TestQueryDefaultsMatchSearch(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyRelationships)
+	for _, q := range []string{"asthma", "asthma medications", `"cardiac arrest" epinephrine`} {
+		want := s.Search(q, 5)
+		resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := json.Marshal(resp.Results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wb) != string(gb) {
+			t.Errorf("q %q: Query defaults differ from Search:\n%s\n%s", q, wb, gb)
+		}
+		if resp.Timing.TotalUS < 1 {
+			t.Errorf("q %q: total_us = %d, want >= 1", q, resp.Timing.TotalUS)
+		}
+	}
+}
+
+// A Strategy assertion naming a different strategy than the system was
+// built for must error instead of silently answering with the wrong
+// ranking.
+func TestQueryStrategyMismatch(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyGraph)
+	if _, err := s.Query(context.Background(), SearchRequest{Query: "asthma", Strategy: "Graph"}); err != nil {
+		t.Errorf("matching strategy rejected: %v", err)
+	}
+	if _, err := s.Query(context.Background(), SearchRequest{Query: "asthma", Strategy: "Taxonomy"}); err == nil {
+		t.Error("mismatched strategy accepted")
+	}
+	if _, err := s.Query(context.Background(), SearchRequest{Query: "asthma", Strategy: "bogus"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// Explain attaches one snippet per result, parallel to Results.
+func TestQueryExplain(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyRelationships)
+	resp, err := s.Query(context.Background(), SearchRequest{Query: "asthma medications", K: 5, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if len(resp.Snippets) != len(resp.Results) {
+		t.Fatalf("%d snippets for %d results", len(resp.Snippets), len(resp.Results))
+	}
+	for i, sn := range resp.Snippets {
+		if sn == "" {
+			t.Errorf("result %d: empty snippet", i)
+		}
+	}
+}
+
+// Trace without a surrounding server trace roots a local "core.query"
+// trace, so CLI and library callers get a span tree too.
+func TestQueryLocalTrace(t *testing.T) {
+	s := buildSystem(t, ontoscore.StrategyRelationships)
+	resp, err := s.Query(context.Background(), SearchRequest{Query: "asthma", K: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("no trace")
+	}
+	if resp.Trace.Name != "core.query" {
+		t.Errorf("root = %q, want core.query", resp.Trace.Name)
+	}
+	if resp.TraceID == "" || resp.Trace.TraceID != resp.TraceID {
+		t.Errorf("trace IDs inconsistent: %q vs %q", resp.TraceID, resp.Trace.TraceID)
+	}
+	for _, name := range []string{"query.search", "query.resolve_keywords", "core.hydrate"} {
+		if resp.Trace.Find(name) == nil {
+			t.Errorf("span %q missing", name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package dil
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/elemrank"
 	"repro/internal/faultinject"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/xmltree"
@@ -300,53 +302,52 @@ func (b *Builder) textScores(keyword string) map[ir.DocKey]float64 {
 	return raw
 }
 
-// ontoScores evaluates the strategy for one keyword against every
-// system of the collection.
-func (b *Builder) ontoScores(keyword string) map[string]ontoscore.Scores {
-	out := make(map[string]ontoscore.Scores, len(b.computers))
-	for sys, c := range b.computers {
-		if s := c.Compute(b.strategy, keyword); len(s) > 0 {
-			out[sys] = s
-		}
-	}
-	return out
-}
-
 // FPOntoResolve fires during ontology concept resolution on the
 // fallible build path (BuildKeywordE) — the query engine's circuit
 // breaker guards exactly this boundary.
 const FPOntoResolve = "dil.ontoscore"
 
-// ontoScoresE is ontoScores with the ontology-resolution failpoint,
-// surfacing faults instead of hiding them.
-func (b *Builder) ontoScoresE(keyword string) (map[string]ontoscore.Scores, error) {
-	out := make(map[string]ontoscore.Scores, len(b.computers))
-	for sys, c := range b.computers {
-		if err := faultinject.Hit(FPOntoResolve); err != nil {
-			return nil, fmt.Errorf("dil: resolving %q against system %s: %w", keyword, sys, err)
-		}
-		if s := c.Compute(b.strategy, keyword); len(s) > 0 {
-			out[sys] = s
-		}
-	}
-	return out, nil
-}
-
 // BuildKeyword assembles the XOnto-DIL of one keyword: text postings
 // merged (by max, per equation (5)) with alpha-scaled OntoScore
 // postings on code nodes referencing associated concepts of any system.
 func (b *Builder) BuildKeyword(keyword string) List {
-	return b.buildKeyword(keyword, b.ontoScores(keyword))
+	return b.BuildKeywordCtx(context.Background(), keyword)
+}
+
+// BuildKeywordCtx is BuildKeyword under a context: when the context
+// carries an obs trace, the build is recorded as a "dil.build_keyword"
+// span with "dil.text_scores" and "ontoscore.propagate" children — the
+// per-stage attribution (DIL lookup vs OntoScore propagation) of the
+// paper's evaluation.
+func (b *Builder) BuildKeywordCtx(ctx context.Context, keyword string) List {
+	ctx, sp := obs.StartSpan(ctx, "dil.build_keyword")
+	sp.SetAttr("keyword", keyword)
+	l := b.assemble(keyword, b.textScoresCtx(ctx, keyword), b.ontoScoresCtx(ctx, keyword))
+	sp.SetAttr("postings", len(l))
+	sp.End()
+	return l
 }
 
 // BuildKeywordE is BuildKeyword with an error channel for the ontology
 // path; the query engine retries and circuit-breaks around it.
 func (b *Builder) BuildKeywordE(keyword string) (List, error) {
-	onto, err := b.ontoScoresE(keyword)
+	return b.BuildKeywordECtx(context.Background(), keyword)
+}
+
+// BuildKeywordECtx is BuildKeywordE with span instrumentation (see
+// BuildKeywordCtx).
+func (b *Builder) BuildKeywordECtx(ctx context.Context, keyword string) (List, error) {
+	ctx, sp := obs.StartSpan(ctx, "dil.build_keyword")
+	sp.SetAttr("keyword", keyword)
+	defer sp.End()
+	onto, err := b.ontoScoresECtx(ctx, keyword)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
-	return b.buildKeyword(keyword, onto), nil
+	l := b.assemble(keyword, b.textScoresCtx(ctx, keyword), onto)
+	sp.SetAttr("postings", len(l))
+	return l, nil
 }
 
 // BuildKeywordIR assembles the degraded, IR-only DIL of one keyword:
@@ -355,12 +356,61 @@ func (b *Builder) BuildKeywordE(keyword string) (List, error) {
 // is what searches fall back to when the ontology path's circuit
 // breaker is open.
 func (b *Builder) BuildKeywordIR(keyword string) List {
-	return b.buildKeyword(keyword, nil)
+	return b.BuildKeywordIRCtx(context.Background(), keyword)
 }
 
-func (b *Builder) buildKeyword(keyword string, onto map[string]ontoscore.Scores) List {
+// BuildKeywordIRCtx is BuildKeywordIR with span instrumentation; the
+// span carries ir_only=true so degraded builds are visible in traces.
+func (b *Builder) BuildKeywordIRCtx(ctx context.Context, keyword string) List {
+	ctx, sp := obs.StartSpan(ctx, "dil.build_keyword")
+	sp.SetAttr("keyword", keyword)
+	sp.SetAttr("ir_only", true)
+	l := b.assemble(keyword, b.textScoresCtx(ctx, keyword), nil)
+	sp.SetAttr("postings", len(l))
+	sp.End()
+	return l
+}
+
+// textScoresCtx wraps textScores in a "dil.text_scores" span.
+func (b *Builder) textScoresCtx(ctx context.Context, keyword string) map[ir.DocKey]float64 {
+	_, sp := obs.StartSpan(ctx, "dil.text_scores")
+	sp.SetAttr("keyword", keyword)
+	m := b.textScores(keyword)
+	sp.SetAttr("elements", len(m))
+	sp.End()
+	return m
+}
+
+// ontoScoresCtx is ontoScores with per-system propagation spans.
+func (b *Builder) ontoScoresCtx(ctx context.Context, keyword string) map[string]ontoscore.Scores {
+	out := make(map[string]ontoscore.Scores, len(b.computers))
+	for sys, c := range b.computers {
+		if s := c.ComputeCtx(ctx, b.strategy, keyword); len(s) > 0 {
+			out[sys] = s
+		}
+	}
+	return out
+}
+
+// ontoScoresECtx is ontoScoresE with per-system propagation spans.
+func (b *Builder) ontoScoresECtx(ctx context.Context, keyword string) (map[string]ontoscore.Scores, error) {
+	out := make(map[string]ontoscore.Scores, len(b.computers))
+	for sys, c := range b.computers {
+		if err := faultinject.Hit(FPOntoResolve); err != nil {
+			return nil, fmt.Errorf("dil: resolving %q against system %s: %w", keyword, sys, err)
+		}
+		if s := c.ComputeCtx(ctx, b.strategy, keyword); len(s) > 0 {
+			out[sys] = s
+		}
+	}
+	return out, nil
+}
+
+// assemble merges one keyword's text scores with alpha-scaled
+// OntoScore postings into the final sorted list.
+func (b *Builder) assemble(keyword string, text map[ir.DocKey]float64, onto map[string]ontoscore.Scores) List {
 	scores := make(map[ir.DocKey]float64)
-	for key, s := range b.textScores(keyword) {
+	for key, s := range text {
 		scores[key] = s
 	}
 	for sys, perConcept := range onto {
@@ -445,7 +495,7 @@ func (b *Builder) Build(vocabulary []string) (*Index, *BuildStats, error) {
 						onto[sys] = s
 					}
 				}
-				list := b.buildKeyword(kw, onto)
+				list := b.assemble(kw, b.textScores(kw), onto)
 				out <- result{
 					i: i,
 					stat: KeywordStats{

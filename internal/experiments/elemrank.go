@@ -47,8 +47,8 @@ func (e *Env) ElemRankEffect() ElemRankStudy {
 	total := 0.0
 	for _, q := range Table2Queries {
 		keywords := query.ParseQuery(q)
-		a := resultIDs(plain.SearchKeywords(keywords, topK))
-		b := resultIDs(ranked.SearchKeywords(keywords, topK))
+		a := resultIDs(searchKeywords(plain, keywords, topK))
+		b := resultIDs(searchKeywords(ranked, keywords, topK))
 		if len(a) == 0 && len(b) == 0 {
 			continue
 		}

@@ -12,12 +12,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cda"
 	"repro/internal/core"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
+	"repro/internal/query"
 	"repro/internal/relevance"
 	"repro/internal/xmltree"
 )
@@ -166,4 +168,15 @@ func QueriesWithKeywordCount(n, count int) []string {
 		out = append(out, q)
 	}
 	return out
+}
+
+// searchKeywords answers a pre-parsed keyword query through the
+// consolidated Query API (the experiments never cancel, so the only
+// possible error — the context's — cannot occur).
+func searchKeywords(sys *core.System, keywords []query.Keyword, k int) []core.Result {
+	resp, err := sys.Query(context.Background(), core.SearchRequest{Keywords: keywords, K: k})
+	if err != nil {
+		return nil
+	}
+	return resp.Results
 }

@@ -48,7 +48,7 @@ func (e *Env) ExpansionComparison() ExpansionResult {
 		keywords := query.ParseQuery(q)
 		row := ExpansionRow{Query: q}
 
-		xres := xonto.SearchKeywords(keywords, topK)
+		xres := searchKeywords(xonto, keywords, topK)
 		raw := make([]query.Result, len(xres))
 		for i, r := range xres {
 			raw[i] = r.Raw()

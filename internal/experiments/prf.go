@@ -51,7 +51,7 @@ func (e *Env) PrecisionRecall(k, poolDepth int) PRFResult {
 		pool := make(map[string]bool) // relevant result roots
 		perStrategy := make(map[ontoscore.Strategy][]query.Result, len(strategies))
 		for _, s := range strategies {
-			results := e.Systems[s].SearchKeywords(keywords, poolDepth)
+			results := searchKeywords(e.Systems[s], keywords, poolDepth)
 			raw := make([]query.Result, len(results))
 			for i, r := range results {
 				raw[i] = r.Raw()

@@ -66,13 +66,13 @@ func ScalingStudy(seed int64, docCounts []int, extraConcepts int) ([]ScalingRow,
 
 		// Warm, then time the query mix.
 		for _, kws := range queries {
-			sys.SearchKeywords(kws, 10)
+			searchKeywords(sys, kws, 10)
 		}
 		const repeats = 5
 		qStart := time.Now()
 		for r := 0; r < repeats; r++ {
 			for _, kws := range queries {
-				sys.SearchKeywords(kws, 10)
+				searchKeywords(sys, kws, 10)
 			}
 		}
 		avgQuery := time.Since(qStart) / time.Duration(repeats*len(queries))

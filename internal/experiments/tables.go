@@ -35,7 +35,7 @@ func (e *Env) Table1() Table1Result {
 		row := Table1Row{Query: q, Counts: make(map[ontoscore.Strategy]int)}
 		keywords := query.ParseQuery(q)
 		for _, s := range ontoscore.Strategies() {
-			results := e.Systems[s].SearchKeywords(keywords, topK)
+			results := searchKeywords(e.Systems[s], keywords, topK)
 			raw := make([]query.Result, len(results))
 			for i, r := range results {
 				raw[i] = r.Raw()
@@ -98,7 +98,7 @@ func (e *Env) Table2() Table2Result {
 		keywords := query.ParseQuery(q)
 		lists := make(map[ontoscore.Strategy][]string, len(strategies))
 		for _, s := range strategies {
-			results := e.Systems[s].SearchKeywords(keywords, topK)
+			results := searchKeywords(e.Systems[s], keywords, topK)
 			ids := make([]string, 0, len(results))
 			for _, r := range results {
 				ids = append(ids, r.Root.String())
@@ -233,12 +233,12 @@ func (e *Env) Figure11(queriesPerPoint, repeats int) (Figure11Result, error) {
 			parsed := make([][]query.Keyword, len(queries))
 			for i, q := range queries {
 				parsed[i] = query.ParseQuery(q)
-				sys.SearchKeywords(parsed[i], 10) // warm
+				searchKeywords(sys, parsed[i], 10) // warm
 			}
 			start := time.Now()
 			for r := 0; r < repeats; r++ {
 				for _, kws := range parsed {
-					sys.SearchKeywords(kws, 10)
+					searchKeywords(sys, kws, 10)
 				}
 			}
 			elapsed := time.Since(start)

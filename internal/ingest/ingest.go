@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/xmltree"
 )
 
@@ -157,6 +158,8 @@ type Reason struct {
 // manifest, context cancellation — never on document content.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	ctx, sp := obs.StartSpan(ctx, "ingest.run")
+	defer sp.End()
 	start := time.Now()
 
 	entries, err := os.ReadDir(cfg.SourceDir)
@@ -199,6 +202,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 	report.Duration = time.Since(start)
+	sp.SetAttr("total", report.Total)
+	sp.SetAttr("ingested", report.Ingested)
+	sp.SetAttr("resumed", report.Resumed)
+	sp.SetAttr("quarantined", report.Quarantined)
 	return &Result{Corpus: corpus, Report: report}, nil
 }
 

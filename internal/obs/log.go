@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// traceHandler decorates a slog.Handler with the trace ID carried by
+// the record's context, correlating every log line with the request
+// trace that emitted it.
+type traceHandler struct{ inner slog.Handler }
+
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := TraceID(ctx); id != "" {
+		rec.AddAttrs(slog.String("trace_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger returns a structured JSON logger writing to w at the given
+// level. Records logged through the *Context methods carry a trace_id
+// attribute when their context holds an active trace.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(traceHandler{inner: slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})})
+}
+
+// NewDiscardLogger returns a logger that drops everything (tests,
+// library defaults).
+func NewDiscardLogger() *slog.Logger {
+	return slog.New(traceHandler{inner: slog.NewJSONHandler(io.Discard, nil)})
+}
+
+// defaultLogger is the process-wide fallback used by packages that are
+// not handed an explicit logger (e.g. the core facade's legacy Search
+// shim reporting an error the caller's signature cannot surface). It
+// starts as a discard logger so libraries stay silent until the command
+// layer opts in via SetDefault.
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() { defaultLogger.Store(NewDiscardLogger()) }
+
+// Default returns the process-wide obs logger.
+func Default() *slog.Logger { return defaultLogger.Load() }
+
+// SetDefault installs the process-wide obs logger (nil restores the
+// discard logger).
+func SetDefault(l *slog.Logger) {
+	if l == nil {
+		l = NewDiscardLogger()
+	}
+	defaultLogger.Store(l)
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments and renders them in the Prometheus
+// text exposition format. Instruments are identified by (name, label
+// set); registering the same identity twice returns the existing
+// instrument, so packages can idempotently grab their counters.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order of family names
+}
+
+type family struct {
+	name, help, typ string
+	order           []string // series keys in registration order
+	series          map[string]*series
+}
+
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		parts = append(parts, l.Key+"\x1f"+l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x1e")
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) (*series, bool) {
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...)}
+		f.series[k] = s
+		f.order = append(f.order, k)
+	}
+	return s, ok
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by d (negative deltas are ignored —
+// counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets are latency-oriented default bucket bounds, in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.buckets) {
+		h.buckets[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, "counter").get(labels)
+	if !ok {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — the bridge for components that already keep their
+// own atomic counters.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, "counter").get(labels)
+	s.fn = fn
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, "gauge").get(labels)
+	if !ok {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.family(name, help, "gauge").get(labels)
+	s.fn = fn
+}
+
+// Histogram registers (or fetches) a histogram with the given upper
+// bucket bounds (nil uses DefBuckets). Bounds must be ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, "histogram").get(labels)
+	if !ok {
+		s.hist = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)),
+		}
+	}
+	return s.hist
+}
+
+func formatLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(all))
+	for _, l := range all {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered instrument in the
+// Prometheus text exposition format, families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, 0, len(names))
+	type snap struct {
+		labels []Label
+		typ    string
+		val    float64
+		hist   *Histogram
+	}
+	snaps := make([][]snap, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fams = append(fams, f)
+		rows := make([]snap, 0, len(f.order))
+		for _, k := range f.order {
+			s := f.series[k]
+			row := snap{labels: s.labels, typ: f.typ}
+			switch {
+			case s.hist != nil:
+				row.hist = s.hist
+			case s.fn != nil:
+				row.val = s.fn()
+			case s.counter != nil:
+				row.val = float64(s.counter.Value())
+			case s.gauge != nil:
+				row.val = s.gauge.Value()
+			}
+			rows = append(rows, row)
+		}
+		snaps = append(snaps, rows)
+	}
+	r.mu.Unlock()
+
+	for i, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, row := range snaps[i] {
+			if row.hist == nil {
+				fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(row.labels), formatValue(row.val))
+				continue
+			}
+			h := row.hist
+			cum := int64(0)
+			for bi, bound := range h.bounds {
+				cum += h.buckets[bi].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					formatLabels(row.labels, Label{"le", strconv.FormatFloat(bound, 'g', -1, 64)}), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				formatLabels(row.labels, Label{"le", "+Inf"}), h.Count())
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(row.labels), formatValue(h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(row.labels), h.Count())
+		}
+	}
+}
+
+// Handler serves the exposition; mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

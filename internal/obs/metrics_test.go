@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("xonto_requests_total", "Total requests.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters only go up
+	g := r.Gauge("xonto_inflight", "In-flight requests.")
+	g.Set(3)
+	g.Add(-1)
+	r.CounterFunc("xonto_evictions_total", "Evictions.", func() float64 { return 7 },
+		Label{"cache", "result"})
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP xonto_requests_total Total requests.",
+		"# TYPE xonto_requests_total counter",
+		"xonto_requests_total 3",
+		"# TYPE xonto_inflight gauge",
+		"xonto_inflight 2",
+		`xonto_evictions_total{cache="result"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("xonto_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE xonto_latency_seconds histogram",
+		`xonto_latency_seconds_bucket{le="0.01"} 1`,
+		`xonto_latency_seconds_bucket{le="0.1"} 3`,
+		`xonto_latency_seconds_bucket{le="1"} 4`,
+		`xonto_latency_seconds_bucket{le="+Inf"} 5`,
+		"xonto_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5.6 || got > 5.7 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestRegistryIdempotentAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "c")
+	b := r.Counter("c_total", "c")
+	if a != b {
+		t.Fatal("same identity returned distinct counters")
+	}
+	l1 := r.Counter("c_total", "c", Label{"k", "1"})
+	if l1 == a {
+		t.Fatal("labeled series must be distinct")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", "c").Inc()
+				r.Histogram("h_seconds", "h", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", "h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,327 @@
+// Package obs is the zero-dependency observability layer: an
+// in-process span tracer with context propagation, a typed metrics
+// registry with Prometheus-style text exposition, structured JSON
+// logging with per-request trace correlation, and net/http/pprof
+// wiring. Every instrument is safe for concurrent use and cheap enough
+// for the search hot path; the tracer's no-span fast path is a nil
+// check, so deep packages (dil, ontoscore, query) instrument
+// unconditionally.
+//
+// Span model: a request gets one trace (root span) whose ID travels in
+// the context; child spans attach to whatever span the context
+// carries. Completed root spans land in a bounded ring buffer that
+// /debug/traces exposes, and an in-flight tree can be snapshotted at
+// any time (unfinished spans report their duration so far), which is
+// how /search?debug=trace returns the tree of the request that is
+// still writing its own response.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the ring of retained completed traces.
+const DefaultTraceCapacity = 64
+
+// Tracer issues trace IDs and retains a ring buffer of recently
+// completed root spans.
+type Tracer struct {
+	capacity int
+
+	mu     sync.Mutex
+	recent []*Span // ring, oldest first once full
+	next   int
+	total  uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity completed traces
+// (<= 0 uses DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{capacity: capacity, recent: make([]*Span, 0, capacity)}
+}
+
+// Span is one timed operation within a trace. All methods are nil-safe:
+// code instrumented with StartSpan runs unchanged (and nearly free)
+// when no trace is active in the context.
+type Span struct {
+	tracer  *Tracer
+	root    *Span
+	traceID string
+	id      uint64 // unique within the trace
+	name    string
+	start   time.Time
+
+	seq atomic.Uint64 // root only: next child span ID
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+type spanCtxKey struct{}
+
+// newTraceID returns a 64-bit random hex trace identifier.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively impossible on supported
+		// platforms; fall back to the clock rather than panicking the
+		// request path.
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	const hex = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i, v := range b {
+		out[2*i] = hex[v>>4]
+		out[2*i+1] = hex[v&0x0f]
+	}
+	return string(out)
+}
+
+// StartRoot begins a new trace: a fresh trace ID and a root span,
+// stored in the returned context. End() on the root publishes the
+// trace into the ring buffer.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{
+		tracer:  t,
+		traceID: newTraceID(),
+		id:      0,
+		name:    name,
+		start:   time.Now(),
+	}
+	s.root = s
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// StartSpan begins a child of the span carried by ctx. When ctx holds
+// no span, it returns (ctx, nil) and every method on the nil span is a
+// no-op — instrumented code needs no conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	root := parent.root
+	s := &Span{
+		tracer:  parent.tracer,
+		root:    root,
+		traceID: parent.traceID,
+		id:      root.seq.Add(1),
+		name:    name,
+		start:   time.Now(),
+	}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceID returns the trace identifier carried by ctx ("" when no
+// trace is active).
+func TraceID(ctx context.Context) string {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.traceID
+	}
+	return ""
+}
+
+// TraceID returns the span's trace identifier.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// Root returns the root span of this span's trace.
+func (s *Span) Root() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.root
+}
+
+// SetAttr records one attribute (last write wins on duplicate keys at
+// render time). Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End marks the span finished. Ending the root span publishes the
+// completed trace into the tracer's ring buffer. Nil-safe; repeated
+// End keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	first := s.end.IsZero()
+	if first {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+	if first && s == s.root && s.tracer != nil {
+		s.tracer.publish(s)
+	}
+}
+
+func (t *Tracer) publish(root *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.recent) < t.capacity {
+		t.recent = append(t.recent, root)
+		t.next = len(t.recent) % t.capacity
+		return
+	}
+	t.recent[t.next] = root
+	t.next = (t.next + 1) % t.capacity
+}
+
+// Completed reports how many traces have finished since the tracer was
+// created (including those evicted from the ring).
+func (t *Tracer) Completed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns the retained completed traces, oldest first.
+func (t *Tracer) Recent() []SpanTree {
+	t.mu.Lock()
+	roots := make([]*Span, 0, len(t.recent))
+	// Ring order: next..end is the older half once the ring has wrapped.
+	if len(t.recent) == t.capacity {
+		roots = append(roots, t.recent[t.next:]...)
+		roots = append(roots, t.recent[:t.next]...)
+	} else {
+		roots = append(roots, t.recent...)
+	}
+	t.mu.Unlock()
+	out := make([]SpanTree, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.Tree())
+	}
+	return out
+}
+
+// Handler serves the retained traces as JSON (newest last); mount it
+// at /debug/traces.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(struct {
+			Completed uint64     `json:"completed"`
+			Traces    []SpanTree `json:"traces"`
+		}{t.Completed(), t.Recent()})
+	})
+}
+
+// SpanTree is the JSON rendering of a span and its descendants.
+type SpanTree struct {
+	TraceID    string         `json:"trace_id,omitempty"` // root only
+	SpanID     uint64         `json:"span_id"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationUS int64          `json:"duration_us"`
+	InFlight   bool           `json:"in_flight,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanTree     `json:"children,omitempty"`
+}
+
+// Tree snapshots the span and its descendants. Unfinished spans report
+// the duration elapsed so far and are flagged in_flight, so a request
+// can render its own partial trace while still being served. Durations
+// are reported in microseconds with a floor of 1, so sub-microsecond
+// spans still render as non-zero.
+func (s *Span) Tree() SpanTree {
+	if s == nil {
+		return SpanTree{}
+	}
+	now := time.Now()
+	return s.tree(now)
+}
+
+func (s *Span) tree(now time.Time) SpanTree {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	n := SpanTree{
+		SpanID: s.id,
+		Name:   s.name,
+		Start:  s.start,
+	}
+	if s == s.root {
+		n.TraceID = s.traceID
+	}
+	if end.IsZero() {
+		n.InFlight = true
+		end = now
+	}
+	us := end.Sub(s.start).Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	n.DurationUS = us
+	if len(attrs) > 0 {
+		n.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			n.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, c.tree(now))
+	}
+	return n
+}
+
+// Find returns the first span tree node with the given name in a
+// depth-first walk of the tree (nil when absent). Helper for tests and
+// tools asserting the shape of a trace.
+func (n *SpanTree) Find(name string) *SpanTree {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for i := range n.Children {
+		if f := n.Children[i].Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}

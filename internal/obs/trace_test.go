@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartRoot(context.Background(), "http.request")
+	root.SetAttr("path", "/search")
+
+	ctx2, child := StartSpan(ctx, "serving.search")
+	child.SetAttr("cache", "miss")
+	_, grand := StartSpan(ctx2, "query.search")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+
+	tree := root.Tree()
+	if tree.TraceID == "" || len(tree.TraceID) != 16 {
+		t.Fatalf("trace id = %q", tree.TraceID)
+	}
+	if tree.Name != "http.request" || tree.Attrs["path"] != "/search" {
+		t.Fatalf("root = %+v", tree)
+	}
+	q := tree.Find("query.search")
+	if q == nil {
+		t.Fatal("query.search span missing")
+	}
+	if q.DurationUS <= 0 {
+		t.Errorf("duration = %d, want > 0", q.DurationUS)
+	}
+	if got := tree.Find("serving.search"); got == nil || got.Attrs["cache"] != "miss" {
+		t.Errorf("serving.search = %+v", got)
+	}
+	if tr.Completed() != 1 {
+		t.Errorf("completed = %d", tr.Completed())
+	}
+}
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything")
+	if s != nil {
+		t.Fatal("expected nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should pass through unchanged")
+	}
+	// All methods must be nil-safe.
+	s.SetAttr("k", "v")
+	s.End()
+	if s.Tree().Name != "" || s.TraceID() != "" || s.Root() != nil {
+		t.Fatal("nil span methods not inert")
+	}
+	if TraceID(ctx) != "" {
+		t.Fatal("trace id without trace")
+	}
+}
+
+func TestInFlightSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	_ = child
+	time.Sleep(time.Millisecond)
+	tree := root.Tree() // nothing ended yet
+	if !tree.InFlight || tree.DurationUS <= 0 {
+		t.Fatalf("root snapshot = %+v", tree)
+	}
+	if len(tree.Children) != 1 || !tree.Children[0].InFlight {
+		t.Fatalf("children = %+v", tree.Children)
+	}
+}
+
+// Concurrent spans within one trace and across traces must never share
+// (trace, span) identity. Run under -race this also checks the tree
+// bookkeeping for data races.
+func TestConcurrentSpanIDsUnique(t *testing.T) {
+	tr := NewTracer(8)
+	const traces, spansPer = 8, 50
+	type id struct {
+		trace string
+		span  uint64
+	}
+	var mu sync.Mutex
+	seen := make(map[id]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < traces; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, root := tr.StartRoot(context.Background(), "root")
+			var inner sync.WaitGroup
+			ids := make([]uint64, spansPer)
+			for j := 0; j < spansPer; j++ {
+				inner.Add(1)
+				go func(j int) {
+					defer inner.Done()
+					_, s := StartSpan(ctx, "child")
+					ids[j] = s.id
+					s.End()
+				}(j)
+			}
+			inner.Wait()
+			root.End()
+			mu.Lock()
+			defer mu.Unlock()
+			for _, sid := range ids {
+				k := id{root.TraceID(), sid}
+				if seen[k] {
+					t.Errorf("duplicate span identity %+v", k)
+				}
+				seen[k] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != traces*spansPer {
+		t.Fatalf("unique ids = %d, want %d", len(seen), traces*spansPer)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		_, root := tr.StartRoot(context.Background(), "r")
+		root.End()
+	}
+	if got := len(tr.Recent()); got != 2 {
+		t.Fatalf("recent = %d, want 2", got)
+	}
+	if tr.Completed() != 5 {
+		t.Fatalf("completed = %d, want 5", tr.Completed())
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartRoot(context.Background(), "req")
+	_, c := StartSpan(ctx, "work")
+	c.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var payload struct {
+		Completed uint64     `json:"completed"`
+		Traces    []SpanTree `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Completed != 1 || len(payload.Traces) != 1 {
+		t.Fatalf("payload = %+v", payload)
+	}
+	if payload.Traces[0].Find("work") == nil {
+		t.Fatal("child span missing from handler output")
+	}
+}

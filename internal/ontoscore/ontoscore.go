@@ -22,9 +22,11 @@
 package ontoscore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/xmltree"
 )
@@ -197,6 +199,22 @@ func (c *Computer) Compute(s Strategy, keyword string) Scores {
 	default:
 		return nil
 	}
+}
+
+// ComputeCtx is Compute under a context: when the context carries an
+// active obs trace, the propagation is recorded as an
+// "ontoscore.propagate" span with the system, strategy, keyword, and
+// result size — the paper's per-stage cost attribution (Table III's
+// OntoScore column) measured per query instead of per build.
+func (c *Computer) ComputeCtx(ctx context.Context, s Strategy, keyword string) Scores {
+	_, sp := obs.StartSpan(ctx, "ontoscore.propagate")
+	sp.SetAttr("system", c.ont.SystemID)
+	sp.SetAttr("strategy", s.String())
+	sp.SetAttr("keyword", keyword)
+	scores := c.Compute(s, keyword)
+	sp.SetAttr("concepts", len(scores))
+	sp.End()
+	return scores
 }
 
 func tokenize(s string) []string { return xmltree.Tokenize(s) }

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/dil"
+	"repro/internal/obs"
 )
 
 // Graceful degradation of the ontology path. On-demand DIL builds
@@ -27,23 +28,29 @@ func isContextErr(err error) bool {
 
 // listResilient is the on-demand build path for builders with a
 // fallible ontology dependency. It returns the list, whether it is the
-// IR-only degraded form, and a context error if the caller gave up.
-func (e *Engine) listResilient(ctx context.Context, kw string, fb FallibleKeywordBuilder) (dil.List, bool, error) {
+// IR-only degraded form, and a context error if the caller gave up. The
+// sp parameter is the enclosing "query.keyword" span; this path tags it
+// with how the keyword was answered (cache, built).
+func (e *Engine) listResilient(ctx context.Context, sp *obs.Span, kw string, fb FallibleKeywordBuilder) (dil.List, bool, error) {
 	if l, ok := e.cache.Get(kw); ok {
+		sp.SetAttr("source", "cache")
 		return l, false, nil
 	}
 	if !e.breaker.Allow() {
+		sp.SetAttr("source", "built")
+		sp.SetAttr("breaker_open", true)
 		l, err := e.listIR(ctx, kw)
 		return l, true, err
 	}
-	l, err, _ := e.flights.Do(ctx, kw, func(ctx context.Context) (dil.List, error) {
+	sp.SetAttr("source", "built")
+	l, err, _ := e.flights.Do(ctx, kw, func(fctx context.Context) (dil.List, error) {
 		if l, ok := e.cache.Get(kw); ok { // raced with another build
 			return l, nil
 		}
 		var built dil.List
-		rerr := e.retry.Do(ctx, func() error {
+		rerr := e.retry.Do(fctx, func() error {
 			var berr error
-			built, berr = fb.BuildKeywordE(kw)
+			built, berr = e.buildE(fctx, fb, kw)
 			if berr != nil && !isContextErr(berr) {
 				e.breaker.Failure()
 			}
@@ -64,6 +71,8 @@ func (e *Engine) listResilient(ctx context.Context, kw string, fb FallibleKeywor
 	}
 	// Ontology path down after retries: degrade this keyword to IR-only
 	// scoring rather than failing the query.
+	obs.Default().WarnContext(ctx, "keyword degraded to IR-only scoring",
+		"keyword", kw, "error", err.Error())
 	l, ferr := e.listIR(ctx, kw)
 	return l, true, ferr
 }
@@ -80,11 +89,11 @@ func (e *Engine) listIR(ctx context.Context, kw string) (dil.List, error) {
 	if l, ok := e.cache.Get(ckey); ok {
 		return l, nil
 	}
-	l, err, _ := e.flights.Do(ctx, ckey, func(context.Context) (dil.List, error) {
+	l, err, _ := e.flights.Do(ctx, ckey, func(fctx context.Context) (dil.List, error) {
 		if l, ok := e.cache.Get(ckey); ok {
 			return l, nil
 		}
-		l := irb.BuildKeywordIR(kw)
+		l := e.buildIR(fctx, irb, kw)
 		e.cache.Set(ckey, l)
 		return l, nil
 	})

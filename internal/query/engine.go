@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dil"
+	"repro/internal/obs"
 	"repro/internal/resilience"
 	"repro/internal/serving"
 	"repro/internal/xmltree"
@@ -38,6 +39,53 @@ type FallibleKeywordBuilder interface {
 // satisfies it.
 type IRKeywordBuilder interface {
 	BuildKeywordIR(keyword string) dil.List
+}
+
+// Context-aware variants of the builder interfaces: when the engine's
+// builder implements them, on-demand builds receive the request
+// context, so build-stage spans (dil.build_keyword, dil.text_scores,
+// ontoscore.propagate) attach to the request's trace. *dil.Builder
+// satisfies all three.
+type (
+	// CtxKeywordBuilder is KeywordBuilder with context propagation.
+	CtxKeywordBuilder interface {
+		BuildKeywordCtx(ctx context.Context, keyword string) dil.List
+	}
+	// CtxFallibleKeywordBuilder is FallibleKeywordBuilder with context
+	// propagation.
+	CtxFallibleKeywordBuilder interface {
+		BuildKeywordECtx(ctx context.Context, keyword string) (dil.List, error)
+	}
+	// CtxIRKeywordBuilder is IRKeywordBuilder with context propagation.
+	CtxIRKeywordBuilder interface {
+		BuildKeywordIRCtx(ctx context.Context, keyword string) dil.List
+	}
+)
+
+// buildPlain invokes the builder's context-aware build when available.
+func (e *Engine) buildPlain(ctx context.Context, kw string) dil.List {
+	if cb, ok := e.builder.(CtxKeywordBuilder); ok {
+		return cb.BuildKeywordCtx(ctx, kw)
+	}
+	return e.builder.BuildKeyword(kw)
+}
+
+// buildE invokes the fallible ontology-path build, context-aware when
+// available.
+func (e *Engine) buildE(ctx context.Context, fb FallibleKeywordBuilder, kw string) (dil.List, error) {
+	if cb, ok := e.builder.(CtxFallibleKeywordBuilder); ok {
+		return cb.BuildKeywordECtx(ctx, kw)
+	}
+	return fb.BuildKeywordE(kw)
+}
+
+// buildIR invokes the degraded IR-only build, context-aware when
+// available.
+func (e *Engine) buildIR(ctx context.Context, irb IRKeywordBuilder, kw string) dil.List {
+	if cb, ok := e.builder.(CtxIRKeywordBuilder); ok {
+		return cb.BuildKeywordIRCtx(ctx, kw)
+	}
+	return irb.BuildKeywordIR(kw)
 }
 
 // Params configure the query phase.
@@ -114,27 +162,49 @@ func (e *Engine) Breaker() *resilience.Breaker { return e.breaker }
 // demand. Concurrent requests for the same missing keyword build once.
 // The degraded return is true when the list was built IR-only because
 // the ontology path failed or the breaker was open (see degrade.go).
+// Each resolution is recorded as a "query.keyword" span whose source
+// attribute says how it was answered (index, cache, built).
 func (e *Engine) list(ctx context.Context, kw string) (dil.List, bool, error) {
+	ctx, sp := obs.StartSpan(ctx, "query.keyword")
+	sp.SetAttr("keyword", kw)
+	defer sp.End()
+	l, degraded, err := e.listInner(ctx, sp, kw)
+	if degraded {
+		sp.SetAttr("degraded", true)
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	} else {
+		sp.SetAttr("postings", len(l))
+	}
+	return l, degraded, err
+}
+
+func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (dil.List, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
 	if l := e.source.List(kw); l != nil {
+		sp.SetAttr("source", "index")
 		return l, false, nil
 	}
 	if e.builder == nil {
+		sp.SetAttr("source", "none")
 		return nil, false, nil
 	}
 	if fb, ok := e.builder.(FallibleKeywordBuilder); ok {
-		return e.listResilient(ctx, kw, fb)
+		return e.listResilient(ctx, sp, kw, fb)
 	}
 	if l, ok := e.cache.Get(kw); ok {
+		sp.SetAttr("source", "cache")
 		return l, false, nil
 	}
-	l, err, _ := e.flights.Do(ctx, kw, func(context.Context) (dil.List, error) {
+	sp.SetAttr("source", "built")
+	l, err, _ := e.flights.Do(ctx, kw, func(fctx context.Context) (dil.List, error) {
 		if l, ok := e.cache.Get(kw); ok { // raced with another build
 			return l, nil
 		}
-		l := e.builder.BuildKeyword(kw)
+		l := e.buildPlain(fctx, kw)
 		e.cache.Set(kw, l)
 		return l, nil
 	})
@@ -145,8 +215,13 @@ func (e *Engine) list(ctx context.Context, kw string) (dil.List, bool, error) {
 // keyword for multi-keyword queries. It honors ctx: cancellation stops
 // the wait and returns the context error (in-flight builds complete in
 // the background and still populate the cache). The second return names
-// the keywords whose lists degraded to IR-only scoring.
+// the keywords whose lists degraded to IR-only scoring. The whole stage
+// is one "query.resolve_keywords" span with a "query.keyword" child per
+// keyword.
 func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]dil.List, []string, error) {
+	ctx, sp := obs.StartSpan(ctx, "query.resolve_keywords")
+	sp.SetAttr("keywords", len(keywords))
+	defer sp.End()
 	lists := make([]dil.List, len(keywords))
 	degraded := make([]bool, len(keywords))
 	if len(keywords) == 1 {
@@ -190,14 +265,6 @@ func degradedKeywords(keywords []Keyword, flags []bool) []string {
 	return out
 }
 
-// Search runs the query and returns up to k results ranked by
-// descending score (k <= 0 uses the engine default). Ties break by
-// Dewey order for determinism.
-func (e *Engine) Search(keywords []Keyword, k int) []Result {
-	res, _ := e.SearchContext(context.Background(), keywords, k)
-	return res
-}
-
 // Info reports how a search was answered.
 type Info struct {
 	// Degraded is true when at least one keyword's list fell back to
@@ -206,6 +273,88 @@ type Info struct {
 	Degraded bool `json:"degraded"`
 	// DegradedKeywords names the affected keywords, in query order.
 	DegradedKeywords []string `json:"degraded_keywords,omitempty"`
+}
+
+// Request is the unified query-phase request, mirrored by the system
+// facade's SearchRequest. The zero value of each option is the
+// default.
+type Request struct {
+	// Keywords is the parsed query.
+	Keywords []Keyword
+	// K bounds the result list (<= 0 uses the engine default).
+	K int
+	// Ranked selects XRANK's RDIL ranked-access algorithm (identical
+	// results, early termination — profitable for small k over long
+	// posting lists) instead of the sort-merge DIL algorithm.
+	Ranked bool
+}
+
+// Response is what one engine query produces.
+type Response struct {
+	// Results are ranked by descending score; ties break by Dewey order
+	// for determinism.
+	Results []Result
+	// Info reports degradation (IR-only keywords).
+	Info Info
+}
+
+// Query is the single query-phase entry point; the Search* family
+// below are thin shims over it. The only possible error is the
+// context's. The whole run is a "query.search" span: keyword
+// resolution (with per-keyword and build-stage children) followed by a
+// "query.dil_merge" span for the DIL (or RDIL) list merge.
+func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
+	if len(req.Keywords) == 0 {
+		return &Response{}, nil
+	}
+	k := req.K
+	if k <= 0 {
+		k = e.params.K
+	}
+	ctx, sp := obs.StartSpan(ctx, "query.search")
+	sp.SetAttr("k", k)
+	sp.SetAttr("ranked", req.Ranked)
+	defer sp.End()
+
+	lists, degraded, err := e.resolve(ctx, req.Keywords)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Info: Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return resp, nil
+		}
+	}
+
+	_, msp := obs.StartSpan(ctx, "query.dil_merge")
+	msp.SetAttr("algorithm", map[bool]string{false: "DIL", true: "RDIL"}[req.Ranked])
+	if req.Ranked {
+		resp.Results = RunRanked(lists, e.params.Decay, k)
+	} else {
+		results := runDIL(lists, e.params.Decay)
+		sort.Slice(results, func(i, j int) bool {
+			if results[i].Score != results[j].Score {
+				return results[i].Score > results[j].Score
+			}
+			return results[i].Root.Compare(results[j].Root) < 0
+		})
+		if len(results) > k {
+			results = results[:k]
+		}
+		resp.Results = results
+	}
+	msp.SetAttr("results", len(resp.Results))
+	msp.End()
+	return resp, nil
+}
+
+// Search runs the query and returns up to k results ranked by
+// descending score (k <= 0 uses the engine default). Ties break by
+// Dewey order for determinism.
+func (e *Engine) Search(keywords []Keyword, k int) []Result {
+	res, _ := e.SearchContext(context.Background(), keywords, k)
+	return res
 }
 
 // SearchContext is Search with cancellation and deadline support: the
@@ -218,33 +367,11 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []Keyword, k int) (
 // SearchInfo is SearchContext plus degradation info: whether any
 // keyword was answered IR-only because the ontology path was down.
 func (e *Engine) SearchInfo(ctx context.Context, keywords []Keyword, k int) ([]Result, Info, error) {
-	if len(keywords) == 0 {
-		return nil, Info{}, nil
-	}
-	if k <= 0 {
-		k = e.params.K
-	}
-	lists, degraded, err := e.resolve(ctx, keywords)
+	resp, err := e.Query(ctx, Request{Keywords: keywords, K: k})
 	if err != nil {
 		return nil, Info{}, err
 	}
-	info := Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}
-	for _, l := range lists {
-		if len(l) == 0 {
-			return nil, info, nil
-		}
-	}
-	results := runDIL(lists, e.params.Decay)
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].Root.Compare(results[j].Root) < 0
-	})
-	if len(results) > k {
-		results = results[:k]
-	}
-	return results, info, nil
+	return resp.Results, resp.Info, nil
 }
 
 // SearchQuery parses a query string and runs it.
@@ -269,23 +396,11 @@ func (e *Engine) SearchRankedContext(ctx context.Context, keywords []Keyword, k 
 
 // SearchRankedInfo is SearchRankedContext plus degradation info.
 func (e *Engine) SearchRankedInfo(ctx context.Context, keywords []Keyword, k int) ([]Result, Info, error) {
-	if len(keywords) == 0 {
-		return nil, Info{}, nil
-	}
-	if k <= 0 {
-		k = e.params.K
-	}
-	lists, degraded, err := e.resolve(ctx, keywords)
+	resp, err := e.Query(ctx, Request{Keywords: keywords, K: k, Ranked: true})
 	if err != nil {
 		return nil, Info{}, err
 	}
-	info := Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}
-	for _, l := range lists {
-		if len(l) == 0 {
-			return nil, info, nil
-		}
-	}
-	return RunRanked(lists, e.params.Decay, k), info, nil
+	return resp.Results, resp.Info, nil
 }
 
 // ResultNode resolves a result's root element in the corpus.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/xmltree"
@@ -179,9 +180,12 @@ func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	ctx, sp := obs.StartSpan(ctx, "server.reload")
+	defer sp.End()
 	start := time.Now()
 	data, err := s.reloader(ctx)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, fmt.Errorf("reload: %w", err)
 	}
 	if data == nil || data.Corpus == nil || data.Collection == nil {
@@ -197,6 +201,8 @@ func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
 		s.lastIngest.Store(data.Ingest)
 	}
 	old.release()
+	sp.SetAttr("generation", next.num)
+	sp.SetAttr("documents", data.Corpus.Len())
 	status := &ReloadStatus{
 		Generation: next.num,
 		Documents:  data.Corpus.Len(),

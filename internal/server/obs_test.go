@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Acceptance: /search?debug=trace answers with the request's span
+// tree, and every hot-path stage — handler, serving cache, keyword
+// resolution, DIL build, OntoScore propagation — appears with a
+// non-zero duration.
+func TestSearchDebugTrace(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=asthma+medications&k=3&debug=trace`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	header := rec.Header().Get("X-Trace-Id")
+	if header == "" {
+		t.Fatal("no X-Trace-Id header")
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != header {
+		t.Errorf("trace_id %q != X-Trace-Id %q", resp.TraceID, header)
+	}
+	if resp.Trace == nil {
+		t.Fatal("debug=trace returned no trace")
+	}
+	if resp.Trace.Name != "http.request" {
+		t.Errorf("root span = %q, want http.request", resp.Trace.Name)
+	}
+	if resp.Trace.TraceID != header {
+		t.Errorf("tree trace_id %q != X-Trace-Id %q", resp.Trace.TraceID, header)
+	}
+	for _, name := range []string{
+		"http.request",
+		"serving.search",
+		"serving.cache",
+		"query.search",
+		"query.resolve_keywords",
+		"query.keyword",
+		"dil.build_keyword",
+		"ontoscore.propagate",
+		"query.dil_merge",
+		"core.hydrate",
+	} {
+		sp := resp.Trace.Find(name)
+		if sp == nil {
+			t.Errorf("span %q missing from trace", name)
+			continue
+		}
+		if sp.DurationUS < 1 {
+			t.Errorf("span %q duration %dus, want >= 1", name, sp.DurationUS)
+		}
+	}
+}
+
+// Every /search response — traced or not — carries an X-Trace-Id
+// header matching the body's trace_id.
+func TestSearchTraceIDAlways(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=asthma&k=2`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	header := rec.Header().Get("X-Trace-Id")
+	if len(header) != 16 {
+		t.Fatalf("X-Trace-Id = %q, want 16 hex chars", header)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != header {
+		t.Errorf("body trace_id %q != header %q", resp.TraceID, header)
+	}
+	if resp.Trace != nil {
+		t.Error("untraced request returned a span tree")
+	}
+}
+
+// Golden wire-format test: the exact top-level key set of a /search
+// response, its timing keys, and its per-result keys. A change here is
+// a wire-format change and must bump the "v" field.
+func TestSearchWireFormat(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, `/search?q=asthma+medications&k=3`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	keys := func(m map[string]json.RawMessage) string {
+		out := make([]string, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return strings.Join(out, ",")
+	}
+	if got, want := keys(raw), "degraded,info,k,query,results,strategy,timing,trace_id,v"; got != want {
+		t.Errorf("top-level keys = %s, want %s", got, want)
+	}
+	var v int
+	if err := json.Unmarshal(raw["v"], &v); err != nil || v != 1 {
+		t.Errorf("v = %s, want 1", raw["v"])
+	}
+	var timing map[string]json.RawMessage
+	if err := json.Unmarshal(raw["timing"], &timing); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := keys(timing), "handler_us,hydrate_us,parse_us,search_us,total_us"; got != want {
+		t.Errorf("timing keys = %s, want %s", got, want)
+	}
+	var results []map[string]json.RawMessage
+	if err := json.Unmarshal(raw["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results to check the wire format of")
+	}
+	if got, want := keys(results[0]), "document,id,matches,path,score"; got != want {
+		t.Errorf("result keys = %s, want %s", got, want)
+	}
+	var total int64
+	if err := json.Unmarshal(timing["total_us"], &total); err != nil || total < 1 {
+		t.Errorf("total_us = %s, want >= 1", timing["total_us"])
+	}
+}
+
+// Concurrent traced searches must never share identity: trace IDs are
+// unique per request, and within a trace every span ID is unique. Run
+// with -race to also catch unsynchronized span mutation.
+func TestConcurrentTracedSearchesDistinctSpans(t *testing.T) {
+	s, _ := testServer(t)
+	const n = 12
+	trees := make([]*obs.SpanTree, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct queries so no request can ride another's flight.
+			rec := get(t, s, fmt.Sprintf(`/search?q=asthma&k=%d&debug=trace`, 1+i))
+			if rec.Code != http.StatusOK {
+				t.Errorf("status = %d", rec.Code)
+				return
+			}
+			var resp SearchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Error(err)
+				return
+			}
+			trees[i] = resp.Trace
+		}(i)
+	}
+	wg.Wait()
+	seenTraces := make(map[string]bool)
+	for i, tree := range trees {
+		if tree == nil {
+			t.Fatalf("request %d returned no trace", i)
+		}
+		if seenTraces[tree.TraceID] {
+			t.Errorf("trace ID %s issued twice", tree.TraceID)
+		}
+		seenTraces[tree.TraceID] = true
+		seenSpans := make(map[uint64]bool)
+		var walk func(n *obs.SpanTree)
+		walk = func(n *obs.SpanTree) {
+			if seenSpans[n.SpanID] {
+				t.Errorf("trace %s: span ID %d appears twice", tree.TraceID, n.SpanID)
+			}
+			seenSpans[n.SpanID] = true
+			for j := range n.Children {
+				walk(&n.Children[j])
+			}
+		}
+		walk(tree)
+	}
+}
+
+// /metrics serves the Prometheus text exposition with the search
+// latency histogram from the obs registry; the legacy JSON shape
+// survives under ?format=json (covered by TestMetricsEndpoint).
+func TestMetricsPrometheus(t *testing.T) {
+	s, _ := testServer(t)
+	get(t, s, `/search?q=asthma+medications&k=3`)
+	get(t, s, `/search?q=asthma+medications&k=3`)
+	rec := get(t, s, `/metrics`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE xontorank_search_latency_seconds histogram",
+		`xontorank_search_latency_seconds_bucket{le="0.0005"}`,
+		`xontorank_search_latency_seconds_bucket{le="+Inf"}`,
+		"xontorank_search_latency_seconds_count",
+		"xontorank_search_requests_total",
+		"xontorank_search_cache_hits_total",
+		"# TYPE xontorank_generation gauge",
+		"xontorank_http_requests_total",
+		`path="/search"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The two searches above must have been observed by the histogram.
+	var count int
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "xontorank_search_latency_seconds_count") {
+			fmt.Sscanf(strings.Fields(line)[1], "%d", &count)
+		}
+	}
+	if count < 2 {
+		t.Errorf("latency histogram count = %d, want >= 2", count)
+	}
+}
+
+// /debug/traces retains completed request traces in the ring buffer.
+func TestDebugTracesEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	get(t, s, `/search?q=asthma&k=2`)
+	rec := get(t, s, `/debug/traces`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		Completed uint64         `json:"completed"`
+		Traces    []obs.SpanTree `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed < 1 || len(out.Traces) < 1 {
+		t.Fatalf("completed = %d traces = %d, want >= 1 each", out.Completed, len(out.Traces))
+	}
+	found := false
+	for i := range out.Traces {
+		if out.Traces[i].Name == "http.request" && out.Traces[i].Find("query.search") != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no retained http.request trace contains a query.search span")
+	}
+}

@@ -49,10 +49,12 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
-	"repro/internal/ingest"
 	"repro/internal/faultinject"
+	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
@@ -73,17 +75,22 @@ type SearchOutcome struct {
 	Results          []core.Result
 	Degraded         bool
 	DegradedKeywords []string
+	// Timing is the pipeline breakdown of the execution that produced
+	// the results; for cache hits it describes the original execution.
+	Timing core.Timing
 }
 
 // Server answers HTTP requests against the active generation — an
 // immutable snapshot of corpus, ontology collection, and one prepared
 // system per strategy — swappable at runtime via Reload.
 type Server struct {
-	cfg  core.Config
-	gen  atomic.Pointer[generation]
-	svc  *serving.Service[SearchOutcome]
-	mux  *http.ServeMux
-	logf func(format string, args ...any)
+	cfg    core.Config
+	gen    atomic.Pointer[generation]
+	svc    *serving.Service[SearchOutcome]
+	mux    *http.ServeMux
+	logf   func(format string, args ...any)
+	tracer *obs.Tracer
+	reg    *obs.Registry
 
 	reloadMu    sync.Mutex
 	reloader    ReloadFunc
@@ -110,13 +117,22 @@ func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config) *Se
 // TTL, concurrency, queue wait, per-request deadline).
 func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Config, scfg serving.Config) *Server {
 	s := &Server{
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
-		logf: log.Printf,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		logf:   log.Printf,
+		tracer: obs.NewTracer(obs.DefaultTraceCapacity),
+		reg:    obs.NewRegistry(),
 	}
 	s.gen.Store(newGeneration(1, corpus, coll, cfg))
 	s.svc = serving.NewService(scfg, s.execSearch)
 	s.svc.SetCacheFilter(func(o SearchOutcome) bool { return !o.Degraded })
+	s.svc.Instrument(s.reg, "xontorank_search")
+	s.reg.GaugeFunc("xontorank_generation",
+		"Active data-plane generation number (advances on each hot reload).",
+		func() float64 { return float64(s.gen.Load().num) })
+	s.reg.GaugeFunc("xontorank_corpus_documents",
+		"Documents in the active corpus.",
+		func() float64 { return float64(s.gen.Load().corpus.Len()) })
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/fragment", s.handleFragment)
 	s.mux.HandleFunc("/concepts", s.handleConcepts)
@@ -126,8 +142,21 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	s.mux.Handle("/debug/traces", s.tracer.Handler())
 	return s
 }
+
+// EnableDebug mounts net/http/pprof under /debug/pprof/. Off by
+// default: profiling endpoints expose internals and cost CPU, so the
+// binary opts in explicitly (xontoserve's -debug flag).
+func (s *Server) EnableDebug() { obs.RegisterPprof(s.mux) }
+
+// Registry exposes the metrics registry so binaries can register their
+// own instruments next to the server's.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the span tracer backing /debug/traces.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // SetLogf redirects the server's log output (panics, readiness
 // failures); nil restores log.Printf.
@@ -173,15 +202,37 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 		g = s.pin()
 		defer g.release()
 	}
-	results, info, err := g.systems[st].SearchKeywordsInfo(ctx, query.ParseQuery(req.Query), req.Offset+req.K)
+	resp, err := g.systems[st].Query(ctx, core.SearchRequest{Query: req.Query, K: req.Offset + req.K})
 	if err != nil {
 		return SearchOutcome{}, err
 	}
 	return SearchOutcome{
-		Results:          results,
-		Degraded:         info.Degraded,
-		DegradedKeywords: info.DegradedKeywords,
+		Results:          resp.Results,
+		Degraded:         resp.Info.Degraded,
+		DegradedKeywords: resp.Info.DegradedKeywords,
+		Timing:           resp.Timing,
 	}, nil
+}
+
+// statusWriter records the status code a handler writes so that
+// ServeHTTP can attach it to the request span and counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // ServeHTTP implements http.Handler. Every handler runs under panic
@@ -196,22 +247,57 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 // pointer for future requests but cannot take this request's corpus
 // away mid-flight. The pin is released when the handler returns; the
 // last release of a superseded generation marks it drained.
+// Each request is one trace: ServeHTTP roots an "http.request" span in
+// the request context, answers with an X-Trace-Id header, and records
+// the final status on the span, in the xontorank_http_requests_total
+// counter, and in a structured access-log line (obs default logger,
+// trace-correlated).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	g := s.pin()
 	defer g.release()
-	r = r.WithContext(context.WithValue(r.Context(), genCtxKey{}, g))
+	ctx := context.WithValue(r.Context(), genCtxKey{}, g)
+	ctx, root := s.tracer.StartRoot(ctx, "http.request")
+	root.SetAttr("method", r.Method)
+	root.SetAttr("path", r.URL.Path)
+	w.Header().Set("X-Trace-Id", root.TraceID())
+	sw := &statusWriter{ResponseWriter: w}
+	r = r.WithContext(ctx)
 	defer func() {
-		rec := recover()
-		if rec == nil {
-			return
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler { // deliberate abort, not a bug
+				root.SetAttr("aborted", true)
+				root.End()
+				panic(rec)
+			}
+			s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			writeError(sw, http.StatusInternalServerError, "internal server error")
 		}
-		if rec == http.ErrAbortHandler { // deliberate abort, not a bug
-			panic(rec)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
 		}
-		s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-		writeError(w, http.StatusInternalServerError, "internal server error")
+		root.SetAttr("status", sw.status)
+		root.End()
+		s.reg.Counter("xontorank_http_requests_total", "HTTP requests by path and status.",
+			obs.Label{Key: "path", Value: metricPath(r.URL.Path)},
+			obs.Label{Key: "status", Value: strconv.Itoa(sw.status)}).Inc()
+		obs.Default().InfoContext(ctx, "request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"duration_us", time.Since(start).Microseconds())
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
+}
+
+// metricPath bounds the path label's cardinality to the mounted
+// endpoints; anything else (typo probes, scanners) shares one bucket.
+func metricPath(p string) string {
+	switch p {
+	case "/search", "/fragment", "/concepts", "/ontoscore", "/stats",
+		"/metrics", "/healthz", "/readyz", "/admin/reload", "/debug/traces":
+		return p
+	default:
+		return "other"
+	}
 }
 
 // reqGen returns the generation ServeHTTP pinned for this request.
@@ -292,8 +378,21 @@ type SearchGroup struct {
 	Results []SearchResult `json:"results"`
 }
 
+// ResponseTiming is the /search timing breakdown: the pipeline stages
+// of the execution that produced the results (for cache hits, of the
+// original execution) plus the handler-measured total for this
+// request.
+type ResponseTiming struct {
+	core.Timing
+	HandlerUS int64 `json:"handler_us"`
+}
+
 // SearchResponse is the /search payload.
 type SearchResponse struct {
+	// V versions the wire format. Version 1 added info, timing,
+	// trace_id, and trace to the original fields; consumers should
+	// ignore fields they do not know.
+	V        int            `json:"v"`
 	Query    string         `json:"query"`
 	Strategy string         `json:"strategy"`
 	K        int            `json:"k"`
@@ -308,6 +407,19 @@ type SearchResponse struct {
 	// Groups is present when group=1: the same results grouped by the
 	// element path of their roots, in order of each group's best hit.
 	Groups []SearchGroup `json:"groups,omitempty"`
+	// Info reports how the query was answered (mirrors Degraded /
+	// DegradedKeywords in the query engine's own schema).
+	Info query.Info `json:"info"`
+	// Timing is the per-stage latency breakdown.
+	Timing ResponseTiming `json:"timing"`
+	// TraceID identifies this request's trace (also in the X-Trace-Id
+	// header).
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the request's span tree so far; present when
+	// debug=trace, which also bypasses the result cache so the full
+	// pipeline (keyword resolution, DIL build, OntoScore propagation)
+	// is on the tree.
+	Trace *obs.SpanTree `json:"trace,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +456,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	withFragments := r.URL.Query().Get("fragments") == "1"
 	withSnippets := r.URL.Query().Get("snippets") == "1"
 	withGroups := r.URL.Query().Get("group") == "1"
+	withTrace := r.URL.Query().Get("debug") == "trace"
 
+	start := time.Now()
 	g := s.reqGen(r)
 	sys := g.systems[strategy]
 	out, err := s.svc.Search(r.Context(), serving.Request{
@@ -353,6 +467,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		K:        k,
 		Offset:   offset,
 		Epoch:    g.num,
+		NoCache:  withTrace,
 	})
 	if err != nil {
 		writeServingError(w, err)
@@ -365,8 +480,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		results = results[offset:]
 	}
 	resp := SearchResponse{
+		V:     1,
 		Query: q, Strategy: strategy.String(), K: k, Results: []SearchResult{},
 		Degraded: out.Degraded, DegradedKeywords: out.DegradedKeywords,
+		Info:    query.Info{Degraded: out.Degraded, DegradedKeywords: out.DegradedKeywords},
+		Timing:  ResponseTiming{Timing: out.Timing, HandlerUS: time.Since(start).Microseconds()},
+		TraceID: obs.TraceID(r.Context()),
+	}
+	if withTrace {
+		if root := obs.SpanFromContext(r.Context()).Root(); root != nil {
+			t := root.Tree()
+			resp.Trace = &t
+		}
 	}
 	if out.Degraded {
 		w.Header().Set("Warning", `199 - "ontology path unavailable; results are IR-only"`)
@@ -563,14 +688,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// MetricsResponse is the /metrics payload: serving-layer counters plus
-// each strategy's bounded keyword-cache counters.
+// MetricsResponse is the legacy /metrics?format=json payload:
+// serving-layer counters plus each strategy's bounded keyword-cache
+// counters.
 type MetricsResponse struct {
 	Serving       serving.Metrics                 `json:"serving"`
 	KeywordCaches map[string]serving.CacheMetrics `json:"keywordCaches"`
 }
 
+// handleMetrics serves the obs registry in the Prometheus text
+// exposition format (counters, gauges, and the search latency
+// histogram). The pre-registry JSON shape survives under ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") != "json" {
+		s.reg.Handler().ServeHTTP(w, r)
+		return
+	}
 	g := s.reqGen(r)
 	resp := MetricsResponse{
 		Serving:       s.svc.Metrics(),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"sync"
 	"testing"
@@ -97,6 +98,24 @@ func (s *Server) systemByName(t *testing.T, name string) *core.System {
 	return nil
 }
 
+// stableBody re-renders a /search response with the per-request fields
+// (trace_id, handler_us) zeroed, so cached and computed responses can
+// be compared byte-for-byte.
+func stableBody(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("not a search response: %v (%q)", err, rec.Body.String())
+	}
+	resp.TraceID = ""
+	resp.Timing.HandlerUS = 0
+	out, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
 // A repeated identical /search is served from the cache: the hit
 // counter increments and the engine does not run again.
 func TestSearchEndpointCacheHit(t *testing.T) {
@@ -107,8 +126,11 @@ func TestSearchEndpointCacheHit(t *testing.T) {
 	if rec1.Code != http.StatusOK || rec2.Code != http.StatusOK {
 		t.Fatalf("status = %d, %d", rec1.Code, rec2.Code)
 	}
-	if rec1.Body.String() != rec2.Body.String() {
-		t.Fatal("cached response differs from computed response")
+	// Per-request fields (trace ID, handler timing) legitimately differ;
+	// everything else must be byte-identical across the cache hit.
+	if stableBody(t, rec1) != stableBody(t, rec2) {
+		t.Fatalf("cached response differs from computed response:\n%s\n%s",
+			stableBody(t, rec1), stableBody(t, rec2))
 	}
 	after := s.svc.Stats().Snapshot()
 	if got := after.CacheHits - before.CacheHits; got != 1 {
@@ -181,7 +203,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	s, _ := testServer(t)
 	get(t, s, `/search?q=asthma+medications&k=3`)
 	get(t, s, `/search?q=asthma+medications&k=3`)
-	rec := get(t, s, `/metrics`)
+	rec := get(t, s, `/metrics?format=json`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}

@@ -25,6 +25,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Request identifies one cacheable search. Query must already be
@@ -40,6 +42,12 @@ type Request struct {
 	// observe results computed over the old corpus. Zero for callers
 	// without generational data.
 	Epoch uint64
+	// NoCache bypasses the result cache (no read) and the singleflight
+	// group, forcing a fresh execution under admission control and the
+	// deadline. Traced (?debug=trace) requests set it so the full
+	// pipeline runs and the span tree is complete rather than a cache
+	// hit; the fresh result still fills the cache for later requests.
+	NoCache bool
 }
 
 // Key is the cache and singleflight identity of the request.
@@ -104,6 +112,7 @@ type Service[V any] struct {
 	adm       *Admission
 	stats     Stats
 	cacheable func(V) bool
+	latency   *obs.Histogram // nil until Instrument
 }
 
 // NewService builds a service around exec with the given bounds
@@ -131,18 +140,40 @@ func (s *Service[V]) SetCacheFilter(f func(V) bool) { s.cacheable = f }
 // execution is deduplicated across concurrent identical requests,
 // admitted through the semaphore (ErrOverloaded when shedding), run
 // under the configured deadline (context.DeadlineExceeded on expiry),
-// and cached on success.
+// and cached on success. The whole call is a "serving.search" span with
+// a "serving.cache" child for the fast-path lookup and a
+// "serving.exec" child around the uncached execution (flights detach
+// from the caller's cancellation but keep its values, so the execution
+// spans land in the first caller's trace).
 func (s *Service[V]) Search(ctx context.Context, req Request) (V, error) {
 	start := time.Now()
 	s.stats.requests.Add(1)
+	ctx, sp := obs.StartSpan(ctx, "serving.search")
+	sp.SetAttr("strategy", req.Strategy)
+	sp.SetAttr("query", req.Query)
+	defer sp.End()
 	key := req.Key()
-	if v, ok := s.cache.Get(key); ok {
+
+	_, csp := obs.StartSpan(ctx, "serving.cache")
+	var v V
+	var hit bool
+	if req.NoCache {
+		csp.SetAttr("bypass", true)
+	} else {
+		v, hit = s.cache.Get(key)
+	}
+	csp.SetAttr("hit", hit)
+	csp.End()
+	if hit {
 		s.stats.hits.Add(1)
-		s.stats.Observe(time.Since(start))
+		s.observe(time.Since(start))
+		sp.SetAttr("source", "cache")
 		return v, nil
 	}
 	s.stats.misses.Add(1)
-	v, err, shared := s.flights.Do(ctx, key, func(fctx context.Context) (V, error) {
+	sp.SetAttr("source", "exec")
+
+	run := func(fctx context.Context) (V, error) {
 		release, err := s.adm.Acquire(fctx)
 		if err != nil {
 			var zero V
@@ -151,20 +182,38 @@ func (s *Service[V]) Search(ctx context.Context, req Request) (V, error) {
 		defer release()
 		// A concurrent flight may have filled the cache between our
 		// lookup and this flight starting.
-		if v, ok := s.cache.Get(key); ok {
-			return v, nil
+		if !req.NoCache {
+			if v, ok := s.cache.Get(key); ok {
+				return v, nil
+			}
 		}
 		ectx, cancel := context.WithTimeout(fctx, s.cfg.Timeout)
 		defer cancel()
 		s.stats.executions.Add(1)
+		ectx, esp := obs.StartSpan(ectx, "serving.exec")
 		v, err := s.exec(ectx, req)
+		if err != nil {
+			esp.SetAttr("error", err.Error())
+		}
+		esp.End()
 		if err == nil && (s.cacheable == nil || s.cacheable(v)) {
 			s.cache.Set(key, v)
 		}
 		return v, err
-	})
+	}
+
+	var err error
+	var shared bool
+	if req.NoCache {
+		// No singleflight either: a coalesced traced request would ride a
+		// flight whose spans belong to another trace.
+		v, err = run(ctx)
+	} else {
+		v, err, shared = s.flights.Do(ctx, key, run)
+	}
 	if shared {
 		s.stats.shared.Add(1)
+		sp.SetAttr("coalesced", true)
 	}
 	switch {
 	case err == nil:
@@ -177,8 +226,43 @@ func (s *Service[V]) Search(ctx context.Context, req Request) (V, error) {
 	default:
 		s.stats.errors.Add(1)
 	}
-	s.stats.Observe(time.Since(start))
+	s.observe(time.Since(start))
 	return v, err
+}
+
+// observe records one request latency in the sliding-window stats and,
+// when Instrument installed one, the registry histogram.
+func (s *Service[V]) observe(d time.Duration) {
+	s.stats.Observe(d)
+	if s.latency != nil {
+		s.latency.Observe(d.Seconds())
+	}
+}
+
+// Instrument bridges the service's counters into an obs.Registry under
+// the given metric-name prefix (e.g. "xontorank_search") and installs a
+// latency histogram that Search observes. Like SetCacheFilter, call it
+// before serving traffic; it is not synchronized with in-flight
+// requests.
+func (s *Service[V]) Instrument(reg *obs.Registry, prefix string) {
+	cf := func(name, help string, load func() int64) {
+		reg.CounterFunc(prefix+name, help, func() float64 { return float64(load()) })
+	}
+	cf("_requests_total", "Search requests received by the serving layer.", s.stats.requests.Load)
+	cf("_cache_hits_total", "Requests answered from the result cache.", s.stats.hits.Load)
+	cf("_cache_misses_total", "Requests missing the result cache.", s.stats.misses.Load)
+	cf("_coalesced_total", "Requests coalesced onto another request's execution.", s.stats.shared.Load)
+	cf("_shed_total", "Requests shed by admission control (HTTP 429).", s.stats.shed.Load)
+	cf("_timeouts_total", "Requests that exceeded the execution deadline.", s.stats.timeouts.Load)
+	cf("_canceled_total", "Requests abandoned by the caller.", s.stats.canceled.Load)
+	cf("_errors_total", "Requests failed for other reasons.", s.stats.errors.Load)
+	cf("_executions_total", "Uncached executions of the search pipeline.", s.stats.executions.Load)
+	reg.GaugeFunc(prefix+"_inflight", "Executions currently holding an admission slot.",
+		func() float64 { return float64(s.adm.InFlight()) })
+	reg.GaugeFunc(prefix+"_cache_entries", "Entries resident in the result cache.",
+		func() float64 { return float64(s.cache.Len()) })
+	s.latency = reg.Histogram(prefix+"_latency_seconds",
+		"End-to-end serving latency of Search, including cache hits.", nil)
 }
 
 // Admit exposes the admission semaphore for handlers that want

@@ -42,6 +42,17 @@ type (
 	Result = core.Result
 	// KeywordMatch explains one keyword's supporting node.
 	KeywordMatch = core.KeywordMatch
+	// SearchRequest is the unified request of System.Query: every
+	// former Search* method variant is one of its option combinations
+	// (Ranked for the RDIL algorithm, Explain for snippets, Trace for
+	// the span tree). Search and SearchContext remain as shims.
+	SearchRequest = core.SearchRequest
+	// SearchResponse is what System.Query produces: resolved results,
+	// degradation info, a per-stage timing breakdown, and (on request)
+	// the trace.
+	SearchResponse = core.SearchResponse
+	// Timing is the per-stage latency breakdown in microseconds.
+	Timing = core.Timing
 )
 
 // Strategy selects how OntoScores are computed.
