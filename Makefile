@@ -9,6 +9,10 @@
 #                      check is enforced by each package's TestMain)
 #   make fuzz-smoke  - ~10s of coverage-guided fuzzing per target
 #   make bench       - serving-layer benchmarks (cache hit/miss, parallel load)
+#   make bench-smoke - short DIL-merge benchmark pass plus the merge
+#                      differential suite (fuzz seeds run in -run mode)
+#   make bench-merge-report - regenerate BENCH_MERGE.json (full-length
+#                      merge benchmarks; several minutes)
 #   make obs         - observability lane: vet + race tests for internal/obs,
 #                      and the API guard (removed Search* variants must not
 #                      reappear on the public facade)
@@ -29,12 +33,15 @@ FUZZ_TARGETS = \
 	./internal/xmltree:FuzzTokenize \
 	./internal/xmltree:FuzzParse \
 	./internal/cda:FuzzExtract \
-	./internal/ontology:FuzzLoad
+	./internal/ontology:FuzzLoad \
+	./internal/dil:FuzzDecodeCompact \
+	./internal/query:FuzzMergeEquivalence
 FUZZ_TIME ?= 10s
 
-.PHONY: check test race vet faults fuzz-smoke bench obs api-guard trace-demo
+.PHONY: check test race vet faults fuzz-smoke bench bench-smoke \
+	bench-merge-report obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke obs
+check: test vet race faults fuzz-smoke bench-smoke obs
 
 test:
 	$(GO) build ./...
@@ -65,6 +72,17 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -run xxx -bench 'Serving' -benchmem .
+
+# Quick confidence pass over the fast merge: the differential suite
+# (including the fuzz seed corpus, replayed deterministically in -run
+# mode) and one short benchmark iteration of every merge shape.
+bench-smoke:
+	$(GO) test ./internal/query -run 'TestMerge|TestEngineLegacyMerge|FuzzMergeEquivalence' -count=1
+	$(GO) test ./internal/dil -run 'TestCompact|TestCursor|TestDecodeCompact|FuzzDecodeCompact' -count=1
+	$(GO) test . -run '^$$' -bench 'DILMerge' -benchtime 10x
+
+bench-merge-report:
+	BENCH_MERGE=1 $(GO) test . -run TestWriteMergeBenchReport -count=1 -v
 
 obs: api-guard
 	$(GO) vet ./internal/obs/...

@@ -1,0 +1,155 @@
+package xontorank
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dil"
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+// Merge microbenchmarks over synthetic posting lists with controlled
+// shape: the reference sort-merge (legacy), the loser-tree fast path
+// over plain lists (fast), and the fast path over block-compressed
+// lists with skip entries (compact). The skewed shapes — one rare
+// keyword against common ones — are where document zig-zag skipping
+// pays; uniform shapes bound the loser tree's overhead when every
+// posting must be touched anyway.
+
+// mergeWorkload builds k Dewey-sorted lists over a shared document
+// range. Skewed workloads make list 0 rare (few documents) and the
+// rest dense; uniform workloads give every list the same density.
+func mergeWorkload(k int, skewed bool) []dil.List {
+	const (
+		docs      = 5000
+		perDoc    = 4
+		rareDocs  = 20
+		uniDocs   = 500
+		uniPerDoc = 10
+	)
+	rng := rand.New(rand.NewSource(int64(k)*2 + int64(b2i(skewed))))
+	build := func(docSet []int32, perDoc int) dil.List {
+		l := make(dil.List, 0, len(docSet)*perDoc)
+		for _, doc := range docSet {
+			for j := 0; j < perDoc; j++ {
+				l = append(l, dil.Posting{
+					ID:    xmltree.Dewey{doc, int32(j % 3), int32(rng.Intn(4))},
+					Score: float64(1+rng.Intn(1000)) / 1000,
+				})
+			}
+		}
+		l.Sort()
+		return l
+	}
+	seq := func(n, limit int) []int32 {
+		set := make([]int32, n)
+		for i := range set {
+			set[i] = int32(i * (limit / n))
+		}
+		return set
+	}
+	lists := make([]dil.List, k)
+	if skewed {
+		lists[0] = build(seq(rareDocs, docs), perDoc)
+		for i := 1; i < k; i++ {
+			lists[i] = build(seq(docs, docs), perDoc)
+		}
+	} else {
+		for i := range lists {
+			lists[i] = build(seq(uniDocs, uniDocs), uniPerDoc)
+		}
+	}
+	return lists
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func compactAll(lists []dil.List) []*dil.CompactList {
+	cls := make([]*dil.CompactList, len(lists))
+	for i, l := range lists {
+		cls[i] = dil.Compact(l)
+	}
+	return cls
+}
+
+// BenchmarkDILMerge is the acceptance benchmark: skewed conjunctions
+// (a rare keyword and common ones) must run >= 2x faster on the fast
+// path than on the legacy merge.
+func BenchmarkDILMerge(b *testing.B) {
+	for _, k := range []int{2, 3, 5} {
+		for _, shape := range []string{"skewed", "uniform"} {
+			lists := mergeWorkload(k, shape == "skewed")
+			cls := compactAll(lists)
+			want := len(query.RunListsLegacy(lists, 0.5))
+			run := func(name string, merge func() []query.Result) {
+				b.Run(fmt.Sprintf("keywords=%d/%s/%s", k, shape, name), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if len(merge()) != want {
+							b.Fatalf("result count changed (want %d)", want)
+						}
+					}
+				})
+			}
+			run("legacy", func() []query.Result { return query.RunListsLegacy(lists, 0.5) })
+			run("fast", func() []query.Result { return query.RunLists(lists, 0.5) })
+			run("compact", func() []query.Result { return query.RunCompactLists(cls, 0.5) })
+		}
+	}
+}
+
+// disjointWorkload builds two lists on disjoint documents (odd vs
+// even): the merge emits nothing, isolating its own allocation
+// behavior from result construction.
+func disjointWorkload() []dil.List {
+	mk := func(base int32) dil.List {
+		l := make(dil.List, 0, 4096)
+		for doc := int32(0); doc < 2048; doc++ {
+			l = append(l,
+				dil.Posting{ID: xmltree.Dewey{base + 2*doc, 0, 1}, Score: 0.5},
+				dil.Posting{ID: xmltree.Dewey{base + 2*doc, 1}, Score: 0.25})
+		}
+		return l
+	}
+	return []dil.List{mk(0), mk(1)}
+}
+
+// BenchmarkDILMergeAllocs isolates steady-state allocation: with
+// disjoint documents the merge emits nothing, so after the pools warm
+// up the fast path must allocate nothing at all. (With results, the
+// only allocations left are the result values handed to the caller.)
+func BenchmarkDILMergeAllocs(b *testing.B) {
+	disjoint := disjointWorkload()
+	cls := compactAll(disjoint)
+	b.Run("disjoint/fast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(query.RunLists(disjoint, 0.5)) != 0 {
+				b.Fatal("unexpected results")
+			}
+		}
+	})
+	b.Run("disjoint/compact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(query.RunCompactLists(cls, 0.5)) != 0 {
+				b.Fatal("unexpected results")
+			}
+		}
+	})
+	b.Run("disjoint/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(query.RunListsLegacy(disjoint, 0.5)) != 0 {
+				b.Fatal("unexpected results")
+			}
+		}
+	})
+}

@@ -129,6 +129,8 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 		"how long a tripped breaker stays open before probing the ontology path again")
 	fs.IntVar(&a.ccfg.Query.Retry.MaxAttempts, "retry-max", resilience.DefaultMaxAttempts,
 		"ontology-path build attempts (first call included) before a keyword degrades")
+	fs.BoolVar(&a.ccfg.Query.LegacyMerge, "legacy-merge", false,
+		"route DIL merges through the reference implementation instead of the loser-tree fast path (XONTORANK_MERGE=legacy does the same)")
 	fs.Parse(args)
 	return a
 }

@@ -1,0 +1,302 @@
+package dil
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// randomList builds a sorted list of n postings over docs documents
+// with random ragged Dewey identifiers, including duplicates.
+func randomList(rng *rand.Rand, n, docs, maxDepth int) List {
+	l := make(List, 0, n)
+	for i := 0; i < n; i++ {
+		depth := 1 + rng.Intn(maxDepth)
+		id := make(xmltree.Dewey, depth)
+		id[0] = int32(rng.Intn(docs))
+		for j := 1; j < depth; j++ {
+			id[j] = int32(rng.Intn(4))
+		}
+		l = append(l, Posting{ID: id, Score: rng.Float64()})
+		if rng.Intn(8) == 0 { // duplicate identifier, distinct score
+			l = append(l, Posting{ID: id.Clone(), Score: rng.Float64()})
+		}
+	}
+	l.Sort()
+	return l
+}
+
+func listsEqual(a, b List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].ID.Equal(b[i].ID) || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// Acceptance: Compact is lossless — List() reproduces the original
+// postings exactly, across sizes spanning multiple blocks.
+func TestCompactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, BlockSize - 1, BlockSize, BlockSize + 1, 3*BlockSize + 17} {
+		l := randomList(rng, n, 20, 8)
+		c := Compact(l)
+		if c.Len() != len(l) {
+			t.Fatalf("n=%d: Len = %d, want %d", n, c.Len(), len(l))
+		}
+		if want := (len(l) + BlockSize - 1) / BlockSize; c.Blocks() != want {
+			t.Fatalf("n=%d: Blocks = %d, want %d", n, c.Blocks(), want)
+		}
+		if !listsEqual(c.List(), l) {
+			t.Fatalf("n=%d: List() does not reproduce the original", n)
+		}
+	}
+}
+
+// Acceptance: the block encoding round-trips bit-identically and
+// matches the arithmetic EncodedSize; DecodeList reads both formats.
+func TestCompactEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := randomList(rng, 2*BlockSize+9, 12, 6)
+	c := Compact(l)
+	enc := c.AppendBinary(nil)
+	if len(enc) != c.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, len(enc) = %d", c.EncodedSize(), len(enc))
+	}
+	if !IsCompactEncoding(enc) {
+		t.Fatal("IsCompactEncoding(compact) = false")
+	}
+	if IsCompactEncoding(l.AppendBinary(nil)) {
+		t.Fatal("IsCompactEncoding(flat) = true")
+	}
+	dec, err := DecodeCompact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.AppendBinary(nil), enc) {
+		t.Fatal("re-encode differs")
+	}
+	if !reflect.DeepEqual(dec, c) {
+		t.Fatal("decoded CompactList differs structurally (skip entries not rebuilt?)")
+	}
+	viaList, err := DecodeList(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !listsEqual(viaList, l) {
+		t.Fatal("DecodeList(compact) differs from original list")
+	}
+	// The compact encoding should not be larger than the flat one on
+	// clustered Dewey data (delta coding is the point).
+	if flat := l.EncodedSize(); len(enc) > flat {
+		t.Errorf("compact encoding %dB larger than flat %dB", len(enc), flat)
+	}
+}
+
+// Acceptance: corrupt compact encodings are rejected, not mis-decoded.
+func TestDecodeCompactRejects(t *testing.T) {
+	l := List{
+		{ID: xmltree.Dewey{0, 1}, Score: 0.5},
+		{ID: xmltree.Dewey{0, 2}, Score: 0.25},
+	}
+	enc := Compact(l).AppendBinary(nil)
+	cases := map[string][]byte{
+		"truncated":   enc[:len(enc)-3],
+		"trailing":    append(append([]byte{}, enc...), 0),
+		"wrong magic": append([]byte{0x05}, enc...),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeCompact(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Non-canonical front coding: posting 1 re-encoded with prefix 1
+	// ("0.2" shares "0" with "0.1") replaced by prefix 0 + full suffix.
+	var buf []byte
+	buf = appendUvarints(buf, compactMagic, 2, BlockSize)
+	buf = appendUvarints(buf, 0, 2, 0, 1)
+	buf = appendScore(buf, 0.5)
+	buf = appendUvarints(buf, 0, 2, 0, 2) // canonical would be prefix 1, suffix {2}
+	buf = appendScore(buf, 0.25)
+	if _, err := DecodeCompact(buf); err == nil {
+		t.Error("non-canonical front coding decoded without error")
+	}
+	// Empty identifier.
+	buf = appendUvarints(nil, compactMagic, 1, BlockSize, 0, 0)
+	buf = appendScore(buf, 1)
+	if _, err := DecodeCompact(buf); err == nil {
+		t.Error("empty identifier decoded without error")
+	}
+}
+
+func appendUvarints(buf []byte, vs ...uint64) []byte {
+	for _, v := range vs {
+		buf = appendUvarint(buf, v)
+	}
+	return buf
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func appendScore(buf []byte, s float64) []byte {
+	bits := math.Float64bits(s)
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(bits>>(8*i)))
+	}
+	return buf
+}
+
+// Acceptance: cursors stream both representations identically, and
+// SeekDoc lands on the first posting of the target document — or the
+// next document when the target is absent — while skipping blocks.
+func TestCursorSeekDoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Sparse docs so some SeekDoc targets are absent.
+	l := make(List, 0, 6*BlockSize)
+	for doc := int32(0); doc < 200; doc += 2 {
+		for j := 0; j < 4; j++ {
+			l = append(l, Posting{
+				ID:    xmltree.Dewey{doc, int32(j), int32(rng.Intn(3))},
+				Score: rng.Float64(),
+			})
+		}
+	}
+	l.Sort()
+	c := Compact(l)
+
+	for _, mode := range []string{"compact", "plain"} {
+		newCursor := func() Cursor {
+			if mode == "compact" {
+				return NewCursor(c)
+			}
+			return NewListCursor(l)
+		}
+		// Full sequential walk reproduces the list.
+		cu := newCursor()
+		for i := 0; cu.Valid(); i++ {
+			if !cu.Cur().Equal(l[i].ID) || cu.Score() != l[i].Score {
+				t.Fatalf("%s: posting %d = (%v, %v), want (%v, %v)",
+					mode, i, cu.Cur(), cu.Score(), l[i].ID, l[i].Score)
+			}
+			cu.Advance()
+		}
+
+		for _, target := range []int32{0, 1, 2, 77, 100, 198, 199, 500} {
+			cu := newCursor()
+			ok := cu.SeekDoc(target)
+			// Reference: linear scan.
+			want := -1
+			for i, p := range l {
+				if p.ID[0] >= target {
+					want = i
+					break
+				}
+			}
+			if (want >= 0) != ok {
+				t.Fatalf("%s: SeekDoc(%d) ok = %v, want %v", mode, target, ok, want >= 0)
+			}
+			if ok && !cu.Cur().Equal(l[want].ID) {
+				t.Fatalf("%s: SeekDoc(%d) landed on %v, want %v", mode, target, cu.Cur(), l[want].ID)
+			}
+		}
+
+		// Seeks never move backwards.
+		cu = newCursor()
+		cu.SeekDoc(100)
+		at := cu.Cur().Clone()
+		cu.SeekDoc(10)
+		if !cu.Cur().Equal(at) {
+			t.Fatalf("%s: SeekDoc moved backwards to %v", mode, cu.Cur())
+		}
+	}
+
+	// A long forward jump on the compact cursor must bypass whole
+	// blocks without decoding them.
+	cu := NewCursor(c)
+	if !cu.SeekDoc(198) {
+		t.Fatal("SeekDoc(198) exhausted")
+	}
+	if cu.BlocksSkipped() == 0 {
+		t.Errorf("BlocksSkipped = 0 after jumping %d blocks of postings", c.Blocks())
+	}
+}
+
+// Regression: a document whose postings straddle a block boundary. The
+// boundary block's firstDoc equals the seek target, so a seek that
+// jumps to the last block with firstDoc <= target would overshoot the
+// run's first postings at the tail of the previous block.
+func TestCursorSeekDocRunStraddlesBlock(t *testing.T) {
+	l := make(List, 0, 2*BlockSize)
+	// Docs 0..BlockSize-3 with one posting each, then doc 1000 with
+	// postings from index BlockSize-2 through the next block.
+	for doc := int32(0); doc < int32(BlockSize)-2; doc++ {
+		l = append(l, Posting{ID: xmltree.Dewey{doc, 0}, Score: 1})
+	}
+	for j := int32(0); j < 10; j++ {
+		l = append(l, Posting{ID: xmltree.Dewey{1000, j}, Score: 1})
+	}
+	c := Compact(l)
+	if c.Blocks() < 2 {
+		t.Fatalf("want >= 2 blocks, got %d", c.Blocks())
+	}
+	cu := NewCursor(c)
+	if !cu.SeekDoc(1000) {
+		t.Fatal("SeekDoc(1000) exhausted")
+	}
+	if want := (xmltree.Dewey{1000, 0}); !cu.Cur().Equal(want) {
+		t.Fatalf("SeekDoc(1000) landed on %v, want %v", cu.Cur(), want)
+	}
+}
+
+// Acceptance (satellite): Index.Set never mutates the caller's slice —
+// an unsorted input is copied before sorting.
+func TestIndexSetDoesNotSortCallersSlice(t *testing.T) {
+	caller := List{
+		{ID: xmltree.Dewey{5}, Score: 1},
+		{ID: xmltree.Dewey{1}, Score: 2},
+		{ID: xmltree.Dewey{3}, Score: 3},
+	}
+	snapshot := append(List(nil), caller...)
+	ix := NewIndex()
+	ix.Set("kw", caller)
+	for i := range caller {
+		if !caller[i].ID.Equal(snapshot[i].ID) || caller[i].Score != snapshot[i].Score {
+			t.Fatalf("caller's slice mutated at %d: %v", i, caller[i])
+		}
+	}
+	if got := ix.List("kw"); !got.IsSorted() {
+		t.Fatal("stored list not sorted")
+	}
+	if ix.Compact("kw") == nil {
+		t.Fatal("Set did not build the compact form")
+	}
+	if got := ix.Compact("kw").List(); !got.IsSorted() || len(got) != 3 {
+		t.Fatalf("compact form wrong: %v", got)
+	}
+}
+
+// Acceptance (satellite): the arithmetic EncodedSize matches the
+// materialized encoding length exactly.
+func TestEncodedSizeArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 7, 300} {
+		l := randomList(rng, n, 1000000, 10) // large doc IDs exercise multi-byte varints
+		if got, want := l.EncodedSize(), len(l.AppendBinary(nil)); got != want {
+			t.Fatalf("n=%d: EncodedSize = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package dil
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/xmltree"
@@ -14,6 +15,7 @@ func FuzzDecodeList(f *testing.F) {
 		{ID: xmltree.Dewey{2}, Score: 1},
 	}
 	f.Add(sample.AppendBinary(nil))
+	f.Add(Compact(sample).AppendBinary(nil))
 	f.Add([]byte{0x01})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 	f.Fuzz(func(t *testing.T, buf []byte) {
@@ -21,9 +23,41 @@ func FuzzDecodeList(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Valid decodes must re-encode bit-identically.
-		if got := l.AppendBinary(nil); !bytes.Equal(got, buf) {
+		// Valid decodes must re-encode bit-identically, through the
+		// format the input was in.
+		var got []byte
+		if IsCompactEncoding(buf) {
+			got = Compact(l).AppendBinary(nil)
+		} else {
+			got = l.AppendBinary(nil)
+		}
+		if !bytes.Equal(got, buf) {
 			t.Fatalf("re-encode mismatch: %x vs %x", got, buf)
+		}
+	})
+}
+
+func FuzzDecodeCompact(f *testing.F) {
+	sample := List{
+		{ID: xmltree.Dewey{0, 1}, Score: 0.5},
+		{ID: xmltree.Dewey{0, 1, 3}, Score: 0.25},
+		{ID: xmltree.Dewey{2}, Score: 1},
+	}
+	f.Add(Compact(sample).AppendBinary(nil))
+	f.Add(Compact(nil).AppendBinary(nil))
+	f.Add(binary.AppendUvarint(nil, compactMagic)) // magic alone
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		c, err := DecodeCompact(buf)
+		if err != nil {
+			return
+		}
+		// Accepted inputs re-encode bit-identically (canonical front
+		// coding is enforced) and round-trip through the flat form.
+		if got := c.AppendBinary(nil); !bytes.Equal(got, buf) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, buf)
+		}
+		if got := Compact(c.List()).AppendBinary(nil); !bytes.Equal(got, buf) {
+			t.Fatalf("List round-trip mismatch: %x vs %x", got, buf)
 		}
 	})
 }

@@ -24,6 +24,11 @@ import (
 //	P!gen      current generation number (decimal)
 //	P@<g>/<kw> the list of <kw> in generation <g>
 //	P/<kw>     legacy flat layout (pre-generation saves), still readable
+//
+// List values are written in the compact block encoding (delta-coded
+// Dewey components, CompactList.AppendBinary); DecodeList reads both
+// that and the legacy flat encoding, so indexes saved by older builds
+// keep loading.
 const (
 	// FPSave fires once per list during SaveTo (armed by tests to
 	// simulate a crash midway through a save).
@@ -92,7 +97,7 @@ func (ix *Index) SaveTo(s *store.Store, prefix string) error {
 			return fmt.Errorf("dil: saving %q: %w", kw, err)
 		}
 		key := stage + "/" + kw
-		if err := s.Put(key, ix.lists[kw].AppendBinary(nil)); err != nil {
+		if err := s.Put(key, ix.compact[kw].AppendBinary(nil)); err != nil {
 			cleanup()
 			return fmt.Errorf("dil: saving %q: %w", kw, err)
 		}

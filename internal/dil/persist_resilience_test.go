@@ -161,6 +161,41 @@ func TestSaveToSwapsAndDeletesOldGeneration(t *testing.T) {
 	}
 }
 
+// SaveTo persists lists in the compact block encoding, and what it
+// writes loads back identically (the on-disk round-trip through the
+// block format is lossless).
+func TestSaveToWritesCompactEncoding(t *testing.T) {
+	kv := openStore(t)
+	ix := testIndex(t, "")
+	if err := ix.SaveTo(kv, "dil/x"); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, k := range kv.Keys() {
+		if !strings.HasPrefix(k, "dil/x@") {
+			continue
+		}
+		val, err := kv.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsCompactEncoding(val) {
+			t.Errorf("key %s not in the compact block encoding", k)
+		}
+		checked++
+	}
+	if checked != len(ix.Keywords()) {
+		t.Fatalf("checked %d keys, want %d", checked, len(ix.Keywords()))
+	}
+	got, err := LoadFrom(kv, "dil/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indexEqual(got, ix) {
+		t.Fatal("compact-encoded save did not round-trip")
+	}
+}
+
 // Pre-generation stores (lists saved flat under prefix/<kw>) must still
 // load.
 func TestLoadFromLegacyFlatLayout(t *testing.T) {

@@ -38,8 +38,20 @@ func (l List) IsSorted() bool {
 	return sort.SliceIsSorted(l, func(i, j int) bool { return l[i].ID.Compare(l[j].ID) < 0 })
 }
 
-// EncodedSize returns the size in bytes of the list's binary encoding.
-func (l List) EncodedSize() int { return len(l.AppendBinary(nil)) }
+// EncodedSize returns the size in bytes of the list's flat binary
+// encoding (AppendBinary), computed arithmetically — no buffer is
+// materialized.
+func (l List) EncodedSize() int {
+	n := uvarintLen(uint64(len(l)))
+	for _, p := range l {
+		n += uvarintLen(uint64(len(p.ID)))
+		for _, c := range p.ID {
+			n += uvarintLen(uint64(c))
+		}
+		n += 8
+	}
+	return n
+}
 
 // AppendBinary appends a compact binary encoding of the list: a uvarint
 // count followed by (Dewey, float64 bits) pairs.
@@ -54,9 +66,21 @@ func (l List) AppendBinary(buf []byte) []byte {
 	return buf
 }
 
-// DecodeList decodes a list produced by AppendBinary. Non-canonical
-// varint encodings are rejected (see xmltree.CanonicalUvarint).
+// DecodeList decodes a list from either binary format: the legacy flat
+// encoding of AppendBinary, or the compact block encoding of
+// CompactList.AppendBinary (distinguished by its magic header, which
+// exceeds the flat format's length bound). Non-canonical varint
+// encodings are rejected (see xmltree.CanonicalUvarint), as are
+// postings with empty Dewey identifiers — no tree node has one, and
+// the query-phase merge requires at least the document component.
 func DecodeList(buf []byte) (List, error) {
+	if IsCompactEncoding(buf) {
+		c, err := DecodeCompact(buf)
+		if err != nil {
+			return nil, err
+		}
+		return c.List(), nil
+	}
 	n, sz, err := xmltree.CanonicalUvarint(buf)
 	if err != nil {
 		return nil, fmt.Errorf("dil: list header: %w", err)
@@ -70,6 +94,9 @@ func DecodeList(buf []byte) (List, error) {
 		id, used, err := xmltree.DecodeDewey(buf[off:])
 		if err != nil {
 			return nil, fmt.Errorf("dil: posting %d: %w", i, err)
+		}
+		if len(id) == 0 {
+			return nil, fmt.Errorf("dil: posting %d has empty identifier", i)
 		}
 		off += used
 		if off+8 > len(buf) {
@@ -86,30 +113,46 @@ func DecodeList(buf []byte) (List, error) {
 }
 
 // Index is the in-memory XOnto-DIL index: one Dewey-ordered posting
-// list per keyword.
+// list per keyword, held both flat (the RDIL ranked-access path random
+// accesses postings) and compact (the DIL merge streams block cursors
+// and skips with the block entries).
 type Index struct {
-	lists map[string]List
+	lists   map[string]List
+	compact map[string]*CompactList
 }
 
 // NewIndex returns an empty index.
-func NewIndex() *Index { return &Index{lists: make(map[string]List)} }
+func NewIndex() *Index {
+	return &Index{
+		lists:   make(map[string]List),
+		compact: make(map[string]*CompactList),
+	}
+}
 
-// Set installs (replacing) the list for a keyword. The list is sorted
-// if it is not already.
+// Set installs (replacing) the list for a keyword and builds its
+// compact block form. If the list is not already in Dewey order it is
+// copied and the copy sorted, so the caller's slice is never mutated.
 func (ix *Index) Set(keyword string, l List) {
 	if !l.IsSorted() {
+		l = append(List(nil), l...)
 		l.Sort()
 	}
 	if len(l) == 0 {
 		delete(ix.lists, keyword)
+		delete(ix.compact, keyword)
 		return
 	}
 	ix.lists[keyword] = l
+	ix.compact[keyword] = Compact(l)
 }
 
 // List returns the posting list for a keyword (nil if absent). The
 // returned slice is shared; callers must not modify it.
 func (ix *Index) List(keyword string) List { return ix.lists[keyword] }
+
+// Compact returns the block-structured form of a keyword's list (nil
+// if absent). It is immutable and safe to share.
+func (ix *Index) Compact(keyword string) *CompactList { return ix.compact[keyword] }
 
 // Has reports whether the keyword has a list.
 func (ix *Index) Has(keyword string) bool {

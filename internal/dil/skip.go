@@ -1,0 +1,181 @@
+package dil
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Cursor is a forward iterator over one posting list, the unit the
+// query phase's merge operates on. It works over either representation:
+// a CompactList (sequential front-code decoding with block skip
+// entries) or a plain List (index walking with binary-searched seeks),
+// so a merge can mix prebuilt compact lists with on-demand built flat
+// ones.
+//
+// A fresh cursor is positioned on the first posting (Valid reports
+// whether one exists). Cur returns a view of the current identifier
+// that is only valid until the next Advance/SeekDoc/Reset: the compact
+// decoder reuses one scratch buffer. Callers that retain an identifier
+// must copy it.
+type Cursor struct {
+	// exactly one of cl, pl is set
+	cl *CompactList
+	pl List
+
+	i   int           // current posting index
+	off int           // comps offset of the next suffix to decode (compact)
+	cur xmltree.Dewey // scratch holding the current identifier (compact)
+
+	blocksSkipped int64
+}
+
+// NewCursor positions a cursor on the first posting of a compact list.
+func NewCursor(c *CompactList) Cursor {
+	cur := Cursor{cl: c}
+	cur.Reset()
+	return cur
+}
+
+// NewListCursor positions a cursor on the first posting of a plain
+// Dewey-ordered list.
+func NewListCursor(l List) Cursor {
+	return Cursor{pl: l}
+}
+
+// SetCompact repoints the cursor at a compact list and rewinds,
+// keeping the scratch buffer — pooled mergers reuse cursors across
+// runs without reallocating.
+func (cu *Cursor) SetCompact(c *CompactList) {
+	cu.cl, cu.pl = c, nil
+	cu.Reset()
+}
+
+// SetList repoints the cursor at a plain list and rewinds.
+func (cu *Cursor) SetList(l List) {
+	cu.cl, cu.pl = nil, l
+	cu.Reset()
+}
+
+// Reset rewinds to the first posting, keeping the scratch buffer.
+func (cu *Cursor) Reset() {
+	cu.i, cu.off, cu.blocksSkipped = 0, 0, 0
+	cu.cur = cu.cur[:0]
+	if cu.cl != nil && cu.cl.n > 0 {
+		cu.decode()
+	}
+}
+
+// decode materializes posting cu.i into the scratch buffer (compact
+// mode). cu.off must already point at the posting's suffix.
+func (cu *Cursor) decode() {
+	c := cu.cl
+	pl, sl := int(c.prefixLens[cu.i]), int(c.suffixLens[cu.i])
+	cu.cur = append(cu.cur[:pl], c.comps[cu.off:cu.off+sl]...)
+	cu.off += sl
+}
+
+// Valid reports whether the cursor is positioned on a posting.
+func (cu *Cursor) Valid() bool {
+	if cu.cl != nil {
+		return cu.i < cu.cl.n
+	}
+	return cu.i < len(cu.pl)
+}
+
+// Len returns the total posting count of the underlying list.
+func (cu *Cursor) Len() int {
+	if cu.cl != nil {
+		return cu.cl.n
+	}
+	return len(cu.pl)
+}
+
+// Cur returns the current posting's Dewey identifier. The returned
+// slice is a view; it is invalidated by the next cursor movement.
+func (cu *Cursor) Cur() xmltree.Dewey {
+	if cu.cl != nil {
+		return cu.cur
+	}
+	return cu.pl[cu.i].ID
+}
+
+// Score returns the current posting's node score.
+func (cu *Cursor) Score() float64 {
+	if cu.cl != nil {
+		return cu.cl.scores[cu.i]
+	}
+	return cu.pl[cu.i].Score
+}
+
+// DocID returns the current posting's document component.
+func (cu *Cursor) DocID() int32 {
+	if cu.cl != nil {
+		return cu.cur[0]
+	}
+	return cu.pl[cu.i].ID[0]
+}
+
+// Advance moves to the next posting; false means the list is drained.
+func (cu *Cursor) Advance() bool {
+	cu.i++
+	if !cu.Valid() {
+		return false
+	}
+	if cu.cl != nil {
+		if cu.i%BlockSize == 0 {
+			// Entering the next block sequentially: realign to its
+			// restart point (off already equals it, but be explicit so
+			// seeks and advances share one invariant).
+			cu.off = cu.cl.blocks[cu.i/BlockSize].compOff
+		}
+		cu.decode()
+	}
+	return true
+}
+
+// SeekDoc advances to the first posting whose document ID is >= doc,
+// using block skip entries (compact) or binary search (plain) to jump
+// without decoding the postings in between. It never moves backwards.
+// False means no such posting exists (the cursor is left drained).
+func (cu *Cursor) SeekDoc(doc int32) bool {
+	if !cu.Valid() {
+		return false
+	}
+	if cu.DocID() >= doc {
+		return true
+	}
+	if cu.cl == nil {
+		// First posting at index > cu.i with DocID >= doc.
+		rest := cu.pl[cu.i+1:]
+		j := sort.Search(len(rest), func(j int) bool { return rest[j].ID[0] >= doc })
+		cu.i += 1 + j
+		return cu.Valid()
+	}
+	c := cu.cl
+	// Jump to the last block whose first document is strictly < doc.
+	// The first posting with document >= doc cannot lie before that
+	// block, and a block whose first document equals doc may be the
+	// continuation of a run that began at the tail of the block before
+	// it — jumping there would overshoot postings of the target
+	// document itself.
+	cb := cu.i / BlockSize
+	rest := c.blocks[cb+1:]
+	j := sort.Search(len(rest), func(j int) bool { return rest[j].firstDoc >= doc })
+	if b := cb + j; b > cb {
+		cu.blocksSkipped += int64(b - cb - 1)
+		cu.i = b * BlockSize
+		cu.off = c.blocks[b].compOff
+		cu.decode()
+	}
+	for cu.cur[0] < doc {
+		if !cu.Advance() {
+			return false
+		}
+	}
+	return true
+}
+
+// BlocksSkipped reports how many whole blocks SeekDoc bypassed without
+// decoding since the cursor was created or Reset.
+func (cu *Cursor) BlocksSkipped() int64 { return cu.blocksSkipped }

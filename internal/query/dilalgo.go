@@ -77,9 +77,29 @@ func (m *merger) next() (p dil.Posting, kw int, ok bool) {
 // element per equation (1), scored per equations (2)-(4), unranked.
 // It is the core merge step Engine.Search builds on, exported for
 // alternative front-ends (e.g. the query-expansion baseline) that
-// assemble their own posting lists.
+// assemble their own posting lists. By default it runs the fast
+// loser-tree merge (merge.go); XONTORANK_MERGE=legacy routes it
+// through the reference implementation below.
 func RunLists(lists []dil.List, decay float64) []Result {
+	if legacyMergeEnv {
+		return runDIL(lists, decay)
+	}
+	res, _ := runFast(lists, nil, decay)
+	return res
+}
+
+// RunListsLegacy always runs the reference sort-merge implementation —
+// the baseline the differential tests and merge benchmarks compare the
+// fast path against.
+func RunListsLegacy(lists []dil.List, decay float64) []Result {
 	return runDIL(lists, decay)
+}
+
+// RunCompactLists merges block-structured lists directly, decoding
+// lazily and skipping via block entries.
+func RunCompactLists(cls []*dil.CompactList, decay float64) []Result {
+	res, _ := runFast(nil, cls, decay)
+	return res
 }
 
 // runDIL merges the per-keyword lists and returns every result element

@@ -19,6 +19,14 @@ type ListSource interface {
 	List(keyword string) dil.List
 }
 
+// CompactSource is the optional fast-merge face of a ListSource: a
+// source that can also hand out the block-structured form of a
+// keyword's list, letting the DIL merge skip whole blocks without
+// decoding (merge.go). *dil.Index satisfies it.
+type CompactSource interface {
+	Compact(keyword string) *dil.CompactList
+}
+
 // KeywordBuilder builds a DIL on demand; *dil.Builder satisfies it.
 type KeywordBuilder interface {
 	BuildKeyword(keyword string) dil.List
@@ -106,6 +114,10 @@ type Params struct {
 	// Breaker tunes the circuit breaker guarding the ontology path
 	// (zero value: resilience defaults).
 	Breaker resilience.BreakerConfig
+	// LegacyMerge routes the DIL merge through the reference
+	// implementation (runDIL) instead of the loser-tree fast path —
+	// the same escape hatch as XONTORANK_MERGE=legacy, per engine.
+	LegacyMerge bool
 }
 
 // DefaultKeywordCacheSize is the on-demand keyword cache bound used
@@ -158,46 +170,59 @@ func (e *Engine) CacheMetrics() serving.CacheMetrics { return e.cache.Metrics() 
 // /readyz and /metrics).
 func (e *Engine) Breaker() *resilience.Breaker { return e.breaker }
 
+// resolved is one keyword's resolved posting list. The compact form is
+// set only when the list came from a CompactSource (the prebuilt
+// index); on-demand built lists merge through plain cursors.
+type resolved struct {
+	list    dil.List
+	compact *dil.CompactList
+}
+
 // list resolves one keyword's posting list, building and caching it on
 // demand. Concurrent requests for the same missing keyword build once.
 // The degraded return is true when the list was built IR-only because
 // the ontology path failed or the breaker was open (see degrade.go).
 // Each resolution is recorded as a "query.keyword" span whose source
 // attribute says how it was answered (index, cache, built).
-func (e *Engine) list(ctx context.Context, kw string) (dil.List, bool, error) {
+func (e *Engine) list(ctx context.Context, kw string) (resolved, bool, error) {
 	ctx, sp := obs.StartSpan(ctx, "query.keyword")
 	sp.SetAttr("keyword", kw)
 	defer sp.End()
-	l, degraded, err := e.listInner(ctx, sp, kw)
+	r, degraded, err := e.listInner(ctx, sp, kw)
 	if degraded {
 		sp.SetAttr("degraded", true)
 	}
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	} else {
-		sp.SetAttr("postings", len(l))
+		sp.SetAttr("postings", len(r.list))
 	}
-	return l, degraded, err
+	return r, degraded, err
 }
 
-func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (dil.List, bool, error) {
+func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (resolved, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return resolved{}, false, err
 	}
 	if l := e.source.List(kw); l != nil {
 		sp.SetAttr("source", "index")
-		return l, false, nil
+		r := resolved{list: l}
+		if cs, ok := e.source.(CompactSource); ok {
+			r.compact = cs.Compact(kw)
+		}
+		return r, false, nil
 	}
 	if e.builder == nil {
 		sp.SetAttr("source", "none")
-		return nil, false, nil
+		return resolved{}, false, nil
 	}
 	if fb, ok := e.builder.(FallibleKeywordBuilder); ok {
-		return e.listResilient(ctx, sp, kw, fb)
+		l, degraded, err := e.listResilient(ctx, sp, kw, fb)
+		return resolved{list: l}, degraded, err
 	}
 	if l, ok := e.cache.Get(kw); ok {
 		sp.SetAttr("source", "cache")
-		return l, false, nil
+		return resolved{list: l}, false, nil
 	}
 	sp.SetAttr("source", "built")
 	l, err, _ := e.flights.Do(ctx, kw, func(fctx context.Context) (dil.List, error) {
@@ -208,7 +233,7 @@ func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (dil.Li
 		e.cache.Set(kw, l)
 		return l, nil
 	})
-	return l, false, err
+	return resolved{list: l}, false, err
 }
 
 // resolve gathers every keyword's posting list, one goroutine per
@@ -218,11 +243,11 @@ func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (dil.Li
 // the keywords whose lists degraded to IR-only scoring. The whole stage
 // is one "query.resolve_keywords" span with a "query.keyword" child per
 // keyword.
-func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]dil.List, []string, error) {
+func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]resolved, []string, error) {
 	ctx, sp := obs.StartSpan(ctx, "query.resolve_keywords")
 	sp.SetAttr("keywords", len(keywords))
 	defer sp.End()
-	lists := make([]dil.List, len(keywords))
+	lists := make([]resolved, len(keywords))
 	degraded := make([]bool, len(keywords))
 	if len(keywords) == 1 {
 		l, deg, err := e.list(ctx, string(keywords[0]))
@@ -316,15 +341,18 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	sp.SetAttr("ranked", req.Ranked)
 	defer sp.End()
 
-	lists, degraded, err := e.resolve(ctx, req.Keywords)
+	res, degraded, err := e.resolve(ctx, req.Keywords)
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{Info: Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}}
-	for _, l := range lists {
-		if len(l) == 0 {
+	lists := make([]dil.List, len(res))
+	compact := make([]*dil.CompactList, len(res))
+	for i, r := range res {
+		if len(r.list) == 0 {
 			return resp, nil
 		}
+		lists[i], compact[i] = r.list, r.compact
 	}
 
 	_, msp := obs.StartSpan(ctx, "query.dil_merge")
@@ -332,7 +360,17 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	if req.Ranked {
 		resp.Results = RunRanked(lists, e.params.Decay, k)
 	} else {
-		results := runDIL(lists, e.params.Decay)
+		var results []Result
+		if e.params.LegacyMerge || legacyMergeEnv {
+			msp.SetAttr("merge", "legacy")
+			results = runDIL(lists, e.params.Decay)
+		} else {
+			msp.SetAttr("merge", "fast")
+			var mc MergeCounters
+			results, mc = runFast(lists, compact, e.params.Decay)
+			msp.SetAttr("postings", mc.Postings)
+			msp.SetAttr("blocks_skipped", mc.BlocksSkipped)
+		}
 		sort.Slice(results, func(i, j int) bool {
 			if results[i].Score != results[j].Score {
 				return results[i].Score > results[j].Score

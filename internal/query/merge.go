@@ -1,0 +1,375 @@
+package query
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dil"
+	"repro/internal/xmltree"
+)
+
+// The fast DIL merge. Same contract as runDIL (dilalgo.go), different
+// machinery, built for the cache-miss hot path (DESIGN.md §12):
+//
+//   - The next posting in global Dewey order comes from a loser tree
+//     over per-list cursors: O(log k) comparisons per posting instead
+//     of merger.next()'s O(k) scan.
+//   - Conjunctive semantics are exploited at document granularity.
+//     Every result lies inside a single document (a result's root path
+//     begins with a document component), so a document missing even
+//     one keyword can produce nothing. Between documents the merge
+//     zig-zags: each cursor seeks to the largest current document ID
+//     among all cursors, repeatedly, until they agree — and compact
+//     lists jump whole blocks via their skip entries without decoding
+//     the postings in between. The rarest keyword therefore drives the
+//     pace, and the common keywords' postings in documents it never
+//     touches are never even decoded.
+//   - The XRANK stack reuses everything: entries (with their per
+//     keyword score and match buffers) stay allocated across pushes,
+//     pops, and — via a sync.Pool of whole merge states — across
+//     merges. Steady-state merging allocates only the results it
+//     returns.
+//
+// runDIL remains the reference implementation; TestMergeEquivalence
+// and FuzzMergeEquivalence in merge_test.go hold the two to identical
+// output, and the XONTORANK_MERGE=legacy environment variable (or
+// Params.LegacyMerge) routes production traffic back to it.
+
+// legacyMergeEnv routes every merge through the reference runDIL when
+// the process was started with XONTORANK_MERGE=legacy — the escape
+// hatch if the fast path ever misbehaves in the field.
+var legacyMergeEnv = os.Getenv("XONTORANK_MERGE") == "legacy"
+
+// MergeCounters are the process-wide fast-merge totals, exported as
+// query_merge_postings_total and query_merge_blocks_skipped_total by
+// the server's /metrics registry.
+type MergeCounters struct {
+	// Postings is how many postings the fast merge consumed.
+	Postings int64
+	// BlocksSkipped is how many whole posting-list blocks document
+	// zig-zag seeks bypassed without decoding.
+	BlocksSkipped int64
+}
+
+var mergeTotals struct {
+	postings      atomic.Int64
+	blocksSkipped atomic.Int64
+}
+
+// MergeCountersSnapshot reads the process-wide fast-merge counters.
+func MergeCountersSnapshot() MergeCounters {
+	return MergeCounters{
+		Postings:      mergeTotals.postings.Load(),
+		BlocksSkipped: mergeTotals.blocksSkipped.Load(),
+	}
+}
+
+// fastEntry is one stack element of the pooled merge. Unlike
+// stackEntry, its score/match buffers (including each Match's Dewey
+// slice) are owned by the entry and reused across pushes; identifiers
+// are copied in and out rather than aliased.
+type fastEntry struct {
+	component    int32
+	childCovered bool
+	scores       []float64
+	matches      []Match
+}
+
+// mergeRun is the reusable state of one fast merge: cursors, the loser
+// tree, and the XRANK stack. Obtained from mergePool; holds no
+// references to caller data after release.
+type mergeRun struct {
+	k       int
+	cursors []dil.Cursor
+	tree    []int // loser tree internal nodes 1..k-1: the loser's cursor index
+	win     []int // scratch winners used while (re)building the tree
+	winner  int   // cursor index holding the smallest current posting
+	stack   []fastEntry
+	depth   int // live prefix of stack; entries above keep their buffers
+	path    xmltree.Dewey
+	results []Result
+
+	postings int64
+}
+
+var mergePool = sync.Pool{New: func() any { return &mergeRun{} }}
+
+// reset prepares the state for a k-way merge, retaining every buffer.
+func (m *mergeRun) reset(k int) {
+	m.k = k
+	// Grow the cursor pool without discarding existing cursors — their
+	// decode scratch buffers are the point of pooling.
+	for cap(m.cursors) < k {
+		m.cursors = append(m.cursors[:cap(m.cursors)], dil.Cursor{})
+	}
+	m.cursors = m.cursors[:k]
+	if cap(m.tree) < k {
+		m.tree = make([]int, k)
+	}
+	m.tree = m.tree[:k]
+	m.depth = 0
+	m.path = m.path[:0]
+	m.results = nil // handed to the caller; never reused
+	m.postings = 0
+}
+
+// less orders cursors by current posting: Dewey order, exhausted
+// cursors last, ties by cursor index (the order lists were given in,
+// matching the legacy merger's scan).
+func (m *mergeRun) less(a, b int) bool {
+	ca, cb := &m.cursors[a], &m.cursors[b]
+	av, bv := ca.Valid(), cb.Valid()
+	if !av || !bv {
+		return av
+	}
+	if c := ca.Cur().Compare(cb.Cur()); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// build (re)builds the loser tree bottom-up in O(k): internal nodes
+// 1..k-1 with leaves at virtual positions k..2k-1 (leaf j holds cursor
+// j-k), so parent(x) = x/2 for every node. Each internal node stores
+// the loser of its subtree's final; the overall winner lands in
+// m.winner.
+func (m *mergeRun) build() {
+	k := m.k
+	if k == 1 {
+		m.winner = 0
+		return
+	}
+	if cap(m.win) < 2*k {
+		m.win = make([]int, 2*k)
+	}
+	m.win = m.win[:2*k]
+	for node := 2*k - 1; node >= k; node-- {
+		m.win[node] = node - k
+	}
+	for node := k - 1; node >= 1; node-- {
+		w, l := m.win[2*node], m.win[2*node+1]
+		if m.less(l, w) {
+			w, l = l, w
+		}
+		m.tree[node] = l
+		m.win[node] = w
+	}
+	m.winner = m.win[1]
+}
+
+// adjust replays the winner's path to the root after its cursor moved:
+// O(log k) comparisons against the stored losers.
+func (m *mergeRun) adjust() {
+	if m.k == 1 {
+		return
+	}
+	s := m.winner
+	for t := (s + m.k) / 2; t >= 1; t /= 2 {
+		if m.less(m.tree[t], s) {
+			s, m.tree[t] = m.tree[t], s
+		}
+	}
+	m.winner = s
+}
+
+// align zig-zag-seeks every cursor to the smallest document all lists
+// still share: each round seeks laggards to the largest current
+// document ID, which may raise the target again, until a fixed point.
+// False means some list is exhausted — under conjunctive semantics no
+// further document can produce a result. On success the loser tree is
+// rebuilt over the moved cursors.
+func (m *mergeRun) align() bool {
+	target := int32(-1)
+	for i := range m.cursors {
+		cu := &m.cursors[i]
+		if !cu.Valid() {
+			return false
+		}
+		if d := cu.DocID(); d > target {
+			target = d
+		}
+	}
+	for {
+		raised := false
+		for i := range m.cursors {
+			cu := &m.cursors[i]
+			if cu.DocID() < target {
+				if !cu.SeekDoc(target) {
+					return false
+				}
+			}
+			if d := cu.DocID(); d > target {
+				target, raised = d, true
+			}
+		}
+		if !raised {
+			break
+		}
+	}
+	m.build()
+	return true
+}
+
+// push opens a stack entry for one more path component, reusing the
+// entry (and its buffers) left behind by an earlier pop.
+func (m *mergeRun) push(comp int32) {
+	if m.depth == len(m.stack) {
+		m.stack = append(m.stack, fastEntry{})
+	}
+	e := &m.stack[m.depth]
+	m.depth++
+	e.component = comp
+	e.childCovered = false
+	if len(e.scores) != m.k {
+		e.scores = make([]float64, m.k)
+		e.matches = make([]Match, m.k)
+	} else {
+		for i := range e.scores {
+			e.scores[i] = 0
+			e.matches[i].Score = 0
+			e.matches[i].ID = e.matches[i].ID[:0]
+		}
+	}
+	m.path = append(m.path, comp)
+}
+
+// pop finalizes the deepest entry exactly as runDIL's pop does: emit
+// if it is a most-specific cover, then propagate decayed maxima to the
+// parent — copying identifiers into the parent's own buffers.
+func (m *mergeRun) pop(decay float64) {
+	e := &m.stack[m.depth-1]
+	all := true
+	for _, s := range e.scores {
+		if s <= 0 {
+			all = false
+			break
+		}
+	}
+	if all && !e.childCovered {
+		r := Result{
+			Root:       m.path.Clone(),
+			PerKeyword: append([]float64(nil), e.scores...),
+			Matches:    make([]Match, m.k),
+		}
+		for i, em := range e.matches {
+			r.Matches[i] = Match{ID: em.ID.Clone(), Score: em.Score}
+		}
+		for _, s := range e.scores {
+			r.Score += s
+		}
+		m.results = append(m.results, r)
+	}
+	if m.depth > 1 {
+		parent := &m.stack[m.depth-2]
+		if all || e.childCovered {
+			parent.childCovered = true
+		}
+		for i := range e.scores {
+			if p := e.scores[i] * decay; p > parent.scores[i] {
+				parent.scores[i] = p
+				parent.matches[i].Score = e.matches[i].Score
+				parent.matches[i].ID = append(parent.matches[i].ID[:0], e.matches[i].ID...)
+			}
+		}
+	}
+	m.depth--
+	m.path = m.path[:len(m.path)-1]
+}
+
+// apply feeds one posting to the stack (runDIL's loop body).
+func (m *mergeRun) apply(id xmltree.Dewey, score float64, kw int, decay float64) {
+	lcp := 0
+	for lcp < len(m.path) && lcp < len(id) && m.path[lcp] == id[lcp] {
+		lcp++
+	}
+	for m.depth > lcp {
+		m.pop(decay)
+	}
+	for len(m.path) < len(id) {
+		m.push(id[len(m.path)])
+	}
+	e := &m.stack[m.depth-1]
+	if score > e.scores[kw] {
+		e.scores[kw] = score
+		e.matches[kw].Score = score
+		e.matches[kw].ID = append(e.matches[kw].ID[:0], id...)
+	}
+	m.postings++
+}
+
+// run drives the merge: align on a shared document, drain its postings
+// through the loser tree into the stack, flush, repeat.
+func (m *mergeRun) run(decay float64) {
+	for m.align() {
+		doc := m.cursors[m.winner].DocID()
+		for {
+			cu := &m.cursors[m.winner]
+			if !cu.Valid() || cu.DocID() != doc {
+				break
+			}
+			m.apply(cu.Cur(), cu.Score(), m.winner, decay)
+			cu.Advance()
+			m.adjust()
+		}
+		// The document's subtree is complete; emit and clear the stack
+		// before seeking to the next shared document.
+		for m.depth > 0 {
+			m.pop(decay)
+		}
+	}
+}
+
+// runFast merges per-keyword lists with the loser-tree/zig-zag
+// machinery. compact[i], when non-nil, supplies list i in block form
+// (its cursor decodes lazily and skips via block entries); otherwise a
+// plain cursor over lists[i] is used, with binary-searched seeks.
+// Returns the unranked results plus this merge's posting and
+// block-skip counts; the process-wide totals are bumped as well.
+func runFast(lists []dil.List, compact []*dil.CompactList, decay float64) ([]Result, MergeCounters) {
+	k := len(lists)
+	if k == 0 {
+		k = len(compact)
+	}
+	if k == 0 {
+		return nil, MergeCounters{}
+	}
+	isCompact := func(i int) bool {
+		return compact != nil && i < len(compact) && compact[i] != nil
+	}
+	for i := 0; i < k; i++ {
+		n := 0
+		if isCompact(i) {
+			n = compact[i].Len()
+		} else {
+			n = len(lists[i])
+		}
+		if n == 0 {
+			return nil, MergeCounters{} // conjunctive semantics
+		}
+	}
+	m := mergePool.Get().(*mergeRun)
+	m.reset(k)
+	for i := 0; i < k; i++ {
+		if isCompact(i) {
+			m.cursors[i].SetCompact(compact[i])
+		} else {
+			m.cursors[i].SetList(lists[i])
+		}
+	}
+	m.run(decay)
+	var c MergeCounters
+	c.Postings = m.postings
+	for i := range m.cursors {
+		c.BlocksSkipped += m.cursors[i].BlocksSkipped()
+	}
+	results := m.results
+	m.results = nil
+	for i := range m.cursors {
+		m.cursors[i].SetList(nil) // drop references to caller data
+	}
+	mergePool.Put(m)
+	mergeTotals.postings.Add(c.Postings)
+	mergeTotals.blocksSkipped.Add(c.BlocksSkipped)
+	return results, c
+}

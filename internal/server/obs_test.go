@@ -63,6 +63,16 @@ func TestSearchDebugTrace(t *testing.T) {
 			t.Errorf("span %q duration %dus, want >= 1", name, sp.DurationUS)
 		}
 	}
+	// The merge span records which implementation ran and, on the fast
+	// path, how much work the loser-tree merge actually did.
+	if sp := resp.Trace.Find("query.dil_merge"); sp != nil {
+		if sp.Attrs["merge"] != "fast" {
+			t.Errorf(`merge span attr merge = %v, want "fast"`, sp.Attrs["merge"])
+		}
+		if _, ok := sp.Attrs["postings"]; !ok {
+			t.Error("merge span missing postings attribute")
+		}
+	}
 }
 
 // Every /search response — traced or not — carries an X-Trace-Id
@@ -216,6 +226,8 @@ func TestMetricsPrometheus(t *testing.T) {
 		"# TYPE xontorank_generation gauge",
 		"xontorank_http_requests_total",
 		`path="/search"`,
+		"# TYPE query_merge_postings_total counter",
+		"# TYPE query_merge_blocks_skipped_total counter",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)

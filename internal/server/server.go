@@ -133,6 +133,12 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	s.reg.GaugeFunc("xontorank_corpus_documents",
 		"Documents in the active corpus.",
 		func() float64 { return float64(s.gen.Load().corpus.Len()) })
+	s.reg.CounterFunc("query_merge_postings_total",
+		"Postings consumed by the fast DIL merge.",
+		func() float64 { return float64(query.MergeCountersSnapshot().Postings) })
+	s.reg.CounterFunc("query_merge_blocks_skipped_total",
+		"Whole posting-list blocks bypassed by document zig-zag seeks.",
+		func() float64 { return float64(query.MergeCountersSnapshot().BlocksSkipped) })
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/fragment", s.handleFragment)
 	s.mux.HandleFunc("/concepts", s.handleConcepts)
