@@ -13,6 +13,11 @@
 #                      differential suite (fuzz seeds run in -run mode)
 #   make bench-merge-report - regenerate BENCH_MERGE.json (full-length
 #                      merge benchmarks; several minutes)
+#   make shard       - sharded-serving lane: vet + the scatter-gather
+#                      suite under -race (equivalence, fault-injected
+#                      slow/failed shards, concurrent reload races)
+#   make bench-shard-report - regenerate BENCH_SHARD.json (shard count
+#                      vs p50/p99 latency under parallel load)
 #   make obs         - observability lane: vet + race tests for internal/obs,
 #                      and the API guard (removed Search* variants must not
 #                      reappear on the public facade)
@@ -24,7 +29,7 @@ GO ?= go
 # Packages with failpoint-instrumented code or fault-injection tests.
 FAULT_PKGS = ./internal/faultinject/... ./internal/resilience/... \
 	./internal/store/... ./internal/dil/... ./internal/query/... \
-	./internal/ingest/... ./internal/server/...
+	./internal/ingest/... ./internal/server/... ./internal/shard/...
 
 # Native fuzz targets, as package:Target pairs (each gets FUZZ_TIME).
 FUZZ_TARGETS = \
@@ -39,9 +44,9 @@ FUZZ_TARGETS = \
 FUZZ_TIME ?= 10s
 
 .PHONY: check test race vet faults fuzz-smoke bench bench-smoke \
-	bench-merge-report obs api-guard trace-demo
+	bench-merge-report shard bench-shard-report obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke bench-smoke obs
+check: test vet race faults fuzz-smoke bench-smoke shard obs
 
 test:
 	$(GO) build ./...
@@ -57,7 +62,8 @@ vet:
 
 race:
 	$(GO) test -race ./internal/serving/... ./internal/query/... \
-		./internal/ingest/... ./internal/server/... ./cmd/xontoserve/...
+		./internal/ingest/... ./internal/server/... ./internal/shard/... \
+		./cmd/xontoserve/...
 
 faults:
 	$(GO) vet $(FAULT_PKGS)
@@ -83,6 +89,18 @@ bench-smoke:
 
 bench-merge-report:
 	BENCH_MERGE=1 $(GO) test . -run TestWriteMergeBenchReport -count=1 -v
+
+# The sharded-serving lane: scatter-gather equivalence against the
+# single-node systems, fault-injected slow/failed/breaker-open shards,
+# and the rolling-reload races — all under the race detector (the
+# pin/swap/release generation lifecycle is the point).
+shard:
+	$(GO) vet ./internal/shard/...
+	$(GO) test -race -count=1 ./internal/shard/...
+	$(GO) test -race -count=1 ./internal/server -run 'TestSharded|TestDegradeWarning|TestReadyzShardQuorum'
+
+bench-shard-report:
+	BENCH_SHARD=1 $(GO) test . -run TestWriteShardBenchReport -count=1 -v
 
 obs: api-guard
 	$(GO) vet ./internal/obs/...

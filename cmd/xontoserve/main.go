@@ -60,6 +60,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/serving"
+	"repro/internal/shard"
 	"repro/internal/xmltree"
 )
 
@@ -89,6 +90,10 @@ type app struct {
 	debug   bool
 	jsonLog bool
 
+	shards       int
+	shardTimeout time.Duration
+	shardQuorum  int
+
 	scfg          serving.Config
 	ccfg          core.Config
 	shutdownGrace time.Duration
@@ -115,6 +120,10 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 	fs.BoolVar(&a.validate, "validate", true, "validate CDA structure during ingest (failures are quarantined)")
 	fs.Int64Var(&a.maxFileSize, "max-file-size", lim.MaxBytes, "per-document size guard in bytes (0 disables)")
 	fs.IntVar(&a.maxDepth, "max-depth", lim.MaxDepth, "per-document element nesting guard (0 disables)")
+	fs.IntVar(&a.shards, "shards", 1, "document shards served by scatter-gather (1 = single-node)")
+	fs.DurationVar(&a.shardTimeout, "shard-timeout", shard.DefaultTimeout,
+		"per-shard query budget; a slower shard is skipped and the answer marked partial")
+	fs.IntVar(&a.shardQuorum, "shard-quorum", 0, "shards that must be ready for /readyz (0 = majority)")
 	fs.BoolVar(&a.debug, "debug", false, "expose net/http/pprof under /debug/pprof/ (admin use only)")
 	fs.BoolVar(&a.jsonLog, "json-log", false, "emit structured JSON access/degradation logs on stderr (trace-correlated)")
 	fs.IntVar(&a.scfg.CacheCapacity, "cache-size", a.scfg.CacheCapacity, "query result cache capacity (entries)")
@@ -225,6 +234,14 @@ func (a *app) run(ctx context.Context) error {
 	h := server.NewServing(corpus, coll, a.ccfg, a.scfg)
 	h.SetLogf(a.logf)
 	h.SetLastIngest(report)
+	if a.shards > 1 {
+		c := h.EnableSharding(shard.Config{
+			Shards:  a.shards,
+			Timeout: a.shardTimeout,
+			Quorum:  a.shardQuorum,
+		})
+		a.logf("sharding: %s", c.Summary())
+	}
 	if a.debug {
 		h.EnableDebug()
 		a.logf("debug: /debug/pprof/ enabled")

@@ -59,6 +59,23 @@ type Timing struct {
 	TotalUS int64 `json:"total_us"`
 }
 
+// ShardStatus reports how one shard participated in a scatter-gather
+// query (internal/shard). A single-node system never populates these.
+type ShardStatus struct {
+	// Shard is the shard's index in the cluster.
+	Shard int `json:"shard"`
+	// Generation is the shard's serving generation at query time.
+	Generation uint64 `json:"generation"`
+	// State is "ok", "error", "timeout", or "open" (breaker rejected).
+	State string `json:"state"`
+	// Error carries the failure detail for non-ok states.
+	Error string `json:"error,omitempty"`
+	// Results is the number of results the shard contributed.
+	Results int `json:"results"`
+	// ElapsedUS is the shard-local query latency in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
 // SearchResponse is everything one Query produces.
 type SearchResponse struct {
 	// Results are ranked by descending score, resolved against the
@@ -77,6 +94,12 @@ type SearchResponse struct {
 	// Snippets holds one text preview per result (parallel to
 	// Results); only set when SearchRequest.Explain was true.
 	Snippets []string
+	// Shards reports per-shard participation when the query was served
+	// by a sharded cluster (nil on a single-node system).
+	Shards []ShardStatus
+	// Partial is true when at least one shard failed to answer and the
+	// response was assembled from the shards that did.
+	Partial bool
 }
 
 // Query is the single search entry point of the system: it parses (if

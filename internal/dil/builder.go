@@ -105,9 +105,73 @@ type Builder struct {
 	byRef     map[xmltree.OntoRef][]ir.DocKey // reference -> element keys
 	ranks     elemrank.Ranks                  // raw ranks; nil unless Params.ElemRank set
 	ranksMax  float64                         // normalization factor for ranks
+	calib     Calibrator                      // nil unless this builder is a corpus partition
 
 	fullTextTime time.Duration
 	buildErr     error
+}
+
+// Calibrator supplies corpus-global score-calibration facts to a
+// builder that indexes only a partition of the corpus (one shard of a
+// sharded deployment). The paper's Section III normalizes each
+// keyword's IR scores by the maximum over the keyword's containing set;
+// on a partition that maximum is a global property, so shards exchange
+// it through the calibrator (internal/shard implements one over all
+// in-process shards). Combined with an ir.Stats overlay on the text
+// index, a partitioned builder produces node scores bit-identical to
+// the single-node builder.
+type Calibrator interface {
+	// KeywordNorm returns the corpus-global normalization divisor for
+	// one keyword: the maximum raw BM25 score over the keyword's global
+	// containing set (see Builder.RawTextMax). A return <= 0 means "no
+	// global information; fall back to the local maximum".
+	KeywordNorm(keyword string) float64
+}
+
+// SetCalibrator installs the cross-partition score calibrator. Call it
+// while the builder is off-line (before it serves queries); it is not
+// synchronized with concurrent builds.
+func (b *Builder) SetCalibrator(c Calibrator) { b.calib = c }
+
+// LocalTextStats snapshots the partition-local statistics of the
+// full-text stage (stage 1), for merging into corpus-global statistics
+// with ir.MergeStats.
+func (b *Builder) LocalTextStats() ir.Stats { return b.textIx.LocalStats() }
+
+// SetGlobalTextStats overlays corpus-global collection statistics on
+// the full-text index, so BM25 on this partition scores with global
+// IDF and average length. Off-line only, like SetCalibrator.
+func (b *Builder) SetGlobalTextStats(s ir.Stats) { b.textIx.SetGlobalStats(s) }
+
+// RanksMax reports the builder's ElemRank normalization factor (0 when
+// ElemRank is not configured).
+func (b *Builder) RanksMax() float64 { return b.ranksMax }
+
+// SetRanksMax overrides the ElemRank normalization factor with a
+// corpus-global maximum (partitioned deployments take the max across
+// shards). Off-line only.
+func (b *Builder) SetRanksMax(max float64) {
+	if max > 0 {
+		b.ranksMax = max
+	}
+}
+
+// RawTextMax computes the maximum raw (unnormalized) BM25 score over
+// this partition's containing set for one keyword — the partition's
+// contribution to the global normalization divisor a Calibrator
+// aggregates. Returns 0 when no local element contains the keyword.
+func (b *Builder) RawTextMax(keyword string) float64 {
+	terms := xmltree.Tokenize(keyword)
+	if len(terms) == 0 {
+		return 0
+	}
+	max := 0.0
+	for _, key := range b.posIx.PhraseDocs(terms) {
+		if s := b.textIx.BM25(b.params.Onto.BM25, key, terms); s > max {
+			max = s
+		}
+	}
+	return max
 }
 
 // Err reports a construction-time failure (ElemRank misconfiguration);
@@ -288,6 +352,14 @@ func (b *Builder) textScores(keyword string) map[ir.DocKey]float64 {
 		raw[key] = s
 		if s > max {
 			max = s
+		}
+	}
+	// On a corpus partition the normalization divisor is the GLOBAL
+	// maximum over the keyword's containing set, exchanged through the
+	// calibrator; the local maximum is only a lower bound on it.
+	if b.calib != nil {
+		if g := b.calib.KeywordNorm(keyword); g > max {
+			max = g
 		}
 	}
 	if max == 0 {

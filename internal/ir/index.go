@@ -27,6 +27,11 @@ type Index struct {
 	postings map[string][]Posting
 	docLen   map[DocKey]int
 	totalLen int64
+
+	// global, when non-nil, overlays collection-wide statistics on a
+	// partition-local index so BM25-family scores match the unsharded
+	// corpus exactly (see SetGlobalStats in stats.go).
+	global *Stats
 }
 
 // NewIndex returns an empty index.
@@ -72,11 +77,23 @@ func (ix *Index) Add(doc DocKey, tokens []string) {
 	ix.totalLen += int64(len(tokens))
 }
 
-// N is the number of indexed documents.
-func (ix *Index) N() int { return len(ix.docLen) }
+// N is the number of indexed documents (collection-global when a stats
+// overlay is installed).
+func (ix *Index) N() int {
+	if ix.global != nil {
+		return ix.global.N
+	}
+	return len(ix.docLen)
+}
 
-// DF is the document frequency of a term.
-func (ix *Index) DF(term string) int { return len(ix.postings[term]) }
+// DF is the document frequency of a term (collection-global when a
+// stats overlay is installed).
+func (ix *Index) DF(term string) int {
+	if ix.global != nil {
+		return ix.global.DF[term]
+	}
+	return len(ix.postings[term])
+}
 
 // TF returns the term frequency of term in doc (0 if absent).
 func (ix *Index) TF(term string, doc DocKey) int {
@@ -91,8 +108,15 @@ func (ix *Index) TF(term string, doc DocKey) int {
 // DocLen returns the token length of a document.
 func (ix *Index) DocLen(doc DocKey) int { return ix.docLen[doc] }
 
-// AvgDocLen is the mean document length of the collection.
+// AvgDocLen is the mean document length of the collection
+// (collection-global when a stats overlay is installed).
 func (ix *Index) AvgDocLen() float64 {
+	if ix.global != nil {
+		if ix.global.N == 0 {
+			return 0
+		}
+		return float64(ix.global.TotalLen) / float64(ix.global.N)
+	}
 	if len(ix.docLen) == 0 {
 		return 0
 	}

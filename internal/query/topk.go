@@ -1,0 +1,107 @@
+package query
+
+// Top-k gather merge: the loser-tree machinery of the fast DIL merge
+// (merge.go), generalized over the element type so it can also merge
+// per-shard ranked result lists in scatter-gather serving
+// (internal/shard). Each input list must already be sorted under less;
+// the output is the sorted prefix of the merged sequence, truncated to
+// limit. Ties across lists resolve to the lower list index, so a
+// deterministic per-list order yields a deterministic merge.
+
+// mergeTree is a loser tree over the heads of m sorted lists: internal
+// nodes 1..m-1 store the loser of their subtree, leaves sit at virtual
+// positions m..2m-1 (leaf j is list j-m), so parent(x) = x/2
+// everywhere — the same layout as mergeRun.build/adjust.
+type mergeTree[T any] struct {
+	lists [][]T
+	pos   []int
+	tree  []int
+	win   int
+	less  func(a, b T) bool
+}
+
+// valid reports whether list i still has a current element.
+func (t *mergeTree[T]) valid(i int) bool { return t.pos[i] < len(t.lists[i]) }
+
+// before orders list heads: exhausted lists last, ties by list index.
+func (t *mergeTree[T]) before(a, b int) bool {
+	av, bv := t.valid(a), t.valid(b)
+	if !av || !bv {
+		return av
+	}
+	if t.less(t.lists[a][t.pos[a]], t.lists[b][t.pos[b]]) {
+		return true
+	}
+	if t.less(t.lists[b][t.pos[b]], t.lists[a][t.pos[a]]) {
+		return false
+	}
+	return a < b
+}
+
+// build constructs the tree bottom-up in O(m).
+func (t *mergeTree[T]) build() {
+	m := len(t.lists)
+	if m == 1 {
+		t.win = 0
+		return
+	}
+	t.tree = make([]int, m)
+	win := make([]int, 2*m)
+	for node := 2*m - 1; node >= m; node-- {
+		win[node] = node - m
+	}
+	for node := m - 1; node >= 1; node-- {
+		w, l := win[2*node], win[2*node+1]
+		if t.before(l, w) {
+			w, l = l, w
+		}
+		t.tree[node] = l
+		win[node] = w
+	}
+	t.win = win[1]
+}
+
+// adjust replays the winner's leaf-to-root path after its head moved.
+func (t *mergeTree[T]) adjust() {
+	m := len(t.lists)
+	if m == 1 {
+		return
+	}
+	s := t.win
+	for n := (s + m) / 2; n >= 1; n /= 2 {
+		if t.before(t.tree[n], s) {
+			s, t.tree[n] = t.tree[n], s
+		}
+	}
+	t.win = s
+}
+
+// MergeSortedFunc merges individually sorted lists into one sorted
+// list of at most limit elements (limit <= 0 means no bound). It is
+// O(n log m) for n emitted elements over m lists, with one allocation
+// for the output (plus the O(m) tree).
+func MergeSortedFunc[T any](lists [][]T, less func(a, b T) bool, limit int) []T {
+	var live [][]T
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	t := &mergeTree[T]{lists: live, pos: make([]int, len(live)), less: less}
+	t.build()
+	out := make([]T, 0, total)
+	for len(out) < total {
+		out = append(out, live[t.win][t.pos[t.win]])
+		t.pos[t.win]++
+		t.adjust()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestMergeSortedFuncBasics(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]int
+		limit int
+		want  []int
+	}{
+		{"nil", nil, 0, nil},
+		{"all empty", [][]int{{}, nil, {}}, 10, nil},
+		{"single list", [][]int{{1, 3, 5}}, 0, []int{1, 3, 5}},
+		{"single list truncated", [][]int{{1, 3, 5}}, 2, []int{1, 3}},
+		{"two lists", [][]int{{1, 4, 7}, {2, 3, 9}}, 0, []int{1, 2, 3, 4, 7, 9}},
+		{"empty among live", [][]int{{5}, {}, {1, 9}}, 0, []int{1, 5, 9}},
+		{"limit beyond total", [][]int{{2}, {1}}, 99, []int{1, 2}},
+		{"duplicates", [][]int{{1, 1, 2}, {1, 2, 2}}, 0, []int{1, 1, 1, 2, 2, 2}},
+	}
+	for _, tc := range cases {
+		got := MergeSortedFunc(tc.lists, intLess, tc.limit)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// Ties across lists must resolve to the lower list index so a
+// deterministic per-list order yields a deterministic merge — the
+// property the shard coordinator relies on for reproducible top-k.
+func TestMergeSortedFuncTieBreak(t *testing.T) {
+	type elem struct{ key, list int }
+	lists := [][]elem{
+		{{1, 0}, {5, 0}},
+		{{1, 1}, {5, 1}},
+		{{1, 2}, {5, 2}},
+	}
+	got := MergeSortedFunc(lists, func(a, b elem) bool { return a.key < b.key }, 0)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, e := range got {
+		if e.list != want[i] {
+			t.Fatalf("tie order %v, want list order %v", got, want)
+		}
+	}
+}
+
+// Randomized cross-check against a sort of the concatenation, over
+// many shapes of list count, length skew, and limit.
+func TestMergeSortedFuncRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		m := 1 + rng.Intn(9)
+		lists := make([][]int, m)
+		var all []int
+		for i := range lists {
+			n := rng.Intn(20)
+			l := make([]int, n)
+			for j := range l {
+				l[j] = rng.Intn(25) // dense range to force cross-list ties
+			}
+			sort.Ints(l)
+			lists[i] = l
+			all = append(all, l...)
+		}
+		sort.Ints(all)
+		limit := rng.Intn(len(all)+5) - 2 // exercise <=0, in-range, beyond
+		want := all
+		if limit > 0 && limit < len(all) {
+			want = all[:limit]
+		}
+		got := MergeSortedFunc(lists, intLess, limit)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d elements, want %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: element %d = %d, want %d", iter, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
+	"repro/internal/shard"
 	"repro/internal/xmltree"
 )
 
@@ -162,6 +163,10 @@ type ReloadStatus struct {
 	Documents int `json:"documents"`
 	// Ingest is the ingestion report behind this generation, if any.
 	Ingest *ingest.Report `json:"ingest,omitempty"`
+	// Shards reports each shard's rolling-reload outcome (sharded
+	// serving only); a shard whose swap failed carries its error and
+	// keeps serving its previous generation.
+	Shards []shard.ReloadResult `json:"shards,omitempty"`
 	// Took is the off-line rebuild duration (old generation kept
 	// serving throughout).
 	Took time.Duration `json:"took"`
@@ -193,6 +198,13 @@ func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
 	}
 	next := newGeneration(s.gen.Load().num+1, data.Corpus, data.Collection, s.cfg)
 	next.onRelease = s.fireRelease
+	// Roll the shard cluster before flipping the server generation:
+	// per-shard swaps are independent, so one failed shard keeps its
+	// previous partition while the rest advance with the new corpus.
+	var shardResults []shard.ReloadResult
+	if s.cluster != nil {
+		shardResults = s.cluster.Reload(ctx, data.Corpus, data.Collection)
+	}
 	old := s.gen.Swap(next)
 	// Epoch-keyed entries for the old generation are unreachable by new
 	// requests; purge them so the memory goes with the old corpus.
@@ -207,6 +219,7 @@ func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
 		Generation: next.num,
 		Documents:  data.Corpus.Len(),
 		Ingest:     data.Ingest,
+		Shards:     shardResults,
 		Took:       time.Since(start),
 	}
 	s.logf("server: generation %d active (%d documents, reload took %v); draining generation %d",

@@ -47,6 +47,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/resilience"
 	"repro/internal/serving"
+	"repro/internal/shard"
 	"repro/internal/xmltree"
 )
 
@@ -69,15 +71,31 @@ const FPSearch = "server.search"
 
 // SearchOutcome is the unit one search execution produces and the
 // serving layer caches: the results plus how they were computed.
-// Degraded outcomes (IR-only because the ontology path was down) are
-// excluded from the result cache so recovery is visible immediately.
+// Degraded and partial outcomes (IR-only because the ontology path was
+// down; a subset of shards because some did not answer) are excluded
+// from the result cache so recovery is visible immediately.
 type SearchOutcome struct {
 	Results          []core.Result
 	Degraded         bool
 	DegradedKeywords []string
+	// Partial is true when the search was answered by a subset of the
+	// cluster's shards (sharded serving only).
+	Partial bool
+	// Shards is the per-shard participation report (sharded serving
+	// only).
+	Shards []core.ShardStatus
 	// Timing is the pipeline breakdown of the execution that produced
 	// the results; for cache hits it describes the original execution.
 	Timing core.Timing
+}
+
+// Searcher is the query surface a generation serves searches through:
+// *core.System single-node, *shard.Sharded when sharding is enabled.
+type Searcher interface {
+	Query(ctx context.Context, req core.SearchRequest) (*core.SearchResponse, error)
+	Snippet(core.Result) string
+	Fragment(core.Result) string
+	KeywordCacheMetrics() serving.CacheMetrics
 }
 
 // Server answers HTTP requests against the active generation — an
@@ -91,6 +109,12 @@ type Server struct {
 	logf   func(format string, args ...any)
 	tracer *obs.Tracer
 	reg    *obs.Registry
+
+	// cluster, when non-nil, serves /search by scatter-gather over
+	// document shards (EnableSharding); the generation keeps the full
+	// corpus so fragment, stats, and explanation endpoints are
+	// unaffected.
+	cluster *shard.Cluster
 
 	reloadMu    sync.Mutex
 	reloader    ReloadFunc
@@ -125,7 +149,7 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	}
 	s.gen.Store(newGeneration(1, corpus, coll, cfg))
 	s.svc = serving.NewService(scfg, s.execSearch)
-	s.svc.SetCacheFilter(func(o SearchOutcome) bool { return !o.Degraded })
+	s.svc.SetCacheFilter(func(o SearchOutcome) bool { return !o.Degraded && !o.Partial })
 	s.svc.Instrument(s.reg, "xontorank_search")
 	s.reg.GaugeFunc("xontorank_generation",
 		"Active data-plane generation number (advances on each hot reload).",
@@ -191,6 +215,37 @@ func (s *Server) Serving() *serving.Service[SearchOutcome] { return s.svc }
 // system searches).
 func (s *Server) System(st ontoscore.Strategy) *core.System { return s.gen.Load().systems[st] }
 
+// EnableSharding partitions the active corpus into cfg.Shards document
+// shards and routes every search through scatter-gather over them
+// (cfg.Core is overridden with the server's own core configuration so
+// shard ranking matches the single-node systems). Call once, before
+// serving traffic. Reloads roll through the cluster shard by shard;
+// /readyz gains per-shard status and a quorum requirement; /metrics
+// gains per-shard instruments.
+func (s *Server) EnableSharding(cfg shard.Config) *shard.Cluster {
+	g := s.gen.Load()
+	cfg.Core = s.cfg
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) { s.logf(format, args...) }
+	}
+	s.cluster = shard.New(g.corpus, g.coll, cfg)
+	s.cluster.Instrument(s.reg)
+	return s.cluster
+}
+
+// Cluster returns the shard cluster, nil when sharding is not enabled.
+func (s *Server) Cluster() *shard.Cluster { return s.cluster }
+
+// searcher picks the query surface for one strategy: the scatter-gather
+// facade when sharding is enabled, the generation's own system
+// otherwise.
+func (s *Server) searcher(g *generation, st ontoscore.Strategy) Searcher {
+	if s.cluster != nil {
+		return s.cluster.System(st)
+	}
+	return g.systems[st]
+}
+
 // execSearch is the serving layer's uncached path: resolve the
 // generation the request pinned (preserved through the singleflight's
 // detached context) and the strategy's system, and run the
@@ -208,7 +263,7 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 		g = s.pin()
 		defer g.release()
 	}
-	resp, err := g.systems[st].Query(ctx, core.SearchRequest{Query: req.Query, K: req.Offset + req.K})
+	resp, err := s.searcher(g, st).Query(ctx, core.SearchRequest{Query: req.Query, K: req.Offset + req.K})
 	if err != nil {
 		return SearchOutcome{}, err
 	}
@@ -216,6 +271,8 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 		Results:          resp.Results,
 		Degraded:         resp.Info.Degraded,
 		DegradedKeywords: resp.Info.DegradedKeywords,
+		Partial:          resp.Partial,
+		Shards:           resp.Shards,
 		Timing:           resp.Timing,
 	}, nil
 }
@@ -403,13 +460,20 @@ type SearchResponse struct {
 	Strategy string         `json:"strategy"`
 	K        int            `json:"k"`
 	Results  []SearchResult `json:"results"`
-	// Degraded is true when the ontology path was unavailable and the
-	// ranking fell back to IR-only scoring (NS(v,w) = IRS(v,w)); the
-	// response also carries a Warning header. The results are correct
-	// XRANK-baseline answers, just without ontological enrichment.
+	// Degraded is true when the answer is in any way less than the
+	// full ontology-aware one: the ontology path was unavailable and
+	// ranking fell back to IR-only scoring (NS(v,w) = IRS(v,w)), or —
+	// under sharded serving — some shards did not answer. The response
+	// carries one canonical Warning header naming every reason; the
+	// detail lives in DegradedKeywords, Partial, and Shards.
 	Degraded bool `json:"degraded"`
-	// DegradedKeywords names the affected keywords.
+	// DegradedKeywords names the keywords scored IR-only.
 	DegradedKeywords []string `json:"degradedKeywords,omitempty"`
+	// Partial is true when a subset of the cluster's shards answered
+	// (sharded serving only); results cover only those shards.
+	Partial bool `json:"partial,omitempty"`
+	// Shards reports per-shard participation (sharded serving only).
+	Shards []core.ShardStatus `json:"shards,omitempty"`
 	// Groups is present when group=1: the same results grouped by the
 	// element path of their roots, in order of each group's best hit.
 	Groups []SearchGroup `json:"groups,omitempty"`
@@ -466,7 +530,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	g := s.reqGen(r)
-	sys := g.systems[strategy]
+	sys := s.searcher(g, strategy)
 	out, err := s.svc.Search(r.Context(), serving.Request{
 		Strategy: strategy.String(),
 		Query:    query.Normalize(q),
@@ -488,7 +552,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := SearchResponse{
 		V:     1,
 		Query: q, Strategy: strategy.String(), K: k, Results: []SearchResult{},
-		Degraded: out.Degraded, DegradedKeywords: out.DegradedKeywords,
+		Degraded: out.Degraded || out.Partial, DegradedKeywords: out.DegradedKeywords,
+		Partial: out.Partial, Shards: out.Shards,
 		Info:    query.Info{Degraded: out.Degraded, DegradedKeywords: out.DegradedKeywords},
 		Timing:  ResponseTiming{Timing: out.Timing, HandlerUS: time.Since(start).Microseconds()},
 		TraceID: obs.TraceID(r.Context()),
@@ -499,8 +564,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			resp.Trace = &t
 		}
 	}
-	if out.Degraded {
-		w.Header().Set("Warning", `199 - "ontology path unavailable; results are IR-only"`)
+	if warn := degradeWarning(out); warn != "" {
+		// One canonical Warning header however many degrade paths
+		// fired; the machine-readable detail is in the JSON body.
+		w.Header().Set("Warning", warn)
 	}
 	for _, res := range results {
 		sr := SearchResult{
@@ -535,6 +602,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// degradeWarning renders the single canonical Warning header value for
+// an outcome, joining every degrade reason that fired ("" when none
+// did). Deduplicating here — one producer for the header — keeps
+// multiple degrade paths (ontology fallback, partial shard answers)
+// from stacking repeated Warning values on one response.
+func degradeWarning(out SearchOutcome) string {
+	var reasons []string
+	if out.Degraded {
+		reasons = append(reasons, "ontology path unavailable; results are IR-only")
+	}
+	if out.Partial {
+		down := 0
+		for _, st := range out.Shards {
+			if st.State != "ok" {
+				down++
+			}
+		}
+		reasons = append(reasons, fmt.Sprintf("%d/%d shards unavailable; results are partial", down, len(out.Shards)))
+	}
+	if len(reasons) == 0 {
+		return ""
+	}
+	return `199 - "` + strings.Join(reasons, "; ") + `"`
 }
 
 func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
@@ -743,6 +835,13 @@ type ReadyResponse struct {
 	// degraded to IR-only — but Degraded is set so operators see it.
 	Breakers map[string]resilience.BreakerMetrics `json:"breakers"`
 	Degraded bool                                 `json:"degraded"`
+	// Shards is the per-shard deep readiness report (sharded serving
+	// only): each shard's id, generation, breaker state, and manifest.
+	Shards []shard.Status `json:"shards,omitempty"`
+	// ShardQuorum is how many shards must be ready; fewer ready shards
+	// makes the whole server unready (503) — too much of the corpus is
+	// unsearchable to keep the instance in rotation.
+	ShardQuorum int `json:"shardQuorum,omitempty"`
 	// LastIngest summarizes the ingestion run behind the active data
 	// set, when the corpus came through the pipeline.
 	LastIngest *ingest.Report `json:"lastIngest,omitempty"`
@@ -786,6 +885,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		resp.Breakers[st.String()] = m
 		if m.State != resilience.Closed.String() {
 			resp.Degraded = true
+		}
+	}
+	if s.cluster != nil {
+		resp.Shards = s.cluster.Statuses()
+		ready, quorum, ok := s.cluster.Ready()
+		resp.ShardQuorum = quorum
+		for _, ss := range resp.Shards {
+			if !ss.Ready {
+				resp.Degraded = true
+			}
+		}
+		if !ok {
+			resp.Ready = false
+			resp.Checks["shards"] = fmt.Sprintf("%d/%d shards ready, quorum is %d", ready, len(resp.Shards), quorum)
+		} else {
+			resp.Checks["shards"] = "ok"
 		}
 	}
 	status := http.StatusOK

@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/ontoscore"
+	"repro/internal/resilience"
+)
+
+// countStates tallies shard statuses by state.
+func countStates(shards []core.ShardStatus) map[string]int {
+	out := make(map[string]int)
+	for _, s := range shards {
+		out[s.State]++
+	}
+	return out
+}
+
+// A shard that fails mid-query degrades the answer to a partial one —
+// HTTP-level 200 semantics — instead of failing the whole search, and
+// the surviving results are a verbatim subset of the full answer.
+func TestFailedShardPartial(t *testing.T) {
+	corpus, coll := testCorpus(t, 10, 11)
+	cluster := testCluster(t, corpus, coll, Config{Shards: 2})
+	st := ontoscore.StrategyRelationships
+	req := core.SearchRequest{Query: "asthma medications", K: 10}
+	// The unbounded answer: a partial top-k backfills lower-ranked
+	// results from the answering shard, so the subset property holds
+	// against the full result list, not the global top-k.
+	full, err := cluster.System(st).Query(context.Background(),
+		core.SearchRequest{Query: req.Query, K: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(FPSearch, faultinject.Spec{Mode: faultinject.ModeError, Count: 1})
+	defer faultinject.DisableAll()
+	resp, err := cluster.System(st).Query(context.Background(), req)
+	if err != nil {
+		t.Fatalf("partial answer became an error: %v", err)
+	}
+	if !resp.Partial {
+		t.Fatal("response with a failed shard not marked partial")
+	}
+	states := countStates(resp.Shards)
+	if states["ok"] != 1 || states["error"] != 1 {
+		t.Fatalf("shard states = %v, want one ok and one error", states)
+	}
+	assertSubsetOf(t, resp.Results, full.Results)
+}
+
+// A slow shard (injected synchronous latency, deliberately immune to
+// context cancellation) is reported as a timeout within the gather
+// budget; the coordinator never blocks on it.
+func TestSlowShardPartial(t *testing.T) {
+	corpus, coll := testCorpus(t, 10, 11)
+	cluster := testCluster(t, corpus, coll, Config{Shards: 2, Timeout: 30 * time.Millisecond})
+	st := ontoscore.StrategyRelationships
+	req := core.SearchRequest{Query: "asthma", K: 10}
+	full, err := cluster.System(st).Query(context.Background(),
+		core.SearchRequest{Query: req.Query, K: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(FPSearch, faultinject.Spec{
+		Mode: faultinject.ModeLatency, Delay: 300 * time.Millisecond, Count: 1,
+	})
+	defer faultinject.DisableAll()
+	start := time.Now()
+	resp, err := cluster.System(st).Query(context.Background(), req)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("partial answer became an error: %v", err)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Errorf("coordinator waited %v for the slow shard; budget was 30ms + grace", elapsed)
+	}
+	if !resp.Partial {
+		t.Fatal("response with a slow shard not marked partial")
+	}
+	states := countStates(resp.Shards)
+	if states["ok"] != 1 || states["timeout"] != 1 {
+		t.Fatalf("shard states = %v, want one ok and one timeout", states)
+	}
+	assertSubsetOf(t, resp.Results, full.Results)
+	// The straggler leg finishes in the background; wait for it so the
+	// failpoint accounting (and the leak check) is quiet.
+	time.Sleep(350 * time.Millisecond)
+}
+
+// Repeated failures trip the shard's breaker; subsequent queries skip
+// the shard without executing it ("open" state), readiness drops below
+// quorum, and recovery closes the breaker again.
+func TestShardBreakerOpensAndRecovers(t *testing.T) {
+	corpus, coll := testCorpus(t, 10, 11)
+	cluster := testCluster(t, corpus, coll, Config{
+		Shards:  2,
+		Breaker: resilience.BreakerConfig{Threshold: 1, Cooldown: 50 * time.Millisecond},
+	})
+	st := ontoscore.StrategyRelationships
+	req := core.SearchRequest{Query: "asthma", K: 10}
+
+	faultinject.Enable(FPSearch, faultinject.Spec{Mode: faultinject.ModeError, Count: 1})
+	resp, err := cluster.System(st).Query(context.Background(), req)
+	faultinject.DisableAll()
+	if err != nil || !resp.Partial {
+		t.Fatalf("tripping query: err=%v partial=%v", err, resp != nil && resp.Partial)
+	}
+
+	// The breaker is now open on the failed shard: the next query is
+	// partial with an "open" status and no execution on that shard.
+	resp, err = cluster.System(st).Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := countStates(resp.Shards)
+	if !resp.Partial || states["open"] != 1 {
+		t.Fatalf("breaker-open query: partial=%v states=%v, want one open", resp.Partial, states)
+	}
+	if ready, quorum, ok := cluster.Ready(); ok || ready != 1 || quorum != 2 {
+		t.Fatalf("Ready() = (%d, %d, %v), want (1, 2, false)", ready, quorum, ok)
+	}
+	unready := 0
+	for _, ss := range cluster.Statuses() {
+		if !ss.Ready {
+			unready++
+			if ss.Breaker.State != resilience.Open.String() {
+				t.Errorf("unready shard %d breaker state %q", ss.Shard, ss.Breaker.State)
+			}
+		}
+	}
+	if unready != 1 {
+		t.Fatalf("%d unready shards, want 1", unready)
+	}
+
+	// After the cooldown the half-open probe succeeds and the cluster
+	// heals: full answers and quorum readiness return.
+	time.Sleep(60 * time.Millisecond)
+	resp, err = cluster.System(st).Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Partial {
+		t.Fatalf("recovered cluster still partial: %v", countStates(resp.Shards))
+	}
+	if _, _, ok := cluster.Ready(); !ok {
+		t.Fatal("recovered cluster below quorum")
+	}
+}
+
+// When no shard answers, the query is an error (there is nothing
+// honest to return), naming the first failure.
+func TestAllShardsFailed(t *testing.T) {
+	corpus, coll := testCorpus(t, 6, 11)
+	cluster := testCluster(t, corpus, coll, Config{Shards: 2})
+	faultinject.Enable(FPSearch, faultinject.Spec{Mode: faultinject.ModeError})
+	defer faultinject.DisableAll()
+	_, err := cluster.System(ontoscore.StrategyRelationships).Query(context.Background(),
+		core.SearchRequest{Query: "asthma", K: 5})
+	if err == nil {
+		t.Fatal("all-shards-failed query did not error")
+	}
+	if !strings.Contains(err.Error(), "no shards answered") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// A canceled caller context wins over partial-answer assembly.
+func TestCallerContextCanceled(t *testing.T) {
+	corpus, coll := testCorpus(t, 6, 11)
+	cluster := testCluster(t, corpus, coll, Config{Shards: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := cluster.System(ontoscore.StrategyRelationships).Query(ctx,
+		core.SearchRequest{Query: "asthma", K: 5})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// Per-shard instruments: every leg is counted under its shard label,
+// non-ok legs land in shard_degraded_total, and a partial gather bumps
+// shard_partial_total.
+func TestShardMetrics(t *testing.T) {
+	corpus, coll := testCorpus(t, 10, 11)
+	cluster := testCluster(t, corpus, coll, Config{Shards: 2})
+	reg := obs.NewRegistry()
+	cluster.Instrument(reg)
+	st := ontoscore.StrategyRelationships
+	req := core.SearchRequest{Query: "asthma", K: 5}
+	if _, err := cluster.System(st).Query(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(FPSearch, faultinject.Spec{Mode: faultinject.ModeError, Count: 1})
+	defer faultinject.DisableAll()
+	if _, err := cluster.System(st).Query(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		`shard_search_total{shard="0"} 2`,
+		`shard_search_total{shard="1"} 2`,
+		`shard_partial_total 1`,
+		`shard_search_seconds_count{shard="0"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	degradedTotal := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "shard_degraded_total{") && strings.HasSuffix(line, " 1") {
+			degradedTotal++
+		}
+	}
+	if degradedTotal != 1 {
+		t.Errorf("%d shards report one degraded leg, want exactly 1\n%s", degradedTotal, text)
+	}
+}
+
+// assertSubsetOf checks that every partial result appears, identical,
+// in the full answer — shards are disjoint, so a missing shard removes
+// results but never changes the surviving ones.
+func assertSubsetOf(t *testing.T, partial, full []core.Result) {
+	t.Helper()
+	if len(partial) == 0 {
+		t.Fatal("partial answer is empty; fixture should place results on both shards")
+	}
+	byRoot := make(map[string]core.Result, len(full))
+	for _, r := range full {
+		byRoot[r.Root.String()] = r
+	}
+	for _, p := range partial {
+		f, ok := byRoot[p.Root.String()]
+		if !ok {
+			t.Errorf("partial result %s not in the full answer", p.Root)
+			continue
+		}
+		if p.Score != f.Score {
+			t.Errorf("partial result %s score %.17g, want %.17g", p.Root, p.Score, f.Score)
+		}
+	}
+}

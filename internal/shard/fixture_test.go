@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+// testCorpus builds a corpus large enough that every shard of an
+// 8-way partition holds documents: the Figure 1 record plus generated
+// CDA documents with stable names (the shard hash keys on names).
+func testCorpus(t *testing.T, docs int, seed int64) (*xmltree.Corpus, *ontology.Collection) {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: seed, ExtraConcepts: 80, SynonymProb: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := xmltree.NewCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: seed, NumDocuments: docs, ProblemsPerPatient: 3,
+		MedicationsPerPatient: 3, ProceduresPerPatient: 2,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.GenerateCorpus().Docs() {
+		corpus.Add(&xmltree.Document{Root: d.Root, Name: d.Name})
+	}
+	return corpus, ontology.MustCollection(ont, ontology.LOINCFragment())
+}
+
+// testQueries covers single keywords, multi-keyword conjunctions,
+// phrases, ontology-heavy terms, and a miss.
+var testQueries = []string{
+	"asthma",
+	"asthma medications",
+	`"bronchial structure" theophylline`,
+	"cardiac arrest",
+	"patient problems procedure",
+	"zzznothing",
+}
+
+func testCluster(t *testing.T, corpus *xmltree.Corpus, coll *ontology.Collection, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Core = core.DefaultConfig()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	return New(corpus, coll, cfg)
+}

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/ontology"
+	"repro/internal/xmltree"
+)
+
+// FPReload fires once per shard, in shard order, just before that
+// shard's generation swap; tests arm it (with After/Count) to fail one
+// shard's swap while the others advance.
+const FPReload = "shard.reload"
+
+// ReloadResult is one shard's outcome of a rolling reload.
+type ReloadResult struct {
+	Shard      int    `json:"shard"`
+	Generation uint64 `json:"generation"`
+	Documents  int    `json:"documents"`
+	// Error is set when this shard's swap failed; the shard keeps
+	// serving its previous generation.
+	Error string `json:"error,omitempty"`
+	// TookUS is the shard's offline build time in microseconds.
+	TookUS int64 `json:"took_us"`
+}
+
+// Reload rolls the cluster onto a new corpus snapshot, shard by shard:
+// every shard's next generation is built completely offline (with the
+// cluster-wide statistics exchange run over the full new partition
+// set), then each shard swaps independently. A swap that fails — the
+// FPReload failpoint, or a canceled context — leaves only that shard
+// on its previous generation; the others advance, and in-flight
+// scatter-gather legs finish on whichever generation they pinned.
+//
+// A partially reloaded cluster serves mixed generations until the next
+// successful reload: document routing is rebuilt from the live
+// generations (first owner wins on the rare ID collision between old
+// and new corpora), and shards still on the old generation keep their
+// old — now slightly stale — global statistics overlay. Rankings
+// remain well-formed; exact single-node equivalence resumes once all
+// shards are on the same snapshot.
+func (c *Cluster) Reload(ctx context.Context, corpus *xmltree.Corpus, coll *ontology.Collection) []ReloadResult {
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	start := time.Now()
+	if coll != nil {
+		c.coll = coll
+	}
+	gens := c.buildGens(partition(corpus, len(c.slots)))
+	c.exchangeStats(gens)
+	c.installCalibrators(gens)
+	buildUS := time.Since(start).Microseconds()
+
+	results := make([]ReloadResult, 0, len(c.slots))
+	swapped := 0
+	for i, sl := range c.slots {
+		res := ReloadResult{Shard: i, TookUS: buildUS}
+		err := ctx.Err()
+		if err == nil {
+			err = faultinject.Hit(FPReload)
+		}
+		if err != nil {
+			old := sl.gen.Load()
+			res.Generation = old.num
+			res.Documents = old.corpus.Len()
+			res.Error = fmt.Sprintf("swap failed, keeping generation %d: %v", old.num, err)
+			c.cfg.Logf("shard: shard %d reload failed mid-swap, keeping generation %d: %v", i, old.num, err)
+			results = append(results, res)
+			continue
+		}
+		next := gens[i]
+		next.onRelease = c.fireRelease
+		old := sl.gen.Swap(next)
+		old.release()
+		swapped++
+		res.Generation = next.num
+		res.Documents = next.corpus.Len()
+		results = append(results, res)
+	}
+
+	// Routing and calibration follow whatever mix of generations is now
+	// live.
+	owners := make(map[int32]int, corpus.Len())
+	for _, sl := range c.slots {
+		g := sl.pin()
+		for _, doc := range g.corpus.Docs() {
+			if _, taken := owners[doc.ID]; !taken {
+				owners[doc.ID] = sl.id
+			}
+		}
+		g.release()
+	}
+	c.owners.Store(&owners)
+	for _, cal := range c.calibs {
+		cal.invalidate()
+	}
+	c.cfg.Logf("shard: rolling reload complete: %d/%d shards swapped in %v",
+		swapped, len(c.slots), time.Since(start).Round(time.Millisecond))
+	return results
+}

@@ -1,0 +1,466 @@
+// Package shard partitions the corpus into N document shards and
+// serves searches by scatter-gather: every shard is an independent,
+// reference-counted generation (its own corpus view, XOnto-DIL
+// builders, and query engines), the coordinator fans a query out to
+// all shards in parallel and merges the per-shard top-k with the
+// loser-tree machinery of internal/query.
+//
+// Sharded ranking is exactly single-node ranking. Three pieces make
+// that true rather than approximately true:
+//
+//   - Partition views share documents with the source corpus under
+//     their original IDs (xmltree.Corpus.AddExisting), so Dewey
+//     identifiers — and with them result roots and matches — are
+//     byte-identical to the unsharded system.
+//   - BM25 depends on collection-global statistics (N, DF, avgdl).
+//     Each shard computes its local ir.Stats; the cluster merges them
+//     (additive under a disjoint document partition) and broadcasts
+//     the merged snapshot back onto every shard's text index — the
+//     classic distributed-IR global-IDF exchange.
+//   - Per-keyword score normalization divides by the collection-wide
+//     maximum raw BM25. A cluster Calibrator answers that maximum by
+//     asking every shard for its local max (dil.Builder.RawTextMax)
+//     and caching the result per keyword.
+//
+// Because results partition by document and every shard returns its
+// full top-k under the engine's total order (score desc, Dewey asc),
+// the merged prefix equals the single-node top-k.
+//
+// Availability: each shard slot is guarded by its own circuit breaker;
+// a slow, failed, or breaker-open shard yields a partial answer
+// (SearchResponse.Partial) with per-shard status instead of an error.
+// Shards hot-reload independently — a reload that fails mid-swap
+// leaves only that shard on its previous generation while the others
+// advance.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/resilience"
+	"repro/internal/xmltree"
+)
+
+// DefaultTimeout is the per-shard query budget when Config.Timeout is
+// unset.
+const DefaultTimeout = 2 * time.Second
+
+// Config tunes a cluster. The zero value of every field takes the
+// documented default.
+type Config struct {
+	// Shards is the number of document shards; <= 0 means 1.
+	Shards int
+	// Timeout is the per-shard query budget; a shard that does not
+	// answer within it is reported as "timeout" and the query proceeds
+	// with the shards that did. <= 0 means DefaultTimeout.
+	Timeout time.Duration
+	// Quorum is how many shards must be ready (breaker not open) for
+	// the cluster to report ready; <= 0 means a majority (n/2 + 1).
+	Quorum int
+	// Core is the base system configuration; Strategy is overridden
+	// per prepared system.
+	Core core.Config
+	// Breaker tunes the per-shard circuit breaker (zero value:
+	// resilience defaults).
+	Breaker resilience.BreakerConfig
+	// Logf receives cluster lifecycle logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) normalized() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Quorum <= 0 || c.Quorum > c.Shards {
+		c.Quorum = c.Shards/2 + 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Manifest records what one shard generation was built from — the
+// shard's own ingest manifest, kept in memory and swapped with the
+// generation it describes.
+type Manifest struct {
+	// Shard is the slot index.
+	Shard int `json:"shard"`
+	// Generation is the cluster-wide generation number of this build.
+	Generation uint64 `json:"generation"`
+	// Documents is the number of documents assigned to the shard.
+	Documents int `json:"documents"`
+	// Elements is the number of XML elements across those documents.
+	Elements int `json:"elements"`
+	// BuildUS is the offline build time of the shard's systems, in
+	// microseconds.
+	BuildUS int64 `json:"build_us"`
+}
+
+// shardGen is one immutable serving snapshot of a single shard: its
+// partition-view corpus and one prepared system per strategy,
+// reference-counted exactly like the server's generations so a reload
+// never pulls a corpus out from under an in-flight scatter-gather leg.
+type shardGen struct {
+	num      uint64
+	corpus   *xmltree.Corpus
+	systems  map[ontoscore.Strategy]*core.System
+	manifest Manifest
+
+	// refs counts pins plus one for being (or having been) the slot's
+	// active generation; 0 means drained.
+	refs      atomic.Int64
+	onRelease func(shard int, num uint64)
+	shard     int
+}
+
+func (g *shardGen) acquire() bool {
+	for {
+		n := g.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (g *shardGen) release() {
+	if g.refs.Add(-1) == 0 && g.onRelease != nil {
+		g.onRelease(g.shard, g.num)
+	}
+}
+
+// slot is one shard's long-lived identity: the atomic generation
+// pointer queries pin, and the breaker guarding the shard as a unit.
+type slot struct {
+	id      int
+	gen     atomic.Pointer[shardGen]
+	breaker *resilience.Breaker
+}
+
+// pin returns the slot's active generation with a reference held.
+func (sl *slot) pin() *shardGen {
+	for {
+		g := sl.gen.Load()
+		if g.acquire() {
+			return g
+		}
+	}
+}
+
+// Cluster owns the shard slots and the per-strategy scatter-gather
+// facades. It is built once and lives across server generations;
+// shards reload independently through Reload.
+type Cluster struct {
+	cfg   Config
+	coll  *ontology.Collection
+	slots []*slot
+
+	genCounter atomic.Uint64
+
+	// owners maps document ID -> slot index, rebuilt on reload (under
+	// reloadMu) and read lock-free by Snippet/Fragment routing.
+	owners atomic.Pointer[map[int32]int]
+
+	systems map[ontoscore.Strategy]*Sharded
+	calibs  map[ontoscore.Strategy]*calibrator
+
+	reloadMu sync.Mutex
+
+	metrics *metrics // nil until Instrument
+}
+
+// shardOf assigns a document to a shard by a stable FNV-1a hash of its
+// name (falling back to its decimal ID for anonymous documents), so
+// the same document lands on the same shard across reloads and across
+// processes regardless of ingestion order.
+func shardOf(doc *xmltree.Document, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	if doc.Name != "" {
+		_, _ = h.Write([]byte(doc.Name))
+	} else {
+		_, _ = h.Write([]byte(strconv.FormatInt(int64(doc.ID), 10)))
+	}
+	return int(h.Sum32() % uint32(n))
+}
+
+// partition splits a corpus into n document-partition views sharing
+// the original documents (and therefore the original IDs and Dewey
+// identifiers).
+func partition(corpus *xmltree.Corpus, n int) []*xmltree.Corpus {
+	views := make([]*xmltree.Corpus, n)
+	for i := range views {
+		views[i] = xmltree.NewCorpus()
+	}
+	for _, doc := range corpus.Docs() {
+		views[shardOf(doc, n)].AddExisting(doc)
+	}
+	return views
+}
+
+// New partitions the corpus and builds every shard's first generation
+// in parallel, then runs the cluster-wide statistics exchange so each
+// shard scores with collection-global BM25 statistics.
+func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg Config) *Cluster {
+	cfg = cfg.normalized()
+	c := &Cluster{
+		cfg:     cfg,
+		coll:    coll,
+		slots:   make([]*slot, cfg.Shards),
+		systems: make(map[ontoscore.Strategy]*Sharded, 4),
+		calibs:  make(map[ontoscore.Strategy]*calibrator, 4),
+	}
+	for i := range c.slots {
+		c.slots[i] = &slot{id: i, breaker: resilience.NewBreaker(cfg.Breaker)}
+	}
+	gens := c.buildGens(partition(corpus, cfg.Shards))
+	c.exchangeStats(gens)
+	owners := make(map[int32]int, corpus.Len())
+	for i, g := range gens {
+		g.onRelease = c.fireRelease
+		c.slots[i].gen.Store(g)
+		for _, doc := range g.corpus.Docs() {
+			owners[doc.ID] = i
+		}
+	}
+	c.owners.Store(&owners)
+	for _, st := range ontoscore.Strategies() {
+		cal := &calibrator{c: c, st: st, cache: make(map[string]float64)}
+		c.calibs[st] = cal
+		c.systems[st] = &Sharded{c: c, st: st}
+	}
+	c.installCalibrators(gens)
+	c.cfg.Logf("shard: cluster up: %d shards, %d documents, per-shard timeout %v, quorum %d",
+		cfg.Shards, corpus.Len(), cfg.Timeout, cfg.Quorum)
+	return c
+}
+
+// buildGens builds one generation per partition view, in parallel —
+// each build touches only its own view, so the builds are independent.
+func (c *Cluster) buildGens(views []*xmltree.Corpus) []*shardGen {
+	gens := make([]*shardGen, len(views))
+	var wg sync.WaitGroup
+	for i, view := range views {
+		wg.Add(1)
+		go func(i int, view *xmltree.Corpus) {
+			defer wg.Done()
+			gens[i] = c.buildGen(i, view)
+		}(i, view)
+	}
+	wg.Wait()
+	return gens
+}
+
+func (c *Cluster) buildGen(id int, view *xmltree.Corpus) *shardGen {
+	start := time.Now()
+	g := &shardGen{
+		num:     c.genCounter.Add(1),
+		corpus:  view,
+		systems: make(map[ontoscore.Strategy]*core.System, 4),
+		shard:   id,
+	}
+	for _, st := range ontoscore.Strategies() {
+		cfg := c.cfg.Core
+		cfg.Strategy = st
+		g.systems[st] = core.NewMulti(view, c.coll, cfg)
+	}
+	elements := 0
+	for _, doc := range view.Docs() {
+		elements += doc.Size()
+	}
+	g.manifest = Manifest{
+		Shard:      id,
+		Generation: g.num,
+		Documents:  view.Len(),
+		Elements:   elements,
+		BuildUS:    time.Since(start).Microseconds(),
+	}
+	g.refs.Store(1) // the active reference
+	return g
+}
+
+// exchangeStats merges every shard's local text-index statistics and
+// broadcasts the collection-global snapshot (and the global
+// element-rank normalizer) back onto each shard's builders. Run on
+// generations that are not serving yet — the overlay is installed
+// while the indexes are cold.
+func (c *Cluster) exchangeStats(gens []*shardGen) {
+	for _, st := range ontoscore.Strategies() {
+		parts := make([]ir.Stats, 0, len(gens))
+		ranksMax := 0.0
+		for _, g := range gens {
+			b := g.systems[st].Builder()
+			parts = append(parts, b.LocalTextStats())
+			if rm := b.RanksMax(); rm > ranksMax {
+				ranksMax = rm
+			}
+		}
+		merged := ir.MergeStats(parts...)
+		for _, g := range gens {
+			b := g.systems[st].Builder()
+			b.SetGlobalTextStats(merged)
+			b.SetRanksMax(ranksMax)
+		}
+	}
+}
+
+// installCalibrators points every builder of the given generations at
+// the cluster's per-strategy keyword-norm calibrator.
+func (c *Cluster) installCalibrators(gens []*shardGen) {
+	for _, g := range gens {
+		for st, sys := range g.systems {
+			sys.Builder().SetCalibrator(c.calibs[st])
+		}
+	}
+}
+
+func (c *Cluster) fireRelease(shard int, num uint64) {
+	c.cfg.Logf("shard: shard %d generation %d drained and released", shard, num)
+}
+
+// Config returns the normalized cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Shards is the number of shard slots.
+func (c *Cluster) Shards() int { return len(c.slots) }
+
+// System returns the scatter-gather facade for one strategy. The
+// facade implements the same Query/Snippet/Fragment surface as
+// *core.System, so the serving and server layers use it unchanged.
+func (c *Cluster) System(st ontoscore.Strategy) *Sharded { return c.systems[st] }
+
+// ownerOf locates the slot currently serving a document ID (-1 when
+// no shard has it — possible transiently across a partial reload).
+func (c *Cluster) ownerOf(docID int32) int {
+	owners := c.owners.Load()
+	if owners == nil {
+		return -1
+	}
+	if i, ok := (*owners)[docID]; ok {
+		return i
+	}
+	return -1
+}
+
+// calibrator answers collection-wide per-keyword normalization maxima
+// for one strategy: the max over every shard's local max raw BM25 for
+// the keyword. Answers are cached per keyword; the cache is dropped
+// whenever any shard swaps generations. Concurrent misses may compute
+// the same keyword twice — both arrive at the same value, so the
+// duplicate work is bounded and harmless.
+type calibrator struct {
+	c  *Cluster
+	st ontoscore.Strategy
+
+	mu    sync.Mutex
+	cache map[string]float64
+}
+
+// KeywordNorm implements dil.Calibrator. It is called from inside a
+// shard's own keyword build; pinning is refcount-only and builders
+// take no locks on this path, so the cross-shard callback cannot
+// deadlock.
+func (cal *calibrator) KeywordNorm(keyword string) float64 {
+	cal.mu.Lock()
+	v, ok := cal.cache[keyword]
+	cal.mu.Unlock()
+	if ok {
+		return v
+	}
+	max := 0.0
+	for _, sl := range cal.c.slots {
+		g := sl.pin()
+		if m := g.systems[cal.st].Builder().RawTextMax(keyword); m > max {
+			max = m
+		}
+		g.release()
+	}
+	cal.mu.Lock()
+	cal.cache[keyword] = max
+	cal.mu.Unlock()
+	return max
+}
+
+func (cal *calibrator) invalidate() {
+	cal.mu.Lock()
+	cal.cache = make(map[string]float64)
+	cal.mu.Unlock()
+}
+
+// Status is one shard's readiness snapshot for /readyz.
+type Status struct {
+	Shard      int                       `json:"shard"`
+	Generation uint64                    `json:"generation"`
+	Documents  int                       `json:"documents"`
+	Breaker    resilience.BreakerMetrics `json:"breaker"`
+	// Ready is false while the shard's breaker is open — the slot is
+	// being skipped by scatter-gather, so its documents are not being
+	// searched.
+	Ready bool `json:"ready"`
+	// Manifest describes what the serving generation was built from.
+	Manifest Manifest `json:"manifest"`
+}
+
+// Statuses snapshots every shard slot.
+func (c *Cluster) Statuses() []Status {
+	out := make([]Status, 0, len(c.slots))
+	for _, sl := range c.slots {
+		g := sl.pin()
+		m := sl.breaker.Metrics()
+		out = append(out, Status{
+			Shard:      sl.id,
+			Generation: g.num,
+			Documents:  g.corpus.Len(),
+			Breaker:    m,
+			Ready:      m.State != resilience.Open.String(),
+			Manifest:   g.manifest,
+		})
+		g.release()
+	}
+	return out
+}
+
+// Ready counts ready shards against the configured quorum.
+func (c *Cluster) Ready() (ready, quorum int, ok bool) {
+	for _, sl := range c.slots {
+		if sl.breaker.State() != resilience.Open {
+			ready++
+		}
+	}
+	return ready, c.cfg.Quorum, ready >= c.cfg.Quorum
+}
+
+// Documents is the total document count across shards.
+func (c *Cluster) Documents() int {
+	total := 0
+	for _, sl := range c.slots {
+		g := sl.pin()
+		total += g.corpus.Len()
+		g.release()
+	}
+	return total
+}
+
+// Summary describes the cluster for logs.
+func (c *Cluster) Summary() string {
+	ready, quorum, _ := c.Ready()
+	return fmt.Sprintf("shards=%d ready=%d quorum=%d documents=%d",
+		len(c.slots), ready, quorum, c.Documents())
+}

@@ -258,6 +258,33 @@ func (c *Corpus) Add(doc *Document) *Document {
 	return doc
 }
 
+// AddExisting registers a document that already carries its
+// corpus-wide ID and Dewey identifiers — the building block of
+// document-partition views (internal/shard): a shard's corpus holds a
+// subset of a parent corpus's documents under their ORIGINAL IDs, so
+// Dewey identifiers, fragment lookups, and result roots are identical
+// to the unsharded corpus. The document is shared, not copied; both
+// corpora must treat it as immutable. Registering a duplicate ID or
+// name panics — partitions are disjoint by construction, so a
+// collision is a programming error, not an input error.
+func (c *Corpus) AddExisting(doc *Document) *Document {
+	if _, dup := c.byID[doc.ID]; dup {
+		panic(fmt.Sprintf("xmltree: AddExisting: duplicate document ID %d", doc.ID))
+	}
+	c.docs = append(c.docs, doc)
+	c.byID[doc.ID] = doc
+	if doc.Name != "" {
+		if _, dup := c.named[doc.Name]; dup {
+			panic(fmt.Sprintf("xmltree: AddExisting: duplicate document name %q", doc.Name))
+		}
+		c.named[doc.Name] = doc
+	}
+	if doc.ID >= c.next {
+		c.next = doc.ID + 1
+	}
+	return doc
+}
+
 // Doc returns the document with the given ID, or nil.
 func (c *Corpus) Doc(id int32) *Document { return c.byID[id] }
 
