@@ -29,7 +29,8 @@ GO ?= go
 # Packages with failpoint-instrumented code or fault-injection tests.
 FAULT_PKGS = ./internal/faultinject/... ./internal/resilience/... \
 	./internal/store/... ./internal/dil/... ./internal/query/... \
-	./internal/ingest/... ./internal/server/... ./internal/shard/...
+	./internal/ingest/... ./internal/server/... ./internal/shard/... \
+	./internal/delta/...
 
 # Native fuzz targets, as package:Target pairs (each gets FUZZ_TIME).
 FUZZ_TARGETS = \
@@ -46,7 +47,7 @@ FUZZ_TIME ?= 10s
 .PHONY: check test race vet faults fuzz-smoke bench bench-smoke \
 	bench-merge-report shard bench-shard-report obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke bench-smoke shard obs
+check: test vet race faults fuzz-smoke bench-smoke shard delta obs
 
 test:
 	$(GO) build ./...
@@ -63,7 +64,7 @@ vet:
 race:
 	$(GO) test -race ./internal/serving/... ./internal/query/... \
 		./internal/ingest/... ./internal/server/... ./internal/shard/... \
-		./cmd/xontoserve/...
+		./internal/delta/... ./cmd/xontoserve/...
 
 faults:
 	$(GO) vet $(FAULT_PKGS)
@@ -101,6 +102,21 @@ shard:
 
 bench-shard-report:
 	BENCH_SHARD=1 $(GO) test . -run TestWriteShardBenchReport -count=1 -v
+
+# The live-ingestion lane: WAL framing and torn-tail recovery,
+# kill-at-every-fsync crash soaks, the base+delta vs full-rebuild
+# differential across all four strategies, the compaction state
+# machine under injected faults, and the HTTP surface (ingest
+# lifecycle, admin gate conflicts, WAL recovery, compaction fold,
+# sharded differential) — all under the race detector.
+delta:
+	$(GO) vet ./internal/delta/...
+	$(GO) test -race -count=1 ./internal/delta/...
+	$(GO) test -race -count=1 ./internal/server -run \
+		'TestLiveIngest|TestIngestValidation|TestAdminGate|TestDeltaWAL|TestCompaction|TestShardedDelta'
+
+bench-delta-report:
+	BENCH_DELTA=1 $(GO) test . -run TestWriteDeltaBenchReport -count=1 -v
 
 obs: api-guard
 	$(GO) vet ./internal/obs/...

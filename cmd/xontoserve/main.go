@@ -30,10 +30,22 @@
 // failing. The process shuts down gracefully on SIGINT/SIGTERM,
 // draining in-flight requests.
 //
+// With -live-ingest, POST/DELETE /admin/ingest applies single-document
+// adds, replacements, and deletes without a rebuild: each operation is
+// fsynced into a write-ahead log before it is acknowledged (a kill at
+// any instruction loses nothing), becomes searchable immediately
+// through a delta segment overlaying the base generation, and is
+// periodically folded into a fresh generation by a background
+// compactor (-compact-interval, -compact-max-docs,
+// -compact-max-tombstones). Admin mutations — ingest, reload, SIGHUP,
+// compaction — serialize behind one gate; concurrent HTTP callers get
+// 409 with Retry-After.
+//
 // Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
-// /metrics, /admin/reload, /healthz (shallow liveness), /readyz (deep
-// readiness: data directory reachable, corpus loaded, breaker states,
-// active generation) — see internal/server.
+// /metrics, /admin/reload, /admin/ingest (with -live-ingest), /healthz
+// (shallow liveness), /readyz (deep readiness: data directory
+// reachable, corpus loaded, breaker states, active generation, delta
+// lag) — see internal/server.
 package main
 
 import (
@@ -94,6 +106,12 @@ type app struct {
 	shardTimeout time.Duration
 	shardQuorum  int
 
+	liveIngest      bool
+	walPath         string
+	compactInterval time.Duration
+	compactMaxDocs  int
+	compactMaxTombs int
+
 	scfg          serving.Config
 	ccfg          core.Config
 	shutdownGrace time.Duration
@@ -124,6 +142,15 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 	fs.DurationVar(&a.shardTimeout, "shard-timeout", shard.DefaultTimeout,
 		"per-shard query budget; a slower shard is skipped and the answer marked partial")
 	fs.IntVar(&a.shardQuorum, "shard-quorum", 0, "shards that must be ready for /readyz (0 = majority)")
+	fs.BoolVar(&a.liveIngest, "live-ingest", false,
+		"enable POST/DELETE /admin/ingest: crash-safe WAL'd single-document mutations, searchable immediately (requires -data)")
+	fs.StringVar(&a.walPath, "wal", "", "write-ahead log path for -live-ingest (default <data>/delta.wal)")
+	fs.DurationVar(&a.compactInterval, "compact-interval", time.Minute,
+		"background compaction cadence folding the delta into a fresh generation (0 disables the timer)")
+	fs.IntVar(&a.compactMaxDocs, "compact-max-docs", 256,
+		"live delta documents that trigger an early compaction (0 disables)")
+	fs.IntVar(&a.compactMaxTombs, "compact-max-tombstones", 512,
+		"tombstones that trigger an early compaction (0 disables)")
 	fs.BoolVar(&a.debug, "debug", false, "expose net/http/pprof under /debug/pprof/ (admin use only)")
 	fs.BoolVar(&a.jsonLog, "json-log", false, "emit structured JSON access/degradation logs on stderr (trace-correlated)")
 	fs.IntVar(&a.scfg.CacheCapacity, "cache-size", a.scfg.CacheCapacity, "query result cache capacity (entries)")
@@ -265,6 +292,27 @@ func (a *app) run(ctx context.Context) error {
 			}
 			return &server.ReloadData{Corpus: corpus, Collection: coll, Ingest: report}, nil
 		})
+	}
+	if a.liveIngest {
+		if a.data == "" {
+			return fmt.Errorf("-live-ingest requires -data (the WAL and compaction need a durable directory)")
+		}
+		wal := a.walPath
+		if wal == "" {
+			wal = filepath.Join(a.data, "delta.wal")
+		}
+		if err := h.EnableDelta(server.DeltaConfig{
+			WALPath:              wal,
+			Ingest:               a.ingestConfig(),
+			CompactInterval:      a.compactInterval,
+			CompactMaxDocs:       a.compactMaxDocs,
+			CompactMaxTombstones: a.compactMaxTombs,
+		}); err != nil {
+			return err
+		}
+		defer h.CloseDelta()
+		a.logf("live ingest: wal=%s compact-interval=%v max-docs=%d max-tombstones=%d",
+			wal, a.compactInterval, a.compactMaxDocs, a.compactMaxTombs)
 	}
 	srv := &http.Server{
 		Handler:           logging(a.logf, h),

@@ -85,6 +85,7 @@ type System struct {
 	index   *dil.Index
 	engine  *query.Engine
 	stats   *dil.BuildStats
+	aux     AuxDocs // live delta documents, nil unless delta-enabled
 }
 
 // New prepares a system over a single ontology: it runs the full-text
@@ -206,10 +207,10 @@ func (s *System) KeywordCacheMetrics() serving.CacheMetrics {
 
 func (s *System) resolve(keywords []query.Keyword, r query.Result) Result {
 	res := Result{Root: r.Root, Score: r.Score, raw: r}
-	if doc := s.corpus.Doc(r.Root.DocID()); doc != nil {
+	if doc := s.docByID(r.Root.DocID()); doc != nil {
 		res.Document = doc.Name
 	}
-	if n := s.corpus.NodeAt(r.Root); n != nil {
+	if n := s.NodeAt(r.Root); n != nil {
 		res.Path = n.Path()
 	}
 	for i, m := range r.Matches {
@@ -217,7 +218,7 @@ func (s *System) resolve(keywords []query.Keyword, r query.Result) Result {
 		if i < len(keywords) {
 			km.Keyword = string(keywords[i])
 		}
-		if n := s.corpus.NodeAt(m.ID); n != nil {
+		if n := s.NodeAt(m.ID); n != nil {
 			km.Path = n.Path()
 		}
 		res.Matches = append(res.Matches, km)
@@ -232,12 +233,12 @@ func (s *System) Snippet(r Result) string {
 	for _, m := range r.Matches {
 		keywords = append(keywords, query.Keyword(m.Keyword))
 	}
-	return query.Snippet(s.corpus, r.raw, keywords, 8)
+	return query.Snippet(s, r.raw, keywords, 8)
 }
 
 // Fragment renders a result's subtree as indented XML (Figure 4).
 func (s *System) Fragment(r Result) string {
-	n := s.corpus.NodeAt(r.Root)
+	n := s.NodeAt(r.Root)
 	if n == nil {
 		return ""
 	}

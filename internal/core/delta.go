@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+// Live-delta hooks. A system whose corpus is overlaid by a delta
+// segment (internal/delta) serves documents its base corpus has never
+// seen: the segment feeds postings into queries through the engine
+// overlay, and hydration (document names, element paths, snippets,
+// fragments) resolves through an auxiliary document source before
+// giving up.
+
+// AuxDocs resolves document IDs that are not in the base corpus —
+// live delta documents. *delta.Segment satisfies it.
+type AuxDocs interface {
+	// AuxDoc returns the live document with the given ID, or nil.
+	AuxDoc(id int32) *xmltree.Document
+}
+
+// SetAuxDocs installs the auxiliary document source consulted when the
+// base corpus misses an ID. Off-line only, like SetOverlay.
+func (s *System) SetAuxDocs(a AuxDocs) { s.aux = a }
+
+// SetOverlay installs the live delta overlay on the query engine (see
+// query.Overlay). Off-line only: call before the system serves.
+func (s *System) SetOverlay(o query.Overlay) { s.engine.SetOverlay(o) }
+
+// PurgeKeywordCache drops the engine's on-demand keyword cache; the
+// serving layer calls it after every applied ingest.
+func (s *System) PurgeKeywordCache() { s.engine.PurgeKeywordCache() }
+
+// docByID resolves a document ID against the base corpus, then the
+// auxiliary source.
+func (s *System) docByID(id int32) *xmltree.Document {
+	if doc := s.corpus.Doc(id); doc != nil {
+		return doc
+	}
+	if s.aux != nil {
+		return s.aux.AuxDoc(id)
+	}
+	return nil
+}
+
+// NodeAt resolves a corpus-wide Dewey identifier, covering live delta
+// documents as well as the base corpus. It satisfies
+// query.NodeSource.
+func (s *System) NodeAt(id xmltree.Dewey) *xmltree.Node {
+	if len(id) == 0 {
+		return nil
+	}
+	doc := s.docByID(id[0])
+	if doc == nil {
+		return nil
+	}
+	return doc.NodeAt(id)
+}

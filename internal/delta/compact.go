@@ -1,0 +1,108 @@
+package delta
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/faultinject"
+)
+
+// Compaction state machine (driven by the serving layer under its
+// admin mutation gate):
+//
+//  1. Materialize: every live delta document is written into the
+//     source directory as <name>.xml (temp file + fsync + rename),
+//     every tombstoned base document's file is unlinked, and the
+//     directory is fsynced. Idempotent — a crash or injected failure
+//     anywhere leaves a prefix of identical-content renames, the WAL
+//     intact, and the old generation serving; the next attempt redoes
+//     the remainder.
+//  2. WAL truncate: the log's effects are now durable in the source
+//     directory, so the log empties. A crash between 1 and 2 replays
+//     ops whose documents are already materialized — the replay is
+//     idempotent (a put becomes a same-content replace, a delete of an
+//     absent name is skipped).
+//  3. Reload: the normal generation rebuild (ingest.Run over the
+//     source directory) picks the materialized documents up; the
+//     segment is rebased over the new corpus with the (now empty) WAL.
+//     A reload failure keeps the old generation serving with the old
+//     segment state — still correct, retried on the next cycle.
+
+// Materialize performs step 1 against the source directory.
+func (s *Segment) Materialize(dir string) error {
+	st := s.state.Load()
+	entries := make([]*docEntry, 0, len(st.live))
+	for _, e := range st.live {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		if err := materializeOne(dir, e.name, e.body); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(st.deadBase))
+	for _, name := range st.deadBase {
+		// A replaced base document's name is tombstoned AND live in the
+		// delta; the rename above already overwrote its file with the
+		// replacement. Only names with no live successor are unlinked.
+		if _, alive := st.live[name]; alive {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := faultinject.Hit(FPCompact); err != nil {
+			return fmt.Errorf("delta: compact: unlinking %s: %w", name, err)
+		}
+		path := filepath.Join(dir, name+".xml")
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("delta: compact: %w", err)
+		}
+	}
+	if err := faultinject.Hit(FPCompact); err != nil {
+		return fmt.Errorf("delta: compact: syncing %s: %w", dir, err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+func materializeOne(dir, name string, body []byte) error {
+	if err := faultinject.Hit(FPCompact); err != nil {
+		return fmt.Errorf("delta: compact: writing %s: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".delta-*.tmp")
+	if err != nil {
+		return fmt.Errorf("delta: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		return fmt.Errorf("delta: compact: writing %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("delta: compact: syncing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("delta: compact: %w", err)
+	}
+	if err := faultinject.Hit(FPCompact); err != nil {
+		return fmt.Errorf("delta: compact: renaming %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name+".xml")); err != nil {
+		return fmt.Errorf("delta: compact: %w", err)
+	}
+	return nil
+}
+
+// TruncateWAL performs step 2 under the compaction failpoint.
+func TruncateWAL(w *WAL) error {
+	if err := faultinject.Hit(FPCompact); err != nil {
+		return fmt.Errorf("delta: compact: truncating wal: %w", err)
+	}
+	return w.Truncate()
+}

@@ -1,0 +1,155 @@
+package delta
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CompactorConfig tunes the background compaction loop.
+type CompactorConfig struct {
+	// Interval is the periodic check cadence; <= 0 disables the timer
+	// (compactions then run only on Kick).
+	Interval time.Duration
+	// MaxDocs kicks an early compaction when the delta holds at least
+	// this many live documents (<= 0: no doc-count trigger).
+	MaxDocs int
+	// MaxTombstones kicks an early compaction at this many suppressed
+	// documents (<= 0: no tombstone trigger).
+	MaxTombstones int
+	// Run performs one compaction cycle (under the serving layer's
+	// admin gate). It must return nil when it skipped benignly (gate
+	// busy, nothing to do).
+	Run func(ctx context.Context) error
+	// Pending reports the current delta lag; the timer skips cycles
+	// with nothing pending.
+	Pending func() (docs, tombstones, walRecords int)
+	// Logf receives failure reports; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Compactor periodically folds the delta into a fresh base generation.
+// The loop is a plain select over a kick channel, a timer, and a stop
+// channel; a failed cycle keeps the old generation serving and is
+// retried on the next trigger.
+type Compactor struct {
+	cfg  CompactorConfig
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+
+	runs        atomic.Uint64
+	failures    atomic.Uint64
+	lastSuccess atomic.Int64 // unix nanos; 0 = never
+}
+
+// NewCompactor returns an idle compactor; call Start to run the loop.
+func NewCompactor(cfg CompactorConfig) *Compactor {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Compactor{
+		cfg:  cfg,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the background loop (idempotent).
+func (c *Compactor) Start() {
+	c.startOnce.Do(func() {
+		c.started.Store(true)
+		go c.loop()
+	})
+}
+
+// Stop terminates the loop and waits for any in-flight cycle to
+// finish (idempotent; a no-op when the loop never started).
+func (c *Compactor) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if c.started.Load() {
+		<-c.done
+	}
+}
+
+// Kick requests an immediate compaction cycle (non-blocking; collapses
+// with an already-pending kick).
+func (c *Compactor) Kick() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// MaybeKick kicks when the configured size thresholds are exceeded;
+// the serving layer calls it after every applied ingest.
+func (c *Compactor) MaybeKick() {
+	if c.cfg.Pending == nil {
+		return
+	}
+	docs, tombs, _ := c.cfg.Pending()
+	if (c.cfg.MaxDocs > 0 && docs >= c.cfg.MaxDocs) ||
+		(c.cfg.MaxTombstones > 0 && tombs >= c.cfg.MaxTombstones) {
+		c.Kick()
+	}
+}
+
+// Runs reports completed and failed cycle counts.
+func (c *Compactor) Runs() (runs, failures uint64) {
+	return c.runs.Load(), c.failures.Load()
+}
+
+// LastSuccess is the wall time of the last successful cycle (zero time
+// if none yet).
+func (c *Compactor) LastSuccess() time.Time {
+	ns := c.lastSuccess.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+func (c *Compactor) loop() {
+	defer close(c.done)
+	var tick <-chan time.Time
+	if c.cfg.Interval > 0 {
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.kick:
+			c.cycle()
+		case <-tick:
+			if c.cfg.Pending != nil {
+				docs, tombs, wal := c.cfg.Pending()
+				if docs == 0 && tombs == 0 && wal == 0 {
+					continue
+				}
+			}
+			c.cycle()
+		}
+	}
+}
+
+func (c *Compactor) cycle() {
+	if c.cfg.Run == nil {
+		return
+	}
+	c.runs.Add(1)
+	if err := c.cfg.Run(context.Background()); err != nil {
+		c.failures.Add(1)
+		c.cfg.Logf("delta: compaction failed (old generation keeps serving): %v", err)
+		return
+	}
+	c.lastSuccess.Store(time.Now().UnixNano())
+}

@@ -1,0 +1,229 @@
+package delta
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dil"
+	"repro/internal/ontoscore"
+	"repro/internal/xmltree"
+)
+
+// wireSegment attaches a fresh segment to a system, the way the
+// serving layer does: base statistics snapshot from the full-text
+// stage, live statistics view and calibrator on the base builder, base
+// provider for the delta builders' calibration, overlay on the query
+// engine, auxiliary documents for hydration.
+func wireSegment(sys *core.System, strat ontoscore.Strategy, cfg Config) *Segment {
+	seg := NewSegment(sys.Corpus(), sys.Builder().LocalTextStats(), cfg)
+	seg.InstallBase(strat, func() *dil.Builder { return sys.Builder() })
+	seg.SetBaseProvider(func(ontoscore.Strategy) *dil.Builder { return sys.Builder() })
+	sys.SetOverlay(seg.Overlay(strat, -1))
+	sys.SetAuxDocs(seg)
+	return seg
+}
+
+// compareSearches asserts two systems answer every test query
+// identically — results (Dewey IDs, exact float scores, document
+// names, element paths, keyword matches) and snippets alike — over
+// both the DIL and the RDIL merge.
+func compareSearches(t *testing.T, label string, got, want *core.System) {
+	t.Helper()
+	for _, q := range testQueries {
+		for _, ranked := range []bool{false, true} {
+			req := core.SearchRequest{Query: q, K: 10, Ranked: ranked, Explain: true}
+			g, err := got.Query(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%s: query %q: %v", label, q, err)
+			}
+			w, err := want.Query(context.Background(), req)
+			if err != nil {
+				t.Fatalf("%s: reference query %q: %v", label, q, err)
+			}
+			if !reflect.DeepEqual(g.Results, w.Results) {
+				t.Errorf("%s: query %q ranked=%v: results diverge\n got: %+v\nwant: %+v",
+					label, q, ranked, g.Results, w.Results)
+			}
+			if !reflect.DeepEqual(g.Snippets, w.Snippets) {
+				t.Errorf("%s: query %q ranked=%v: snippets diverge\n got: %q\nwant: %q",
+					label, q, ranked, g.Snippets, w.Snippets)
+			}
+		}
+	}
+}
+
+// scriptOp is one mutation of the differential script; body names the
+// fixture document whose serialized form is put (replacements put a
+// different document's content under an existing name).
+type scriptOp struct {
+	kind OpKind
+	name string
+	body string
+}
+
+// differentialScript exercises every delta transition over a base of
+// baseN documents: adds, a replace of a base document, a base
+// tombstone, a delete of a delta document, and a replace of a delta
+// document.
+func differentialScript(fx *fixture) []scriptOp {
+	n := fx.names
+	return []scriptOp{
+		{OpPut, n[6], n[6]},  // add
+		{OpPut, n[7], n[7]},  // add
+		{OpPut, n[2], n[8]},  // replace base document content
+		{OpDelete, n[3], ""}, // tombstone base document
+		{OpPut, n[9], n[9]},  // add ...
+		{OpDelete, n[9], ""}, // ... and delete it again (delta tombstone)
+		{OpPut, n[6], n[3]},  // replace a delta document
+	}
+}
+
+// trackScript independently computes the expected end state of a
+// script: the live body per name and the delta-assigned document ID
+// per delta-resident name.
+func trackScript(fx *fixture, baseN int, script []scriptOp) (live map[string]string, deltaID map[string]int32) {
+	live = map[string]string{}
+	for _, n := range fx.names[:baseN] {
+		live[n] = n
+	}
+	deltaID = map[string]int32{}
+	nextID := int32(baseN) // base corpus assigned 0..baseN-1
+	for _, o := range script {
+		if o.kind == OpPut {
+			live[o.name] = o.body
+			deltaID[o.name] = nextID
+			nextID++
+		} else {
+			delete(live, o.name)
+			delete(deltaID, o.name)
+		}
+	}
+	return live, deltaID
+}
+
+// replayScript applies the script to a segment op by op.
+func replayScript(t *testing.T, seg *Segment, fx *fixture, script []scriptOp) {
+	t.Helper()
+	for i, o := range script {
+		op := Op{Seq: uint64(i + 1), Kind: o.kind, Name: o.name}
+		if o.kind == OpPut {
+			op.Body = fx.bodies[o.body]
+		}
+		if err := seg.Apply(op); err != nil {
+			t.Fatalf("apply %d (%s %s): %v", i+1, o.kind, o.name, err)
+		}
+	}
+}
+
+// referenceCorpus assembles the corpus a full rebuild would produce
+// for the tracked end state: surviving base documents keep their
+// nodes and IDs; delta documents are re-parsed from their bodies and
+// carry the IDs the segment assigned.
+func referenceCorpus(t *testing.T, fx *fixture, base *xmltree.Corpus, live map[string]string, deltaID map[string]int32) *xmltree.Corpus {
+	t.Helper()
+	ref := xmltree.NewCorpus()
+	for _, d := range base.Docs() {
+		if _, isDelta := deltaID[d.Name]; isDelta {
+			continue // replaced: the delta's version wins
+		}
+		if _, ok := live[d.Name]; !ok {
+			continue // tombstoned
+		}
+		ref.AddExisting(d)
+	}
+	names := make([]string, 0, len(deltaID))
+	for name := range deltaID {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return deltaID[names[i]] < deltaID[names[j]] })
+	for _, name := range names {
+		doc := fx.parse(t, name, fx.bodies[live[name]])
+		doc.ID = deltaID[name]
+		doc.AssignDewey()
+		ref.AddExisting(doc)
+	}
+	return ref
+}
+
+// TestDifferentialBaseDeltaVsRebuild is the exactness contract: after
+// any mix of adds, replacements and deletions, a base+delta system
+// answers byte-identically to a system rebuilt from scratch over the
+// resulting document set — across all four OntoScore strategies and
+// both merge algorithms.
+func TestDifferentialBaseDeltaVsRebuild(t *testing.T) {
+	fx := newFixture(t, 9, 7)
+	const baseN = 6
+	for _, strat := range ontoscore.Strategies() {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = strat
+			base := fx.baseCorpus(t, baseN)
+			sys := core.NewMulti(base, fx.coll, cfg)
+			seg := wireSegment(sys, strat, Config{
+				Coll: fx.coll, Strategies: []ontoscore.Strategy{strat}, DIL: cfg.DIL,
+			})
+
+			// A clean overlay must not perturb anything.
+			plain := core.NewMulti(fx.baseCorpus(t, baseN), fx.coll, cfg)
+			compareSearches(t, "clean overlay", sys, plain)
+
+			script := differentialScript(fx)
+			replayScript(t, seg, fx, script)
+			live, deltaID := trackScript(fx, baseN, script)
+
+			ref := referenceCorpus(t, fx, base, live, deltaID)
+			refSys := core.NewMulti(ref, fx.coll, cfg)
+			compareSearches(t, "after script", sys, refSys)
+
+			if got, want := seg.Docs(), 3; got != want {
+				t.Errorf("live delta docs = %d, want %d", got, want)
+			}
+			if got, want := seg.BaseTombstones(), 2; got != want {
+				t.Errorf("base tombstones = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestDifferentialAfterRebase re-runs the comparison after a rebase
+// with pending ops — the crash-recovery shape, where a reload happens
+// while the WAL still holds unapplied records.
+func TestDifferentialAfterRebase(t *testing.T) {
+	fx := newFixture(t, 9, 7)
+	const baseN = 6
+	strat := ontoscore.StrategyRelationships
+	cfg := core.DefaultConfig()
+	cfg.Strategy = strat
+
+	base := fx.baseCorpus(t, baseN)
+	sys := core.NewMulti(base, fx.coll, cfg)
+	seg := wireSegment(sys, strat, Config{
+		Coll: fx.coll, Strategies: []ontoscore.Strategy{strat}, DIL: cfg.DIL,
+	})
+
+	script := differentialScript(fx)
+	ops := make([]Op, 0, len(script))
+	for i, o := range script {
+		op := Op{Seq: uint64(i + 1), Kind: o.kind, Name: o.name}
+		if o.kind == OpPut {
+			op.Body = fx.bodies[o.body]
+		}
+		ops = append(ops, op)
+	}
+	before := seg.Version()
+	if err := seg.Rebase(base, sys.Builder().LocalTextStats(), ops); err != nil {
+		t.Fatal(err)
+	}
+	if seg.Version() <= before {
+		t.Fatalf("version did not advance across rebase: %d -> %d", before, seg.Version())
+	}
+
+	live, deltaID := trackScript(fx, baseN, script)
+	ref := referenceCorpus(t, fx, base, live, deltaID)
+	refSys := core.NewMulti(ref, fx.coll, cfg)
+	compareSearches(t, "after rebase", sys, refSys)
+}

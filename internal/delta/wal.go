@@ -1,0 +1,425 @@
+// Package delta implements live incremental indexing: a crash-safe
+// write-ahead log and a small mutable delta segment that absorb
+// single-document adds, replacements, and deletions (tombstones)
+// between full generation rebuilds, LSM-style. Queries merge base +
+// delta posting lists with tombstone suppression through the query
+// engine's overlay hook, and a background compactor periodically folds
+// the delta into a fresh base generation via the existing refcounted
+// atomic-swap reload machinery.
+//
+// Durability contract: an acknowledged ingest has been fsynced into
+// the WAL before the response is written, so it survives a kill at any
+// instruction; on restart the WAL replays over the rebuilt base
+// through the same apply path. The WAL is truncated only after a
+// compaction has durably materialized its effects into the source
+// directory (write + fsync + rename + directory sync), so there is no
+// window in which an acknowledged operation exists nowhere durable.
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// Failpoints at the delta subsystem's durability boundaries (armed by
+// the crash-soak tests; inert in production).
+const (
+	// FPAppend fires twice per WAL append: before the frame write and
+	// before the fsync. An injected error aborts the append with the
+	// file rolled back to its pre-append length — exactly the state a
+	// crash at that instruction leaves behind after torn-tail recovery.
+	FPAppend = "delta.append"
+	// FPCompact fires before each durability point of a compaction
+	// (per-document temp write, rename, tombstone unlink, directory
+	// sync, WAL truncation). An injected error aborts the compaction;
+	// the old generation keeps serving and the WAL keeps its records.
+	FPCompact = "delta.compact"
+)
+
+// OpKind discriminates WAL operations.
+type OpKind uint8
+
+const (
+	// OpPut adds or replaces one document.
+	OpPut OpKind = 1
+	// OpDelete tombstones one document.
+	OpDelete OpKind = 2
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one logged ingest operation. Body is the validated XML source
+// for OpPut, empty for OpDelete. Seq is assigned by the WAL and
+// increases monotonically within one process lifetime; after a
+// truncation (compaction) and a restart, numbering may restart from 1.
+// Replay correctness depends only on in-log order, never on global
+// uniqueness of Seq.
+type Op struct {
+	Seq  uint64
+	Kind OpKind
+	Name string
+	Body []byte
+}
+
+// walMagic is the 8-byte file header; the version byte is part of it.
+const walMagic = "XWAL1\x00\x00\x00"
+
+// maxWALRecord bounds one record's payload; larger lengths mean
+// corruption, not a huge document (ingest limits are far below this).
+const maxWALRecord = 64 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeOp flattens an op into a WAL record payload: kind byte,
+// uvarint seq, uvarint name length + name, uvarint body length + body.
+// The payload is never empty (the kind byte), so an all-zero frame can
+// never decode as a valid record.
+func encodeOp(op Op) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(op.Name)+len(op.Body)+binary.MaxVarintLen64)
+	buf = append(buf, byte(op.Kind))
+	buf = binary.AppendUvarint(buf, op.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(op.Name)))
+	buf = append(buf, op.Name...)
+	buf = binary.AppendUvarint(buf, uint64(len(op.Body)))
+	buf = append(buf, op.Body...)
+	return buf
+}
+
+func decodeOp(payload []byte) (Op, error) {
+	if len(payload) == 0 {
+		return Op{}, fmt.Errorf("empty payload")
+	}
+	op := Op{Kind: OpKind(payload[0])}
+	if op.Kind != OpPut && op.Kind != OpDelete {
+		return Op{}, fmt.Errorf("unknown op kind %d", payload[0])
+	}
+	rest := payload[1:]
+	var n int
+	op.Seq, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return Op{}, fmt.Errorf("bad seq varint")
+	}
+	rest = rest[n:]
+	nameLen, n := binary.Uvarint(rest)
+	if n <= 0 || nameLen > uint64(len(rest)-n) {
+		return Op{}, fmt.Errorf("bad name length")
+	}
+	rest = rest[n:]
+	op.Name = string(rest[:nameLen])
+	if op.Name == "" {
+		return Op{}, fmt.Errorf("empty document name")
+	}
+	rest = rest[nameLen:]
+	bodyLen, n := binary.Uvarint(rest)
+	if n <= 0 || bodyLen != uint64(len(rest)-n) {
+		return Op{}, fmt.Errorf("bad body length")
+	}
+	if bodyLen > 0 {
+		op.Body = append([]byte(nil), rest[n:]...)
+	}
+	if op.Kind == OpDelete && len(op.Body) != 0 {
+		return Op{}, fmt.Errorf("delete op with body")
+	}
+	return op, nil
+}
+
+// WAL is the crash-safe write-ahead log of live ingest operations.
+// Framing per record: u32le payload length, u32le CRC32-C of the
+// payload, payload. Appends are fsynced before they return; replay
+// tolerates a torn frame at the tail (a crash mid-write) by truncating
+// it, and rejects corruption anywhere else.
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	off    int64 // committed append offset
+	seq    uint64
+	ops    []Op // records currently in the log, replay order
+	broken error
+}
+
+// OpenWAL opens (creating if absent) the WAL at path and replays its
+// records. A torn trailing frame is truncated and reported through
+// logf; corruption before the tail is an error.
+func OpenWAL(path string, logf func(format string, args ...any)) (*WAL, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("delta: wal: %w", err)
+	}
+	w := &WAL{f: f, path: path}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("delta: wal: %w", err)
+	}
+	if len(buf) == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("delta: wal: writing header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("delta: wal: %w", err)
+		}
+		syncDir(filepath.Dir(path))
+		w.off = int64(len(walMagic))
+		return w, nil
+	}
+	if len(buf) < len(walMagic) || string(buf[:len(walMagic)]) != walMagic {
+		// A header shorter than 8 bytes can only be a crash during
+		// creation (the header write is the file's first ever write); a
+		// full-length mismatch is somebody else's file.
+		if len(buf) < len(walMagic) && isZeroOrPrefix(buf) {
+			logf("delta: wal: torn header (%d bytes), reinitializing", len(buf))
+			if err := w.reset(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			return w, nil
+		}
+		f.Close()
+		return nil, fmt.Errorf("delta: wal: %s: bad magic", path)
+	}
+	off := int64(len(walMagic))
+	for {
+		rest := buf[off:]
+		if len(rest) == 0 {
+			break
+		}
+		torn := func(why string) bool {
+			logf("delta: wal: truncating torn tail at offset %d (%s)", off, why)
+			return true
+		}
+		if len(rest) < 8 {
+			if !torn("short frame header") {
+				break
+			}
+			if err := w.truncateTo(off); err != nil {
+				f.Close()
+				return nil, err
+			}
+			break
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length == 0 || length > maxWALRecord {
+			// A zero-length frame cannot be valid (payloads are never
+			// empty); an all-zero tail is preallocated/torn space, any
+			// other content is corruption.
+			if allZero(rest) {
+				torn("zero tail")
+				if err := w.truncateTo(off); err != nil {
+					f.Close()
+					return nil, err
+				}
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("delta: wal: %s: corrupt record length %d at offset %d", path, length, off)
+		}
+		if uint64(len(rest)-8) < uint64(length) {
+			torn("short payload")
+			if err := w.truncateTo(off); err != nil {
+				f.Close()
+				return nil, err
+			}
+			break
+		}
+		payload := rest[8 : 8+length]
+		atEOF := off+8+int64(length) == int64(len(buf))
+		if crc32.Checksum(payload, castagnoli) != sum {
+			if atEOF {
+				torn("checksum mismatch at tail")
+				if err := w.truncateTo(off); err != nil {
+					f.Close()
+					return nil, err
+				}
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("delta: wal: %s: checksum mismatch at offset %d", path, off)
+		}
+		op, derr := decodeOp(payload)
+		if derr != nil {
+			f.Close()
+			return nil, fmt.Errorf("delta: wal: %s: undecodable record at offset %d: %v", path, off, derr)
+		}
+		w.ops = append(w.ops, op)
+		if op.Seq > w.seq {
+			w.seq = op.Seq
+		}
+		off += 8 + int64(length)
+	}
+	if w.off == 0 {
+		w.off = off
+	}
+	return w, nil
+}
+
+func isZeroOrPrefix(buf []byte) bool {
+	for i, b := range buf {
+		if b != walMagic[i] && b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(buf []byte) bool {
+	for _, b := range buf {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reset rewrites the file to a bare header.
+func (w *WAL) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("delta: wal: %w", err)
+	}
+	if _, err := w.f.WriteAt([]byte(walMagic), 0); err != nil {
+		return fmt.Errorf("delta: wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("delta: wal: %w", err)
+	}
+	w.off = int64(len(walMagic))
+	w.ops = nil
+	return nil
+}
+
+func (w *WAL) truncateTo(off int64) error {
+	if err := w.f.Truncate(off); err != nil {
+		return fmt.Errorf("delta: wal: truncating torn tail: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("delta: wal: %w", err)
+	}
+	w.off = off
+	return nil
+}
+
+// Append assigns the next sequence number, frames the op, writes and
+// fsyncs it. On any failure (injected or real) the file is rolled back
+// to its pre-append length, so the log never acknowledges an op it
+// might not replay and never leaves a frame a later append would bury
+// mid-file.
+func (w *WAL) Append(kind OpKind, name string, body []byte) (Op, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return Op{}, fmt.Errorf("delta: wal: unusable after failed rollback: %w", w.broken)
+	}
+	op := Op{Seq: w.seq + 1, Kind: kind, Name: name}
+	if kind == OpPut {
+		op.Body = body
+	}
+	payload := encodeOp(op)
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+
+	// Crash point 1: before the frame reaches the file.
+	if err := faultinject.Hit(FPAppend); err != nil {
+		return Op{}, fmt.Errorf("delta: wal: append %s %q: %w", kind, name, err)
+	}
+	if _, err := w.f.WriteAt(frame, w.off); err != nil {
+		w.rollback()
+		return Op{}, fmt.Errorf("delta: wal: append %s %q: %w", kind, name, err)
+	}
+	// Crash point 2: frame written, fsync not yet reached. Rolling back
+	// leaves the same durable state a real crash would after torn-tail
+	// recovery: the op was never acknowledged and is not in the log.
+	if err := faultinject.Hit(FPAppend); err != nil {
+		w.rollback()
+		return Op{}, fmt.Errorf("delta: wal: append %s %q: %w", kind, name, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rollback()
+		return Op{}, fmt.Errorf("delta: wal: append %s %q: %w", kind, name, err)
+	}
+	w.off += int64(len(frame))
+	w.seq = op.Seq
+	w.ops = append(w.ops, op)
+	return op, nil
+}
+
+func (w *WAL) rollback() {
+	if err := w.f.Truncate(w.off); err != nil {
+		w.broken = err
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = err
+	}
+}
+
+// Truncate empties the log back to a bare header — called only after a
+// compaction has durably materialized every logged op elsewhere.
+// Sequence numbers keep counting from where they were.
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reset()
+}
+
+// Ops returns a copy of the records currently in the log, in replay
+// order.
+func (w *WAL) Ops() []Op {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Op(nil), w.ops...)
+}
+
+// Count is the number of records pending in the log (the delta-lag
+// gauge on /metrics).
+func (w *WAL) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.ops)
+}
+
+// LastSeq is the highest sequence number ever assigned.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close closes the underlying file.
+func (w *WAL) Close() error { return w.f.Close() }
+
+// syncDir fsyncs a directory so a just-created file's directory entry
+// is durable; best-effort (some filesystems refuse).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync()
+}

@@ -1,0 +1,312 @@
+package delta
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func openTestWAL(t *testing.T, path string) *WAL {
+	t.Helper()
+	w, err := OpenWAL(path, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// testOps is a small op mix: puts with bodies of varying lengths and a
+// delete.
+func testOps() []Op {
+	return []Op{
+		{Kind: OpPut, Name: "alpha", Body: []byte("<doc>alpha</doc>")},
+		{Kind: OpDelete, Name: "beta"},
+		{Kind: OpPut, Name: "gamma", Body: make([]byte, 300)}, // >255 forces a 2-byte varint
+	}
+}
+
+func appendOps(t *testing.T, w *WAL, ops []Op) {
+	t.Helper()
+	for _, op := range ops {
+		if _, err := w.Append(op.Kind, op.Name, op.Body); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// sameOps compares logged ops ignoring Seq (which the WAL assigns).
+func sameOps(got []Op, want []Op) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Name != w.Name || !reflect.DeepEqual(g.Body, w.Body) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	w := openTestWAL(t, path)
+	appendOps(t, w, testOps())
+	if got := w.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := w.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq = %d, want 3", got)
+	}
+	w.Close()
+
+	r := openTestWAL(t, path)
+	if !sameOps(r.Ops(), testOps()) {
+		t.Fatalf("replayed ops diverge: %+v", r.Ops())
+	}
+	for i, op := range r.Ops() {
+		if op.Seq != uint64(i+1) {
+			t.Fatalf("op %d has seq %d", i, op.Seq)
+		}
+	}
+	// The reopened log keeps numbering where it left off.
+	op, err := r.Append(OpDelete, "alpha", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Seq != 4 {
+		t.Fatalf("appended seq = %d, want 4", op.Seq)
+	}
+}
+
+func TestWALTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	w := openTestWAL(t, path)
+	appendOps(t, w, testOps())
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count(); got != 0 {
+		t.Fatalf("Count after truncate = %d", got)
+	}
+	// Sequence numbering continues within the process lifetime.
+	op, err := w.Append(OpPut, "delta", []byte("<doc/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Seq != 4 {
+		t.Fatalf("seq after truncate = %d, want 4", op.Seq)
+	}
+	w.Close()
+	r := openTestWAL(t, path)
+	if r.Count() != 1 || r.Ops()[0].Name != "delta" {
+		t.Fatalf("replay after truncate: %+v", r.Ops())
+	}
+}
+
+// TestWALTornTailEveryPrefix is the kill-anywhere property at the
+// durable-state level: a crash leaves some prefix of the log file (the
+// frame write precedes the fsync), and every possible prefix must
+// recover exactly the fully-framed records without error.
+func TestWALTornTailEveryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	w := openTestWAL(t, full)
+	appendOps(t, w, testOps())
+	w.Close()
+	buf, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record boundaries: offsets at which a whole record ends.
+	ends := []int64{int64(len(walMagic))}
+	r := openTestWAL(t, full)
+	off := int64(len(walMagic))
+	for _, op := range r.Ops() {
+		off += 8 + int64(len(encodeOp(op)))
+		ends = append(ends, off)
+	}
+	r.Close()
+	if ends[len(ends)-1] != int64(len(buf)) {
+		t.Fatalf("frame arithmetic: computed end %d, file %d", ends[len(ends)-1], len(buf))
+	}
+
+	wholeAt := func(cut int64) int {
+		n := 0
+		for _, e := range ends[1:] {
+			if cut >= e {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := int64(0); cut <= int64(len(buf)); cut++ {
+		path := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(path, buf[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cw, err := OpenWAL(path, func(string, ...any) {})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got, want := cw.Count(), wholeAt(cut); got != want {
+			cw.Close()
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, got, want)
+		}
+		// Recovery leaves an appendable log.
+		if _, err := cw.Append(OpDelete, "post-recovery", nil); err != nil {
+			cw.Close()
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		cw.Close()
+		rw, err := OpenWAL(path, func(string, ...any) {})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if got := rw.Count(); got != wholeAt(cut)+1 {
+			rw.Close()
+			t.Fatalf("cut %d: %d records after recovery append", cut, got)
+		}
+		rw.Close()
+	}
+}
+
+// TestWALZeroTail covers preallocated/zero-filled tail space: recovery
+// truncates it and keeps every record.
+func TestWALZeroTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	w := openTestWAL(t, path)
+	appendOps(t, w, testOps())
+	w.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	r := openTestWAL(t, path)
+	if !sameOps(r.Ops(), testOps()) {
+		t.Fatalf("ops after zero tail: %+v", r.Ops())
+	}
+}
+
+// TestWALMidFileCorruption: a flipped byte anywhere before the tail is
+// corruption, not a torn write — recovery must refuse rather than
+// silently drop acknowledged operations.
+func TestWALMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	w := openTestWAL(t, path)
+	appendOps(t, w, testOps())
+	w.Close()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the first record (offset: header + frame
+	// header + first payload byte).
+	buf[len(walMagic)+8] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, func(string, ...any) {}); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL0junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, func(string, ...any) {}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestWALTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	if err := os.WriteFile(path, []byte(walMagic[:3]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(path, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Count() != 0 {
+		t.Fatalf("records out of a torn header: %d", w.Count())
+	}
+	if _, err := w.Append(OpPut, "x", []byte("<d/>")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRecordLengthCorruption: a non-zero garbage length field
+// mid-tail must be rejected (only an all-zero tail is torn space).
+func TestWALRecordLengthCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	w := openTestWAL(t, path)
+	appendOps(t, w, testOps())
+	w.Close()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 8)
+	binary.LittleEndian.PutUint32(frame[:4], maxWALRecord+1)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(nil, castagnoli))
+	if err := os.WriteFile(path, append(buf, frame...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, func(string, ...any) {}); err == nil {
+		t.Fatal("oversized record length accepted")
+	}
+}
+
+// TestWALAppendCrashSoak arms the append failpoint at every kill site
+// (each append has two: pre-write and pre-sync) and verifies the
+// invariant the server's ack depends on: a failed append is fully
+// rolled back — never acknowledged, never replayed — and the log stays
+// usable for the retry and every later append.
+func TestWALAppendCrashSoak(t *testing.T) {
+	t.Cleanup(faultinject.DisableAll)
+	ops := testOps()
+	const hitsPerAppend = 2
+	for k := 0; k < len(ops)*hitsPerAppend; k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "delta.wal")
+		w := openTestWAL(t, path)
+		faultinject.Enable(FPAppend, faultinject.Spec{After: int64(k), Count: 1})
+		failures := 0
+		for _, op := range ops {
+			_, err := w.Append(op.Kind, op.Name, op.Body)
+			if err != nil {
+				failures++
+				// The client retry: must succeed now that the fault has
+				// burned.
+				if _, rerr := w.Append(op.Kind, op.Name, op.Body); rerr != nil {
+					t.Fatalf("kill %d: retry failed: %v", k, rerr)
+				}
+			}
+		}
+		faultinject.DisableAll()
+		if failures != 1 {
+			t.Fatalf("kill %d: %d failures, want exactly 1", k, failures)
+		}
+		w.Close()
+		r := openTestWAL(t, path)
+		if !sameOps(r.Ops(), ops) {
+			t.Fatalf("kill %d: replay diverges: %+v", k, r.Ops())
+		}
+		r.Close()
+	}
+}

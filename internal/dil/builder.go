@@ -112,19 +112,25 @@ type Builder struct {
 }
 
 // Calibrator supplies corpus-global score-calibration facts to a
-// builder that indexes only a partition of the corpus (one shard of a
-// sharded deployment). The paper's Section III normalizes each
-// keyword's IR scores by the maximum over the keyword's containing set;
-// on a partition that maximum is a global property, so shards exchange
-// it through the calibrator (internal/shard implements one over all
-// in-process shards). Combined with an ir.Stats overlay on the text
-// index, a partitioned builder produces node scores bit-identical to
-// the single-node builder.
+// builder whose local view differs from the live corpus — a shard of a
+// partitioned deployment, or any builder once a delta segment overlays
+// live adds and tombstones (internal/delta). The paper's Section III
+// normalizes each keyword's IR scores by the maximum over the
+// keyword's containing set; that maximum is a global property of the
+// live corpus, so it is exchanged through the calibrator
+// (internal/shard implements one over all in-process shards,
+// internal/delta one over base plus delta minus tombstones). Combined
+// with an ir.StatsView overlay on the text index, a builder produces
+// node scores bit-identical to a single-node builder over the live
+// corpus.
 type Calibrator interface {
 	// KeywordNorm returns the corpus-global normalization divisor for
 	// one keyword: the maximum raw BM25 score over the keyword's global
 	// containing set (see Builder.RawTextMax). A return <= 0 means "no
-	// global information; fall back to the local maximum".
+	// global information; fall back to the local maximum". A positive
+	// return is authoritative: it replaces the local maximum even when
+	// smaller (tombstones can shrink the true containing set below
+	// what this builder still has indexed).
 	KeywordNorm(keyword string) float64
 }
 
@@ -142,6 +148,11 @@ func (b *Builder) LocalTextStats() ir.Stats { return b.textIx.LocalStats() }
 // the full-text index, so BM25 on this partition scores with global
 // IDF and average length. Off-line only, like SetCalibrator.
 func (b *Builder) SetGlobalTextStats(s ir.Stats) { b.textIx.SetGlobalStats(s) }
+
+// SetGlobalTextStatsView installs a live statistics view instead of a
+// frozen snapshot (see ir.StatsView). The assignment is off-line only;
+// the view itself may answer from concurrently updated data.
+func (b *Builder) SetGlobalTextStatsView(v ir.StatsView) { b.textIx.SetGlobalStatsView(v) }
 
 // RanksMax reports the builder's ElemRank normalization factor (0 when
 // ElemRank is not configured).
@@ -167,6 +178,31 @@ func (b *Builder) RawTextMax(keyword string) float64 {
 	}
 	max := 0.0
 	for _, key := range b.posIx.PhraseDocs(terms) {
+		if s := b.textIx.BM25(b.params.Onto.BM25, key, terms); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// RawTextMaxLive is RawTextMax restricted to live documents: elements
+// whose document the dead predicate reports true for are excluded from
+// the containing set. A delta segment passes its tombstone set so the
+// normalization divisor tracks deletions before compaction folds them
+// into a fresh base.
+func (b *Builder) RawTextMaxLive(keyword string, dead func(docID int32) bool) float64 {
+	if dead == nil {
+		return b.RawTextMax(keyword)
+	}
+	terms := xmltree.Tokenize(keyword)
+	if len(terms) == 0 {
+		return 0
+	}
+	max := 0.0
+	for _, key := range b.posIx.PhraseDocs(terms) {
+		if dead(b.node(key).ID.DocID()) {
+			continue
+		}
 		if s := b.textIx.BM25(b.params.Onto.BM25, key, terms); s > max {
 			max = s
 		}
@@ -354,11 +390,14 @@ func (b *Builder) textScores(keyword string) map[ir.DocKey]float64 {
 			max = s
 		}
 	}
-	// On a corpus partition the normalization divisor is the GLOBAL
-	// maximum over the keyword's containing set, exchanged through the
-	// calibrator; the local maximum is only a lower bound on it.
+	// When this builder's view differs from the live corpus, the
+	// normalization divisor is the GLOBAL maximum over the keyword's
+	// live containing set, exchanged through the calibrator. A positive
+	// answer is authoritative — with tombstones the true global maximum
+	// can be smaller than the stale local one (and on a shard it is
+	// always >= local, so this also covers the partition case).
 	if b.calib != nil {
-		if g := b.calib.KeywordNorm(keyword); g > max {
+		if g := b.calib.KeywordNorm(keyword); g > 0 {
 			max = g
 		}
 	}

@@ -40,13 +40,10 @@ var ErrNoDocument = errors.New("docstore: no such document")
 // documents in ID order.
 func Save(kv *store.Store, corpus *xmltree.Corpus) error {
 	for _, doc := range corpus.Docs() {
-		var xmlBuf bytes.Buffer
-		if err := xmltree.WriteXML(&xmlBuf, doc.Root); err != nil {
-			return fmt.Errorf("docstore: serializing %q: %w", doc.Name, err)
+		val, err := encodeDoc(doc)
+		if err != nil {
+			return err
 		}
-		val := binary.AppendUvarint(nil, uint64(len(doc.Name)))
-		val = append(val, doc.Name...)
-		val = append(val, xmlBuf.Bytes()...)
 		if err := kv.Put(docKey(doc.ID), val); err != nil {
 			return err
 		}
@@ -155,6 +152,83 @@ func (d *Store) Document(id int32) (*xmltree.Document, error) {
 		delete(d.cache, oldest.Value.(cacheEntry).id)
 	}
 	return doc, nil
+}
+
+// encodeDoc serializes one document into the Save record format.
+func encodeDoc(doc *xmltree.Document) ([]byte, error) {
+	var xmlBuf bytes.Buffer
+	if err := xmltree.WriteXML(&xmlBuf, doc.Root); err != nil {
+		return nil, fmt.Errorf("docstore: serializing %q: %w", doc.Name, err)
+	}
+	val := binary.AppendUvarint(nil, uint64(len(doc.Name)))
+	val = append(val, doc.Name...)
+	val = append(val, xmlBuf.Bytes()...)
+	return val, nil
+}
+
+// Put persists one document (insert or replace) under its ID and
+// synchronizes the store — the live-ingestion write path. The parsed
+// tree enters the LRU cache as most recently used; a previously cached
+// version of the same ID is replaced, so readers never see the old
+// tree after Put returns.
+func (d *Store) Put(doc *xmltree.Document) error {
+	val, err := encodeDoc(doc)
+	if err != nil {
+		return err
+	}
+	if err := d.kv.Put(docKey(doc.ID), val); err != nil {
+		return err
+	}
+	if err := d.kv.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.cache[doc.ID]; ok {
+		d.order.Remove(el)
+	}
+	d.cache[doc.ID] = d.order.PushFront(cacheEntry{id: doc.ID, doc: doc})
+	for d.order.Len() > d.cacheSize {
+		oldest := d.order.Back()
+		d.order.Remove(oldest)
+		delete(d.cache, oldest.Value.(cacheEntry).id)
+	}
+	i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= doc.ID })
+	if i == len(d.ids) || d.ids[i] != doc.ID {
+		d.ids = append(d.ids, 0)
+		copy(d.ids[i+1:], d.ids[i:])
+		d.ids[i] = doc.ID
+	}
+	return nil
+}
+
+// Delete removes a persisted document and evicts its cached tree;
+// ErrNoDocument when the ID was never stored.
+func (d *Store) Delete(id int32) error {
+	d.mu.Lock()
+	i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= id })
+	known := i < len(d.ids) && d.ids[i] == id
+	d.mu.Unlock()
+	if !known {
+		return ErrNoDocument
+	}
+	if err := d.kv.Delete(docKey(id)); err != nil {
+		return err
+	}
+	if err := d.kv.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.cache[id]; ok {
+		d.order.Remove(el)
+		delete(d.cache, id)
+	}
+	i = sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= id })
+	if i < len(d.ids) && d.ids[i] == id {
+		d.ids = append(d.ids[:i], d.ids[i+1:]...)
+	}
+	return nil
 }
 
 // NodeAt resolves a corpus-wide Dewey identifier to its node.

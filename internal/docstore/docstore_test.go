@@ -252,3 +252,94 @@ func TestLoadCorpusNonContiguous(t *testing.T) {
 		t.Error("non-contiguous document ids accepted")
 	}
 }
+
+// TestPutDelete covers the live-ingestion write path: inserts and
+// replacements become visible immediately (including over a stale
+// cached tree), deletions evict, the ID index stays sorted, and the
+// LRU bound holds across writes.
+func TestPutDelete(t *testing.T) {
+	corpus := buildCorpus(t, 4)
+	d := openStores(t, corpus, 2)
+
+	// Replace document 1 with document 3's tree under the same ID; the
+	// cached old version must not survive.
+	if _, err := d.Document(1); err != nil {
+		t.Fatal(err)
+	}
+	repl := &xmltree.Document{Root: corpus.Docs()[3].Root, Name: "replacement"}
+	repl.ID = 1
+	repl.AssignDewey()
+	if err := d.Put(repl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Document(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "replacement" {
+		t.Fatalf("replaced document reads back as %q", got.Name)
+	}
+	if d.NumDocuments() != 4 {
+		t.Fatalf("NumDocuments after replace = %d", d.NumDocuments())
+	}
+
+	// Insert a brand-new ID out of order; IDs stays sorted.
+	add := &xmltree.Document{Root: corpus.Docs()[0].Root, Name: "added"}
+	add.ID = 9
+	add.AssignDewey()
+	if err := d.Put(add); err != nil {
+		t.Fatal(err)
+	}
+	ids := d.IDs()
+	if len(ids) != 5 || ids[len(ids)-1] != 9 {
+		t.Fatalf("IDs after insert = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted after insert: %v", ids)
+		}
+	}
+
+	// Delete: gone from reads, IDs, and the cache.
+	if err := d.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Document(1); !errors.Is(err, ErrNoDocument) {
+		t.Fatalf("deleted document read back: %v", err)
+	}
+	if d.NumDocuments() != 4 {
+		t.Fatalf("NumDocuments after delete = %d", d.NumDocuments())
+	}
+	if err := d.Delete(1); !errors.Is(err, ErrNoDocument) {
+		t.Fatalf("double delete: %v", err)
+	}
+
+	// The LRU bound holds across writes.
+	for _, id := range d.IDs() {
+		if _, err := d.Document(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	entries, order := len(d.cache), d.order.Len()
+	d.mu.Unlock()
+	if entries > 2 || order > 2 {
+		t.Fatalf("cache exceeded bound: map=%d list=%d", entries, order)
+	}
+
+	// Writes survive a reopen of the document store.
+	r, err := Open(d.kv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumDocuments() != 4 {
+		t.Fatalf("NumDocuments after reopen = %d", r.NumDocuments())
+	}
+	got, err = r.Document(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "added" {
+		t.Fatalf("inserted document reads back as %q after reopen", got.Name)
+	}
+}

@@ -30,8 +30,9 @@ type Index struct {
 
 	// global, when non-nil, overlays collection-wide statistics on a
 	// partition-local index so BM25-family scores match the unsharded
-	// corpus exactly (see SetGlobalStats in stats.go).
-	global *Stats
+	// corpus exactly (see SetGlobalStats / SetGlobalStatsView in
+	// stats.go).
+	global StatsView
 }
 
 // NewIndex returns an empty index.
@@ -81,7 +82,7 @@ func (ix *Index) Add(doc DocKey, tokens []string) {
 // overlay is installed).
 func (ix *Index) N() int {
 	if ix.global != nil {
-		return ix.global.N
+		return ix.global.StatsN()
 	}
 	return len(ix.docLen)
 }
@@ -90,7 +91,7 @@ func (ix *Index) N() int {
 // stats overlay is installed).
 func (ix *Index) DF(term string) int {
 	if ix.global != nil {
-		return ix.global.DF[term]
+		return ix.global.StatsDF(term)
 	}
 	return len(ix.postings[term])
 }
@@ -112,10 +113,11 @@ func (ix *Index) DocLen(doc DocKey) int { return ix.docLen[doc] }
 // (collection-global when a stats overlay is installed).
 func (ix *Index) AvgDocLen() float64 {
 	if ix.global != nil {
-		if ix.global.N == 0 {
+		n := ix.global.StatsN()
+		if n == 0 {
 			return 0
 		}
-		return float64(ix.global.TotalLen) / float64(ix.global.N)
+		return float64(ix.global.StatsTotalLen()) / float64(n)
 	}
 	if len(ix.docLen) == 0 {
 		return 0

@@ -49,6 +49,30 @@ func MergeStats(parts ...Stats) Stats {
 	return out
 }
 
+// StatsView is a read-only view of collection-global statistics. A
+// plain Stats snapshot implements it; a live deployment can instead
+// install a layered view (base snapshot plus a delta-segment
+// adjustment, see internal/delta) whose answers change as documents
+// are ingested or tombstoned. Implementations must be safe for
+// concurrent use — the scoring hot path calls them without locks.
+type StatsView interface {
+	// StatsN is the collection-global document count.
+	StatsN() int
+	// StatsTotalLen is the collection-global summed token length.
+	StatsTotalLen() int64
+	// StatsDF is the collection-global document frequency of a term.
+	StatsDF(term string) int
+}
+
+// StatsN implements StatsView.
+func (s Stats) StatsN() int { return s.N }
+
+// StatsTotalLen implements StatsView.
+func (s Stats) StatsTotalLen() int64 { return s.TotalLen }
+
+// StatsDF implements StatsView.
+func (s Stats) StatsDF(term string) int { return s.DF[term] }
+
 // SetGlobalStats overlays collection-global statistics on this index:
 // N, DF, and AvgDocLen answer from the overlay, while per-document
 // facts (TF, DocLen, postings) stay local. Pass a zero-N Stats to
@@ -59,14 +83,19 @@ func (ix *Index) SetGlobalStats(s Stats) {
 		ix.global = nil
 		return
 	}
-	ix.global = &s
+	ix.global = s
 }
 
-// GlobalStats reports the overlay installed by SetGlobalStats (zero
-// Stats when none is installed).
+// SetGlobalStatsView installs an arbitrary statistics view (nil
+// removes it). Like SetGlobalStats this assignment itself is off-line
+// only, but the installed view may answer from live data.
+func (ix *Index) SetGlobalStatsView(v StatsView) { ix.global = v }
+
+// GlobalStats reports the plain snapshot installed by SetGlobalStats
+// (zero Stats when none, or when the overlay is a live view).
 func (ix *Index) GlobalStats() (Stats, bool) {
-	if ix.global == nil {
-		return Stats{}, false
+	if s, ok := ix.global.(Stats); ok {
+		return s, true
 	}
-	return *ix.global, true
+	return Stats{}, false
 }

@@ -3,6 +3,7 @@ package query
 import (
 	"context"
 	"errors"
+	"strconv"
 
 	"repro/internal/dil"
 	"repro/internal/obs"
@@ -22,6 +23,16 @@ import (
 // disjoint.
 const irCacheKey = "\x00ir\x1f"
 
+// versionTag namespaces cache and flight keys by delta-overlay state
+// version. Lists built while a delta is live are only valid for the
+// exact state they were scored against (collection statistics and
+// normalization divisors move on every ingest); tagging the key makes
+// entries from superseded states unreachable instead of relying on a
+// racy purge.
+func versionTag(v uint64) string {
+	return "\x00v" + strconv.FormatUint(v, 36) + "\x1f"
+}
+
 func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
@@ -31,20 +42,21 @@ func isContextErr(err error) bool {
 // IR-only degraded form, and a context error if the caller gave up. The
 // sp parameter is the enclosing "query.keyword" span; this path tags it
 // with how the keyword was answered (cache, built).
-func (e *Engine) listResilient(ctx context.Context, sp *obs.Span, kw string, fb FallibleKeywordBuilder) (dil.List, bool, error) {
-	if l, ok := e.cache.Get(kw); ok {
+func (e *Engine) listResilient(ctx context.Context, sp *obs.Span, kw, tag string, fb FallibleKeywordBuilder) (dil.List, bool, error) {
+	ckey := tag + kw
+	if l, ok := e.cache.Get(ckey); ok {
 		sp.SetAttr("source", "cache")
 		return l, false, nil
 	}
 	if !e.breaker.Allow() {
 		sp.SetAttr("source", "built")
 		sp.SetAttr("breaker_open", true)
-		l, err := e.listIR(ctx, kw)
+		l, err := e.listIR(ctx, kw, tag)
 		return l, true, err
 	}
 	sp.SetAttr("source", "built")
-	l, err, _ := e.flights.Do(ctx, kw, func(fctx context.Context) (dil.List, error) {
-		if l, ok := e.cache.Get(kw); ok { // raced with another build
+	l, err, _ := e.flights.Do(ctx, ckey, func(fctx context.Context) (dil.List, error) {
+		if l, ok := e.cache.Get(ckey); ok { // raced with another build
 			return l, nil
 		}
 		var built dil.List
@@ -60,7 +72,7 @@ func (e *Engine) listResilient(ctx context.Context, sp *obs.Span, kw string, fb 
 			return nil, rerr
 		}
 		e.breaker.Success()
-		e.cache.Set(kw, built)
+		e.cache.Set(ckey, built)
 		return built, nil
 	})
 	if err == nil {
@@ -73,19 +85,19 @@ func (e *Engine) listResilient(ctx context.Context, sp *obs.Span, kw string, fb 
 	// scoring rather than failing the query.
 	obs.Default().WarnContext(ctx, "keyword degraded to IR-only scoring",
 		"keyword", kw, "error", err.Error())
-	l, ferr := e.listIR(ctx, kw)
+	l, ferr := e.listIR(ctx, kw, tag)
 	return l, true, ferr
 }
 
 // listIR builds (and caches, under a separate key) the IR-only list of
 // a keyword. Builders without an IR fallback yield no list — the
 // keyword reads as absent, which is still not an error.
-func (e *Engine) listIR(ctx context.Context, kw string) (dil.List, error) {
+func (e *Engine) listIR(ctx context.Context, kw, tag string) (dil.List, error) {
 	irb, ok := e.builder.(IRKeywordBuilder)
 	if !ok {
 		return nil, nil
 	}
-	ckey := irCacheKey + kw
+	ckey := irCacheKey + tag + kw
 	if l, ok := e.cache.Get(ckey); ok {
 		return l, nil
 	}

@@ -144,6 +144,8 @@ type Engine struct {
 
 	breaker *resilience.Breaker // guards the ontology build path
 	retry   resilience.RetryPolicy
+
+	overlay Overlay // live delta overlay (nil when not serving deltas)
 }
 
 // NewEngine returns an engine reading lists from source, consulting
@@ -176,6 +178,7 @@ func (e *Engine) Breaker() *resilience.Breaker { return e.breaker }
 type resolved struct {
 	list    dil.List
 	compact *dil.CompactList
+	delta   bool // true when a live delta overlay changed the list
 }
 
 // list resolves one keyword's posting list, building and caching it on
@@ -184,11 +187,14 @@ type resolved struct {
 // the ontology path failed or the breaker was open (see degrade.go).
 // Each resolution is recorded as a "query.keyword" span whose source
 // attribute says how it was answered (index, cache, built).
-func (e *Engine) list(ctx context.Context, kw string) (resolved, bool, error) {
+func (e *Engine) list(ctx context.Context, kw string, ov OverlayView) (resolved, bool, error) {
 	ctx, sp := obs.StartSpan(ctx, "query.keyword")
 	sp.SetAttr("keyword", kw)
 	defer sp.End()
-	r, degraded, err := e.listInner(ctx, sp, kw)
+	r, degraded, err := e.listInner(ctx, sp, kw, ov)
+	if err == nil && ov != nil {
+		r, degraded, err = e.combine(ctx, sp, kw, ov, r, degraded)
+	}
 	if degraded {
 		sp.SetAttr("degraded", true)
 	}
@@ -200,37 +206,88 @@ func (e *Engine) list(ctx context.Context, kw string) (resolved, bool, error) {
 	return r, degraded, err
 }
 
-func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (resolved, bool, error) {
+// combine merges the live delta overlay into one keyword's resolved
+// base list. If the delta's ontology path fails, the whole keyword
+// degrades to IR-only scoring — base and delta postings must score
+// under the same NS function or their relative order would be
+// meaningless.
+func (e *Engine) combine(ctx context.Context, sp *obs.Span, kw string, ov OverlayView, r resolved, degraded bool) (resolved, bool, error) {
+	merged, changed, err := ov.Combine(ctx, kw, r.list, degraded)
+	if err != nil {
+		if isContextErr(err) || ctx.Err() != nil {
+			return resolved{}, false, err
+		}
+		e.breaker.Failure()
+		obs.Default().WarnContext(ctx, "keyword degraded to IR-only scoring (delta overlay)",
+			"keyword", kw, "error", err.Error())
+		base := r.list
+		if !degraded {
+			var tag string
+			if ov.Dirty() {
+				tag = versionTag(ov.Version())
+			}
+			var ferr error
+			if base, ferr = e.listIR(ctx, kw, tag); ferr != nil {
+				return resolved{}, false, ferr
+			}
+		}
+		r = resolved{list: base}
+		degraded = true
+		if merged, changed, err = ov.Combine(ctx, kw, base, true); err != nil {
+			return resolved{}, false, err
+		}
+	}
+	if changed {
+		r = resolved{list: merged, delta: true}
+		sp.SetAttr("delta", true)
+	}
+	return r, degraded, nil
+}
+
+func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string, ov OverlayView) (resolved, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return resolved{}, false, err
 	}
-	if l := e.source.List(kw); l != nil {
-		sp.SetAttr("source", "index")
-		r := resolved{list: l}
-		if cs, ok := e.source.(CompactSource); ok {
-			r.compact = cs.Compact(kw)
+	// A dirty delta overlay invalidates prebuilt base lists: their
+	// baked-in scores predate the live collection statistics. Resolve
+	// through the builder instead, caching under a version-tagged key so
+	// lists built against a superseded state can never be served after
+	// the next ingest (the stale entries age out of the LRU).
+	var tag string
+	if ov != nil && ov.Dirty() {
+		tag = versionTag(ov.Version())
+		sp.SetAttr("base_bypassed", true)
+	}
+	if tag == "" {
+		if l := e.source.List(kw); l != nil {
+			sp.SetAttr("source", "index")
+			r := resolved{list: l}
+			if cs, ok := e.source.(CompactSource); ok {
+				r.compact = cs.Compact(kw)
+			}
+			return r, false, nil
 		}
-		return r, false, nil
 	}
 	if e.builder == nil {
 		sp.SetAttr("source", "none")
 		return resolved{}, false, nil
 	}
 	if fb, ok := e.builder.(FallibleKeywordBuilder); ok {
-		l, degraded, err := e.listResilient(ctx, sp, kw, fb)
+		l, degraded, err := e.listResilient(ctx, sp, kw, tag, fb)
 		return resolved{list: l}, degraded, err
 	}
-	if l, ok := e.cache.Get(kw); ok {
+	ckey := tag + kw
+	if l, ok := e.cache.Get(ckey); ok {
 		sp.SetAttr("source", "cache")
 		return resolved{list: l}, false, nil
 	}
 	sp.SetAttr("source", "built")
-	l, err, _ := e.flights.Do(ctx, kw, func(fctx context.Context) (dil.List, error) {
-		if l, ok := e.cache.Get(kw); ok { // raced with another build
+	l, err, _ := e.flights.Do(ctx, ckey, func(fctx context.Context) (dil.List, error) {
+		if l, ok := e.cache.Get(ckey); ok { // raced with another build
 			return l, nil
 		}
 		l := e.buildPlain(fctx, kw)
-		e.cache.Set(kw, l)
+		e.cache.Set(ckey, l)
 		return l, nil
 	})
 	return resolved{list: l}, false, err
@@ -243,14 +300,14 @@ func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string) (resolv
 // the keywords whose lists degraded to IR-only scoring. The whole stage
 // is one "query.resolve_keywords" span with a "query.keyword" child per
 // keyword.
-func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]resolved, []string, error) {
+func (e *Engine) resolve(ctx context.Context, keywords []Keyword, ov OverlayView) ([]resolved, []string, error) {
 	ctx, sp := obs.StartSpan(ctx, "query.resolve_keywords")
 	sp.SetAttr("keywords", len(keywords))
 	defer sp.End()
 	lists := make([]resolved, len(keywords))
 	degraded := make([]bool, len(keywords))
 	if len(keywords) == 1 {
-		l, deg, err := e.list(ctx, string(keywords[0]))
+		l, deg, err := e.list(ctx, string(keywords[0]), ov)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -263,7 +320,7 @@ func (e *Engine) resolve(ctx context.Context, keywords []Keyword) ([]resolved, [
 		wg.Add(1)
 		go func(i int, kw string) {
 			defer wg.Done()
-			lists[i], degraded[i], errs[i] = e.list(ctx, kw)
+			lists[i], degraded[i], errs[i] = e.list(ctx, kw, ov)
 		}(i, string(kw))
 	}
 	wg.Wait()
@@ -341,11 +398,22 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	sp.SetAttr("ranked", req.Ranked)
 	defer sp.End()
 
-	res, degraded, err := e.resolve(ctx, req.Keywords)
+	var ov OverlayView
+	if e.overlay != nil {
+		ov = e.overlay.Acquire()
+	}
+	res, degraded, err := e.resolve(ctx, req.Keywords, ov)
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{Info: Info{Degraded: len(degraded) > 0, DegradedKeywords: degraded}}
+	deltaMerged := false
+	for _, r := range res {
+		if r.delta {
+			deltaMerged = true
+			break
+		}
+	}
 	lists := make([]dil.List, len(res))
 	compact := make([]*dil.CompactList, len(res))
 	for i, r := range res {
@@ -357,6 +425,9 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 
 	_, msp := obs.StartSpan(ctx, "query.dil_merge")
 	msp.SetAttr("algorithm", map[bool]string{false: "DIL", true: "RDIL"}[req.Ranked])
+	if deltaMerged {
+		msp.SetAttr("delta_merged", true)
+	}
 	if req.Ranked {
 		resp.Results = RunRanked(lists, e.params.Decay, k)
 	} else {

@@ -6,13 +6,21 @@ import (
 	"repro/internal/xmltree"
 )
 
+// NodeSource resolves corpus-wide Dewey identifiers to nodes.
+// *xmltree.Corpus satisfies it; a delta-aware system satisfies it with
+// a lookup that also covers live delta documents the base corpus has
+// never seen (core.System.NodeAt).
+type NodeSource interface {
+	NodeAt(id xmltree.Dewey) *xmltree.Node
+}
+
 // Snippet builds a short human-readable preview of a result: for each
 // query keyword, the textual description of its best supporting node,
 // trimmed to a window around the match. Nodes matched ontologically
 // (whose text does not contain the keyword) are previewed with the
 // keyword annotated, making the ontological connection visible in
 // result lists.
-func Snippet(c *xmltree.Corpus, r Result, keywords []Keyword, window int) string {
+func Snippet(c NodeSource, r Result, keywords []Keyword, window int) string {
 	if window <= 0 {
 		window = 8
 	}

@@ -177,9 +177,21 @@ type ReloadStatus struct {
 // admitted before the flip and is released once they finish; the
 // result cache is purged (entries are epoch-keyed, so this frees
 // memory rather than correctness); breaker and keyword-cache state
-// start fresh with the new generation's systems. Concurrent reloads
-// are serialized.
+// start fresh with the new generation's systems. Reload blocks on the
+// admin mutation gate, so it serializes with live ingests and
+// compaction cycles as well as with other reloads.
 func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
+	if s.reloader == nil {
+		return nil, errReloadNotConfigured
+	}
+	s.lockAdmin()
+	defer s.unlockAdmin()
+	return s.reloadLocked(ctx)
+}
+
+// reloadLocked is Reload under an already-held admin gate (the HTTP
+// handler and the compactor acquire it themselves).
+func (s *Server) reloadLocked(ctx context.Context) (*ReloadStatus, error) {
 	if s.reloader == nil {
 		return nil, errReloadNotConfigured
 	}
@@ -198,6 +210,20 @@ func (s *Server) Reload(ctx context.Context) (*ReloadStatus, error) {
 	}
 	next := newGeneration(s.gen.Load().num+1, data.Corpus, data.Collection, s.cfg)
 	next.onRelease = s.fireRelease
+	if s.seg != nil {
+		// Live ingestion: attach the segment to the cold generation,
+		// then rebase it over the new corpus, replaying whatever the WAL
+		// still holds (empty after a compaction; the live delta after a
+		// plain reload — acknowledged ingests survive the reload). The
+		// rebase runs before the swap so a failure aborts cleanly with
+		// the old generation and old segment state intact.
+		s.wireGeneration(next)
+		first := ontoscore.Strategies()[0]
+		stats := next.systems[first].Builder().LocalTextStats()
+		if err := s.seg.Rebase(data.Corpus, stats, s.wal.Ops()); err != nil {
+			return nil, fmt.Errorf("reload: rebasing delta segment: %w", err)
+		}
+	}
 	// Roll the shard cluster before flipping the server generation:
 	// per-shard swaps are independent, so one failed shard keeps its
 	// previous partition while the rest advance with the new corpus.

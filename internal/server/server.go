@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/faultinject"
 	"repro/internal/ingest"
 	"repro/internal/obs"
@@ -121,6 +122,19 @@ type Server struct {
 	releaseHook func(num uint64)
 	lastIngest  atomic.Pointer[ingest.Report]
 
+	// admin is the mutation gate: one token serializes /admin/ingest,
+	// /admin/reload, SIGHUP reloads, and compaction cycles. HTTP
+	// callers try-acquire and answer 409; Reload blocks; the compactor
+	// skips benignly.
+	admin chan struct{}
+
+	// seg/wal/compactor are the live-ingestion plane (EnableDelta);
+	// all nil when live ingestion is off.
+	seg       *delta.Segment
+	wal       *delta.WAL
+	compactor *delta.Compactor
+	dcfg      DeltaConfig
+
 	readyMu sync.Mutex
 	ready   []readyCheck
 }
@@ -146,6 +160,7 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 		logf:   log.Printf,
 		tracer: obs.NewTracer(obs.DefaultTraceCapacity),
 		reg:    obs.NewRegistry(),
+		admin:  make(chan struct{}, 1),
 	}
 	s.gen.Store(newGeneration(1, corpus, coll, cfg))
 	s.svc = serving.NewService(scfg, s.execSearch)
@@ -172,6 +187,7 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	s.mux.HandleFunc("/admin/ingest", s.handleAdminIngest)
 	s.mux.Handle("/debug/traces", s.tracer.Handler())
 	return s
 }
@@ -356,7 +372,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func metricPath(p string) string {
 	switch p {
 	case "/search", "/fragment", "/concepts", "/ontoscore", "/stats",
-		"/metrics", "/healthz", "/readyz", "/admin/reload", "/debug/traces":
+		"/metrics", "/healthz", "/readyz", "/admin/reload", "/admin/ingest",
+		"/debug/traces":
 		return p
 	default:
 		return "other"
@@ -536,7 +553,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Query:    query.Normalize(q),
 		K:        k,
 		Offset:   offset,
-		Epoch:    g.num,
+		Epoch:    s.epoch(g),
 		NoCache:  withTrace,
 	})
 	if err != nil {
@@ -640,8 +657,12 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad dewey id: %v", err)
 		return
 	}
-	n := s.reqGen(r).corpus.NodeAt(id)
-	if n == nil {
+	// Resolve through the generation's system rather than the corpus
+	// directly: live delta documents are not in the base corpus, and
+	// the system's auxiliary source covers them.
+	g := s.reqGen(r)
+	n := g.systems[ontoscore.StrategyRelationships].NodeAt(id)
+	if n == nil || (s.seg != nil && s.seg.IsDead(id.DocID())) {
 		writeError(w, http.StatusNotFound, "no element at %s", idStr)
 		return
 	}
@@ -845,6 +866,9 @@ type ReadyResponse struct {
 	// LastIngest summarizes the ingestion run behind the active data
 	// set, when the corpus came through the pipeline.
 	LastIngest *ingest.Report `json:"lastIngest,omitempty"`
+	// Delta reports live-ingestion lag (EnableDelta only): acknowledged
+	// operations not yet folded into a base generation.
+	Delta *DeltaStatus `json:"delta,omitempty"`
 }
 
 // handleReadyz is deep readiness: every registered dependency check
@@ -861,6 +885,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Checks:     make(map[string]string),
 		Breakers:   make(map[string]resilience.BreakerMetrics, len(g.systems)),
 		LastIngest: s.lastIngest.Load(),
+		Delta:      s.deltaStatus(),
 	}
 	if g.corpus.Stats().Documents == 0 {
 		resp.Ready = false
@@ -914,20 +939,26 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // registered ReloadFunc rebuilds the corpus (running the ingestion
 // pipeline when configured), a new generation is built off-line, and
 // the server swaps to it atomically. The old generation finishes its
-// in-flight requests and is then released. Reloads are serialized;
-// POST only.
+// in-flight requests and is then released. The handler try-acquires
+// the admin mutation gate — a concurrent ingest, reload, or compaction
+// answers 409 with Retry-After instead of queueing. POST only.
 func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "reload requires POST")
 		return
 	}
-	status, err := s.Reload(r.Context())
+	if s.reloader == nil {
+		writeError(w, http.StatusNotImplemented, "%v", errReloadNotConfigured)
+		return
+	}
+	if !s.tryLockAdmin() {
+		writeAdminBusy(w)
+		return
+	}
+	defer s.unlockAdmin()
+	status, err := s.reloadLocked(r.Context())
 	if err != nil {
-		if err == errReloadNotConfigured {
-			writeError(w, http.StatusNotImplemented, "%v", err)
-			return
-		}
 		s.logf("server: reload failed: %v", err)
 		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
 		return

@@ -311,6 +311,13 @@ func (s *Sharded) slotFor(docID int32) *slot {
 	if i := s.c.ownerOf(docID); i >= 0 {
 		return s.c.slots[i]
 	}
+	// Delta documents are in no base partition; the segment records the
+	// slot that owns them.
+	if d := s.c.delta; d != nil {
+		if i := d.OwnerOf(docID); i >= 0 && i < len(s.c.slots) {
+			return s.c.slots[i]
+		}
+	}
 	// Transient miss across a partial reload: fall back to scanning the
 	// live generations.
 	for _, sl := range s.c.slots {

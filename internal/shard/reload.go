@@ -52,6 +52,7 @@ func (c *Cluster) Reload(ctx context.Context, corpus *xmltree.Corpus, coll *onto
 	gens := c.buildGens(partition(corpus, len(c.slots)))
 	c.exchangeStats(gens)
 	c.installCalibrators(gens)
+	c.installDelta(gens)
 	buildUS := time.Since(start).Microseconds()
 
 	results := make([]ReloadResult, 0, len(c.slots))

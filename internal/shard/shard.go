@@ -36,13 +36,13 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dil"
 	"repro/internal/ir"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
@@ -181,6 +181,12 @@ type Cluster struct {
 
 	reloadMu sync.Mutex
 
+	// delta, when non-nil, overlays every slot with a live segment
+	// (InstallDelta); deltaBase returns the full-corpus calibration
+	// authority per strategy. Written under reloadMu before traffic.
+	delta     DeltaOverlay
+	deltaBase func(st ontoscore.Strategy) *dil.Builder
+
 	metrics *metrics // nil until Instrument
 }
 
@@ -189,16 +195,10 @@ type Cluster struct {
 // the same document lands on the same shard across reloads and across
 // processes regardless of ingestion order.
 func shardOf(doc *xmltree.Document, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnv.New32a()
 	if doc.Name != "" {
-		_, _ = h.Write([]byte(doc.Name))
-	} else {
-		_, _ = h.Write([]byte(strconv.FormatInt(int64(doc.ID), 10)))
+		return shardOfName(doc.Name, n)
 	}
-	return int(h.Sum32() % uint32(n))
+	return shardOfName(strconv.FormatInt(int64(doc.ID), 10), n)
 }
 
 // partition splits a corpus into n document-partition views sharing
