@@ -113,7 +113,7 @@ delta:
 	$(GO) vet ./internal/delta/...
 	$(GO) test -race -count=1 ./internal/delta/...
 	$(GO) test -race -count=1 ./internal/server -run \
-		'TestLiveIngest|TestIngestValidation|TestAdminGate|TestDeltaWAL|TestCompaction|TestShardedDelta'
+		'TestLiveIngest|TestIngestValidation|TestAdminGate|TestDeltaWAL|TestCompaction|TestShardedDelta|TestReloadWithPendingWAL'
 
 bench-delta-report:
 	BENCH_DELTA=1 $(GO) test . -run TestWriteDeltaBenchReport -count=1 -v

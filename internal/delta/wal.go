@@ -18,6 +18,7 @@ package delta
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -79,9 +80,17 @@ type Op struct {
 // walMagic is the 8-byte file header; the version byte is part of it.
 const walMagic = "XWAL1\x00\x00\x00"
 
-// maxWALRecord bounds one record's payload; larger lengths mean
-// corruption, not a huge document (ingest limits are far below this).
+// maxWALRecord bounds one record's payload; OpenWAL treats larger
+// lengths as corruption, so Append must refuse to write them in the
+// first place (see ErrRecordTooLarge).
 const maxWALRecord = 64 << 20
+
+// ErrRecordTooLarge reports an op whose encoded payload exceeds the
+// WAL framing bound. Append rejects such ops before writing anything:
+// a frame this large would be accepted today and then rejected by
+// OpenWAL as a corrupt record length on the next start, poisoning the
+// log mid-file and losing every acknowledged op behind it.
+var ErrRecordTooLarge = errors.New("record exceeds WAL frame limit")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -335,6 +344,10 @@ func (w *WAL) Append(kind OpKind, name string, body []byte) (Op, error) {
 		op.Body = body
 	}
 	payload := encodeOp(op)
+	if len(payload) > maxWALRecord {
+		return Op{}, fmt.Errorf("delta: wal: append %s %q: payload of %d bytes over the %d limit: %w",
+			kind, name, len(payload), maxWALRecord, ErrRecordTooLarge)
+	}
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))

@@ -2,6 +2,7 @@ package delta
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -308,5 +309,35 @@ func TestWALAppendCrashSoak(t *testing.T) {
 			t.Fatalf("kill %d: replay diverges: %+v", k, r.Ops())
 		}
 		r.Close()
+	}
+}
+
+// An op whose encoded payload exceeds the frame limit is refused
+// before anything reaches the file: OpenWAL treats such a length as a
+// corrupt record, so writing it would poison the log mid-file and lose
+// every acknowledged op behind it on the next start.
+func TestWALAppendRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "delta.wal")
+	w := openTestWAL(t, path)
+	if _, err := w.Append(OpPut, "small", []byte("<doc/>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(OpPut, "huge", make([]byte, maxWALRecord+1)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append error = %v, want ErrRecordTooLarge", err)
+	}
+	// The rejection left the log untouched and usable.
+	if n := w.Count(); n != 1 {
+		t.Fatalf("Count after rejected append = %d, want 1", n)
+	}
+	if _, err := w.Append(OpPut, "after", []byte("<doc>ok</doc>")); err != nil {
+		t.Fatalf("append after rejection: %v", err)
+	}
+	w.Close()
+	r := openTestWAL(t, path)
+	if !sameOps(r.Ops(), []Op{
+		{Kind: OpPut, Name: "small", Body: []byte("<doc/>")},
+		{Kind: OpPut, Name: "after", Body: []byte("<doc>ok</doc>")},
+	}) {
+		t.Fatalf("replay after rejected append diverges: %+v", r.Ops())
 	}
 }

@@ -145,6 +145,11 @@ func (d *Store) Document(id int32) (*xmltree.Document, error) {
 		d.order.MoveToFront(el)
 		return el.Value.(cacheEntry).doc, nil
 	}
+	if i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= id }); i == len(d.ids) || d.ids[i] != id {
+		// Deleted while we were parsing; caching the tree now would let
+		// the tombstoned document hydrate stale.
+		return nil, ErrNoDocument
+	}
 	d.cache[id] = d.order.PushFront(cacheEntry{id: id, doc: doc})
 	for d.order.Len() > d.cacheSize {
 		oldest := d.order.Back()
@@ -167,23 +172,27 @@ func encodeDoc(doc *xmltree.Document) ([]byte, error) {
 }
 
 // Put persists one document (insert or replace) under its ID and
-// synchronizes the store — the live-ingestion write path. The parsed
-// tree enters the LRU cache as most recently used; a previously cached
+// synchronizes the store — with Delete, the docstore's single-document
+// write path for persistent deployments (the server's live ingest
+// keeps documents in the delta segment instead). The parsed tree
+// enters the LRU cache as most recently used; a previously cached
 // version of the same ID is replaced, so readers never see the old
-// tree after Put returns.
+// tree after Put returns. The mutex is held across the key-value write
+// so a concurrent Delete of the same ID cannot interleave and leave
+// the cache disagreeing with the store.
 func (d *Store) Put(doc *xmltree.Document) error {
 	val, err := encodeDoc(doc)
 	if err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.kv.Put(docKey(doc.ID), val); err != nil {
 		return err
 	}
 	if err := d.kv.Sync(); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if el, ok := d.cache[doc.ID]; ok {
 		d.order.Remove(el)
 	}
@@ -203,13 +212,15 @@ func (d *Store) Put(doc *xmltree.Document) error {
 }
 
 // Delete removes a persisted document and evicts its cached tree;
-// ErrNoDocument when the ID was never stored.
+// ErrNoDocument when the ID was never stored. The mutex is held from
+// the existence check through the key-value delete and the eviction,
+// so no concurrent Put or loader can observe (or recreate) a cache
+// entry for an ID the store no longer holds.
 func (d *Store) Delete(id int32) error {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= id })
-	known := i < len(d.ids) && d.ids[i] == id
-	d.mu.Unlock()
-	if !known {
+	if i == len(d.ids) || d.ids[i] != id {
 		return ErrNoDocument
 	}
 	if err := d.kv.Delete(docKey(id)); err != nil {
@@ -218,16 +229,11 @@ func (d *Store) Delete(id int32) error {
 	if err := d.kv.Sync(); err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if el, ok := d.cache[id]; ok {
 		d.order.Remove(el)
 		delete(d.cache, id)
 	}
-	i = sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= id })
-	if i < len(d.ids) && d.ids[i] == id {
-		d.ids = append(d.ids[:i], d.ids[i+1:]...)
-	}
+	d.ids = append(d.ids[:i], d.ids[i+1:]...)
 	return nil
 }
 

@@ -98,26 +98,26 @@ func (s *Server) EnableDelta(cfg DeltaConfig) error {
 	// The base statistics snapshot is the full-text stage over the full
 	// corpus — strategy-independent, so any system's builder answers.
 	first := ontoscore.Strategies()[0]
-	s.seg = delta.NewSegment(g.corpus, g.systems[first].Builder().LocalTextStats(), delta.Config{
+	seg := delta.NewSegment(g.corpus, g.systems[first].Builder().LocalTextStats(), delta.Config{
 		Coll:       g.coll,
 		Strategies: ontoscore.Strategies(),
 		DIL:        s.cfg.DIL,
 		Limits:     cfg.Ingest.Limits,
 		Owner:      owner,
 	})
-	s.seg.SetBaseProvider(s.baseBuilder)
-	s.wireGeneration(g)
-	if s.cluster != nil {
-		s.cluster.InstallDelta(s.seg, s.baseBuilder)
-	}
+	seg.SetBaseProvider(s.baseBuilder)
 
+	// Open and replay the WAL before any serving-side wiring: a failed
+	// replay must leave the active generation exactly as it was, with no
+	// overlays or live statistics views referencing an abandoned,
+	// half-applied segment.
 	wal, err := delta.OpenWAL(cfg.WALPath, s.logf)
 	if err != nil {
 		return err
 	}
 	replayed := 0
 	for _, op := range wal.Ops() {
-		if err := s.seg.Apply(op); err != nil {
+		if err := seg.Apply(op); err != nil {
 			var unknown delta.ErrUnknownDocument
 			if errors.As(err, &unknown) {
 				// A delete whose target a pre-crash compaction already
@@ -126,12 +126,17 @@ func (s *Server) EnableDelta(cfg DeltaConfig) error {
 				continue
 			}
 			wal.Close()
-			s.seg = nil
 			return fmt.Errorf("delta: replaying %s: %w", cfg.WALPath, err)
 		}
 		replayed++
 	}
+
+	s.seg = seg
 	s.wal = wal
+	s.wireGeneration(g)
+	if s.cluster != nil {
+		s.cluster.InstallDelta(s.seg, s.baseBuilder)
+	}
 	if replayed > 0 {
 		s.logf("server: delta WAL replayed %d operations (%d live documents, %d tombstones)",
 			replayed, s.seg.Docs(), s.seg.Tombstones())
@@ -181,13 +186,18 @@ func (s *Server) baseBuilder(st ontoscore.Strategy) *dil.Builder {
 }
 
 // wireGeneration attaches the segment to a generation's systems: live
-// statistics views and calibrators on the builders, overlays on the
+// statistics views and calibrators on its builders, overlays on the
 // engines, auxiliary documents for hydration. The generation must not
-// be serving yet (construction time, before swap).
+// be serving yet (construction time, before swap) — which is also why
+// the stats view and calibrator target THIS generation's own builders
+// instead of resolving through s.gen.Load(): during a reload the
+// atomic pointer still names the old, still-serving generation, and
+// installing there would race its lock-free query readers while
+// leaving the new generation's builders unwired.
 func (s *Server) wireGeneration(g *generation) {
 	for st, sys := range g.systems {
-		st := st
-		s.seg.InstallBase(st, func() *dil.Builder { return s.baseBuilder(st) })
+		sys := sys
+		s.seg.InstallBase(st, func() *dil.Builder { return sys.Builder() })
 		sys.SetOverlay(s.seg.Overlay(st, -1))
 		sys.SetAuxDocs(s.seg)
 	}
@@ -352,6 +362,14 @@ func (s *Server) handleAdminIngest(w http.ResponseWriter, r *http.Request) {
 	// an ack — the append rolled back, the client must retry.
 	op, err := s.wal.Append(kind, name, body)
 	if err != nil {
+		if errors.Is(err, delta.ErrRecordTooLarge) {
+			// Documents this size only get here when Ingest.Limits.MaxBytes
+			// is configured at or above the WAL frame limit; refuse cleanly
+			// rather than acknowledging an op the log cannot hold.
+			s.ingestCounter(kind.String(), "too_large")
+			writeError(w, http.StatusRequestEntityTooLarge, "document too large for the write-ahead log: %v", err)
+			return
+		}
 		s.ingestCounter(kind.String(), "error")
 		s.logf("server: ingest WAL append failed (not acknowledged): %v", err)
 		writeError(w, http.StatusInternalServerError, "write-ahead log append failed, operation not applied: %v", err)

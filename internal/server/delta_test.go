@@ -477,3 +477,66 @@ func TestShardedDeltaDifferential(t *testing.T) {
 		})
 	}
 }
+
+// A plain reload with a non-empty delta (pending WAL records) must not
+// move a single score: the NEW generation's builders get the live
+// statistics view and tombstone-aware calibrator — a regression here
+// once installed them through s.gen.Load(), which still named the old,
+// still-serving generation at wiring time — and the subsequent
+// compaction (a genuine full rebuild of the live corpus) must agree
+// with both.
+func TestReloadWithPendingWALDifferential(t *testing.T) {
+	s, docs := deltaFixture(t)
+	body := figure1ForFixture(t, s)
+	entries, err := os.ReadDir(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := strings.TrimSuffix(entries[0].Name(), ".xml")
+
+	mustIngest(t, s, http.MethodPost, "zz-live", body)
+	mustIngest(t, s, http.MethodDelete, victim, nil)
+
+	var queries []string
+	for _, st := range ontoscore.Strategies() {
+		queries = append(queries,
+			"/search?q=theophylline&k=20&strategy="+st.String(),
+			"/search?q=asthma+medications&k=10&strategy="+st.String(),
+		)
+	}
+	before := make([][]string, len(queries))
+	for i, q := range queries {
+		before[i] = scoreProjection(searchResults(t, s, q))
+	}
+
+	// Plain reload: the WAL keeps its records, the segment rebases onto
+	// the fresh generation, and the acknowledged ingests keep scoring
+	// exactly as before.
+	if _, err := s.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.wal.Count(); n != 2 {
+		t.Fatalf("WAL pending after plain reload = %d, want 2", n)
+	}
+	for i, q := range queries {
+		got := scoreProjection(searchResults(t, s, q))
+		if !reflect.DeepEqual(got, before[i]) {
+			t.Errorf("%s: scores changed across reload with pending WAL\n got: %v\nwant: %v", q, got, before[i])
+		}
+	}
+
+	// The full rebuild: compaction folds the delta into the base; the
+	// scores must still be byte-identical.
+	if err := s.compactCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.wal.Count(); n != 0 {
+		t.Fatalf("WAL pending after compaction = %d, want 0", n)
+	}
+	for i, q := range queries {
+		got := scoreProjection(searchResults(t, s, q))
+		if !reflect.DeepEqual(got, before[i]) {
+			t.Errorf("%s: scores changed across compaction after reload\n got: %v\nwant: %v", q, got, before[i])
+		}
+	}
+}
