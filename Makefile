@@ -18,6 +18,13 @@
 #                      slow/failed shards, concurrent reload races)
 #   make bench-shard-report - regenerate BENCH_SHARD.json (shard count
 #                      vs p50/p99 latency under parallel load)
+#   make federation  - peer-federation lane: vet + the HTTP transport
+#                      suite under -race (loopback differential, chaos
+#                      under every peer.rpc failpoint, hedging, CLI
+#                      3-node end-to-end)
+#   make bench-peer-report - regenerate BENCH_PEER.json (federated
+#                      p50/p99 with and without hedging under an
+#                      injected slow-peer tail)
 #   make obs         - observability lane: vet + race tests for internal/obs,
 #                      and the API guard (removed Search* variants must not
 #                      reappear on the public facade)
@@ -30,7 +37,7 @@ GO ?= go
 FAULT_PKGS = ./internal/faultinject/... ./internal/resilience/... \
 	./internal/store/... ./internal/dil/... ./internal/query/... \
 	./internal/ingest/... ./internal/server/... ./internal/shard/... \
-	./internal/delta/...
+	./internal/delta/... ./internal/peer/...
 
 # Native fuzz targets, as package:Target pairs (each gets FUZZ_TIME).
 FUZZ_TARGETS = \
@@ -45,13 +52,14 @@ FUZZ_TARGETS = \
 FUZZ_TIME ?= 10s
 
 .PHONY: check test race vet faults fuzz-smoke bench bench-smoke \
-	bench-merge-report shard bench-shard-report obs api-guard trace-demo
+	bench-merge-report shard bench-shard-report federation \
+	bench-peer-report obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke bench-smoke shard delta obs
+check: test vet race faults fuzz-smoke bench-smoke shard delta federation obs
 
 test:
 	$(GO) build ./...
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -64,7 +72,7 @@ vet:
 race:
 	$(GO) test -race ./internal/serving/... ./internal/query/... \
 		./internal/ingest/... ./internal/server/... ./internal/shard/... \
-		./internal/delta/... ./cmd/xontoserve/...
+		./internal/delta/... ./internal/peer/... ./cmd/xontoserve/...
 
 faults:
 	$(GO) vet $(FAULT_PKGS)
@@ -102,6 +110,23 @@ shard:
 
 bench-shard-report:
 	BENCH_SHARD=1 $(GO) test . -run TestWriteShardBenchReport -count=1 -v
+
+# The peer-federation lane: the HTTP shard transport end to end — the
+# wire protocol and torn/truncated-body handling, hedged requests with
+# per-peer breakers, the loopback differential (federated answers
+# byte-identical to single-node), chaos under every peer.rpc failpoint,
+# and the CLI's 3-node end-to-end — all under the race detector.
+federation:
+	$(GO) vet ./internal/peer/...
+	$(GO) test -race -count=1 ./internal/peer/...
+	$(GO) test -race -count=1 ./internal/shard -run 'TestFederated'
+	$(GO) test -race -count=1 ./internal/server -run \
+		'TestFederated|TestSearchClientCancelCancelsFanout|TestQueryBodyCap'
+	$(GO) test -race -count=1 ./internal/resilience -run TestHalfOpenSingleProbeUnderConcurrency
+	$(GO) test -race -count=1 ./cmd/xontoserve -run 'TestFederation'
+
+bench-peer-report:
+	BENCH_PEER=1 $(GO) test . -run TestWriteBenchPeerReport -count=1 -v
 
 # The live-ingestion lane: WAL framing and torn-tail recovery,
 # kill-at-every-fsync crash soaks, the base+delta vs full-rebuild

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/ontology"
+	"repro/internal/peer"
+	"repro/internal/server"
+)
+
+// The CLI rejects federation flag combinations it cannot serve
+// correctly, before binding a listener or loading any data.
+func TestFederationFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"bogus role",
+			[]string{"-generate", "-shard-role", "bogus"},
+			"-shard-role must be"},
+		{"coordinator without peers",
+			[]string{"-generate", "-shard-role", "coordinator"},
+			"requires -peers"},
+		{"peer federating onward",
+			[]string{"-generate", "-shard-role", "peer", "-peers", "http://127.0.0.1:1"},
+			"single coordinator tier"},
+		{"live ingest on coordinator",
+			[]string{"-generate", "-live-ingest", "-peers", "http://127.0.0.1:1"},
+			"incompatible with federation"},
+		{"live ingest on peer",
+			[]string{"-generate", "-live-ingest", "-shard-role", "peer"},
+			"incompatible with federation"},
+		{"blank peer list",
+			[]string{"-generate", "-peers", " , "},
+			"no peer URLs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("xontoserve-test", flag.PanicOnError)
+			a := newApp(fs, tc.args)
+			a.logf = t.Logf
+			err := a.run(context.Background())
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// writeFederatedDataDirs deals the seed-7 corpus across n standalone
+// data directories (each a full `xontorank gen` layout sharing one
+// ontology), plus a directory holding the whole corpus for a
+// single-node control. Returns (full, slices, owned) where owned[i]
+// is the set of document names slice i serves.
+func writeFederatedDataDirs(t *testing.T, n int) (string, []string, []map[string]bool) {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 7, ExtraConcepts: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkdir := func() string {
+		dir := t.TempDir()
+		f, err := os.Create(filepath.Join(dir, "ontology.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ont.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Mkdir(filepath.Join(dir, "docs"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	full := mkdir()
+	slices := make([]string, n)
+	owned := make([]map[string]bool, n)
+	for i := range slices {
+		slices[i] = mkdir()
+		owned[i] = map[string]bool{}
+	}
+	g, err := cda.NewGenerator(cda.GenConfig{Seed: 7, NumDocuments: 6, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range g.GenerateCorpus().Docs() {
+		writeDocFile(t, filepath.Join(full, "docs"), doc)
+		writeDocFile(t, filepath.Join(slices[i%n], "docs"), doc)
+		owned[i%n][doc.Name] = true
+	}
+	return full, slices, owned
+}
+
+// Three xontoserve instances on real listeners — two -shard-role=peer
+// nodes and a -peers coordinator — answer /search with the same
+// documents and scores as a single node over the whole corpus, expose
+// the peer transport counters on /metrics, and drain cleanly on
+// SIGTERM. This is the README's 3-node quick-start in test form.
+func TestFederationEndToEnd(t *testing.T) {
+	full, slices, owned := writeFederatedDataDirs(t, 3)
+
+	single, doneS := startApp(t, "-data", full)
+	p1, done1 := startApp(t, "-data", slices[1], "-shard-role", "peer")
+	p2, done2 := startApp(t, "-data", slices[2], "-shard-role", "peer")
+	coord, doneC := startApp(t, "-data", slices[0],
+		"-peers", "http://"+p1.boundAddr+",http://"+p2.boundAddr,
+		"-peer-hedge-after", "250ms")
+
+	// The peers mount the internal shard API alongside the public one.
+	if code, body := appGET(t, p1, peer.PathStats); code != http.StatusOK {
+		t.Fatalf("peer %s = %d body = %s", peer.PathStats, code, body)
+	}
+
+	// Federated answers carry the same documents at the same scores as
+	// the single-node control (Dewey numbering is per-node, so paths and
+	// IDs are compared only within a node).
+	sawPeerDoc := false
+	// k exceeds every query's match count: within a tied score the merge
+	// orders by per-node Dewey numbers, so only the un-truncated result
+	// multiset is comparable across topologies.
+	for _, q := range []string{
+		"/search?q=asthma&k=100",
+		"/search?q=asthma+medications&k=100",
+		"/search?q=cardiac+arrest&k=100",
+	} {
+		codeS, bodyS := appGET(t, single, q)
+		codeF, bodyF := appGET(t, coord, q)
+		if codeS != http.StatusOK || codeF != http.StatusOK {
+			t.Fatalf("%s: status single=%d federated=%d (%s)", q, codeS, codeF, bodyF)
+		}
+		var want, got server.SearchResponse
+		if err := json.Unmarshal(bodyS, &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(bodyF, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Partial || got.Degraded {
+			t.Errorf("%s: healthy federation degraded=%v partial=%v", q, got.Degraded, got.Partial)
+		}
+		named := 0
+		for _, ss := range got.Shards {
+			if ss.Peer != "" {
+				named++
+			}
+		}
+		if len(got.Shards) != 3 || named != 2 {
+			t.Errorf("%s: shards = %+v, want 3 entries with 2 peers", q, got.Shards)
+		}
+		key := func(resp server.SearchResponse) []string {
+			out := make([]string, 0, len(resp.Results))
+			for _, r := range resp.Results {
+				out = append(out, fmt.Sprintf("%s %v", r.Document, r.Score))
+			}
+			sort.Strings(out)
+			return out
+		}
+		w, g := key(want), key(got)
+		if len(w) == 0 {
+			t.Fatalf("%s: single-node control returned no results", q)
+		}
+		if fmt.Sprint(w) != fmt.Sprint(g) {
+			t.Errorf("%s: federated answer differs from single node:\n got %v\nwant %v", q, g, w)
+		}
+		for _, r := range got.Results {
+			if owned[1][r.Document] || owned[2][r.Document] {
+				sawPeerDoc = true
+			}
+		}
+	}
+	if !sawPeerDoc {
+		t.Error("no federated result came from a peer-owned document; remote legs are not contributing")
+	}
+
+	// The coordinator is ready and exports the per-peer transport
+	// counters.
+	if code, body := appGET(t, coord, "/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d body = %s", code, body)
+	}
+	if _, body := appGET(t, coord, "/metrics"); !strings.Contains(string(body), "xontorank_peer_requests_total") {
+		t.Error("/metrics does not export xontorank_peer_requests_total")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []chan error{doneS, done1, done2, doneC} {
+		waitExit(t, done)
+	}
+}

@@ -41,11 +41,23 @@
 // compaction — serialize behind one gate; concurrent HTTP callers get
 // 409 with Retry-After.
 //
+// Federation: -peers makes this node a scatter-gather coordinator over
+// remote xontoserve peers (each started with -shard-role=peer), with
+// per-peer connection pools, circuit breakers, bounded retries, and
+// optional hedged requests (-peer-hedge-after, p95-derived delay).
+// Cross-node IR statistics are exchanged at startup and on every
+// reload, so federated ranking is byte-identical to a single node over
+// the union corpus; a slow, dead, or partitioned peer degrades the
+// answer to partial ("degraded": true plus a Warning header) within
+// -peer-timeout instead of failing it. -live-ingest and federation are
+// mutually exclusive.
+//
 // Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
 // /metrics, /admin/reload, /admin/ingest (with -live-ingest), /healthz
 // (shallow liveness), /readyz (deep readiness: data directory
 // reachable, corpus loaded, breaker states, active generation, delta
-// lag) — see internal/server.
+// lag), /shard/search + /shard/stats + /shard/fragment (with
+// -shard-role=peer) — see internal/server.
 package main
 
 import (
@@ -60,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -69,6 +82,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/ontology"
+	"repro/internal/peer"
 	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/serving"
@@ -106,6 +120,11 @@ type app struct {
 	shardTimeout time.Duration
 	shardQuorum  int
 
+	shardRole      string
+	peers          string
+	peerTimeout    time.Duration
+	peerHedgeAfter time.Duration
+
 	liveIngest      bool
 	walPath         string
 	compactInterval time.Duration
@@ -142,6 +161,15 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 	fs.DurationVar(&a.shardTimeout, "shard-timeout", shard.DefaultTimeout,
 		"per-shard query budget; a slower shard is skipped and the answer marked partial")
 	fs.IntVar(&a.shardQuorum, "shard-quorum", 0, "shards that must be ready for /readyz (0 = majority)")
+	fs.StringVar(&a.shardRole, "shard-role", "auto",
+		"auto | coordinator | peer: a peer mounts the internal /shard API for a remote coordinator; "+
+			"a coordinator federates over -peers; auto infers coordinator when -peers is set")
+	fs.StringVar(&a.peers, "peers", "",
+		"comma-separated base URLs of remote shard peers (http://host:port); enables federated scatter-gather")
+	fs.DurationVar(&a.peerTimeout, "peer-timeout", 2*time.Second,
+		"per-peer RPC budget; a slower peer is skipped and the answer marked partial")
+	fs.DurationVar(&a.peerHedgeAfter, "peer-hedge-after", 0,
+		"hedge-delay floor: re-issue a straggling peer search after max(this, observed p95); 0 disables hedging")
 	fs.BoolVar(&a.liveIngest, "live-ingest", false,
 		"enable POST/DELETE /admin/ingest: crash-safe WAL'd single-document mutations, searchable immediately (requires -data)")
 	fs.StringVar(&a.walPath, "wal", "", "write-ahead log path for -live-ingest (default <data>/delta.wal)")
@@ -169,6 +197,57 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 		"route DIL merges through the reference implementation instead of the loser-tree fast path (XONTORANK_MERGE=legacy does the same)")
 	fs.Parse(args)
 	return a
+}
+
+// validateFederation rejects flag combinations the federation cannot
+// serve correctly.
+func (a *app) validateFederation() error {
+	switch a.shardRole {
+	case "auto", "coordinator", "peer":
+	default:
+		return fmt.Errorf("-shard-role must be auto, coordinator, or peer (got %q)", a.shardRole)
+	}
+	if a.shardRole == "coordinator" && a.peers == "" {
+		return fmt.Errorf("-shard-role=coordinator requires -peers")
+	}
+	if a.shardRole == "peer" && a.peers != "" {
+		return fmt.Errorf("-shard-role=peer cannot itself federate over -peers (single coordinator tier only)")
+	}
+	if a.liveIngest && (a.peers != "" || a.shardRole == "peer") {
+		return fmt.Errorf("-live-ingest is incompatible with federation: " +
+			"a live delta segment would drift this node's statistics away from the cluster-wide merge")
+	}
+	return nil
+}
+
+// peerClients dials one client per -peers entry (pooled connections,
+// breaker, retries, and hedging per the peer-* flags).
+func (a *app) peerClients() ([]*peer.Client, error) {
+	if a.peers == "" {
+		return nil, nil
+	}
+	var clients []*peer.Client
+	for _, raw := range strings.Split(a.peers, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		pc, err := peer.NewClient(raw, peer.Options{
+			Timeout:    a.peerTimeout,
+			HedgeAfter: a.peerHedgeAfter,
+		})
+		if err != nil {
+			for _, c := range clients {
+				c.Close()
+			}
+			return nil, fmt.Errorf("-peers: %w", err)
+		}
+		clients = append(clients, pc)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("-peers: no peer URLs given")
+	}
+	return clients, nil
 }
 
 func (a *app) limits() xmltree.Limits {
@@ -243,6 +322,18 @@ func (a *app) run(ctx context.Context) error {
 	if !a.generate && a.data == "" {
 		return fmt.Errorf("either -data or -generate is required")
 	}
+	if err := a.validateFederation(); err != nil {
+		return err
+	}
+	peerClients, err := a.peerClients()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, pc := range peerClients {
+			pc.Close()
+		}
+	}()
 	corpus, coll, report, err := a.loadData(ctx)
 	if err != nil {
 		return err
@@ -261,13 +352,23 @@ func (a *app) run(ctx context.Context) error {
 	h := server.NewServing(corpus, coll, a.ccfg, a.scfg)
 	h.SetLogf(a.logf)
 	h.SetLastIngest(report)
-	if a.shards > 1 {
+	if a.shards > 1 || len(peerClients) > 0 {
 		c := h.EnableSharding(shard.Config{
 			Shards:  a.shards,
 			Timeout: a.shardTimeout,
 			Quorum:  a.shardQuorum,
+			Peers:   peerClients,
 		})
 		a.logf("sharding: %s", c.Summary())
+		if len(peerClients) > 0 {
+			a.logf("federation: coordinator over %d peers, peer-timeout=%v hedge-after=%v",
+				len(peerClients), a.peerTimeout, a.peerHedgeAfter)
+		}
+	}
+	if a.shardRole == "peer" {
+		h.EnablePeerAPI()
+		a.logf("federation: shard API mounted (%s %s %s); this node serves as a remote peer",
+			peer.PathSearch, peer.PathStats, peer.PathFragment)
 	}
 	if a.debug {
 		h.EnableDebug()

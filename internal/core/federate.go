@@ -1,0 +1,41 @@
+package core
+
+import (
+	"repro/internal/query"
+	"repro/internal/xmltree"
+)
+
+// RemoteResult reconstructs a Result from its wire representation — a
+// federated coordinator turning a peer shard's answer back into the
+// merge's element type. Document and Path were resolved by the owning
+// node (this node cannot: it does not hold the document); the raw
+// query-phase view is rebuilt from the root and matches so downstream
+// consumers of Raw() see the same shape a local leg produces.
+func RemoteResult(root xmltree.Dewey, score float64, document, path string, matches []KeywordMatch) Result {
+	raw := query.Result{Root: root, Score: score}
+	for _, m := range matches {
+		raw.Matches = append(raw.Matches, query.Match{ID: m.ID, Score: m.Score})
+	}
+	return Result{
+		Root:     root,
+		Score:    score,
+		Document: document,
+		Path:     path,
+		Matches:  matches,
+		raw:      raw,
+	}
+}
+
+// SnippetAt builds the snippet for a result reconstructed from wire
+// data (root plus per-keyword matches) — the peer side of federated
+// hydration, where the raw query-phase result never crossed the
+// network.
+func (s *System) SnippetAt(root xmltree.Dewey, matches []KeywordMatch) string {
+	raw := query.Result{Root: root}
+	keywords := make([]query.Keyword, 0, len(matches))
+	for _, m := range matches {
+		raw.Matches = append(raw.Matches, query.Match{ID: m.ID, Score: m.Score})
+		keywords = append(keywords, query.Keyword(m.Keyword))
+	}
+	return query.Snippet(s, raw, keywords, 8)
+}

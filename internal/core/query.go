@@ -64,6 +64,9 @@ type Timing struct {
 type ShardStatus struct {
 	// Shard is the shard's index in the cluster.
 	Shard int `json:"shard"`
+	// Peer names the remote node serving this slot; empty for local
+	// shards.
+	Peer string `json:"peer,omitempty"`
 	// Generation is the shard's serving generation at query time.
 	Generation uint64 `json:"generation"`
 	// State is "ok", "error", "timeout", or "open" (breaker rejected).

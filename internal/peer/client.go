@@ -1,0 +1,452 @@
+package peer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Options tunes a Client; every zero-valued field takes a sensible
+// default.
+type Options struct {
+	// Timeout caps each logical call (retries and hedges included) when
+	// the caller's context carries no earlier deadline; <= 0 means no
+	// client-imposed cap.
+	Timeout time.Duration
+	// HedgeAfter enables hedged search requests: the floor (and
+	// cold-start value) of the p95-derived delay after which a
+	// straggling search is re-issued. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Breaker tunes the per-peer circuit breaker.
+	Breaker resilience.BreakerConfig
+	// Retry bounds the per-call retry loop (jittered backoff; these
+	// calls are idempotent).
+	Retry resilience.RetryPolicy
+	// MaxResponseBytes caps how much of a response body is read; <= 0
+	// means DefaultMaxResponseBody.
+	MaxResponseBytes int64
+	// Transport overrides the pooled per-peer transport (tests).
+	Transport http.RoundTripper
+}
+
+// ClientMetrics is a snapshot of one peer client's counters.
+type ClientMetrics struct {
+	Requests     int64 `json:"requests"`
+	Failures     int64 `json:"failures"`
+	Retries      int64 `json:"retries"`
+	Hedges       int64 `json:"hedges"`
+	HedgesWon    int64 `json:"hedges_won"`
+	HedgesWasted int64 `json:"hedges_wasted"`
+	// HedgeDelayUS is the current p95-derived hedge delay (0 when
+	// hedging is disabled or the tracker is cold below the floor).
+	HedgeDelayUS int64 `json:"hedge_delay_us"`
+}
+
+// Client speaks the shard API to one peer: pooled connections, a
+// per-peer circuit breaker, jittered-backoff retries, and hedged
+// search requests.
+type Client struct {
+	name       string
+	base       string
+	hc         *http.Client
+	breaker    *resilience.Breaker
+	retry      resilience.RetryPolicy
+	timeout    time.Duration
+	hedgeAfter time.Duration
+	maxResp    int64
+	lat        latencyTracker
+
+	requests     atomic.Int64
+	failures     atomic.Int64
+	retries      atomic.Int64
+	hedges       atomic.Int64
+	hedgesWon    atomic.Int64
+	hedgesWasted atomic.Int64
+}
+
+// NewClient builds a client for the peer at rawURL (scheme + host
+// [+ base path]).
+func NewClient(rawURL string, opts Options) (*Client, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("peer: bad peer URL %q: %w", rawURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("peer: bad peer URL %q: scheme must be http or https", rawURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("peer: bad peer URL %q: missing host", rawURL)
+	}
+	rt := opts.Transport
+	if rt == nil {
+		// A dedicated pooled transport per peer: connections to one slow
+		// peer never crowd out the others.
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConns = 64
+		t.MaxIdleConnsPerHost = 64
+		t.IdleConnTimeout = 90 * time.Second
+		rt = t
+	}
+	maxResp := opts.MaxResponseBytes
+	if maxResp <= 0 {
+		maxResp = DefaultMaxResponseBody
+	}
+	return &Client{
+		name:       u.Host,
+		base:       strings.TrimRight(u.String(), "/"),
+		hc:         &http.Client{Transport: rt},
+		breaker:    resilience.NewBreaker(opts.Breaker),
+		retry:      opts.Retry,
+		timeout:    opts.Timeout,
+		hedgeAfter: opts.HedgeAfter,
+		maxResp:    maxResp,
+	}, nil
+}
+
+// Name identifies the peer (its host) in statuses, logs, and metrics.
+func (c *Client) Name() string { return c.name }
+
+// URL returns the peer's base URL.
+func (c *Client) URL() string { return c.base }
+
+// Breaker exposes the peer's circuit breaker (readiness and metrics).
+func (c *Client) Breaker() *resilience.Breaker { return c.breaker }
+
+// Close releases the client's pooled connections (shutdown and
+// leak-checked tests).
+func (c *Client) Close() {
+	type idleCloser interface{ CloseIdleConnections() }
+	if t, ok := c.hc.Transport.(idleCloser); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+// Metrics snapshots the client's counters.
+func (c *Client) Metrics() ClientMetrics {
+	m := ClientMetrics{
+		Requests:     c.requests.Load(),
+		Failures:     c.failures.Load(),
+		Retries:      c.retries.Load(),
+		Hedges:       c.hedges.Load(),
+		HedgesWon:    c.hedgesWon.Load(),
+		HedgesWasted: c.hedgesWasted.Load(),
+	}
+	if c.hedgeAfter > 0 {
+		m.HedgeDelayUS = c.lat.hedgeDelay(c.hedgeAfter).Microseconds()
+	}
+	return m
+}
+
+// Search runs one scatter leg on the peer: breaker-gated, hedged, and
+// retried. The first good answer wins; a straggling duplicate is
+// canceled, never leaked.
+func (c *Client) Search(ctx context.Context, req *SearchRequestWire) (*SearchResponseWire, error) {
+	ctx, cancel := c.budget(ctx)
+	defer cancel()
+	var resp *SearchResponseWire
+	err := c.doRetry(ctx, func() error {
+		r, err := c.hedgedSearch(ctx, req)
+		resp = r
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Stats fetches the peer's partition-local IR statistics.
+func (c *Client) Stats(ctx context.Context) (*StatsWire, error) {
+	ctx, cancel := c.budget(ctx)
+	defer cancel()
+	var out StatsWire
+	err := c.doRetry(ctx, func() error {
+		return c.doOnce(ctx, "stats", http.MethodGet, PathStats, nil, nil, &out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// KeywordNorms fetches the peer's local raw-BM25 maximum for one
+// keyword, per strategy.
+func (c *Client) KeywordNorms(ctx context.Context, keyword string) (*NormsWire, error) {
+	ctx, cancel := c.budget(ctx)
+	defer cancel()
+	q := url.Values{"keyword": {keyword}}
+	var out NormsWire
+	err := c.doRetry(ctx, func() error {
+		return c.doOnce(ctx, "norms", http.MethodGet, PathStats, q, nil, &out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// InstallStats pushes the cluster-merged global statistics to the peer.
+func (c *Client) InstallStats(ctx context.Context, in *InstallWire) (*InstallAckWire, error) {
+	ctx, cancel := c.budget(ctx)
+	defer cancel()
+	var out InstallAckWire
+	err := c.doRetry(ctx, func() error {
+		return c.doOnce(ctx, "install", http.MethodPost, PathStats, nil, in, &out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FragmentRequest asks the owning peer to hydrate one result.
+type FragmentRequest struct {
+	Root     string
+	Strategy string
+	Snippet  bool
+	Fragment bool
+	// Matches carries "dewey|keyword" pairs for snippet rebuilding.
+	Matches []string
+}
+
+// Fragment hydrates one result (snippet and/or XML fragment) on the
+// peer that owns its document.
+func (c *Client) Fragment(ctx context.Context, req FragmentRequest) (*FragmentWire, error) {
+	ctx, cancel := c.budget(ctx)
+	defer cancel()
+	q := url.Values{"id": {req.Root}}
+	if req.Strategy != "" {
+		q.Set("strategy", req.Strategy)
+	}
+	if req.Snippet {
+		q.Set("snippet", "1")
+	}
+	if req.Fragment {
+		q.Set("fragment", "1")
+	}
+	for _, m := range req.Matches {
+		q.Add("m", m)
+	}
+	var out FragmentWire
+	err := c.doRetry(ctx, func() error {
+		return c.doOnce(ctx, "fragment", http.MethodGet, PathFragment, q, nil, &out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// budget applies the client's per-call timeout when the caller brought
+// no earlier deadline.
+func (c *Client) budget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout <= 0 {
+		return ctx, func() {}
+	}
+	if d, ok := ctx.Deadline(); ok && time.Until(d) <= c.timeout {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+// doRetry wraps fn in the jittered-backoff retry policy, counting the
+// extra attempts. Context errors and an open breaker abort immediately.
+func (c *Client) doRetry(ctx context.Context, fn func() error) error {
+	first := true
+	return c.retry.Do(ctx, func() error {
+		if !first {
+			c.retries.Add(1)
+		}
+		first = false
+		// A retry into an open breaker costs no network round trip —
+		// Allow rejects locally — so no special casing is needed.
+		return fn()
+	})
+}
+
+// hedgedSearch races a primary attempt against one hedge launched
+// after the p95-derived delay. Both run under a shared cancelable
+// context; whichever good answer arrives first cancels the other, so
+// no goroutine outlives the call.
+func (c *Client) hedgedSearch(ctx context.Context, req *SearchRequestWire) (*SearchResponseWire, error) {
+	if c.hedgeAfter <= 0 {
+		return c.searchOnce(ctx, req)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attempt struct {
+		resp   *SearchResponseWire
+		err    error
+		hedged bool
+	}
+	ch := make(chan attempt, 2) // buffered: a straggler must never block
+	run := func(hedged bool) {
+		r, err := c.searchOnce(cctx, req)
+		ch <- attempt{resp: r, err: err, hedged: hedged}
+	}
+	go run(false)
+
+	delay := c.lat.hedgeDelay(c.hedgeAfter)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	launched := false
+	inFlight := 1
+	var lastErr error
+	for {
+		select {
+		case <-timer.C:
+			if !launched {
+				launched = true
+				inFlight++
+				c.hedges.Add(1)
+				go run(true)
+			}
+		case a := <-ch:
+			inFlight--
+			if a.err == nil {
+				if a.hedged {
+					c.hedgesWon.Add(1)
+				} else if launched {
+					c.hedgesWasted.Add(1)
+				}
+				return a.resp, nil
+			}
+			lastErr = a.err
+			if inFlight > 0 {
+				// The other attempt may still succeed; keep waiting.
+				continue
+			}
+			if !launched {
+				// The primary failed before the hedge delay elapsed;
+				// hedging a peer that just failed fast is the retry
+				// policy's job, not ours.
+				return nil, lastErr
+			}
+			return nil, lastErr
+		case <-ctx.Done():
+			return nil, &TransportError{Peer: c.name, Op: "search", Kind: KindDeadline, Err: ctx.Err()}
+		}
+	}
+}
+
+// searchOnce is a single search attempt; successful latencies feed the
+// hedge-delay tracker.
+func (c *Client) searchOnce(ctx context.Context, req *SearchRequestWire) (*SearchResponseWire, error) {
+	start := time.Now()
+	var out SearchResponseWire
+	if err := c.doOnce(ctx, "search", http.MethodPost, PathSearch, nil, req, &out); err != nil {
+		return nil, err
+	}
+	c.lat.observe(time.Since(start))
+	return &out, nil
+}
+
+// versioned lets doOnce verify the wire version of any response type.
+type versioned interface{ wireVersion() int }
+
+func (r *SearchResponseWire) wireVersion() int { return r.V }
+func (r *StatsWire) wireVersion() int          { return r.V }
+func (r *NormsWire) wireVersion() int          { return r.V }
+func (r *InstallAckWire) wireVersion() int     { return r.V }
+func (r *FragmentWire) wireVersion() int       { return r.V }
+
+// doOnce runs one breaker-gated HTTP exchange and decodes the response
+// into out. Every failure is a typed *TransportError; all of them feed
+// the breaker except caller-initiated cancellation.
+func (c *Client) doOnce(ctx context.Context, op, method, path string, q url.Values, in, out any) error {
+	if !c.breaker.Allow() {
+		return ErrBreakerOpen
+	}
+	c.requests.Add(1)
+	err := c.exchange(ctx, op, method, path, q, in, out)
+	if err == nil {
+		c.breaker.Success()
+		return nil
+	}
+	c.failures.Add(1)
+	// A hung-up caller is not the peer's fault; everything else —
+	// including a deadline blown by a slow peer — counts against it.
+	if !errors.Is(err, context.Canceled) {
+		c.breaker.Failure()
+	}
+	return err
+}
+
+func (c *Client) exchange(ctx context.Context, op, method, path string, q url.Values, in, out any) error {
+	fail := func(kind Kind, err error) error {
+		return &TransportError{Peer: c.name, Op: op, Kind: kind, Err: err}
+	}
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fail(KindProtocol, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return fail(KindProtocol, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if d, ok := ctx.Deadline(); ok {
+		SetDeadlineHeader(req.Header, d, true)
+	}
+
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return fail(KindDeadline, err)
+		}
+		return fail(KindRefused, err)
+	}
+	defer resp.Body.Close()
+
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, c.maxResp+1))
+	if int64(len(raw)) > c.maxResp {
+		return fail(KindTooLarge, fmt.Errorf("response body over %d bytes", c.maxResp))
+	}
+	if rerr != nil {
+		if errors.Is(rerr, context.DeadlineExceeded) || errors.Is(rerr, context.Canceled) {
+			return fail(KindDeadline, rerr)
+		}
+		// A short read under a promised Content-Length, a reset
+		// connection, a chopped chunk stream: the body is torn. Nothing
+		// read so far may be interpreted.
+		return fail(KindTruncated, rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we errorWire
+		msg := ""
+		if json.Unmarshal(raw, &we) == nil {
+			msg = we.Error
+		}
+		return fail(KindStatus, statusError(resp.StatusCode, msg))
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		// Undecodable 200 bodies are torn/truncated payloads, not data.
+		return fail(KindTruncated, err)
+	}
+	if v, ok := out.(versioned); ok && v.wireVersion() != APIVersion {
+		return fail(KindProtocol, fmt.Errorf("peer answered wire version %d, want %d", v.wireVersion(), APIVersion))
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package peer
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
+)
+
+func trippyBreaker() resilience.BreakerConfig {
+	return resilience.BreakerConfig{Threshold: 1, Cooldown: time.Hour}
+}
+
+func singleAttempt() resilience.RetryPolicy {
+	return resilience.RetryPolicy{MaxAttempts: 1, Jitter: -1}
+}
+
+// TestTornBodyIsTypedError: a response promising the full
+// Content-Length but delivering half must surface KindTruncated — and
+// feed the breaker — never a partially decoded result.
+func TestTornBodyIsTypedError(t *testing.T) {
+	good := SearchResponseWire{V: APIVersion, Results: []ResultWire{{Root: "1.1", Score: 0.5}, {Root: "2.1", Score: 0.25}}}
+	body, _ := json.Marshal(good)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(http.StatusOK)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+
+	c, err := NewClient(srv.URL, Options{Breaker: trippyBreaker(), Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}})
+	if err == nil {
+		t.Fatalf("torn body decoded into %d results", len(resp.Results))
+	}
+	te, ok := AsTransportError(err)
+	if !ok {
+		t.Fatalf("error is not a TransportError: %v", err)
+	}
+	if te.Kind != KindTruncated {
+		t.Fatalf("kind = %s, want %s", te.Kind, KindTruncated)
+	}
+	if c.Breaker().State() != resilience.Open {
+		t.Fatalf("breaker state = %v, want open after torn body", c.Breaker().State())
+	}
+	// With the breaker open the next call is rejected locally.
+	if _, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("expected ErrBreakerOpen, got %v", err)
+	}
+}
+
+// TestTornBodyViaFailpoint: the same contract driven through the real
+// handler and the peer.rpc.torn failpoint.
+func TestTornBodyViaFailpoint(t *testing.T) {
+	_, _, c := newTestPeer(t, Options{Breaker: trippyBreaker(), Retry: singleAttempt()})
+	faultinject.Enable(FPTorn, faultinject.Spec{})
+	t.Cleanup(faultinject.DisableAll)
+
+	_, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"asthma"}, K: 3})
+	te, ok := AsTransportError(err)
+	if !ok || te.Kind != KindTruncated {
+		t.Fatalf("want KindTruncated TransportError, got %v", err)
+	}
+	if c.Breaker().State() != resilience.Open {
+		t.Fatal("breaker did not open")
+	}
+}
+
+// TestStatusErrorClassification: a 5xx answer is KindStatus carrying
+// the server's JSON error message.
+func TestStatusErrorClassification(t *testing.T) {
+	_, _, c := newTestPeer(t, Options{Breaker: trippyBreaker(), Retry: singleAttempt()})
+	faultinject.Enable(FP5xx, faultinject.Spec{})
+	t.Cleanup(faultinject.DisableAll)
+
+	_, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"asthma"}})
+	te, ok := AsTransportError(err)
+	if !ok || te.Kind != KindStatus {
+		t.Fatalf("want KindStatus, got %v", err)
+	}
+	if c.Breaker().State() != resilience.Open {
+		t.Fatal("breaker did not open on 5xx")
+	}
+}
+
+// TestRefusedClassification: a connection-level failure (the peer
+// aborts the exchange) is KindRefused.
+func TestRefusedClassification(t *testing.T) {
+	_, _, c := newTestPeer(t, Options{Breaker: trippyBreaker(), Retry: singleAttempt()})
+	faultinject.Enable(FPRefused, faultinject.Spec{})
+	t.Cleanup(faultinject.DisableAll)
+
+	_, err := c.Stats(context.Background())
+	te, ok := AsTransportError(err)
+	if !ok || te.Kind != KindRefused {
+		t.Fatalf("want KindRefused, got %v", err)
+	}
+	if c.Breaker().State() != resilience.Open {
+		t.Fatal("breaker did not open on refused exchange")
+	}
+}
+
+// TestDeadlineClassification: a slow peer (injected latency beyond the
+// call budget) is KindDeadline, returns within the budget's order of
+// magnitude, and opens the breaker — slowness is a peer fault.
+func TestDeadlineClassification(t *testing.T) {
+	_, _, c := newTestPeer(t, Options{
+		Timeout: 80 * time.Millisecond,
+		Breaker: trippyBreaker(),
+		Retry:   singleAttempt(),
+	})
+	faultinject.Enable(FPLatency, faultinject.Spec{Mode: faultinject.ModeLatency, Delay: 400 * time.Millisecond})
+	t.Cleanup(faultinject.DisableAll)
+
+	start := time.Now()
+	_, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"asthma"}})
+	elapsed := time.Since(start)
+	te, ok := AsTransportError(err)
+	if !ok || te.Kind != KindDeadline {
+		t.Fatalf("want KindDeadline, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline error does not unwrap to context.DeadlineExceeded: %v", err)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("call took %v, did not respect its %v budget", elapsed, 80*time.Millisecond)
+	}
+	if c.Breaker().State() != resilience.Open {
+		t.Fatal("breaker did not open on deadline")
+	}
+}
+
+// TestSlowBodyClassification: headers arrive promptly but the body
+// trickles past the deadline — the client must abandon the read within
+// its budget with a KindDeadline error.
+func TestSlowBodyClassification(t *testing.T) {
+	t.Cleanup(SetSlowBodyProfile(8, 30*time.Millisecond))
+	_, _, c := newTestPeer(t, Options{
+		Timeout: 100 * time.Millisecond,
+		Breaker: trippyBreaker(),
+		Retry:   singleAttempt(),
+	})
+	faultinject.Enable(FPSlowBody, faultinject.Spec{})
+	t.Cleanup(faultinject.DisableAll)
+
+	start := time.Now()
+	_, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"asthma"}, K: 5})
+	elapsed := time.Since(start)
+	te, ok := AsTransportError(err)
+	if !ok {
+		t.Fatalf("want TransportError, got %v", err)
+	}
+	if te.Kind != KindDeadline && te.Kind != KindTruncated {
+		t.Fatalf("kind = %s, want deadline (or truncated at the cut)", te.Kind)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("slow-body read took %v, client did not enforce its budget", elapsed)
+	}
+	if c.Breaker().State() != resilience.Open {
+		t.Fatal("breaker did not open on slow body")
+	}
+}
+
+// TestCancellationDoesNotFeedBreaker: a caller hanging up is not a
+// peer failure.
+func TestCancellationDoesNotFeedBreaker(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		writeWireError(w, http.StatusInternalServerError, "too late")
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c, err := NewClient(srv.URL, Options{Breaker: trippyBreaker(), Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err = c.Stats(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want canceled, got %v", err)
+	}
+	if c.Breaker().State() != resilience.Closed {
+		t.Fatalf("breaker state = %v; caller cancellation must not count against the peer", c.Breaker().State())
+	}
+}
+
+// TestRetrySucceedsAfterTransientFailures: two injected failures, then
+// success — the jittered-backoff retry recovers and counts attempts.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	systems := testSystems(t)
+	h := NewHandler(HandlerConfig{Source: FixedSource(systems, 1)})
+	mux := http.NewServeMux()
+	h.Register(mux)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeWireError(w, http.StatusInternalServerError, "transient")
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := NewClient(srv.URL, Options{
+		Retry: resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if stats.Documents <= 0 {
+		t.Fatal("empty stats after recovery")
+	}
+	m := c.Metrics()
+	if m.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", m.Retries)
+	}
+	if m.Requests != 3 || m.Failures != 2 {
+		t.Fatalf("requests/failures = %d/%d, want 3/2", m.Requests, m.Failures)
+	}
+}
+
+// TestResponseSizeCap: a body over the client's read cap is refused as
+// KindTooLarge.
+func TestResponseSizeCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"v":1,"documents":1,"strategies":{%q:{"n":1}}}`, "pad-"+string(make([]byte, 4096)))
+	}))
+	defer srv.Close()
+	c, err := NewClient(srv.URL, Options{MaxResponseBytes: 128, Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Stats(context.Background())
+	te, ok := AsTransportError(err)
+	if !ok || te.Kind != KindTooLarge {
+		t.Fatalf("want KindTooLarge, got %v", err)
+	}
+}
+
+// TestClientURLValidation rejects unusable peer URLs up front.
+func TestClientURLValidation(t *testing.T) {
+	for _, bad := range []string{"", "ftp://x", "http://", "://nope"} {
+		if _, err := NewClient(bad, Options{}); err == nil {
+			t.Errorf("NewClient(%q) accepted", bad)
+		}
+	}
+	if _, err := NewClient("http://127.0.0.1:9", Options{}); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+}

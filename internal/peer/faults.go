@@ -1,0 +1,144 @@
+package peer
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// The peer.rpc failpoints shape the shard API's responses at the
+// transport level — the flaky-network harness of the chaos suite. They
+// fire on the peer (server) side, after the handler has computed a
+// correct answer, so every injected failure exercises the client's
+// error classification and the coordinator's degradation path against
+// real bytes on a real connection.
+const (
+	// FPLatency delays the response; arm with ModeLatency and a Delay
+	// (Hit itself sleeps). A Delay beyond the coordinator's deadline
+	// models a slow or partitioned peer.
+	FPLatency = "peer.rpc.latency"
+	// FPRefused aborts the exchange before any byte of the response is
+	// written — the client observes a connection-level failure. Arm
+	// with ModeError.
+	FPRefused = "peer.rpc.refused"
+	// FP5xx replaces the response with a 500 and a JSON error body. Arm
+	// with ModeError.
+	FP5xx = "peer.rpc.5xx"
+	// FPTorn writes the correct Content-Length but only half the body,
+	// then severs the connection — a torn response the client must
+	// refuse to half-decode. Arm with ModeError.
+	FPTorn = "peer.rpc.torn"
+	// FPSlowBody writes the headers promptly, then trickles the body a
+	// few bytes at a time — a peer that accepted the request but cannot
+	// deliver the answer within the deadline. Arm with ModeError.
+	FPSlowBody = "peer.rpc.slowbody"
+)
+
+// Slow-body trickle profile (test-tunable via SetSlowBodyProfile).
+var (
+	slowBodyMu    sync.Mutex
+	slowBodyChunk = 16
+	slowBodyDelay = 25 * time.Millisecond
+)
+
+// SetSlowBodyProfile overrides the FPSlowBody chunk size and per-chunk
+// delay and returns a restore func; tests pair it with t.Cleanup.
+func SetSlowBodyProfile(chunk int, delay time.Duration) (restore func()) {
+	slowBodyMu.Lock()
+	prevChunk, prevDelay := slowBodyChunk, slowBodyDelay
+	if chunk > 0 {
+		slowBodyChunk = chunk
+	}
+	if delay > 0 {
+		slowBodyDelay = delay
+	}
+	slowBodyMu.Unlock()
+	return func() {
+		slowBodyMu.Lock()
+		slowBodyChunk, slowBodyDelay = prevChunk, prevDelay
+		slowBodyMu.Unlock()
+	}
+}
+
+func slowBodyProfile() (int, time.Duration) {
+	slowBodyMu.Lock()
+	defer slowBodyMu.Unlock()
+	return slowBodyChunk, slowBodyDelay
+}
+
+// writeShaped renders v as JSON and sends it through the peer.rpc
+// failpoints: the armed fault, if any, decides what actually reaches
+// the wire. Handlers call it for every successful shard-API response.
+func writeShaped(w http.ResponseWriter, r *http.Request, status int, v any) {
+	// An armed latency spec sleeps inside Hit before anything is
+	// written — headers included, so the client's whole exchange stalls.
+	_ = faultinject.Hit(FPLatency)
+
+	if err := faultinject.Hit(FPRefused); err != nil {
+		// ErrAbortHandler makes the server drop the connection without
+		// writing a response; the client sees a connection-level error.
+		panic(http.ErrAbortHandler)
+	}
+	if err := faultinject.Hit(FP5xx); err != nil {
+		writeWireError(w, http.StatusInternalServerError, "injected upstream failure")
+		return
+	}
+
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeWireError(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+
+	if err := faultinject.Hit(FPTorn); err != nil {
+		// Promise the full body, deliver half, sever the connection: the
+		// client's read must end in an unexpected EOF, never a partial
+		// decode.
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(status)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	if err := faultinject.Hit(FPSlowBody); err != nil {
+		chunk, delay := slowBodyProfile()
+		w.WriteHeader(status)
+		f, _ := w.(http.Flusher)
+		for off := 0; off < len(body); off += chunk {
+			if r.Context().Err() != nil {
+				panic(http.ErrAbortHandler)
+			}
+			end := off + chunk
+			if end > len(body) {
+				end = len(body)
+			}
+			if _, werr := w.Write(body[off:end]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+			time.Sleep(delay)
+		}
+		return
+	}
+
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeWireError sends the shard API's JSON error body (the same shape
+// the public endpoints use).
+func writeWireError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorWire{Error: msg})
+}

@@ -1,0 +1,86 @@
+package peer
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/ontoscore"
+	"repro/internal/xmltree"
+)
+
+// The shared fixture: one small corpus with per-strategy systems,
+// built once for the whole package (systems build their DILs on
+// demand, so construction is cheap; queries do the real work).
+var (
+	fixOnce    sync.Once
+	fixSystems map[string]*core.System
+	fixCorpus  *xmltree.Corpus
+	fixColl    *ontology.Collection
+	fixErr     error
+)
+
+func testSystems(t *testing.T) map[string]*core.System {
+	t.Helper()
+	fixOnce.Do(func() {
+		ont, err := ontology.Generate(ontology.GenConfig{Seed: 7, ExtraConcepts: 60, SynonymProb: 0.4})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		corpus := xmltree.NewCorpus()
+		fig1, err := cda.GenerateFigure1(ont)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		corpus.Add(fig1)
+		g, err := cda.NewGenerator(cda.GenConfig{
+			Seed: 7, NumDocuments: 6, ProblemsPerPatient: 3,
+			MedicationsPerPatient: 3, ProceduresPerPatient: 2,
+		}, ont)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		for _, d := range g.GenerateCorpus().Docs() {
+			corpus.Add(&xmltree.Document{Root: d.Root, Name: d.Name})
+		}
+		coll := ontology.MustCollection(ont, ontology.LOINCFragment())
+		systems := make(map[string]*core.System, 4)
+		for _, st := range ontoscore.Strategies() {
+			cfg := core.DefaultConfig()
+			cfg.Strategy = st
+			systems[st.String()] = core.NewMulti(corpus, coll, cfg)
+		}
+		fixSystems, fixCorpus, fixColl = systems, corpus, coll
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixSystems
+}
+
+// newTestPeer stands up a loopback peer: the shard API over the shared
+// fixture systems, served by an httptest server, plus a client wired
+// to it. Both are torn down with the test.
+func newTestPeer(t *testing.T, opts Options) (*Handler, *httptest.Server, *Client) {
+	t.Helper()
+	systems := testSystems(t)
+	h := NewHandler(HandlerConfig{Source: FixedSource(systems, 1), Logf: t.Logf})
+	h.WireGeneration(systems)
+	mux := http.NewServeMux()
+	h.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	c, err := NewClient(srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return h, srv, c
+}

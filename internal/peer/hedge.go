@@ -1,0 +1,60 @@
+package peer
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing tracks recent successful search latencies for one peer
+// and derives the hedge delay from their p95: hedging fires only for
+// genuine stragglers, not for the peer's ordinary service time.
+const latencyRingSize = 128
+
+// coldSamples is how many observations the tracker wants before it
+// trusts its p95; below that the configured floor alone decides.
+const coldSamples = 16
+
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [latencyRingSize]time.Duration
+	n       int // filled entries, <= latencyRingSize
+	idx     int // next write position
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.idx] = d
+	t.idx = (t.idx + 1) % latencyRingSize
+	if t.n < latencyRingSize {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile of the tracked window (0 while cold).
+func (t *latencyTracker) p95() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < coldSamples {
+		return 0
+	}
+	buf := make([]time.Duration, t.n)
+	copy(buf, t.samples[:t.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := (len(buf)*95 + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return buf[i]
+}
+
+// hedgeDelay is the wait before re-issuing a straggling search: the
+// observed p95, never below the configured floor (which alone governs
+// while the tracker is cold).
+func (t *latencyTracker) hedgeDelay(floor time.Duration) time.Duration {
+	if p := t.p95(); p > floor {
+		return p
+	}
+	return floor
+}

@@ -1,0 +1,195 @@
+package peer
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerP95(t *testing.T) {
+	var tr latencyTracker
+	if got := tr.p95(); got != 0 {
+		t.Fatalf("cold tracker p95 = %v, want 0", got)
+	}
+	// Below coldSamples the floor alone governs.
+	tr.observe(time.Second)
+	if got := tr.hedgeDelay(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("cold hedge delay = %v, want floor", got)
+	}
+	// 100 samples of 1..100ms: p95 is near the 95th.
+	for i := 1; i <= 100; i++ {
+		tr.observe(time.Duration(i) * time.Millisecond)
+	}
+	p := tr.p95()
+	if p < 90*time.Millisecond || p > 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want ~95ms", p)
+	}
+	// The floor still wins when larger than the p95.
+	if got := tr.hedgeDelay(time.Second); got != time.Second {
+		t.Fatalf("hedge delay = %v, want the 1s floor", got)
+	}
+	if got := tr.hedgeDelay(time.Millisecond); got != p {
+		t.Fatalf("hedge delay = %v, want the p95 %v", got, p)
+	}
+	// The ring wraps without losing its window.
+	for i := 0; i < 3*latencyRingSize; i++ {
+		tr.observe(7 * time.Millisecond)
+	}
+	if got := tr.p95(); got != 7*time.Millisecond {
+		t.Fatalf("post-wrap p95 = %v, want 7ms", got)
+	}
+}
+
+// slowFirstServer answers request #1 slowly and the rest instantly —
+// the canonical straggler a hedge is built to beat.
+func slowFirstServer(t *testing.T, slow time.Duration) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	resp, _ := json.Marshal(SearchResponseWire{V: APIVersion, Results: []ResultWire{{Root: "1.1", Score: 1}}})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-time.After(slow):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(resp)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestHedgeWins: the primary straggles, the hedge answers first — the
+// call returns promptly and the hedges/hedges-won counters move.
+func TestHedgeWins(t *testing.T) {
+	srv, calls := slowFirstServer(t, 2*time.Second)
+	c, err := NewClient(srv.URL, Options{HedgeAfter: 30 * time.Millisecond, Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	resp, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Root != "1.1" {
+		t.Fatalf("bad hedged answer: %+v", resp.Results)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("hedged call took %v; the hedge did not win", elapsed)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2 (primary + hedge)", n)
+	}
+	m := c.Metrics()
+	if m.Hedges != 1 || m.HedgesWon != 1 || m.HedgesWasted != 0 {
+		t.Fatalf("counters = %+v, want 1 fired / 1 won / 0 wasted", m)
+	}
+}
+
+// TestHedgeWasted: both attempts run but the primary answers first —
+// the hedge is counted as wasted, and the result is still correct.
+func TestHedgeWasted(t *testing.T) {
+	resp, _ := json.Marshal(SearchResponseWire{V: APIVersion, Results: []ResultWire{{Root: "2.1", Score: 1}}})
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every request takes the same moderate time: the primary's head
+		// start guarantees it finishes before the hedge.
+		calls.Add(1)
+		select {
+		case <-time.After(120 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(resp)
+	}))
+	t.Cleanup(srv.Close)
+
+	c, err := NewClient(srv.URL, Options{HedgeAfter: 20 * time.Millisecond, Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	got, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].Root != "2.1" {
+		t.Fatalf("bad answer: %+v", got.Results)
+	}
+	m := c.Metrics()
+	if m.Hedges != 1 || m.HedgesWon != 0 || m.HedgesWasted != 1 {
+		t.Fatalf("counters = %+v, want 1 fired / 0 won / 1 wasted", m)
+	}
+}
+
+// TestHedgeDisabled: HedgeAfter 0 never fires a second request.
+func TestHedgeDisabled(t *testing.T) {
+	srv, calls := slowFirstServer(t, 60*time.Millisecond)
+	c, err := NewClient(srv.URL, Options{Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls with hedging disabled, want 1", n)
+	}
+	if m := c.Metrics(); m.Hedges != 0 {
+		t.Fatalf("hedges fired: %+v", m)
+	}
+}
+
+// TestHedgeBothFail: when primary and hedge both fail, the caller gets
+// an error (not a hang), and the straggler goroutines are reaped (the
+// package TestMain enforces the leak check).
+func TestHedgeBothFail(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeWireError(w, http.StatusInternalServerError, "down")
+	}))
+	t.Cleanup(srv.Close)
+	c, err := NewClient(srv.URL, Options{HedgeAfter: time.Millisecond, Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Search(context.Background(), &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}})
+	te, ok := AsTransportError(err)
+	if !ok || te.Kind != KindStatus {
+		t.Fatalf("want KindStatus, got %v", err)
+	}
+}
+
+// TestHedgeDeadline: the caller's deadline fires while both attempts
+// straggle — the call returns a typed deadline error within budget.
+func TestHedgeDeadline(t *testing.T) {
+	srv, _ := slowFirstServer(t, 5*time.Second)
+	c, err := NewClient(srv.URL, Options{HedgeAfter: 10 * time.Second, Retry: singleAttempt()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Search(ctx, &SearchRequestWire{V: APIVersion, Strategy: "XRANK", Keywords: []string{"x"}})
+	if te, ok := AsTransportError(err); !ok || te.Kind != KindDeadline {
+		t.Fatalf("want KindDeadline, got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("deadline not enforced")
+	}
+}

@@ -1,4 +1,4 @@
-package shard
+package peer
 
 import (
 	"fmt"
@@ -10,10 +10,10 @@ import (
 	"repro/internal/faultinject"
 )
 
-// TestMain enforces two hygiene contracts: any test that arms a
-// failpoint must disarm it, and no goroutine may outlive the tests —
-// scatter legs, hedged peer requests, and chaos-suite stragglers must
-// all be reaped by their contexts.
+// TestMain enforces two hygiene contracts for the transport package:
+// no failpoint may be left armed, and no goroutine may outlive the
+// tests — hedged requests, stragglers, and trickled bodies must all be
+// reaped by their contexts.
 func TestMain(m *testing.M) {
 	base := runtime.NumGoroutine()
 	code := m.Run()
@@ -29,9 +29,8 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// checkGoroutines waits for in-flight teardown to settle, then fails
-// if the goroutine count did not return to (near) the pre-run
-// baseline.
+// checkGoroutines waits for in-flight teardown to settle, then fails if
+// the goroutine count did not return to (near) the pre-run baseline.
 func checkGoroutines(base int) int {
 	const slack = 4 // runtime/net background helpers
 	deadline := time.Now().Add(5 * time.Second)
@@ -44,6 +43,6 @@ func checkGoroutines(base int) int {
 	n := runtime.NumGoroutine()
 	buf := make([]byte, 1<<20)
 	sz := runtime.Stack(buf, true)
-	fmt.Fprintf(os.Stderr, "shard: goroutine leak: %d at start, %d after tests\n%s\n", base, n, buf[:sz])
+	fmt.Fprintf(os.Stderr, "peer: goroutine leak: %d at start, %d after tests\n%s\n", base, n, buf[:sz])
 	return 1
 }

@@ -223,3 +223,67 @@ func TestBreakerConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Half-open admits EXACTLY one probe (Probes=1) however many callers
+// race for it: the losers are rejected with the breaker still
+// half-open, and only the winner's verdict moves the state. Run with
+// -race; the contended Allow path is the point.
+func TestHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{
+		Threshold: 1, Cooldown: time.Minute, Window: time.Minute, Clock: clock,
+	})
+	b.Failure() // threshold 1: trips open
+	if b.State() != Open {
+		t.Fatalf("state after trip = %v, want open", b.State())
+	}
+	now = now.Add(time.Minute) // cooldown elapses: next Allow goes half-open
+
+	const callers = 64
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				admitted.Add(1)
+			} else {
+				rejected.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted.Load() != 1 || rejected.Load() != callers-1 {
+		t.Fatalf("admitted=%d rejected=%d, want exactly 1 probe and %d rejections",
+			admitted.Load(), rejected.Load(), callers-1)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state while probe outstanding = %v, want half-open", b.State())
+	}
+
+	// The losers' rejections did not consume the episode: the winning
+	// probe's success re-closes the breaker for everyone.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	var reopened atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !b.Allow() {
+				reopened.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if reopened.Load() != 0 {
+		t.Fatalf("%d rejections after re-close, want 0", reopened.Load())
+	}
+}

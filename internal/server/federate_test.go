@@ -1,0 +1,291 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cda"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/ontology"
+	"repro/internal/peer"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/xmltree"
+)
+
+// federationData rebuilds the deterministic testServer corpus alongside
+// its collection, so it can be dealt out across federation nodes.
+func federationData(t *testing.T) (*xmltree.Corpus, *ontology.Collection) {
+	t.Helper()
+	ont, err := ontology.Generate(ontology.GenConfig{Seed: 9, ExtraConcepts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := xmltree.NewCorpus()
+	fig1, err := cda.GenerateFigure1(ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus.Add(fig1)
+	g, err := cda.NewGenerator(cda.GenConfig{
+		Seed: 9, NumDocuments: 5, ProblemsPerPatient: 2,
+		MedicationsPerPatient: 2, ProceduresPerPatient: 1,
+	}, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.GenerateCorpus().Docs() {
+		corpus.Add(&xmltree.Document{Root: d.Root, Name: d.Name})
+	}
+	return corpus, ontology.MustCollection(ont, ontology.LOINCFragment())
+}
+
+// splitCorpus deals documents round-robin into n disjoint views. The
+// federation's exactness must not depend on placement, so any disjoint
+// cover works.
+func splitCorpus(corpus *xmltree.Corpus, n int) []*xmltree.Corpus {
+	views := make([]*xmltree.Corpus, n)
+	for i := range views {
+		views[i] = xmltree.NewCorpus()
+	}
+	for i, doc := range corpus.Docs() {
+		views[i%n].AddExisting(doc)
+	}
+	return views
+}
+
+// peerNode runs one view as a federation peer: a full *Server with the
+// shard API mounted, served over loopback HTTP, dialed by a fresh peer
+// client.
+func peerNode(t *testing.T, view *xmltree.Corpus, coll *ontology.Collection, opts peer.Options) (*Server, *httptest.Server, *peer.Client) {
+	t.Helper()
+	s := New(view, coll, core.DefaultConfig())
+	s.SetLogf(t.Logf)
+	s.EnablePeerAPI()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	pc, err := peer.NewClient(ts.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pc.Close)
+	return s, ts, pc
+}
+
+// A federated coordinator — one local slot plus two HTTP peers, each a
+// full xontoserve-style server — answers /search byte-identically to a
+// single node over the whole corpus, including remote-owned snippet and
+// fragment hydration.
+func TestFederatedServerEquivalence(t *testing.T) {
+	corpus, coll := federationData(t)
+	single := New(corpus, coll, core.DefaultConfig())
+	single.SetLogf(t.Logf)
+
+	views := splitCorpus(corpus, 3)
+	_, _, pc1 := peerNode(t, views[1], coll, peer.Options{})
+	_, _, pc2 := peerNode(t, views[2], coll, peer.Options{})
+
+	coord := New(views[0], coll, core.DefaultConfig())
+	coord.SetLogf(t.Logf)
+	coord.EnableSharding(shard.Config{Shards: 1, Peers: []*peer.Client{pc1, pc2}, Logf: t.Logf})
+
+	for _, path := range []string{
+		`/search?q=asthma+medications&k=5&snippets=1`,
+		`/search?q=%22bronchial+structure%22+theophylline&strategy=Graph&fragments=1`,
+		`/search?q=asthma&k=20&group=1`,
+	} {
+		recS := get(t, single, path)
+		recF := get(t, coord, path)
+		if recS.Code != http.StatusOK || recF.Code != http.StatusOK {
+			t.Fatalf("%s: status %d vs %d (%s)", path, recS.Code, recF.Code, recF.Body.String())
+		}
+		var want, got SearchResponse
+		if err := json.Unmarshal(recS.Body.Bytes(), &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(recF.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Partial || got.Degraded {
+			t.Errorf("%s: healthy federation degraded=%v partial=%v", path, got.Degraded, got.Partial)
+		}
+		if len(got.Shards) != 3 {
+			t.Errorf("%s: %d shard statuses, want 3 (1 local + 2 peers)", path, len(got.Shards))
+		}
+		named := 0
+		for _, ss := range got.Shards {
+			if ss.Peer != "" {
+				named++
+			}
+		}
+		if named != 2 {
+			t.Errorf("%s: %d peer-named shard statuses, want 2: %+v", path, named, got.Shards)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%s: %d results, want %d", path, len(got.Results), len(want.Results))
+		}
+		for i := range want.Results {
+			w, g := want.Results[i], got.Results[i]
+			if g.ID != w.ID || g.Score != w.Score || g.Document != w.Document ||
+				g.Path != w.Path || g.Snippet != w.Snippet || g.Fragment != w.Fragment {
+				t.Errorf("%s: result %d differs:\n got %+v\nwant %+v", path, i, g, w)
+			}
+		}
+	}
+}
+
+// Losing a peer degrades the coordinator instead of failing it: 200
+// with degraded+partial and one Warning header, the peer's breaker
+// opens, and /readyz names the sick peer while the quorum keeps the
+// node in rotation.
+func TestFederatedServerPeerDownDegrades(t *testing.T) {
+	corpus, coll := federationData(t)
+	views := splitCorpus(corpus, 2)
+	_, ts, pc := peerNode(t, views[1], coll, peer.Options{
+		Timeout: 300 * time.Millisecond,
+		Breaker: resilience.BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+		Retry:   resilience.RetryPolicy{MaxAttempts: 1, Jitter: -1},
+	})
+
+	coord := New(views[0], coll, core.DefaultConfig())
+	coord.SetLogf(t.Logf)
+	coord.EnableSharding(shard.Config{
+		Shards: 1, Peers: []*peer.Client{pc}, Quorum: 1,
+		Timeout: 500 * time.Millisecond, Logf: t.Logf,
+	})
+
+	ts.Close() // the peer vanishes after the statistics exchange
+
+	rec := get(t, coord, `/search?q=asthma&k=5`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || !resp.Partial {
+		t.Fatalf("degraded=%v partial=%v, want both true", resp.Degraded, resp.Partial)
+	}
+	down := 0
+	for _, ss := range resp.Shards {
+		if ss.Peer != "" && ss.State != "ok" && ss.Error != "" {
+			down++
+		}
+	}
+	if len(resp.Shards) != 2 || down != 1 {
+		t.Fatalf("shards block = %+v, want 2 entries with the peer down", resp.Shards)
+	}
+	warns := rec.Header().Values("Warning")
+	if len(warns) != 1 || !strings.Contains(warns[0], "shards unavailable") {
+		t.Fatalf("Warning headers = %v, want one naming unavailable shards", warns)
+	}
+	if st := pc.Breaker().State(); st != resilience.Open {
+		t.Errorf("peer breaker = %v, want open", st)
+	}
+
+	// Quorum 1 keeps the coordinator in rotation; /readyz reports the
+	// sick peer by name, and the corpus check counts the federation's
+	// documents rather than just the thin local partition.
+	rec = get(t, coord, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || !ready.Degraded {
+		t.Errorf("readyz ready=%v degraded=%v, want ready and degraded", ready.Ready, ready.Degraded)
+	}
+	sick := 0
+	for _, ss := range ready.Shards {
+		if ss.Peer != "" && !ss.Ready {
+			sick++
+		}
+	}
+	if sick != 1 {
+		t.Errorf("readyz shards = %+v, want one sick peer entry", ready.Shards)
+	}
+}
+
+// A client that hangs up cancels the whole fan-out: the serving layer's
+// flight is canceled when its last waiter abandons, the outcome is
+// counted as canceled (not an error), and no flight lingers.
+func TestSearchClientCancelCancelsFanout(t *testing.T) {
+	s, _ := shardedServer(t, 2, shard.Config{})
+	faultinject.Enable(shard.FPSearch, faultinject.Spec{
+		Mode: faultinject.ModeLatency, Delay: 1200 * time.Millisecond,
+	})
+	defer faultinject.DisableAll()
+
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+`/search?q=asthma&k=3`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("request succeeded; want client-side cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 800*time.Millisecond {
+		t.Fatalf("canceled request took %v; the injected shard latency leaked to the client", elapsed)
+	}
+
+	// The abandoned flight must be canceled and accounted: a canceled
+	// outcome in the serving stats, and the singleflight map drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := s.Serving().Stats().Snapshot()
+		inflight := s.Serving().Metrics().Singleflight.InFlight
+		if snap.Canceled >= 1 && inflight == 0 {
+			if snap.Errors != 0 {
+				t.Fatalf("cancellation recorded as error: %+v", snap)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled=%d inflight=%d after wait, want >=1 and 0", snap.Canceled, inflight)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// The query endpoints cap request bodies: a body over the limit answers
+// 413 with the JSON error contract instead of being read without bound.
+func TestQueryBodyCap(t *testing.T) {
+	s, _ := testServer(t)
+	big := strings.NewReader(strings.Repeat("x", maxQueryBody+1))
+	for _, path := range []string{`/search?q=asthma&k=3`, `/ontoscore?keyword=asthma`} {
+		req := httptest.NewRequest(http.MethodGet, path, big)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with oversized body: status = %d, want 413", path, rec.Code)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: 413 body is not the JSON error contract: %q", path, rec.Body.String())
+		}
+		big.Seek(0, 0)
+	}
+	// A small body is drained and ignored; the query still answers.
+	req := httptest.NewRequest(http.MethodGet, `/search?q=asthma&k=3`, strings.NewReader("ok"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small body: status = %d body = %s", rec.Code, rec.Body.String())
+	}
+}

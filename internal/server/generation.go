@@ -210,6 +210,13 @@ func (s *Server) reloadLocked(ctx context.Context) (*ReloadStatus, error) {
 	}
 	next := newGeneration(s.gen.Load().num+1, data.Corpus, data.Collection, s.cfg)
 	next.onRelease = s.fireRelease
+	if s.peerAPI != nil {
+		// Serving as a federation peer: the new generation's builders must
+		// answer with coordinator-pinned norms and the last installed
+		// cluster-global statistics, or this reload would silently fall
+		// back to partition-local scoring mid-federation.
+		s.peerAPI.WireGeneration(systemsByName(next.systems))
+	}
 	if s.seg != nil {
 		// Live ingestion: attach the segment to the cold generation,
 		// then rebase it over the new corpus, replaying whatever the WAL

@@ -41,7 +41,9 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -59,6 +61,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
+	"repro/internal/peer"
 	"repro/internal/query"
 	"repro/internal/resilience"
 	"repro/internal/serving"
@@ -116,6 +119,12 @@ type Server struct {
 	// corpus so fragment, stats, and explanation endpoints are
 	// unaffected.
 	cluster *shard.Cluster
+
+	// peerAPI, when non-nil, is the mounted internal shard API
+	// (EnablePeerAPI): this node answers /shard/* for a federated
+	// coordinator, and reloads re-wire each new generation for
+	// coordinator-pinned norms and global statistics.
+	peerAPI *peer.Handler
 
 	reloadMu    sync.Mutex
 	reloader    ReloadFunc
@@ -234,10 +243,14 @@ func (s *Server) System(st ontoscore.Strategy) *core.System { return s.gen.Load(
 // EnableSharding partitions the active corpus into cfg.Shards document
 // shards and routes every search through scatter-gather over them
 // (cfg.Core is overridden with the server's own core configuration so
-// shard ranking matches the single-node systems). Call once, before
-// serving traffic. Reloads roll through the cluster shard by shard;
-// /readyz gains per-shard status and a quorum requirement; /metrics
-// gains per-shard instruments.
+// shard ranking matches the single-node systems). With cfg.Peers set
+// the cluster federates: remote xontoserve nodes serve additional
+// slots over the HTTP shard API, with the cross-shard statistics
+// exchange run at build and reload time so federated ranking stays
+// byte-identical to single-node. Call once, before serving traffic.
+// Reloads roll through the cluster shard by shard; /readyz gains
+// per-shard status and a quorum requirement; /metrics gains per-shard
+// instruments (and per-peer transport counters when federated).
 func (s *Server) EnableSharding(cfg shard.Config) *shard.Cluster {
 	g := s.gen.Load()
 	cfg.Core = s.cfg
@@ -246,6 +259,7 @@ func (s *Server) EnableSharding(cfg shard.Config) *shard.Cluster {
 	}
 	s.cluster = shard.New(g.corpus, g.coll, cfg)
 	s.cluster.Instrument(s.reg)
+	s.instrumentPeers(cfg.Peers)
 	return s.cluster
 }
 
@@ -373,7 +387,8 @@ func metricPath(p string) string {
 	switch p {
 	case "/search", "/fragment", "/concepts", "/ontoscore", "/stats",
 		"/metrics", "/healthz", "/readyz", "/admin/reload", "/admin/ingest",
-		"/debug/traces":
+		"/debug/traces",
+		peer.PathSearch, peer.PathStats, peer.PathFragment:
 		return p
 	default:
 		return "other"
@@ -422,6 +437,35 @@ func writeServingError(w http.ResponseWriter, err error) {
 	default:
 		writeError(w, status, "%v", err)
 	}
+}
+
+// maxQueryBody caps request bodies on the query endpoints. /search and
+// /ontoscore take their input from the URL, but HTTP allows a body on
+// any request — without a cap, a client streaming gigabytes alongside a
+// GET would be read to completion by the connection machinery. 64 KiB
+// admits any legitimate payload (there is none) while bounding the read.
+const maxQueryBody = 64 << 10
+
+// capRequestBody drains a size-capped request body, answering 413 with
+// the JSON error contract when the cap is exceeded (false = the
+// response has been written). Only /admin/ingest consumes its body;
+// everywhere else the body is protocol ballast that still must be
+// bounded.
+func capRequestBody(w http.ResponseWriter, r *http.Request) bool {
+	if r.Body == nil {
+		return true
+	}
+	if _, err := io.Copy(io.Discard, http.MaxBytesReader(w, r.Body, maxQueryBody)); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "read request body: %v", err)
+		return false
+	}
+	return true
 }
 
 func (s *Server) strategyParam(r *http.Request) (ontoscore.Strategy, error) {
@@ -512,6 +556,9 @@ type SearchResponse struct {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if err := faultinject.Hit(FPSearch); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !capRequestBody(w, r) {
 		return
 	}
 	q := r.URL.Query().Get("q")
@@ -714,6 +761,9 @@ type OntoScoreEntry struct {
 }
 
 func (s *Server) handleOntoScore(w http.ResponseWriter, r *http.Request) {
+	if !capRequestBody(w, r) {
+		return
+	}
 	kw := r.URL.Query().Get("keyword")
 	if kw == "" {
 		writeError(w, http.StatusBadRequest, "missing query parameter keyword")
@@ -887,7 +937,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		LastIngest: s.lastIngest.Load(),
 		Delta:      s.deltaStatus(),
 	}
-	if g.corpus.Stats().Documents == 0 {
+	// A federated coordinator may hold a small (or empty) local
+	// partition; what matters for rotation is that the cluster as a
+	// whole serves documents, so the federation's count backs the check.
+	docs := g.corpus.Stats().Documents
+	if s.cluster != nil {
+		if n := s.cluster.Documents(); n > docs {
+			docs = n
+		}
+	}
+	if docs == 0 {
 		resp.Ready = false
 		resp.Checks["corpus"] = "no documents loaded"
 	} else {

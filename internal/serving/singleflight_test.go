@@ -87,6 +87,87 @@ func TestSingleflightDistinctKeysDoNotCoalesce(t *testing.T) {
 	}
 }
 
+// When the LAST waiter abandons a flight, the flight's context is
+// canceled too: nobody is waiting for the answer, so the execution
+// (shard fan-out, peer RPCs) must stop instead of running to its
+// deadline.
+func TestSingleflightAbandonCancelsFlight(t *testing.T) {
+	var g Group[int]
+	execCtx := make(chan context.Context, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	v, err, _ := g.Do(ctx, "k", func(fctx context.Context) (int, error) {
+		execCtx <- fctx
+		cancel() // the only caller hangs up mid-execution
+		<-fctx.Done()
+		return 0, fctx.Err()
+	})
+	if err != context.Canceled || v != 0 {
+		t.Fatalf("abandoning caller got (%d, %v), want (0, context.Canceled)", v, err)
+	}
+	fctx := <-execCtx
+	select {
+	case <-fctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight context not canceled after the last waiter abandoned")
+	}
+	// The abandoned key is free again: a new caller starts a fresh
+	// flight rather than coalescing onto the canceled one.
+	v, err, shared := g.Do(context.Background(), "k", func(fctx context.Context) (int, error) {
+		if fctx.Err() != nil {
+			t.Error("fresh flight started with a dead context")
+		}
+		return 9, nil
+	})
+	if err != nil || v != 9 || shared {
+		t.Fatalf("post-abandon call got (%d, %v, shared=%v), want (9, nil, false)", v, err, shared)
+	}
+}
+
+// A second live waiter keeps the flight alive when the first abandons:
+// only the LAST departure cancels.
+func TestSingleflightSurvivingWaiterKeepsFlightAlive(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	var sawCancel atomic.Bool
+	leaderDone := make(chan error, 1)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	go func() {
+		_, err, _ := g.Do(ctx1, "k", func(fctx context.Context) (int, error) {
+			<-gate
+			sawCancel.Store(fctx.Err() != nil)
+			return 7, nil
+		})
+		leaderDone <- err
+	}()
+	for g.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	survivorDone := make(chan error, 1)
+	go func() {
+		v, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			t.Error("survivor must not start a second flight")
+			return 0, nil
+		})
+		if v != 7 && err == nil {
+			t.Errorf("survivor got %d, want 7", v)
+		}
+		survivorDone <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel1() // the leader hangs up; the survivor still wants the answer
+	if err := <-leaderDone; err != context.Canceled {
+		t.Fatalf("abandoning leader got %v, want context.Canceled", err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(gate)
+	if err := <-survivorDone; err != nil {
+		t.Fatalf("surviving waiter got %v, want nil", err)
+	}
+	if sawCancel.Load() {
+		t.Fatal("flight context was canceled while a waiter remained")
+	}
+}
+
 // A waiter that cancels gets its context error immediately, while the
 // flight itself completes and serves later callers from the same run.
 func TestSingleflightWaiterCancel(t *testing.T) {

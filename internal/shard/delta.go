@@ -40,6 +40,13 @@ type DeltaOverlay interface {
 // authority). Call before serving traffic; reloads re-wire new
 // generations automatically.
 func (c *Cluster) InstallDelta(d DeltaOverlay, base func(st ontoscore.Strategy) *dil.Builder) {
+	if c.hasPeers() {
+		// Live ingest is a single-node/in-process feature: a delta
+		// segment cannot overlay a remote peer's indexes. The CLI rejects
+		// the combination; this guard keeps a programmatic caller safe.
+		c.cfg.Logf("shard: InstallDelta ignored: live delta segments are not supported on a federated cluster")
+		return
+	}
 	c.reloadMu.Lock()
 	defer c.reloadMu.Unlock()
 	c.delta = d
@@ -95,6 +102,9 @@ func shardOfName(name string, n int) int {
 // the memory).
 func (c *Cluster) PurgeKeywordCaches() {
 	for _, sl := range c.slots {
+		if sl.remote != nil {
+			continue
+		}
 		g := sl.pin()
 		for _, sys := range g.systems {
 			sys.PurgeKeywordCache()

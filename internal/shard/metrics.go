@@ -35,6 +35,25 @@ func (c *Cluster) Instrument(reg *obs.Registry) {
 		m.latency = append(m.latency, reg.Histogram("shard_search_seconds",
 			"Per-shard search leg latency in seconds.", nil, label))
 		sl := sl
+		if sl.remote != nil {
+			reg.GaugeFunc("shard_generation",
+				"Active generation number by shard (advances on each shard swap).",
+				func() float64 {
+					if sw := sl.peerStats.Load(); sw != nil {
+						return float64(sw.Generation)
+					}
+					return 0
+				}, label)
+			reg.GaugeFunc("shard_documents",
+				"Documents served by shard.",
+				func() float64 {
+					if sw := sl.peerStats.Load(); sw != nil {
+						return float64(sw.Documents)
+					}
+					return 0
+				}, label)
+			continue
+		}
 		reg.GaugeFunc("shard_generation",
 			"Active generation number by shard (advances on each shard swap).",
 			func() float64 { return float64(sl.gen.Load().num) }, label)

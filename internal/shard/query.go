@@ -92,10 +92,23 @@ func (s *Sharded) Query(ctx context.Context, req core.SearchRequest) (*core.Sear
 		Explain:  req.Explain,
 	}
 
+	// With peers in the cluster, resolve every keyword's federation-wide
+	// norm up front: local legs then hit the calibrator cache instead of
+	// blocking a keyword build on the network, and remote legs ship the
+	// resolved values so every node divides by the same maxima.
+	var norms map[string]float64
+	if s.c.hasPeers() {
+		norms = s.c.calibs[s.st].resolveAll(ctx, keywords)
+	}
+
 	sstart := time.Now()
 	n := len(s.c.slots)
 	ch := make(chan answer, n) // buffered: stragglers must never leak
 	for _, sl := range s.c.slots {
+		if sl.remote != nil {
+			go s.queryRemote(ctx, sl, leg, norms, ch)
+			continue
+		}
 		go s.queryShard(ctx, sl, leg, ch)
 	}
 
@@ -287,28 +300,42 @@ func mergeKeywords(acc, more []string) []string {
 	return acc
 }
 
-// Snippet routes to the shard owning the result's document.
+// Snippet routes to the shard — or peer — owning the result's
+// document.
 func (s *Sharded) Snippet(r core.Result) string {
-	if sl := s.slotFor(r.Root.DocID()); sl != nil {
-		g := sl.pin()
-		defer g.release()
-		return g.systems[s.st].Snippet(r)
+	sl := s.slotFor(r.Root.DocID())
+	if sl == nil {
+		return ""
 	}
-	return ""
+	if sl.remote != nil {
+		return s.remoteHydrate(sl, r, true, false).Snippet
+	}
+	g := sl.pin()
+	defer g.release()
+	return g.systems[s.st].Snippet(r)
 }
 
-// Fragment routes to the shard owning the result's document.
+// Fragment routes to the shard — or peer — owning the result's
+// document.
 func (s *Sharded) Fragment(r core.Result) string {
-	if sl := s.slotFor(r.Root.DocID()); sl != nil {
-		g := sl.pin()
-		defer g.release()
-		return g.systems[s.st].Fragment(r)
+	sl := s.slotFor(r.Root.DocID())
+	if sl == nil {
+		return ""
 	}
-	return ""
+	if sl.remote != nil {
+		return s.remoteHydrate(sl, r, false, true).Fragment
+	}
+	g := sl.pin()
+	defer g.release()
+	return g.systems[s.st].Fragment(r)
 }
 
 func (s *Sharded) slotFor(docID int32) *slot {
 	if i := s.c.ownerOf(docID); i >= 0 {
+		return s.c.slots[i]
+	}
+	// Documents a peer answered with route back to that peer.
+	if i := s.c.remoteOwnerOf(docID); i >= 0 && i < len(s.c.slots) {
 		return s.c.slots[i]
 	}
 	// Delta documents are in no base partition; the segment records the
@@ -319,8 +346,11 @@ func (s *Sharded) slotFor(docID int32) *slot {
 		}
 	}
 	// Transient miss across a partial reload: fall back to scanning the
-	// live generations.
+	// live local generations.
 	for _, sl := range s.c.slots {
+		if sl.remote != nil {
+			continue
+		}
 		g := sl.pin()
 		ok := g.corpus.Doc(docID) != nil
 		g.release()
@@ -341,10 +371,13 @@ func (s *Sharded) Builder() *dil.Builder {
 }
 
 // KeywordCacheMetrics aggregates the per-shard on-demand keyword cache
-// counters.
+// counters of the local shards (peers report their own).
 func (s *Sharded) KeywordCacheMetrics() serving.CacheMetrics {
 	var out serving.CacheMetrics
 	for _, sl := range s.c.slots {
+		if sl.remote != nil {
+			continue
+		}
 		g := sl.pin()
 		m := g.systems[s.st].KeywordCacheMetrics()
 		g.release()

@@ -49,15 +49,22 @@ func (c *Cluster) Reload(ctx context.Context, corpus *xmltree.Corpus, coll *onto
 	if coll != nil {
 		c.coll = coll
 	}
-	gens := c.buildGens(partition(corpus, len(c.slots)))
+	local := len(c.slots) - len(c.cfg.Peers)
+	gens := c.buildGens(partition(corpus, local))
 	c.exchangeStats(gens)
 	c.installCalibrators(gens)
 	c.installDelta(gens)
 	buildUS := time.Since(start).Microseconds()
 
-	results := make([]ReloadResult, 0, len(c.slots))
+	results := make([]ReloadResult, 0, local)
 	swapped := 0
 	for i, sl := range c.slots {
+		if sl.remote != nil {
+			// Peers reload themselves; the federated statistics exchange
+			// above already refreshed their snapshot and re-pushed the
+			// merged globals.
+			continue
+		}
 		res := ReloadResult{Shard: i, TookUS: buildUS}
 		err := ctx.Err()
 		if err == nil {
@@ -86,6 +93,9 @@ func (c *Cluster) Reload(ctx context.Context, corpus *xmltree.Corpus, coll *onto
 	// live.
 	owners := make(map[int32]int, corpus.Len())
 	for _, sl := range c.slots {
+		if sl.remote != nil {
+			continue
+		}
 		g := sl.pin()
 		for _, doc := range g.corpus.Docs() {
 			if _, taken := owners[doc.ID]; !taken {
@@ -95,10 +105,11 @@ func (c *Cluster) Reload(ctx context.Context, corpus *xmltree.Corpus, coll *onto
 		g.release()
 	}
 	c.owners.Store(&owners)
+	c.purgeRemoteOwners()
 	for _, cal := range c.calibs {
 		cal.invalidate()
 	}
 	c.cfg.Logf("shard: rolling reload complete: %d/%d shards swapped in %v",
-		swapped, len(c.slots), time.Since(start).Round(time.Millisecond))
+		swapped, local, time.Since(start).Round(time.Millisecond))
 	return results
 }

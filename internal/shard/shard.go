@@ -35,6 +35,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
+	"repro/internal/peer"
 	"repro/internal/resilience"
 	"repro/internal/xmltree"
 )
@@ -63,9 +65,18 @@ type Config struct {
 	// answer within it is reported as "timeout" and the query proceeds
 	// with the shards that did. <= 0 means DefaultTimeout.
 	Timeout time.Duration
-	// Quorum is how many shards must be ready (breaker not open) for
-	// the cluster to report ready; <= 0 means a majority (n/2 + 1).
+	// Quorum is how many slots (local shards plus peers) must be ready
+	// (breaker not open) for the cluster to report ready; <= 0 means a
+	// majority (n/2 + 1).
 	Quorum int
+	// Peers are remote shard nodes: each one becomes a slot served over
+	// the HTTP shard API instead of an in-process generation. The
+	// local corpus is still partitioned across Shards local slots; the
+	// peers bring their own documents. The cluster runs the federated
+	// statistics exchange against them at startup and on every reload,
+	// so federated scores stay byte-identical to a single node holding
+	// the union of all partitions.
+	Peers []*peer.Client
 	// Core is the base system configuration; Strategy is overridden
 	// per prepared system.
 	Core core.Config
@@ -83,8 +94,9 @@ func (c Config) normalized() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = DefaultTimeout
 	}
-	if c.Quorum <= 0 || c.Quorum > c.Shards {
-		c.Quorum = c.Shards/2 + 1
+	total := c.Shards + len(c.Peers)
+	if c.Quorum <= 0 || c.Quorum > total {
+		c.Quorum = total/2 + 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -144,12 +156,21 @@ func (g *shardGen) release() {
 	}
 }
 
-// slot is one shard's long-lived identity: the atomic generation
-// pointer queries pin, and the breaker guarding the shard as a unit.
+// slot is one shard's long-lived identity. A local slot holds an
+// atomic generation pointer queries pin; a remote slot holds a peer
+// client instead (gen stays nil) and shares the client's breaker so
+// readiness and quorum see the same failure record the transport
+// feeds.
 type slot struct {
 	id      int
 	gen     atomic.Pointer[shardGen]
 	breaker *resilience.Breaker
+
+	// remote, when non-nil, marks this slot as served by a peer node.
+	remote *peer.Client
+	// peerStats caches the peer's last-fetched statistics snapshot
+	// (documents, generation) for statuses and gauges.
+	peerStats atomic.Pointer[peer.StatsWire]
 }
 
 // pin returns the slot's active generation with a reference held.
@@ -175,6 +196,12 @@ type Cluster struct {
 	// owners maps document ID -> slot index, rebuilt on reload (under
 	// reloadMu) and read lock-free by Snippet/Fragment routing.
 	owners atomic.Pointer[map[int32]int]
+
+	// remoteOwn lazily maps document IDs seen in peer answers to the
+	// remote slot that served them, so Snippet/Fragment hydration
+	// routes back to the owning peer. Purged on reload.
+	remoteOwnMu sync.RWMutex
+	remoteOwn   map[int32]int
 
 	systems map[ontoscore.Strategy]*Sharded
 	calibs  map[ontoscore.Strategy]*calibrator
@@ -215,20 +242,26 @@ func partition(corpus *xmltree.Corpus, n int) []*xmltree.Corpus {
 	return views
 }
 
-// New partitions the corpus and builds every shard's first generation
-// in parallel, then runs the cluster-wide statistics exchange so each
-// shard scores with collection-global BM25 statistics.
+// New partitions the local corpus across the local shard slots,
+// builds every shard's first generation in parallel, appends one slot
+// per configured peer, and runs the (federated, when peers are
+// present) statistics exchange so each shard — local or remote —
+// scores with collection-global BM25 statistics.
 func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg Config) *Cluster {
 	cfg = cfg.normalized()
 	c := &Cluster{
-		cfg:     cfg,
-		coll:    coll,
-		slots:   make([]*slot, cfg.Shards),
-		systems: make(map[ontoscore.Strategy]*Sharded, 4),
-		calibs:  make(map[ontoscore.Strategy]*calibrator, 4),
+		cfg:       cfg,
+		coll:      coll,
+		slots:     make([]*slot, 0, cfg.Shards+len(cfg.Peers)),
+		systems:   make(map[ontoscore.Strategy]*Sharded, 4),
+		calibs:    make(map[ontoscore.Strategy]*calibrator, 4),
+		remoteOwn: make(map[int32]int),
 	}
-	for i := range c.slots {
-		c.slots[i] = &slot{id: i, breaker: resilience.NewBreaker(cfg.Breaker)}
+	for i := 0; i < cfg.Shards; i++ {
+		c.slots = append(c.slots, &slot{id: i, breaker: resilience.NewBreaker(cfg.Breaker)})
+	}
+	for _, pc := range cfg.Peers {
+		c.slots = append(c.slots, &slot{id: len(c.slots), remote: pc, breaker: pc.Breaker()})
 	}
 	gens := c.buildGens(partition(corpus, cfg.Shards))
 	c.exchangeStats(gens)
@@ -247,8 +280,8 @@ func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg Config) *Cluster
 		c.systems[st] = &Sharded{c: c, st: st}
 	}
 	c.installCalibrators(gens)
-	c.cfg.Logf("shard: cluster up: %d shards, %d documents, per-shard timeout %v, quorum %d",
-		cfg.Shards, corpus.Len(), cfg.Timeout, cfg.Quorum)
+	c.cfg.Logf("shard: cluster up: %d local shards, %d peers, %d local documents, per-shard timeout %v, quorum %d",
+		cfg.Shards, len(cfg.Peers), corpus.Len(), cfg.Timeout, cfg.Quorum)
 	return c
 }
 
@@ -296,14 +329,17 @@ func (c *Cluster) buildGen(id int, view *xmltree.Corpus) *shardGen {
 	return g
 }
 
-// exchangeStats merges every shard's local text-index statistics and
-// broadcasts the collection-global snapshot (and the global
-// element-rank normalizer) back onto each shard's builders. Run on
-// generations that are not serving yet — the overlay is installed
-// while the indexes are cold.
+// exchangeStats merges every shard's local text-index statistics —
+// local generations and remote peers alike — and broadcasts the
+// collection-global snapshot (and the global element-rank normalizer)
+// back onto each local shard's builders and out to every peer over
+// POST /shard/stats. Run on local generations that are not serving
+// yet — the overlay is installed while the indexes are cold.
 func (c *Cluster) exchangeStats(gens []*shardGen) {
+	remote := c.fetchPeerStats()
+	merged := make(map[string]peer.StrategyStatsWire, 4)
 	for _, st := range ontoscore.Strategies() {
-		parts := make([]ir.Stats, 0, len(gens))
+		parts := make([]ir.Stats, 0, len(gens)+len(remote))
 		ranksMax := 0.0
 		for _, g := range gens {
 			b := g.systems[st].Builder()
@@ -312,13 +348,25 @@ func (c *Cluster) exchangeStats(gens []*shardGen) {
 				ranksMax = rm
 			}
 		}
-		merged := ir.MergeStats(parts...)
+		for _, sw := range remote {
+			if s, ok := sw.Strategies[st.String()]; ok {
+				parts = append(parts, ir.Stats{N: s.N, TotalLen: s.TotalLen, DF: s.DF})
+				if s.RanksMax > ranksMax {
+					ranksMax = s.RanksMax
+				}
+			}
+		}
+		m := ir.MergeStats(parts...)
 		for _, g := range gens {
 			b := g.systems[st].Builder()
-			b.SetGlobalTextStats(merged)
+			b.SetGlobalTextStats(m)
 			b.SetRanksMax(ranksMax)
 		}
+		merged[st.String()] = peer.StrategyStatsWire{
+			N: m.N, TotalLen: m.TotalLen, DF: m.DF, RanksMax: ranksMax,
+		}
 	}
+	c.pushPeerStats(merged)
 }
 
 // installCalibrators points every builder of the given generations at
@@ -376,8 +424,19 @@ type calibrator struct {
 // KeywordNorm implements dil.Calibrator. It is called from inside a
 // shard's own keyword build; pinning is refcount-only and builders
 // take no locks on this path, so the cross-shard callback cannot
-// deadlock.
+// deadlock. With peers in the cluster the coordinator pre-resolves
+// query keywords (resolveAll) before the fan-out, so this path hits
+// the cache and never blocks a build on the network.
 func (cal *calibrator) KeywordNorm(keyword string) float64 {
+	return cal.resolve(context.Background(), keyword)
+}
+
+// resolve answers the federation-wide per-keyword max raw BM25: the
+// max over every local shard's RawTextMax and every peer's answer to
+// GET /shard/stats?keyword=. The value is cached only when every slot
+// answered — a miss on a flaky peer is retried by the next query
+// instead of freezing a too-small divisor.
+func (cal *calibrator) resolve(ctx context.Context, keyword string) float64 {
 	cal.mu.Lock()
 	v, ok := cal.cache[keyword]
 	cal.mu.Unlock()
@@ -385,16 +444,28 @@ func (cal *calibrator) KeywordNorm(keyword string) float64 {
 		return v
 	}
 	max := 0.0
+	complete := true
 	for _, sl := range cal.c.slots {
+		if sl.remote != nil {
+			m, ok := cal.c.remoteKeywordMax(ctx, sl, keyword, cal.st)
+			if !ok {
+				complete = false
+			} else if m > max {
+				max = m
+			}
+			continue
+		}
 		g := sl.pin()
 		if m := g.systems[cal.st].Builder().RawTextMax(keyword); m > max {
 			max = m
 		}
 		g.release()
 	}
-	cal.mu.Lock()
-	cal.cache[keyword] = max
-	cal.mu.Unlock()
+	if complete {
+		cal.mu.Lock()
+		cal.cache[keyword] = max
+		cal.mu.Unlock()
+	}
 	return max
 }
 
@@ -406,7 +477,11 @@ func (cal *calibrator) invalidate() {
 
 // Status is one shard's readiness snapshot for /readyz.
 type Status struct {
-	Shard      int                       `json:"shard"`
+	Shard int `json:"shard"`
+	// Peer names the remote node serving this slot; empty for local
+	// shards. Remote generation and document counts reflect the last
+	// fetched statistics snapshot.
+	Peer       string                    `json:"peer,omitempty"`
 	Generation uint64                    `json:"generation"`
 	Documents  int                       `json:"documents"`
 	Breaker    resilience.BreakerMetrics `json:"breaker"`
@@ -422,8 +497,23 @@ type Status struct {
 func (c *Cluster) Statuses() []Status {
 	out := make([]Status, 0, len(c.slots))
 	for _, sl := range c.slots {
-		g := sl.pin()
 		m := sl.breaker.Metrics()
+		if sl.remote != nil {
+			st := Status{
+				Shard:   sl.id,
+				Peer:    sl.remote.Name(),
+				Breaker: m,
+				Ready:   m.State != resilience.Open.String(),
+			}
+			if sw := sl.peerStats.Load(); sw != nil {
+				st.Generation = sw.Generation
+				st.Documents = sw.Documents
+				st.Manifest = Manifest{Shard: sl.id, Generation: sw.Generation, Documents: sw.Documents}
+			}
+			out = append(out, st)
+			continue
+		}
+		g := sl.pin()
 		out = append(out, Status{
 			Shard:      sl.id,
 			Generation: g.num,
@@ -447,10 +537,17 @@ func (c *Cluster) Ready() (ready, quorum int, ok bool) {
 	return ready, c.cfg.Quorum, ready >= c.cfg.Quorum
 }
 
-// Documents is the total document count across shards.
+// Documents is the total document count across shards; peer counts
+// come from the last fetched statistics snapshot.
 func (c *Cluster) Documents() int {
 	total := 0
 	for _, sl := range c.slots {
+		if sl.remote != nil {
+			if sw := sl.peerStats.Load(); sw != nil {
+				total += sw.Documents
+			}
+			continue
+		}
 		g := sl.pin()
 		total += g.corpus.Len()
 		g.release()
@@ -461,6 +558,6 @@ func (c *Cluster) Documents() int {
 // Summary describes the cluster for logs.
 func (c *Cluster) Summary() string {
 	ready, quorum, _ := c.Ready()
-	return fmt.Sprintf("shards=%d ready=%d quorum=%d documents=%d",
-		len(c.slots), ready, quorum, c.Documents())
+	return fmt.Sprintf("shards=%d peers=%d ready=%d quorum=%d documents=%d",
+		len(c.slots)-len(c.cfg.Peers), len(c.cfg.Peers), ready, quorum, c.Documents())
 }
