@@ -25,6 +25,13 @@
 #   make bench-peer-report - regenerate BENCH_PEER.json (federated
 #                      p50/p99 with and without hedging under an
 #                      injected slow-peer tail)
+#   make topk        - top-k pruning lane: the block-max differential
+#                      suite (equivalence, edge cases, unsafe decay,
+#                      paging windows, escape hatches) under -race, plus
+#                      the fuzz seed corpus replayed in -run mode
+#   make bench-topk-report - regenerate BENCH_TOPK.json (block-max top-k
+#                      vs exhaustive merge at k in {1,10,100}; enforces
+#                      the >=5x bar on uniform conjunctions at k=10)
 #   make obs         - observability lane: vet + race tests for internal/obs,
 #                      and the API guard (removed Search* variants must not
 #                      reappear on the public facade)
@@ -48,14 +55,15 @@ FUZZ_TARGETS = \
 	./internal/cda:FuzzExtract \
 	./internal/ontology:FuzzLoad \
 	./internal/dil:FuzzDecodeCompact \
-	./internal/query:FuzzMergeEquivalence
+	./internal/query:FuzzMergeEquivalence \
+	./internal/query:FuzzTopKEquivalence
 FUZZ_TIME ?= 10s
 
 .PHONY: check test race vet faults fuzz-smoke bench bench-smoke \
 	bench-merge-report shard bench-shard-report federation \
-	bench-peer-report obs api-guard trace-demo
+	bench-peer-report topk bench-topk-report obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke bench-smoke shard delta federation obs
+check: test vet race faults fuzz-smoke bench-smoke topk shard delta federation obs
 
 test:
 	$(GO) build ./...
@@ -98,6 +106,18 @@ bench-smoke:
 
 bench-merge-report:
 	BENCH_MERGE=1 $(GO) test . -run TestWriteMergeBenchReport -count=1 -v
+
+# The top-k pruning lane: the block-max merge's differential suite
+# against the exhaustive reference (equivalence over fuzzed shapes,
+# edge cases, unsafe decay, engine paging windows, the exhaustive-merge
+# escape hatch), the sharded paging equivalence, and the fuzz seed
+# corpus replayed deterministically — all under the race detector.
+topk:
+	$(GO) test -race -count=1 ./internal/query -run 'TestTopK|TestEngineExhaustiveMergeParam|TestEnginePagingWindows|FuzzTopKEquivalence'
+	$(GO) test -race -count=1 ./internal/shard -run 'TestShardedPagingEquivalence'
+
+bench-topk-report:
+	BENCH_TOPK=1 $(GO) test . -run TestWriteTopKBenchReport -count=1 -v
 
 # The sharded-serving lane: scatter-gather equivalence against the
 # single-node systems, fault-injected slow/failed/breaker-open shards,
@@ -149,9 +169,11 @@ obs: api-guard
 
 # The PR-4 consolidation replaced the SearchKeywords /
 # SearchKeywordsContext / SearchKeywordsInfo / SearchTopK family with
-# System.Query; fail if any of them grows back on the public facade.
+# System.Query, and the top-k PR retired the remaining Search /
+# SearchContext shims; fail if any of them grows back on the public
+# facade.
 api-guard:
-	@if grep -nE 'func \(s \*System\) (SearchKeywords|SearchKeywordsContext|SearchKeywordsInfo|SearchTopK)\(' \
+	@if grep -nE 'func \(s \*System\) (Search|SearchContext|SearchKeywords|SearchKeywordsContext|SearchKeywordsInfo|SearchTopK)\(' \
 		internal/core/*.go xontorank.go 2>/dev/null; then \
 		echo "api-guard: removed Search* variant reappeared on the public facade (use Query)"; \
 		exit 1; \

@@ -99,8 +99,8 @@ func BenchmarkDILMerge(b *testing.B) {
 				})
 			}
 			run("legacy", func() []query.Result { return query.RunListsLegacy(lists, 0.5) })
-			run("fast", func() []query.Result { return query.RunLists(lists, 0.5) })
-			run("compact", func() []query.Result { return query.RunCompactLists(cls, 0.5) })
+			run("fast", func() []query.Result { return query.RunLists(lists, 0.5, 0) })
+			run("compact", func() []query.Result { return query.RunCompactLists(cls, 0.5, 0) })
 		}
 	}
 }
@@ -131,7 +131,7 @@ func BenchmarkDILMergeAllocs(b *testing.B) {
 	b.Run("disjoint/fast", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if len(query.RunLists(disjoint, 0.5)) != 0 {
+			if len(query.RunLists(disjoint, 0.5, 0)) != 0 {
 				b.Fatal("unexpected results")
 			}
 		}
@@ -139,7 +139,7 @@ func BenchmarkDILMergeAllocs(b *testing.B) {
 	b.Run("disjoint/compact", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if len(query.RunCompactLists(cls, 0.5)) != 0 {
+			if len(query.RunCompactLists(cls, 0.5, 0)) != 0 {
 				b.Fatal("unexpected results")
 			}
 		}

@@ -313,7 +313,7 @@ func BenchmarkRankedTopK(b *testing.B) {
 	for _, k := range []int{1, 10, 100} {
 		b.Run(fmt.Sprintf("DIL/k=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := query.RunLists(lists, 0.5)
+				res := query.RunLists(lists, 0.5, 0)
 				if len(res) == 0 {
 					b.Fatal("no results")
 				}

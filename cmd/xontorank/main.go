@@ -200,7 +200,8 @@ func cmdSearch(args []string) error {
 	strategy := fs.String("strategy", "Relationships", "XRANK|Graph|Taxonomy|Relationships")
 	storeDir := fs.String("store", "", "index store directory (optional; searches on demand if absent)")
 	q := fs.String("q", "", "keyword query; quote phrases with double quotes")
-	k := fs.Int("k", 5, "number of results")
+	k := fs.Int("k", 5, "number of results (0 uses the configured default; capped at 1000)")
+	offset := fs.Int("offset", 0, "ranked results to skip before the k returned ones")
 	frag := fs.Bool("fragments", false, "print result XML fragments")
 	ranked := fs.Bool("ranked", false, "use the RDIL ranked-access algorithm (early termination)")
 	trace := fs.Bool("trace", false, "print the request's span tree with per-stage durations")
@@ -209,6 +210,12 @@ func cmdSearch(args []string) error {
 	}
 	if *q == "" {
 		return fmt.Errorf("search: -q is required")
+	}
+	if *k < 0 {
+		return fmt.Errorf("search: -k must not be negative")
+	}
+	if *offset < 0 {
+		return fmt.Errorf("search: -offset must not be negative")
 	}
 	sys, err := newSystem(*data, *strategy)
 	if err != nil {
@@ -227,6 +234,7 @@ func cmdSearch(args []string) error {
 	resp, err := sys.Query(context.Background(), core.SearchRequest{
 		Query:    *q,
 		K:        *k,
+		Offset:   *offset,
 		Strategy: *strategy,
 		Ranked:   *ranked,
 		Trace:    *trace,

@@ -195,6 +195,8 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 		"ontology-path build attempts (first call included) before a keyword degrades")
 	fs.BoolVar(&a.ccfg.Query.LegacyMerge, "legacy-merge", false,
 		"route DIL merges through the reference implementation instead of the loser-tree fast path (XONTORANK_MERGE=legacy does the same)")
+	fs.BoolVar(&a.ccfg.Query.ExhaustiveMerge, "no-topk-prune", false,
+		"disable block-max top-k pruning: the fast merge scores every posting before ranking (XONTORANK_TOPK=exhaustive does the same)")
 	fs.Parse(args)
 	return a
 }

@@ -1,6 +1,7 @@
 package xontorank_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,10 +24,10 @@ func Example() {
 	baseline := xontorank.DefaultConfig()
 	baseline.Strategy = xontorank.StrategyXRANK
 	sysBase := xontorank.New(corpus, ont, baseline)
-	fmt.Println("XRANK results:", len(sysBase.Search(`"bronchial structure" theophylline`, 5)))
+	fmt.Println("XRANK results:", len(exampleSearch(sysBase, `"bronchial structure" theophylline`, 5)))
 
 	sys := xontorank.New(corpus, ont, xontorank.DefaultConfig())
-	results := sys.Search(`"bronchial structure" theophylline`, 5)
+	results := exampleSearch(sys, `"bronchial structure" theophylline`, 5)
 	fmt.Println("Relationships results:", len(results) > 0)
 
 	// Output:
@@ -43,7 +44,7 @@ func ExampleParseQuery() {
 	// theophylline
 }
 
-func ExampleSystem_Search() {
+func ExampleSystem_Query() {
 	ont := xontorank.FigureTwoFragment()
 	doc, err := xontorank.GenerateFigureOne(ont)
 	if err != nil {
@@ -57,7 +58,7 @@ func ExampleSystem_Search() {
 
 	// Figure 4 of the paper: the most specific element containing both
 	// "asthma" and "medications" is an Observation.
-	results := sys.Search("asthma medications", 1)
+	results := exampleSearch(sys, "asthma medications", 1)
 	fmt.Println(results[0].Path)
 	// Output:
 	// ClinicalDocument/component/StructuredBody/component/section/entry/Observation
@@ -84,4 +85,14 @@ func ExampleStrategies() {
 	// Graph
 	// Taxonomy
 	// Relationships
+}
+
+// exampleSearch runs one query through System.Query, the sole search
+// entry point.
+func exampleSearch(sys *xontorank.System, q string, k int) []xontorank.Result {
+	resp, err := sys.Query(context.Background(), xontorank.SearchRequest{Query: q, K: k})
+	if err != nil {
+		panic(err)
+	}
+	return resp.Results
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 		cfg := xontorank.DefaultConfig()
 		cfg.Strategy = strategy
 		sys := xontorank.New(corpus, ont, cfg)
-		results := sys.Search(q, 3)
+		results := search(sys, q, 3)
 		fmt.Printf("--- %v: %d result(s)\n", strategy, len(results))
 		for _, r := range results {
 			fmt.Printf("    score=%.4f element=%s\n", r.Score, r.Path)
@@ -63,7 +64,7 @@ func main() {
 	cfg := xontorank.DefaultConfig()
 	cfg.Strategy = xontorank.StrategyXRANK
 	sys := xontorank.New(corpus, ont, cfg)
-	res := sys.Search("asthma medications", 1)
+	res := search(sys, "asthma medications", 1)
 	if len(res) == 0 {
 		log.Fatal("figure-4 query returned nothing")
 	}
@@ -92,4 +93,13 @@ func indent(s, prefix string) string {
 		}
 	}
 	return out
+}
+
+// search runs one query through the system's sole search entry point.
+func search(sys *xontorank.System, q string, k int) []xontorank.Result {
+	resp, err := sys.Query(context.Background(), xontorank.SearchRequest{Query: q, K: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp.Results
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -108,7 +109,7 @@ func main() {
 	}
 
 	const q = `"bronchial structure" theophylline`
-	results := sys2.Search(q, 3)
+	results := search(sys2, q, 3)
 	fmt.Printf("phase 2: %d documents reloaded, query %s -> %d results\n",
 		docs.NumDocuments(), q, len(results))
 	for i, r := range results {
@@ -127,4 +128,13 @@ func main() {
 			fmt.Println("   " + frag)
 		}
 	}
+}
+
+// search runs one query through the system's sole search entry point.
+func search(sys *xontorank.System, q string, k int) []xontorank.Result {
+	resp, err := sys.Query(context.Background(), xontorank.SearchRequest{Query: q, K: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp.Results
 }

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	// 4. Search. Quoted segments are phrase keywords. Keywords may be
 	// satisfied textually or through the ontology.
 	const q = `"cardiac arrest" epinephrine`
-	results := sys.Search(q, 5)
+	results := search(sys, q, 5)
 	fmt.Printf("query: %s  (%d results)\n\n", q, len(results))
 	for i, r := range results {
 		fmt.Printf("%d. score=%.4f  document=%s\n   element=%s\n", i+1, r.Score, r.Document, r.Path)
@@ -53,4 +54,13 @@ func main() {
 	}
 	fmt.Printf("prebuilt index: %d keywords, %d postings, %.1f KB\n",
 		stats.Keywords, stats.TotalPostings, float64(stats.TotalBytes)/1024)
+}
+
+// search runs one query through the system's sole search entry point.
+func search(sys *xontorank.System, q string, k int) []xontorank.Result {
+	resp, err := sys.Query(context.Background(), xontorank.SearchRequest{Query: q, K: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp.Results
 }

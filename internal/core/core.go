@@ -7,12 +7,10 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/dil"
-	"repro/internal/obs"
 	"repro/internal/ontology"
 	"repro/internal/ontoscore"
 	"repro/internal/query"
@@ -167,32 +165,6 @@ func (s *System) AddDocument(doc *xmltree.Document) *xmltree.Document {
 	s.engine = query.NewEngine(s.index, s.builder, s.cfg.Query)
 	s.stats = nil
 	return added
-}
-
-// Search parses and answers a keyword query, resolving results against
-// the corpus. Keywords missing from the prebuilt index (typically
-// quoted phrases) are indexed on demand. It is a shim over Query; an
-// error (only possible from a canceled context embedded by the caller)
-// is logged through the obs default logger rather than silently
-// swallowed.
-func (s *System) Search(q string, k int) []Result {
-	resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: k})
-	if err != nil {
-		obs.Default().Warn("search failed", "query", q, "error", err.Error())
-		return nil
-	}
-	return resp.Results
-}
-
-// SearchContext is Search with cancellation and deadline support (the
-// serving layer's per-request budget). The only possible error is the
-// context's.
-func (s *System) SearchContext(ctx context.Context, q string, k int) ([]Result, error) {
-	resp, err := s.Query(ctx, SearchRequest{Query: q, K: k})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Results, nil
 }
 
 // Breaker exposes the engine's ontology-path circuit breaker (for

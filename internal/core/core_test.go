@@ -44,7 +44,7 @@ func buildSystem(t *testing.T, strategy ontoscore.Strategy) *System {
 
 func TestSearchOnDemandWithoutBuild(t *testing.T) {
 	s := buildSystem(t, ontoscore.StrategyRelationships)
-	res := s.Search(`"bronchial structure" theophylline`, 5)
+	res := searchQ(t, s, `"bronchial structure" theophylline`, 5)
 	if len(res) == 0 {
 		t.Fatal("on-demand search found nothing")
 	}
@@ -89,7 +89,7 @@ func TestBuildIndexThenSearch(t *testing.T) {
 	if s.BuildStats() != stats {
 		t.Error("BuildStats mismatch")
 	}
-	res := s.Search("cardiac arrest", 5)
+	res := searchQ(t, s, "cardiac arrest", 5)
 	if len(res) == 0 {
 		t.Fatal("no results after build")
 	}
@@ -105,8 +105,8 @@ func TestSearchConsistentBeforeAndAfterBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range []string{"asthma medications", "cardiac arrest", "amiodarone arrhythmia"} {
-		ra := a.Search(q, 10)
-		rb := b.Search(q, 10)
+		ra := searchQ(t, a, q, 10)
+		rb := searchQ(t, b, q, 10)
 		if len(ra) != len(rb) {
 			t.Fatalf("q %q: %d vs %d results", q, len(ra), len(rb))
 		}
@@ -140,8 +140,8 @@ func TestSaveLoadIndex(t *testing.T) {
 	if s2.Index().Postings() != s.Index().Postings() {
 		t.Errorf("postings after load: %d vs %d", s2.Index().Postings(), s.Index().Postings())
 	}
-	ra := s.Search("cardiac arrest", 5)
-	rb := s2.Search("cardiac arrest", 5)
+	ra := searchQ(t, s, "cardiac arrest", 5)
+	rb := searchQ(t, s2, "cardiac arrest", 5)
 	if len(ra) != len(rb) {
 		t.Fatalf("results differ after load: %d vs %d", len(ra), len(rb))
 	}
@@ -205,7 +205,7 @@ func TestAddDocumentVisibleToSearch(t *testing.T) {
 	if _, err := sys.BuildIndex(); err != nil {
 		t.Fatal(err)
 	}
-	if res := sys.Search("theophylline asthma", 5); len(res) != 0 {
+	if res := searchQ(t, sys, "theophylline asthma", 5); len(res) != 0 {
 		t.Fatalf("query answered before the document exists: %d results", len(res))
 	}
 
@@ -218,7 +218,7 @@ func TestAddDocumentVisibleToSearch(t *testing.T) {
 	if added.ID == first.ID {
 		t.Fatal("duplicate document id")
 	}
-	res := sys.Search("theophylline asthma", 5)
+	res := searchQ(t, sys, "theophylline asthma", 5)
 	if len(res) == 0 {
 		t.Fatal("added document invisible to search")
 	}
@@ -235,7 +235,7 @@ func TestAddDocumentVisibleToSearch(t *testing.T) {
 	if _, err := sys.BuildIndex(); err != nil {
 		t.Fatal(err)
 	}
-	if res := sys.Search("theophylline asthma", 5); len(res) == 0 {
+	if res := searchQ(t, sys, "theophylline asthma", 5); len(res) == 0 {
 		t.Fatal("rebuilt index lost the added document")
 	}
 }
@@ -255,7 +255,7 @@ func TestConcurrentSearches(t *testing.T) {
 	// Baseline answers for determinism comparison.
 	want := make(map[string]int, len(queries))
 	for _, q := range queries {
-		want[q] = len(s.Search(q, 10))
+		want[q] = len(searchQ(t, s, q, 10))
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
@@ -265,7 +265,7 @@ func TestConcurrentSearches(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				q := queries[(w+i)%len(queries)]
-				if got := len(s.Search(q, 10)); got != want[q] {
+				if got := len(searchQ(t, s, q, 10)); got != want[q] {
 					errs <- fmt.Errorf("q %q: %d results, want %d", q, got, want[q])
 					return
 				}
@@ -282,7 +282,7 @@ func TestConcurrentSearches(t *testing.T) {
 func TestSearchTopKMatchesSearch(t *testing.T) {
 	s := buildSystem(t, ontoscore.StrategyGraph)
 	for _, q := range []string{"cardiac arrest", "asthma medications"} {
-		want := s.Search(q, 5)
+		want := searchQ(t, s, q, 5)
 		resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: 5, Ranked: true})
 		if err != nil {
 			t.Fatal(err)
@@ -320,4 +320,15 @@ func TestLoadIndexErrors(t *testing.T) {
 	if strings.Contains(s.Summary(), "index:") {
 		t.Errorf("summary = %q", s.Summary())
 	}
+}
+
+// searchQ is the old Search convenience for tests: Query with a plain
+// string and k, errors fatal.
+func searchQ(t *testing.T, s *System, q string, k int) []Result {
+	t.Helper()
+	resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Results
 }

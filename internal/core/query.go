@@ -22,8 +22,14 @@ type SearchRequest struct {
 	Query string
 	// Keywords is the pre-parsed query; takes precedence over Query.
 	Keywords []query.Keyword
-	// K bounds the result list (<= 0 uses the configured default).
+	// K bounds the result list (<= 0 uses the configured default,
+	// > query.MaxK clamps).
 	K int
+	// Offset skips the first Offset ranked results before the K
+	// returned ones — paging without a post-hoc slice, so top-k
+	// pruning still sees the exact window it must preserve (<= 0 is
+	// the first page, > query.MaxOffset clamps).
+	Offset int
 	// Strategy, when non-empty, asserts the OntoScore strategy the
 	// caller expects ("XRANK", "Graph", "Taxonomy", "Relationships").
 	// A system is built for exactly one strategy; a mismatch is an
@@ -103,13 +109,17 @@ type SearchResponse struct {
 	// Partial is true when at least one shard failed to answer and the
 	// response was assembled from the shards that did.
 	Partial bool
+	// Pruning reports what the block-max top-k merge skipped while
+	// answering (summed across shards in a cluster). All-zero when the
+	// ranked (RDIL) path or an exhaustive escape hatch served the query.
+	Pruning query.PruneStats
 }
 
-// Query is the single search entry point of the system: it parses (if
+// Query is the sole search entry point of the system: it parses (if
 // needed), runs the query phase, and hydrates results against the
-// corpus. Search and SearchContext are thin shims over it; every
-// former Search* variant is expressible as a SearchRequest. The only
-// possible errors are the context's and a Strategy mismatch.
+// corpus. Every former Search* variant is expressible as a
+// SearchRequest. The only possible errors are the context's and a
+// Strategy mismatch.
 func (s *System) Query(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
 	start := time.Now()
 	if req.Strategy != "" {
@@ -139,7 +149,7 @@ func (s *System) Query(ctx context.Context, req SearchRequest) (*SearchResponse,
 	}
 
 	sstart := time.Now()
-	qresp, err := s.engine.Query(ctx, query.Request{Keywords: keywords, K: req.K, Ranked: req.Ranked})
+	qresp, err := s.engine.Query(ctx, query.Request{Keywords: keywords, K: req.K, Offset: req.Offset, Ranked: req.Ranked})
 	searchDur := time.Since(sstart)
 	if err != nil {
 		localRoot.End()
@@ -148,7 +158,7 @@ func (s *System) Query(ctx context.Context, req SearchRequest) (*SearchResponse,
 
 	hstart := time.Now()
 	_, hsp := obs.StartSpan(ctx, "core.hydrate")
-	out := &SearchResponse{Info: qresp.Info}
+	out := &SearchResponse{Info: qresp.Info, Pruning: qresp.Pruning}
 	for _, r := range qresp.Results {
 		res := s.resolve(keywords, r)
 		out.Results = append(out.Results, res)

@@ -14,7 +14,7 @@ import (
 func TestQueryDefaultsMatchSearch(t *testing.T) {
 	s := buildSystem(t, ontoscore.StrategyRelationships)
 	for _, q := range []string{"asthma", "asthma medications", `"cardiac arrest" epinephrine`} {
-		want := s.Search(q, 5)
+		want := searchQ(t, s, q, 5)
 		resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: 5})
 		if err != nil {
 			t.Fatal(err)

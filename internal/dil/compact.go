@@ -68,6 +68,29 @@ type CompactList struct {
 	comps []int32
 	// blocks has one skip entry per ceil(n/BlockSize) block.
 	blocks []blockEntry
+	// tailMax[b] is the maximum posting score in blocks b..end — the
+	// suffix maximum of the block maxScores. The top-k merge reads it as
+	// "no posting at or after block b can score above tailMax[b]" to
+	// terminate a whole merge once the running threshold exceeds the sum
+	// of the lists' remaining maxima.
+	tailMax []float64
+}
+
+// buildTailMax computes the suffix maxima over the block maxScores.
+// Called once at the end of both constructors; the arrays are immutable
+// afterwards.
+func (c *CompactList) buildTailMax() {
+	if len(c.blocks) == 0 {
+		return
+	}
+	c.tailMax = make([]float64, len(c.blocks))
+	max := c.blocks[len(c.blocks)-1].maxScore
+	for b := len(c.blocks) - 1; b >= 0; b-- {
+		if c.blocks[b].maxScore > max {
+			max = c.blocks[b].maxScore
+		}
+		c.tailMax[b] = max
+	}
 }
 
 // Compact converts a Dewey-ordered list to its block-structured form.
@@ -114,6 +137,7 @@ func Compact(l List) *CompactList {
 		c.comps = append(c.comps, p.ID[prefix:]...)
 		prev = p.ID
 	}
+	c.buildTailMax()
 	return c
 }
 
@@ -127,10 +151,15 @@ func (c *CompactList) Blocks() int { return len(c.blocks) }
 // skip entry's score bound).
 func (c *CompactList) BlockMaxScore(b int) float64 { return c.blocks[b].maxScore }
 
+// TailMaxScore returns the maximum posting score in blocks b..end (the
+// suffix maximum of the block bounds): no posting at or after block b
+// scores above it.
+func (c *CompactList) TailMaxScore(b int) float64 { return c.tailMax[b] }
+
 // MemBytes estimates the resident size of the arenas, for stats.
 func (c *CompactList) MemBytes() int {
 	return 8*len(c.scores) + 4*len(c.prefixLens) + 4*len(c.suffixLens) +
-		4*len(c.comps) + 24*len(c.blocks)
+		4*len(c.comps) + 24*len(c.blocks) + 8*len(c.tailMax)
 }
 
 // List reconstructs the original posting list. The returned postings
@@ -315,6 +344,7 @@ func DecodeCompact(buf []byte) (*CompactList, error) {
 	if off != len(buf) {
 		return nil, errors.New("dil: trailing bytes after compact list")
 	}
+	c.buildTailMax()
 	return c, nil
 }
 

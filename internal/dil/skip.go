@@ -27,6 +27,12 @@ type Cursor struct {
 	off int           // comps offset of the next suffix to decode (compact)
 	cur xmltree.Dewey // scratch holding the current identifier (compact)
 
+	// suf[i] is the maximum score of pl[i:], built lazily on the first
+	// RemainingMax call over a plain list (compact lists carry their
+	// suffix maxima per block). Invalidated when the cursor is repointed.
+	suf     []float64
+	haveSuf bool
+
 	blocksSkipped int64
 }
 
@@ -48,12 +54,14 @@ func NewListCursor(l List) Cursor {
 // runs without reallocating.
 func (cu *Cursor) SetCompact(c *CompactList) {
 	cu.cl, cu.pl = c, nil
+	cu.haveSuf = false
 	cu.Reset()
 }
 
 // SetList repoints the cursor at a plain list and rewinds.
 func (cu *Cursor) SetList(l List) {
 	cu.cl, cu.pl = nil, l
+	cu.haveSuf = false
 	cu.Reset()
 }
 
@@ -179,3 +187,66 @@ func (cu *Cursor) SeekDoc(doc int32) bool {
 // BlocksSkipped reports how many whole blocks SeekDoc bypassed without
 // decoding since the cursor was created or Reset.
 func (cu *Cursor) BlocksSkipped() int64 { return cu.blocksSkipped }
+
+// RemainingMax returns an upper bound on the score of every posting at
+// or after the current position: the per-block suffix maximum for a
+// compact list, a lazily built (and cursor-cached) suffix-max array for
+// a plain one. A drained cursor bounds at 0.
+func (cu *Cursor) RemainingMax() float64 {
+	if !cu.Valid() {
+		return 0
+	}
+	if cu.cl != nil {
+		return cu.cl.tailMax[cu.i/BlockSize]
+	}
+	if !cu.haveSuf {
+		if cap(cu.suf) < len(cu.pl) {
+			cu.suf = make([]float64, len(cu.pl))
+		}
+		cu.suf = cu.suf[:len(cu.pl)]
+		max := cu.pl[len(cu.pl)-1].Score
+		for i := len(cu.pl) - 1; i >= 0; i-- {
+			if cu.pl[i].Score > max {
+				max = cu.pl[i].Score
+			}
+			cu.suf[i] = max
+		}
+		cu.haveSuf = true
+	}
+	return cu.suf[cu.i]
+}
+
+// DocBound returns an upper bound on the score of any posting at or
+// after the current position whose document component equals doc. For a
+// compact list it is the maximum block bound over the blocks that can
+// still hold postings of doc (block granularity: the bound may include
+// neighboring documents sharing a block); for a plain list it is the
+// exact maximum over doc's remaining postings. A cursor positioned past
+// doc (or drained) bounds at 0.
+func (cu *Cursor) DocBound(doc int32) float64 {
+	if !cu.Valid() {
+		return 0
+	}
+	if cu.cl == nil {
+		bound := 0.0
+		for j := cu.i; j < len(cu.pl) && cu.pl[j].ID[0] <= doc; j++ {
+			if cu.pl[j].ID[0] == doc && cu.pl[j].Score > bound {
+				bound = cu.pl[j].Score
+			}
+		}
+		return bound
+	}
+	c := cu.cl
+	bound := 0.0
+	for b := cu.i / BlockSize; b < len(c.blocks); b++ {
+		// A later block whose first document is already past doc cannot
+		// contain doc's postings; the current block always may.
+		if b > cu.i/BlockSize && c.blocks[b].firstDoc > doc {
+			break
+		}
+		if c.blocks[b].maxScore > bound {
+			bound = c.blocks[b].maxScore
+		}
+	}
+	return bound
+}

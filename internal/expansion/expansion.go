@@ -176,17 +176,7 @@ func (e *Engine) Search(keywords []query.Keyword, k int) []query.Result {
 			return nil
 		}
 	}
-	results := query.RunLists(lists, e.params.Query.Decay)
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].Root.Compare(results[j].Root) < 0
-	})
-	if len(results) > k {
-		results = results[:k]
-	}
-	return results
+	return query.RunLists(lists, e.params.Query.Decay, k)
 }
 
 // SearchQuery parses and answers a query string.

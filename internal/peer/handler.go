@@ -246,6 +246,14 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeWireError(w, http.StatusBadRequest, "empty keyword list")
 		return
 	}
+	if req.K < 0 {
+		writeWireError(w, http.StatusBadRequest, "k must not be negative")
+		return
+	}
+	if req.Offset < 0 {
+		writeWireError(w, http.StatusBadRequest, "offset must not be negative")
+		return
+	}
 	ctx, cancel := requestContext(r)
 	defer cancel()
 
@@ -277,6 +285,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	out, err := sys.Query(ctx, core.SearchRequest{
 		Keywords: keywords,
 		K:        req.K,
+		Offset:   req.Offset,
 		Ranked:   req.Ranked,
 		Explain:  req.Explain,
 	})
@@ -298,6 +307,14 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		DegradedKeywords: out.Info.DegradedKeywords,
 		Generation:       snap.Generation,
 		ElapsedUS:        time.Since(start).Microseconds(),
+	}
+	if p := out.Pruning; p != (query.PruneStats{}) {
+		resp.Pruning = &PruningWire{
+			PostingsScored:  p.PostingsScored,
+			BlocksSkipped:   p.BlocksSkipped,
+			DocsSkipped:     p.DocsSkipped,
+			EarlyTerminated: p.EarlyTerminated,
+		}
 	}
 	for i, res := range out.Results {
 		rw := ResultWire{

@@ -73,8 +73,14 @@ type SearchRequestWire struct {
 	Strategy string   `json:"strategy"`
 	Keywords []string `json:"keywords"`
 	K        int      `json:"k"`
-	Ranked   bool     `json:"ranked"`
-	Explain  bool     `json:"explain"`
+	// Offset pages past the first Offset ranked results. A coordinator
+	// normally folds its caller's offset into K and sends Offset 0 (each
+	// leg must answer the full window for the merge to be exact); the
+	// field exists so a peer can also be queried directly as a paging
+	// search backend.
+	Offset  int  `json:"offset,omitempty"`
+	Ranked  bool `json:"ranked"`
+	Explain bool `json:"explain"`
 	// Norms are the coordinator-resolved cluster-global normalization
 	// divisors per keyword (the paper's per-keyword max raw BM25 over
 	// the whole federation). The peer pins them before scoring so its
@@ -101,6 +107,15 @@ type ResultWire struct {
 	Snippet  string      `json:"snippet,omitempty"`
 }
 
+// PruningWire reports the peer-local top-k pruning work of one leg, so
+// the coordinator's aggregate pruning stats cover remote shards too.
+type PruningWire struct {
+	PostingsScored  int64 `json:"postings_scored"`
+	BlocksSkipped   int64 `json:"blocks_skipped"`
+	DocsSkipped     int64 `json:"docs_skipped"`
+	EarlyTerminated bool  `json:"early_terminated"`
+}
+
 // SearchResponseWire is the /shard/search response body.
 type SearchResponseWire struct {
 	V                int          `json:"v"`
@@ -109,6 +124,7 @@ type SearchResponseWire struct {
 	DegradedKeywords []string     `json:"degradedKeywords,omitempty"`
 	Generation       uint64       `json:"generation"`
 	ElapsedUS        int64        `json:"elapsed_us"`
+	Pruning          *PruningWire `json:"pruning,omitempty"`
 }
 
 // StrategyStatsWire is one strategy's local statistics contribution.

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"sort"
+
 	"repro/internal/dil"
 	"repro/internal/xmltree"
 )
@@ -73,33 +75,72 @@ func (m *merger) next() (p dil.Posting, kw int, ok bool) {
 	return p, best, true
 }
 
-// RunLists merges per-keyword Dewey lists and returns every result
-// element per equation (1), scored per equations (2)-(4), unranked.
-// It is the core merge step Engine.Search builds on, exported for
-// alternative front-ends (e.g. the query-expansion baseline) that
-// assemble their own posting lists. By default it runs the fast
-// loser-tree merge (merge.go); XONTORANK_MERGE=legacy routes it
-// through the reference implementation below.
-func RunLists(lists []dil.List, decay float64) []Result {
+// RunLists merges per-keyword Dewey lists per equation (1), scored per
+// equations (2)-(4). It is the core merge step Engine.Query builds on,
+// exported for alternative front-ends (e.g. the query-expansion
+// baseline) that assemble their own posting lists.
+//
+// k > 0 returns the exact top-k, sorted by descending score with
+// ascending-Dewey tie-break, computed with block-max top-k pruning
+// (byte-identical to sorting and truncating the exhaustive output).
+// k <= 0 returns every result, unranked — the historical exhaustive
+// contract. XONTORANK_MERGE=legacy routes through the reference
+// implementation below; XONTORANK_TOPK=exhaustive keeps the fast merge
+// but disables pruning.
+func RunLists(lists []dil.List, decay float64, k int) []Result {
 	if legacyMergeEnv {
-		return runDIL(lists, decay)
+		return rankTruncate(runDIL(lists, decay), k)
 	}
-	res, _ := runFast(lists, nil, decay)
+	if exhaustiveTopKEnv {
+		res, _ := runFast(lists, nil, decay, 0)
+		return rankTruncate(res, k)
+	}
+	res, _ := runFast(lists, nil, decay, k)
 	return res
 }
 
 // RunListsLegacy always runs the reference sort-merge implementation —
 // the baseline the differential tests and merge benchmarks compare the
-// fast path against.
+// fast path against. It returns every result, unranked.
 func RunListsLegacy(lists []dil.List, decay float64) []Result {
 	return runDIL(lists, decay)
 }
 
 // RunCompactLists merges block-structured lists directly, decoding
-// lazily and skipping via block entries.
-func RunCompactLists(cls []*dil.CompactList, decay float64) []Result {
-	res, _ := runFast(nil, cls, decay)
+// lazily and skipping via block entries. The k contract matches
+// RunLists: k > 0 is the exact sorted top-k with block-max pruning,
+// k <= 0 every result unranked.
+func RunCompactLists(cls []*dil.CompactList, decay float64, k int) []Result {
+	if exhaustiveTopKEnv {
+		res, _ := runFast(nil, cls, decay, 0)
+		return rankTruncate(res, k)
+	}
+	res, _ := runFast(nil, cls, decay, k)
 	return res
+}
+
+// sortResults orders results for presentation: descending score,
+// ascending-Dewey tie-break.
+func sortResults(results []Result) {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Root.Compare(results[j].Root) < 0
+	})
+}
+
+// rankTruncate converts an unranked exhaustive result set into the
+// sorted top-k (k <= 0: unranked pass-through, the legacy contract).
+func rankTruncate(results []Result, k int) []Result {
+	if k <= 0 {
+		return results
+	}
+	sortResults(results)
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
 }
 
 // runDIL merges the per-keyword lists and returns every result element

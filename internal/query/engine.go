@@ -2,7 +2,6 @@ package query
 
 import (
 	"context"
-	"sort"
 	"sync"
 
 	"repro/internal/dil"
@@ -118,6 +117,13 @@ type Params struct {
 	// implementation (runDIL) instead of the loser-tree fast path —
 	// the same escape hatch as XONTORANK_MERGE=legacy, per engine.
 	LegacyMerge bool
+	// ExhaustiveMerge keeps the fast merge but disables block-max top-k
+	// pruning: every aligned document is scored and the top-k is taken
+	// by sort+truncate. The same escape hatch as
+	// XONTORANK_TOPK=exhaustive (xontoserve -no-topk-prune), per
+	// engine, so a suspected pruning regression can be bisected in
+	// production without giving up the loser-tree merge.
+	ExhaustiveMerge bool
 }
 
 // DefaultKeywordCacheSize is the on-demand keyword cache bound used
@@ -363,21 +369,67 @@ type Info struct {
 type Request struct {
 	// Keywords is the parsed query.
 	Keywords []Keyword
-	// K bounds the result list (<= 0 uses the engine default).
+	// K bounds the result list (<= 0 uses the engine default; above
+	// MaxK clamps).
 	K int
+	// Offset skips the first Offset ranked results before the K
+	// returned ones — paging pushed down into the merge: the engine
+	// keeps a K+Offset heap and prunes against its threshold, so no
+	// caller ever truncates after the merge. Negative means 0; above
+	// MaxOffset clamps.
+	Offset int
 	// Ranked selects XRANK's RDIL ranked-access algorithm (identical
 	// results, early termination — profitable for small k over long
 	// posting lists) instead of the sort-merge DIL algorithm.
 	Ranked bool
 }
 
+// PruneStats reports the block-max top-k pruning work of one query's
+// merge (zero-valued for the legacy and RDIL paths, which have their
+// own access patterns). Under sharded serving the per-shard stats are
+// summed.
+type PruneStats struct {
+	// PostingsScored is how many postings the merge consumed.
+	PostingsScored int64 `json:"postings_scored"`
+	// BlocksSkipped is how many whole posting-list blocks seeks
+	// bypassed without decoding (document zig-zag plus threshold
+	// skips).
+	BlocksSkipped int64 `json:"blocks_skipped"`
+	// DocsSkipped is how many aligned documents the top-k threshold
+	// pruned without scoring.
+	DocsSkipped int64 `json:"docs_skipped"`
+	// EarlyTerminated is true when the merge ended before the lists
+	// drained because no remaining posting could reach the top k.
+	EarlyTerminated bool `json:"early_terminated"`
+}
+
+// Merge folds another merge's stats in (shard fan-out aggregation).
+func (p *PruneStats) Merge(o PruneStats) {
+	p.PostingsScored += o.PostingsScored
+	p.BlocksSkipped += o.BlocksSkipped
+	p.DocsSkipped += o.DocsSkipped
+	p.EarlyTerminated = p.EarlyTerminated || o.EarlyTerminated
+}
+
+// pruneStats converts one merge's counters to the response schema.
+func pruneStats(c MergeCounters) PruneStats {
+	return PruneStats{
+		PostingsScored:  c.Postings,
+		BlocksSkipped:   c.BlocksSkipped,
+		DocsSkipped:     c.DocsSkipped,
+		EarlyTerminated: c.EarlyTerminations > 0,
+	}
+}
+
 // Response is what one engine query produces.
 type Response struct {
 	// Results are ranked by descending score; ties break by Dewey order
-	// for determinism.
+	// for determinism. The requested Offset is already applied.
 	Results []Result
 	// Info reports degradation (IR-only keywords).
 	Info Info
+	// Pruning reports the merge's top-k pruning work.
+	Pruning PruneStats
 }
 
 // Query is the single query-phase entry point; the Search* family
@@ -389,12 +441,17 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	if len(req.Keywords) == 0 {
 		return &Response{}, nil
 	}
-	k := req.K
-	if k <= 0 {
-		k = e.params.K
-	}
+	k := clampWindowK(req.K, e.params.K)
+	offset := ClampOffset(req.Offset)
+	// The merge works toward the full offset+k prefix; the offset is
+	// sliced off before returning, so paging costs one deeper heap, not
+	// a post-merge truncation.
+	n := k + offset
 	ctx, sp := obs.StartSpan(ctx, "query.search")
 	sp.SetAttr("k", k)
+	if offset > 0 {
+		sp.SetAttr("offset", offset)
+	}
 	sp.SetAttr("ranked", req.Ranked)
 	defer sp.End()
 
@@ -429,38 +486,56 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		msp.SetAttr("delta_merged", true)
 	}
 	if req.Ranked {
-		resp.Results = RunRanked(lists, e.params.Decay, k)
+		resp.Results = page(RunRanked(lists, e.params.Decay, n), offset)
 	} else {
 		var results []Result
-		if e.params.LegacyMerge || legacyMergeEnv {
+		switch {
+		case e.params.LegacyMerge || legacyMergeEnv:
 			msp.SetAttr("merge", "legacy")
-			results = runDIL(lists, e.params.Decay)
-		} else {
-			msp.SetAttr("merge", "fast")
+			results = rankTruncate(runDIL(lists, e.params.Decay), n)
+		case e.params.ExhaustiveMerge || exhaustiveTopKEnv:
+			msp.SetAttr("merge", "fast-exhaustive")
 			var mc MergeCounters
-			results, mc = runFast(lists, compact, e.params.Decay)
-			msp.SetAttr("postings", mc.Postings)
-			msp.SetAttr("blocks_skipped", mc.BlocksSkipped)
+			results, mc = runFast(lists, compact, e.params.Decay, 0)
+			resp.Pruning = pruneStats(mc)
+			results = rankTruncate(results, n)
+		default:
+			msp.SetAttr("merge", "topk")
+			var mc MergeCounters
+			results, mc = runFast(lists, compact, e.params.Decay, n)
+			resp.Pruning = pruneStats(mc)
 		}
-		sort.Slice(results, func(i, j int) bool {
-			if results[i].Score != results[j].Score {
-				return results[i].Score > results[j].Score
-			}
-			return results[i].Root.Compare(results[j].Root) < 0
-		})
-		if len(results) > k {
-			results = results[:k]
+		msp.SetAttr("postings", resp.Pruning.PostingsScored)
+		msp.SetAttr("blocks_skipped", resp.Pruning.BlocksSkipped)
+		msp.SetAttr("docs_skipped", resp.Pruning.DocsSkipped)
+		if resp.Pruning.EarlyTerminated {
+			msp.SetAttr("early_terminated", true)
 		}
-		resp.Results = results
+		resp.Results = page(results, offset)
 	}
 	msp.SetAttr("results", len(resp.Results))
 	msp.End()
 	return resp, nil
 }
 
+// page drops the first offset ranked results (the engine's one place
+// paging is applied; no serving-path caller slices after the merge).
+func page(results []Result, offset int) []Result {
+	if offset <= 0 {
+		return results
+	}
+	if offset >= len(results) {
+		return nil
+	}
+	return results[offset:]
+}
+
 // Search runs the query and returns up to k results ranked by
 // descending score (k <= 0 uses the engine default). Ties break by
 // Dewey order for determinism.
+//
+// Deprecated: one-line delegate kept for convenience in tests and
+// baselines; new code calls Query.
 func (e *Engine) Search(keywords []Keyword, k int) []Result {
 	res, _ := e.SearchContext(context.Background(), keywords, k)
 	return res
@@ -468,6 +543,8 @@ func (e *Engine) Search(keywords []Keyword, k int) []Result {
 
 // SearchContext is Search with cancellation and deadline support: the
 // only possible error is the context's, in which case results are nil.
+//
+// Deprecated: one-line delegate over Query; new code calls Query.
 func (e *Engine) SearchContext(ctx context.Context, keywords []Keyword, k int) ([]Result, error) {
 	res, _, err := e.SearchInfo(ctx, keywords, k)
 	return res, err
@@ -475,6 +552,8 @@ func (e *Engine) SearchContext(ctx context.Context, keywords []Keyword, k int) (
 
 // SearchInfo is SearchContext plus degradation info: whether any
 // keyword was answered IR-only because the ontology path was down.
+//
+// Deprecated: delegate over Query; new code calls Query.
 func (e *Engine) SearchInfo(ctx context.Context, keywords []Keyword, k int) ([]Result, Info, error) {
 	resp, err := e.Query(ctx, Request{Keywords: keywords, K: k})
 	if err != nil {
@@ -484,6 +563,8 @@ func (e *Engine) SearchInfo(ctx context.Context, keywords []Keyword, k int) ([]R
 }
 
 // SearchQuery parses a query string and runs it.
+//
+// Deprecated: delegate over Query; new code calls Query.
 func (e *Engine) SearchQuery(q string, k int) []Result {
 	return e.Search(ParseQuery(q), k)
 }
@@ -492,18 +573,24 @@ func (e *Engine) SearchQuery(q string, k int) []Result {
 // algorithm: identical results to Search, but with early termination —
 // for small k on large posting lists only a fraction of the postings
 // are consumed (see RunRankedStats).
+//
+// Deprecated: delegate over Query (Ranked: true); new code calls Query.
 func (e *Engine) SearchRanked(keywords []Keyword, k int) []Result {
 	res, _ := e.SearchRankedContext(context.Background(), keywords, k)
 	return res
 }
 
 // SearchRankedContext is SearchRanked with cancellation support.
+//
+// Deprecated: delegate over Query (Ranked: true); new code calls Query.
 func (e *Engine) SearchRankedContext(ctx context.Context, keywords []Keyword, k int) ([]Result, error) {
 	res, _, err := e.SearchRankedInfo(ctx, keywords, k)
 	return res, err
 }
 
 // SearchRankedInfo is SearchRankedContext plus degradation info.
+//
+// Deprecated: delegate over Query (Ranked: true); new code calls Query.
 func (e *Engine) SearchRankedInfo(ctx context.Context, keywords []Keyword, k int) ([]Result, Info, error) {
 	resp, err := e.Query(ctx, Request{Keywords: keywords, K: k, Ranked: true})
 	if err != nil {

@@ -1,0 +1,71 @@
+package query
+
+// The one K/Offset validation policy, shared by every boundary (the
+// engine, /search, /ontoscore, /shard/search, and the CLI flags):
+//
+//   - negative values are a caller error — HTTP surfaces answer
+//     400 JSON, CLI flags refuse to start; the engine itself treats
+//     them like zero (it has no error channel for malformed requests
+//     that precedes the context's)
+//   - zero means "the configured default" (Params.K for K, 0 for
+//     Offset)
+//   - values above the documented caps are clamped, not rejected: a
+//     pager that walks too far gets the deepest page that exists
+//     rather than an error it cannot act on
+const (
+	// MaxK is the documented cap on the per-request result-list length.
+	MaxK = 1000
+	// MaxOffset is the documented cap on the paging offset.
+	MaxOffset = 100000
+)
+
+// maxWindow is the deepest prefix a single merge may be asked to
+// produce. A shard coordinator folds the caller's Offset into its
+// legs' K (each leg must answer the full K+Offset prefix for the
+// merged window to be exact), so the engine itself accepts K up to
+// MaxK+MaxOffset; the user-facing MaxK cap is enforced at the
+// boundaries via ClampK.
+const maxWindow = MaxK + MaxOffset
+
+// clampWindowK resolves the engine-internal K: the same default chain
+// as ClampK, but capped at maxWindow rather than MaxK so coordinator
+// legs carrying a folded offset are not truncated.
+func clampWindowK(k, def int) int {
+	if k <= 0 {
+		k = def
+	}
+	if k <= 0 {
+		k = DefaultParams().K
+	}
+	if k > maxWindow {
+		k = maxWindow
+	}
+	return k
+}
+
+// ClampK resolves a requested K against the policy: <= 0 falls back to
+// def (and to DefaultParams().K when def is unset too), > MaxK clamps.
+func ClampK(k, def int) int {
+	if k <= 0 {
+		k = def
+	}
+	if k <= 0 {
+		k = DefaultParams().K
+	}
+	if k > MaxK {
+		k = MaxK
+	}
+	return k
+}
+
+// ClampOffset resolves a requested Offset: <= 0 means the first page,
+// > MaxOffset clamps to the deepest supported page.
+func ClampOffset(off int) int {
+	if off <= 0 {
+		return 0
+	}
+	if off > MaxOffset {
+		return MaxOffset
+	}
+	return off
+}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"container/heap"
+	"math"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -41,27 +43,44 @@ import (
 // hatch if the fast path ever misbehaves in the field.
 var legacyMergeEnv = os.Getenv("XONTORANK_MERGE") == "legacy"
 
-// MergeCounters are the process-wide fast-merge totals, exported as
-// query_merge_postings_total and query_merge_blocks_skipped_total by
-// the server's /metrics registry.
+// exhaustiveTopKEnv disables block-max top-k pruning process-wide when
+// the process was started with XONTORANK_TOPK=exhaustive: merges score
+// every aligned document and the top-k is taken by sort+truncate, the
+// pre-pruning behavior. The per-engine equivalent is
+// Params.ExhaustiveMerge; xontoserve exposes it as -no-topk-prune.
+var exhaustiveTopKEnv = os.Getenv("XONTORANK_TOPK") == "exhaustive"
+
+// MergeCounters count the work of one fast merge — and, summed into the
+// process-wide totals, back the query_merge_* series on /metrics.
 type MergeCounters struct {
-	// Postings is how many postings the fast merge consumed.
+	// Postings is how many postings the fast merge consumed (scored).
 	Postings int64
 	// BlocksSkipped is how many whole posting-list blocks document
 	// zig-zag seeks bypassed without decoding.
 	BlocksSkipped int64
+	// DocsSkipped is how many aligned documents the top-k threshold
+	// pruned without scoring a single posting.
+	DocsSkipped int64
+	// EarlyTerminations is how many merges ended before the lists were
+	// drained because no remaining posting could reach the top k (0 or 1
+	// for a single merge).
+	EarlyTerminations int64
 }
 
 var mergeTotals struct {
 	postings      atomic.Int64
 	blocksSkipped atomic.Int64
+	docsSkipped   atomic.Int64
+	earlyTerms    atomic.Int64
 }
 
 // MergeCountersSnapshot reads the process-wide fast-merge counters.
 func MergeCountersSnapshot() MergeCounters {
 	return MergeCounters{
-		Postings:      mergeTotals.postings.Load(),
-		BlocksSkipped: mergeTotals.blocksSkipped.Load(),
+		Postings:          mergeTotals.postings.Load(),
+		BlocksSkipped:     mergeTotals.blocksSkipped.Load(),
+		DocsSkipped:       mergeTotals.docsSkipped.Load(),
+		EarlyTerminations: mergeTotals.earlyTerms.Load(),
 	}
 }
 
@@ -90,13 +109,22 @@ type mergeRun struct {
 	path    xmltree.Dewey
 	results []Result
 
+	// Top-k machinery (limit > 0): the running top-limit min-heap the
+	// threshold is read from. The heap is allocated per merge — its
+	// entries are handed to the caller on extraction.
+	limit       int
+	top         topKHeap
+	prune       bool // bound-based skipping enabled (limit > 0, sane decay)
+	docsSkipped int64
+	earlyTerm   bool
+
 	postings int64
 }
 
 var mergePool = sync.Pool{New: func() any { return &mergeRun{} }}
 
 // reset prepares the state for a k-way merge, retaining every buffer.
-func (m *mergeRun) reset(k int) {
+func (m *mergeRun) reset(k, limit int) {
 	m.k = k
 	// Grow the cursor pool without discarding existing cursors — their
 	// decode scratch buffers are the point of pooling.
@@ -111,6 +139,14 @@ func (m *mergeRun) reset(k int) {
 	m.depth = 0
 	m.path = m.path[:0]
 	m.results = nil // handed to the caller; never reused
+	m.limit = limit
+	m.top = nil // handed to the caller; never reused
+	if limit > 0 {
+		m.top = make(topKHeap, 0, limit+1)
+	}
+	m.prune = false
+	m.docsSkipped = 0
+	m.earlyTerm = false
 	m.postings = 0
 }
 
@@ -247,18 +283,37 @@ func (m *mergeRun) pop(decay float64) {
 		}
 	}
 	if all && !e.childCovered {
-		r := Result{
-			Root:       m.path.Clone(),
-			PerKeyword: append([]float64(nil), e.scores...),
-			Matches:    make([]Match, m.k),
-		}
-		for i, em := range e.matches {
-			r.Matches[i] = Match{ID: em.ID.Clone(), Score: em.Score}
-		}
+		total := 0.0
 		for _, s := range e.scores {
-			r.Score += s
+			total += s
 		}
-		m.results = append(m.results, r)
+		// With a result limit, a candidate that cannot beat the current
+		// k-th best is dropped before its buffers are cloned. Ties are
+		// dropped too: results emit in ascending Dewey order, so a
+		// candidate tying the heap minimum is Dewey-larger than every
+		// retained result of that score and loses the final sort's
+		// tie-break — exactly the result sort+truncate would discard.
+		// (RDIL must keep ties because it consumes in score order; here
+		// the emission order decides them for us.)
+		if m.limit <= 0 || len(m.top) < m.limit || total > m.top[0].Score {
+			r := Result{
+				Root:       m.path.Clone(),
+				Score:      total,
+				PerKeyword: append([]float64(nil), e.scores...),
+				Matches:    make([]Match, m.k),
+			}
+			for i, em := range e.matches {
+				r.Matches[i] = Match{ID: em.ID.Clone(), Score: em.Score}
+			}
+			if m.limit > 0 {
+				heap.Push(&m.top, r)
+				if len(m.top) > m.limit {
+					heap.Pop(&m.top)
+				}
+			} else {
+				m.results = append(m.results, r)
+			}
+		}
 	}
 	if m.depth > 1 {
 		parent := &m.stack[m.depth-2]
@@ -299,10 +354,44 @@ func (m *mergeRun) apply(id xmltree.Dewey, score float64, kw int, decay float64)
 }
 
 // run drives the merge: align on a shared document, drain its postings
-// through the loser tree into the stack, flush, repeat.
+// through the loser tree into the stack, flush, repeat. With pruning
+// armed and the heap full, each aligned document is first tested
+// against the running threshold — the k-th best score so far — using
+// the block-max upper bounds, and skipped whole when it cannot qualify;
+// the merge terminates outright once even the lists' remaining maxima
+// cannot reach the threshold.
 func (m *mergeRun) run(decay float64) {
 	for m.align() {
 		doc := m.cursors[m.winner].DocID()
+		if m.prune && len(m.top) == m.limit {
+			// The threshold algebra (DESIGN.md §16): a result's score is
+			// Σ over keywords of max over its subtree's postings of
+			// NS·decay^dist. With decay ≤ 1 each keyword contributes at
+			// most its maximum raw posting score, so Σ of per-cursor
+			// maxima bounds every result the remaining postings can form.
+			// Bounds that only tie the threshold are prunable: the tying
+			// result would lose the ascending-Dewey tie-break (see pop).
+			thr := m.top[0].Score
+			remaining := 0.0
+			for i := range m.cursors {
+				remaining += m.cursors[i].RemainingMax()
+			}
+			if remaining <= thr {
+				m.earlyTerm = true
+				return
+			}
+			docBound := 0.0
+			for i := range m.cursors {
+				docBound += m.cursors[i].DocBound(doc)
+			}
+			if docBound <= thr {
+				m.docsSkipped++
+				if doc == math.MaxInt32 || !m.seekPast(doc) {
+					return
+				}
+				continue
+			}
+		}
 		for {
 			cu := &m.cursors[m.winner]
 			if !cu.Valid() || cu.DocID() != doc {
@@ -320,13 +409,34 @@ func (m *mergeRun) run(decay float64) {
 	}
 }
 
+// seekPast advances every cursor beyond doc without decoding its
+// postings. False means some list drained — the merge is done.
+func (m *mergeRun) seekPast(doc int32) bool {
+	for i := range m.cursors {
+		if !m.cursors[i].SeekDoc(doc + 1) {
+			return false
+		}
+	}
+	return true
+}
+
 // runFast merges per-keyword lists with the loser-tree/zig-zag
 // machinery. compact[i], when non-nil, supplies list i in block form
 // (its cursor decodes lazily and skips via block entries); otherwise a
 // plain cursor over lists[i] is used, with binary-searched seeks.
-// Returns the unranked results plus this merge's posting and
-// block-skip counts; the process-wide totals are bumped as well.
-func runFast(lists []dil.List, compact []*dil.CompactList, decay float64) ([]Result, MergeCounters) {
+//
+// limit <= 0 returns every result, unranked (the exhaustive merge).
+// limit > 0 returns the exact top-limit, sorted by descending score
+// with ascending-Dewey tie-break — byte-identical to sorting and
+// truncating the exhaustive output — maintained in an in-merge heap;
+// when the decay is within [0, 1] (pruning is unsound otherwise: a
+// decay above 1 amplifies deep postings beyond their raw scores) the
+// merge additionally skips whole documents, and terminates, on the
+// block-max upper bounds.
+//
+// The second return carries this merge's posting/skip counts; the
+// process-wide totals are bumped as well.
+func runFast(lists []dil.List, compact []*dil.CompactList, decay float64, limit int) ([]Result, MergeCounters) {
 	k := len(lists)
 	if k == 0 {
 		k = len(compact)
@@ -349,7 +459,8 @@ func runFast(lists []dil.List, compact []*dil.CompactList, decay float64) ([]Res
 		}
 	}
 	m := mergePool.Get().(*mergeRun)
-	m.reset(k)
+	m.reset(k, limit)
+	m.prune = limit > 0 && decay >= 0 && decay <= 1
 	for i := 0; i < k; i++ {
 		if isCompact(i) {
 			m.cursors[i].SetCompact(compact[i])
@@ -360,16 +471,31 @@ func runFast(lists []dil.List, compact []*dil.CompactList, decay float64) ([]Res
 	m.run(decay)
 	var c MergeCounters
 	c.Postings = m.postings
+	c.DocsSkipped = m.docsSkipped
+	if m.earlyTerm {
+		c.EarlyTerminations = 1
+	}
 	for i := range m.cursors {
 		c.BlocksSkipped += m.cursors[i].BlocksSkipped()
 	}
 	results := m.results
 	m.results = nil
+	if limit > 0 {
+		// Drain the heap back to front: descending score, Dewey tie-break
+		// ascending — the engine's presentation order.
+		results = make([]Result, len(m.top))
+		for i := len(m.top) - 1; i >= 0; i-- {
+			results[i] = heap.Pop(&m.top).(Result)
+		}
+		m.top = nil
+	}
 	for i := range m.cursors {
 		m.cursors[i].SetList(nil) // drop references to caller data
 	}
 	mergePool.Put(m)
 	mergeTotals.postings.Add(c.Postings)
 	mergeTotals.blocksSkipped.Add(c.BlocksSkipped)
+	mergeTotals.docsSkipped.Add(c.DocsSkipped)
+	mergeTotals.earlyTerms.Add(c.EarlyTerminations)
 	return results, c
 }

@@ -99,16 +99,16 @@ func resultsEqual(t *testing.T, tag string, want, got []Result) {
 func checkEquivalence(t *testing.T, tag string, lists []dil.List, decay float64) {
 	t.Helper()
 	want := RunListsLegacy(lists, decay)
-	got := RunLists(lists, decay)
+	got := RunLists(lists, decay, 0)
 	resultsEqual(t, tag+"/plain", want, got)
 	cls := make([]*dil.CompactList, len(lists))
 	for i, l := range lists {
 		cls[i] = dil.Compact(l)
 	}
-	resultsEqual(t, tag+"/compact", want, RunCompactLists(cls, decay))
+	resultsEqual(t, tag+"/compact", want, RunCompactLists(cls, decay, 0))
 	// A second compact run through the pooled state must not be
 	// perturbed by buffer reuse.
-	resultsEqual(t, tag+"/compact-rerun", want, RunCompactLists(cls, decay))
+	resultsEqual(t, tag+"/compact-rerun", want, RunCompactLists(cls, decay, 0))
 }
 
 func TestMergeEquivalence(t *testing.T) {
@@ -204,7 +204,7 @@ func TestMergeCountersAndSkipping(t *testing.T) {
 	lists := []dil.List{rare, common}
 	before := MergeCountersSnapshot()
 	cls := []*dil.CompactList{dil.Compact(rare), dil.Compact(common)}
-	got := RunCompactLists(cls, 0.5)
+	got := RunCompactLists(cls, 0.5, 0)
 	after := MergeCountersSnapshot()
 	resultsEqual(t, "skewed", RunListsLegacy(lists, 0.5), got)
 	merged := after.Postings - before.Postings

@@ -66,8 +66,8 @@ func TestSearchDebugTrace(t *testing.T) {
 	// The merge span records which implementation ran and, on the fast
 	// path, how much work the loser-tree merge actually did.
 	if sp := resp.Trace.Find("query.dil_merge"); sp != nil {
-		if sp.Attrs["merge"] != "fast" {
-			t.Errorf(`merge span attr merge = %v, want "fast"`, sp.Attrs["merge"])
+		if sp.Attrs["merge"] != "topk" {
+			t.Errorf(`merge span attr merge = %v, want "topk"`, sp.Attrs["merge"])
 		}
 		if _, ok := sp.Attrs["postings"]; !ok {
 			t.Error("merge span missing postings attribute")
@@ -120,8 +120,15 @@ func TestSearchWireFormat(t *testing.T) {
 		sort.Strings(out)
 		return strings.Join(out, ",")
 	}
-	if got, want := keys(raw), "degraded,info,k,query,results,strategy,timing,trace_id,v"; got != want {
+	if got, want := keys(raw), "degraded,info,k,pruning,query,results,strategy,timing,trace_id,v"; got != want {
 		t.Errorf("top-level keys = %s, want %s", got, want)
+	}
+	var pruning map[string]json.RawMessage
+	if err := json.Unmarshal(raw["pruning"], &pruning); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := keys(pruning), "blocks_skipped,docs_skipped,early_terminated,postings_scored"; got != want {
+		t.Errorf("pruning keys = %s, want %s", got, want)
 	}
 	var v int
 	if err := json.Unmarshal(raw["v"], &v); err != nil || v != 1 {

@@ -91,6 +91,9 @@ type SearchOutcome struct {
 	// Timing is the pipeline breakdown of the execution that produced
 	// the results; for cache hits it describes the original execution.
 	Timing core.Timing
+	// Pruning reports the top-k merge's skipping work (summed across
+	// shards); for cache hits it describes the original execution.
+	Pruning query.PruneStats
 }
 
 // Searcher is the query surface a generation serves searches through:
@@ -187,6 +190,12 @@ func NewServing(corpus *xmltree.Corpus, coll *ontology.Collection, cfg core.Conf
 	s.reg.CounterFunc("query_merge_blocks_skipped_total",
 		"Whole posting-list blocks bypassed by document zig-zag seeks.",
 		func() float64 { return float64(query.MergeCountersSnapshot().BlocksSkipped) })
+	s.reg.CounterFunc("query_merge_docs_skipped_total",
+		"Documents skipped by the block-max top-k merge without scoring.",
+		func() float64 { return float64(query.MergeCountersSnapshot().DocsSkipped) })
+	s.reg.CounterFunc("query_merge_early_terminations_total",
+		"Merges ended early because no remaining posting could reach the top k.",
+		func() float64 { return float64(query.MergeCountersSnapshot().EarlyTerminations) })
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/fragment", s.handleFragment)
 	s.mux.HandleFunc("/concepts", s.handleConcepts)
@@ -279,8 +288,9 @@ func (s *Server) searcher(g *generation, st ontoscore.Strategy) Searcher {
 // execSearch is the serving layer's uncached path: resolve the
 // generation the request pinned (preserved through the singleflight's
 // detached context) and the strategy's system, and run the
-// ontology-aware search under ctx. It returns the full offset+k
-// prefix; handlers slice per request.
+// ontology-aware search under ctx. K and Offset pass through natively:
+// the merge itself produces the requested window, so no handler slices
+// after it (and the top-k heap never works past offset+k).
 func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOutcome, error) {
 	st, err := ontoscore.ParseStrategy(req.Strategy)
 	if err != nil {
@@ -293,7 +303,7 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 		g = s.pin()
 		defer g.release()
 	}
-	resp, err := s.searcher(g, st).Query(ctx, core.SearchRequest{Query: req.Query, K: req.Offset + req.K})
+	resp, err := s.searcher(g, st).Query(ctx, core.SearchRequest{Query: req.Query, K: req.K, Offset: req.Offset})
 	if err != nil {
 		return SearchOutcome{}, err
 	}
@@ -304,6 +314,7 @@ func (s *Server) execSearch(ctx context.Context, req serving.Request) (SearchOut
 		Partial:          resp.Partial,
 		Shards:           resp.Shards,
 		Timing:           resp.Timing,
+		Pruning:          resp.Pruning,
 	}, nil
 }
 
@@ -520,7 +531,12 @@ type SearchResponse struct {
 	Query    string         `json:"query"`
 	Strategy string         `json:"strategy"`
 	K        int            `json:"k"`
+	Offset   int            `json:"offset,omitempty"`
 	Results  []SearchResult `json:"results"`
+	// Pruning reports the block-max top-k merge's skipping work for
+	// this answer (summed across shards; all-zero for cache hits of an
+	// exhaustive execution or the ranked RDIL path).
+	Pruning query.PruneStats `json:"pruning"`
 	// Degraded is true when the answer is in any way less than the
 	// full ontology-aware one: the ontology path was unavailable and
 	// ranking fell back to IR-only scoring (NS(v,w) = IRS(v,w)), or —
@@ -571,22 +587,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	k := 10
+	// K/Offset follow the one validation policy (query.ClampK and
+	// friends): negative or malformed is a 400, zero means the
+	// configured default, and values past the documented caps clamp.
+	k := 0
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		k, err = strconv.Atoi(ks)
-		if err != nil || k <= 0 || k > 1000 {
-			writeError(w, http.StatusBadRequest, "k must be a positive integer up to 1000")
+		if err != nil || k < 0 {
+			writeError(w, http.StatusBadRequest, "k must be a non-negative integer")
 			return
 		}
 	}
+	k = query.ClampK(k, s.cfg.Query.K)
 	offset := 0
 	if os := r.URL.Query().Get("offset"); os != "" {
 		offset, err = strconv.Atoi(os)
-		if err != nil || offset < 0 || offset > 100000 {
+		if err != nil || offset < 0 {
 			writeError(w, http.StatusBadRequest, "offset must be a non-negative integer")
 			return
 		}
 	}
+	offset = query.ClampOffset(offset)
 	withFragments := r.URL.Query().Get("fragments") == "1"
 	withSnippets := r.URL.Query().Get("snippets") == "1"
 	withGroups := r.URL.Query().Get("group") == "1"
@@ -607,15 +628,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeServingError(w, err)
 		return
 	}
+	// No post-merge slicing: the merge already produced exactly the
+	// [offset, offset+k) window.
 	results := out.Results
-	if offset >= len(results) {
-		results = nil
-	} else {
-		results = results[offset:]
-	}
 	resp := SearchResponse{
 		V:     1,
-		Query: q, Strategy: strategy.String(), K: k, Results: []SearchResult{},
+		Query: q, Strategy: strategy.String(), K: k, Offset: offset, Results: []SearchResult{},
+		Pruning:  out.Pruning,
 		Degraded: out.Degraded || out.Partial, DegradedKeywords: out.DegradedKeywords,
 		Partial: out.Partial, Shards: out.Shards,
 		Info:    query.Info{Degraded: out.Degraded, DegradedKeywords: out.DegradedKeywords},
@@ -774,6 +793,20 @@ func (s *Server) handleOntoScore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// k follows the shared policy: negative/malformed is a 400, zero
+	// (or absent) keeps the historical every-concept answer, > MaxK
+	// clamps.
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k < 0 {
+			writeError(w, http.StatusBadRequest, "k must be a non-negative integer")
+			return
+		}
+		if k > query.MaxK {
+			k = query.MaxK
+		}
+	}
 	// OntoScore explanations run full ontology-graph expansions, so
 	// they share the serving layer's admission semaphore and deadline
 	// (without result caching).
@@ -815,6 +848,9 @@ func (s *Server) handleOntoScore(w http.ResponseWriter, r *http.Request) {
 		}
 		return out[i].Code < out[j].Code
 	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
 	if out == nil {
 		out = []OntoScoreEntry{}
 	}

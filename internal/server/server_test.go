@@ -110,8 +110,7 @@ func TestSearchErrors(t *testing.T) {
 	}{
 		{"/search", http.StatusBadRequest},
 		{"/search?q=x&strategy=Nope", http.StatusBadRequest},
-		{"/search?q=x&k=0", http.StatusBadRequest},
-		{"/search?q=x&k=9999", http.StatusBadRequest},
+		{"/search?q=x&k=-1", http.StatusBadRequest},
 		{"/search?q=x&k=abc", http.StatusBadRequest},
 	}
 	for _, c := range cases {
@@ -122,6 +121,14 @@ func TestSearchErrors(t *testing.T) {
 		var e errorResponse
 		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error payload missing", c.path)
+		}
+	}
+
+	// Zero means the configured default and over-cap values clamp —
+	// neither is an error under the shared K/Offset policy.
+	for _, path := range []string{"/search?q=x&k=0", "/search?q=x&k=9999"} {
+		if rec := get(t, s, path); rec.Code != http.StatusOK {
+			t.Errorf("%s -> %d, want %d", path, rec.Code, http.StatusOK)
 		}
 	}
 }

@@ -61,7 +61,11 @@ func TestServingEquivalence(t *testing.T) {
 	for _, strategy := range []string{"XRANK", "Graph", "Relationships"} {
 		sys := s.systemByName(t, strategy)
 		for _, q := range queries {
-			direct := sys.Search(q, 10)
+			dresp, derr := sys.Query(context.Background(), core.SearchRequest{Query: q, K: 10})
+			if derr != nil {
+				t.Fatalf("%s/%q direct: %v", strategy, q, derr)
+			}
+			direct := dresp.Results
 			req := serving.Request{Strategy: strategy, Query: query.Normalize(q), K: 10}
 			for pass, label := range []string{"uncached", "cached"} {
 				out, err := s.svc.Search(context.Background(), req)

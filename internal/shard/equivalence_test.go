@@ -93,6 +93,48 @@ func assertSameResults(t *testing.T, name string, want, got *core.SearchResponse
 	}
 }
 
+// Offset paging is exact under scatter-gather: for every shard count,
+// page [offset, offset+k) of the cluster answer equals the same window
+// of the single-node ranked list — the coordinator widens each leg to
+// k+offset and pages once after the merge, so no shard's local paging
+// can hide a globally top-ranked result.
+func TestShardedPagingEquivalence(t *testing.T) {
+	corpus, coll := testCorpus(t, 12, 9)
+	single := core.NewMulti(corpus, coll, core.DefaultConfig())
+	st := ontoscore.StrategyRelationships
+	const q = "asthma medications"
+	full, err := single.Query(context.Background(), core.SearchRequest{Query: q, K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Results) < 4 {
+		t.Skipf("only %d results; cannot page", len(full.Results))
+	}
+	for _, shards := range []int{1, 2, 4} {
+		cluster := testCluster(t, corpus, coll, Config{Shards: shards})
+		for _, page := range []struct{ k, offset int }{
+			{1, 0}, {2, 1}, {3, 2}, {2, len(full.Results) - 1}, {5, len(full.Results) + 3},
+		} {
+			name := fmt.Sprintf("shards=%d/k=%d/offset=%d", shards, page.k, page.offset)
+			got, err := cluster.System(st).Query(context.Background(),
+				core.SearchRequest{Query: q, K: page.k, Offset: page.offset})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			lo := page.offset
+			if lo > len(full.Results) {
+				lo = len(full.Results)
+			}
+			hi := page.offset + page.k
+			if hi > len(full.Results) {
+				hi = len(full.Results)
+			}
+			want := &core.SearchResponse{Results: full.Results[lo:hi]}
+			assertSameResults(t, name, want, got)
+		}
+	}
+}
+
 // Pre-parsed keyword requests and the default-k path go through the
 // same merge.
 func TestShardedQueryDefaults(t *testing.T) {

@@ -179,6 +179,7 @@ func (s *Sharded) queryRemote(ctx context.Context, sl *slot, req core.SearchRequ
 		Strategy: s.st.String(),
 		Keywords: kws,
 		K:        req.K,
+		Offset:   req.Offset,
 		Ranked:   req.Ranked,
 		Explain:  req.Explain,
 		Norms:    norms,
@@ -212,6 +213,14 @@ func (s *Sharded) queryRemote(ctx context.Context, sl *slot, req core.SearchRequ
 	out := &core.SearchResponse{}
 	out.Info.Degraded = resp.Degraded
 	out.Info.DegradedKeywords = resp.DegradedKeywords
+	if p := resp.Pruning; p != nil {
+		out.Pruning = query.PruneStats{
+			PostingsScored:  p.PostingsScored,
+			BlocksSkipped:   p.BlocksSkipped,
+			DocsSkipped:     p.DocsSkipped,
+			EarlyTerminated: p.EarlyTerminated,
+		}
+	}
 	for _, rw := range resp.Results {
 		root, perr := xmltree.ParseDewey(rw.Root)
 		if perr != nil {

@@ -79,15 +79,15 @@ func (s *Sharded) Query(ctx context.Context, req core.SearchRequest) (*core.Sear
 		keywords = query.ParseQuery(req.Query)
 		parseDur = time.Since(pstart)
 	}
-	k := req.K
-	if k <= 0 {
-		if k = s.c.cfg.Core.Query.K; k <= 0 {
-			k = query.DefaultParams().K
-		}
-	}
+	k := query.ClampK(req.K, s.c.cfg.Core.Query.K)
+	offset := query.ClampOffset(req.Offset)
+	// Every leg answers its local top-(k+offset) with Offset 0: shards
+	// are disjoint document partitions, so the first k+offset entries of
+	// the merged stream are exactly the global window, and the
+	// coordinator pages once, here, after the merge.
 	leg := core.SearchRequest{
 		Keywords: keywords,
-		K:        k,
+		K:        k + offset,
 		Ranked:   req.Ranked,
 		Explain:  req.Explain,
 	}
@@ -158,6 +158,7 @@ gather:
 		}
 		answered++
 		resp := answers[i]
+		out.Pruning.Merge(resp.Pruning)
 		out.Info.Degraded = out.Info.Degraded || resp.Info.Degraded
 		out.Info.DegradedKeywords = mergeKeywords(out.Info.DegradedKeywords, resp.Info.DegradedKeywords)
 		if len(resp.Results) > 0 {
@@ -187,14 +188,21 @@ gather:
 	}
 
 	// Shards are disjoint document partitions and each returned its
-	// full top-k under the engine's total order, so the merged prefix
-	// is exactly the single-node top-k.
-	out.Results = query.MergeSortedFunc(lists, func(a, b core.Result) bool {
+	// full top-(k+offset) under the engine's total order, so the merged
+	// prefix is exactly the single-node window; paging happens here,
+	// once, and nowhere downstream.
+	merged := query.MergeSortedFunc(lists, func(a, b core.Result) bool {
 		if a.Score != b.Score {
 			return a.Score > b.Score
 		}
 		return a.Root.Compare(b.Root) < 0
-	}, k)
+	}, k+offset)
+	if offset >= len(merged) {
+		merged = nil
+	} else {
+		merged = merged[offset:]
+	}
+	out.Results = merged
 	if req.Explain {
 		out.Snippets = make([]string, len(out.Results))
 		for i, r := range out.Results {

@@ -68,8 +68,8 @@ func TestWriteMergeBenchReport(t *testing.T) {
 			want := len(query.RunListsLegacy(lists, 0.5))
 			r := row{Keywords: k, Shape: shape}
 			r.NsLegacy = bench(func() []query.Result { return query.RunListsLegacy(lists, 0.5) }, want)
-			r.NsFast = bench(func() []query.Result { return query.RunLists(lists, 0.5) }, want)
-			r.NsCompact = bench(func() []query.Result { return query.RunCompactLists(cls, 0.5) }, want)
+			r.NsFast = bench(func() []query.Result { return query.RunLists(lists, 0.5, 0) }, want)
+			r.NsCompact = bench(func() []query.Result { return query.RunCompactLists(cls, 0.5, 0) }, want)
 			r.SpeedupFast = round2(float64(r.NsLegacy) / float64(r.NsFast))
 			r.SpeedupComp = round2(float64(r.NsLegacy) / float64(r.NsCompact))
 			report.Merge = append(report.Merge, r)
@@ -99,8 +99,8 @@ func TestWriteMergeBenchReport(t *testing.T) {
 		impl  string
 		merge func() int
 	}{
-		{"fast", func() int { return len(query.RunLists(lists, 0.5)) }},
-		{"compact", func() int { return len(query.RunCompactLists(cls, 0.5)) }},
+		{"fast", func() int { return len(query.RunLists(lists, 0.5, 0)) }},
+		{"compact", func() int { return len(query.RunCompactLists(cls, 0.5, 0)) }},
 		{"legacy", func() int { return len(query.RunListsLegacy(lists, 0.5)) }},
 	} {
 		ar := mk(c.merge)

@@ -15,7 +15,9 @@
 //	ont, _ := xontorank.GenerateOntology(xontorank.DefaultOntologyConfig())
 //	corpus, _ := xontorank.GenerateCorpus(xontorank.DefaultCorpusConfig(), ont)
 //	sys := xontorank.New(corpus, ont, xontorank.DefaultConfig())
-//	results := sys.Search(`"bronchial structure" theophylline`, 10)
+//	resp, _ := sys.Query(ctx, xontorank.SearchRequest{
+//		Query: `"bronchial structure" theophylline`, K: 10,
+//	})
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the mapping from the paper's sections to packages.
@@ -42,10 +44,11 @@ type (
 	Result = core.Result
 	// KeywordMatch explains one keyword's supporting node.
 	KeywordMatch = core.KeywordMatch
-	// SearchRequest is the unified request of System.Query: every
-	// former Search* method variant is one of its option combinations
-	// (Ranked for the RDIL algorithm, Explain for snippets, Trace for
-	// the span tree). Search and SearchContext remain as shims.
+	// SearchRequest is the unified request of System.Query — the sole
+	// search entry point: every former Search* method variant is one
+	// of its option combinations (K and Offset for the ranked window,
+	// Ranked for the RDIL algorithm, Explain for snippets, Trace for
+	// the span tree).
 	SearchRequest = core.SearchRequest
 	// SearchResponse is what System.Query produces: resolved results,
 	// degradation info, a per-stage timing breakdown, and (on request)

@@ -1,6 +1,7 @@
 package xontorank
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -30,7 +31,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Strategy = s
 		sys := New(corpus, ont, cfg)
-		res := sys.Search(`"bronchial structure" theophylline`, 5)
+		res := searchQ(t, sys, `"bronchial structure" theophylline`, 5)
 		if s == StrategyXRANK {
 			if len(res) != 0 {
 				t.Errorf("XRANK found %d results for the intro query", len(res))
@@ -90,11 +91,22 @@ func TestPublicAPIBuildIndexAndPersist(t *testing.T) {
 	if stats.Keywords == 0 {
 		t.Fatal("no keywords indexed")
 	}
-	res := sys.Search("asthma medications", 3)
+	res := searchQ(t, sys, "asthma medications", 3)
 	if len(res) == 0 {
 		t.Fatal("prebuilt index finds nothing")
 	}
 	if res[0].Document != "figure-1" {
 		t.Errorf("document = %q", res[0].Document)
 	}
+}
+
+// searchQ is the old Search convenience for tests: Query with a plain
+// string and k, errors fatal.
+func searchQ(t *testing.T, s *System, q string, k int) []Result {
+	t.Helper()
+	resp, err := s.Query(context.Background(), SearchRequest{Query: q, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Results
 }
