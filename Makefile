@@ -32,6 +32,13 @@
 #   make bench-topk-report - regenerate BENCH_TOPK.json (block-max top-k
 #                      vs exhaustive merge at k in {1,10,100}; enforces
 #                      the >=5x bar on uniform conjunctions at k=10)
+#   make arena       - memory-mapped serving lane: vet + the arena
+#                      format/crash-soak suite, the mmap==heap
+#                      differentials (core, server, shard), and the
+#                      munmap-after-drain reload races under -race
+#   make bench-arena-report - regenerate BENCH_ARENA.json (cold start
+#                      mmap vs decode-to-heap at three corpus sizes,
+#                      plus steady-state query latency parity)
 #   make obs         - observability lane: vet + race tests for internal/obs,
 #                      and the API guard (removed Search* variants must not
 #                      reappear on the public facade)
@@ -44,7 +51,7 @@ GO ?= go
 FAULT_PKGS = ./internal/faultinject/... ./internal/resilience/... \
 	./internal/store/... ./internal/dil/... ./internal/query/... \
 	./internal/ingest/... ./internal/server/... ./internal/shard/... \
-	./internal/delta/... ./internal/peer/...
+	./internal/delta/... ./internal/peer/... ./internal/arena/...
 
 # Native fuzz targets, as package:Target pairs (each gets FUZZ_TIME).
 FUZZ_TARGETS = \
@@ -55,15 +62,17 @@ FUZZ_TARGETS = \
 	./internal/cda:FuzzExtract \
 	./internal/ontology:FuzzLoad \
 	./internal/dil:FuzzDecodeCompact \
+	./internal/arena:FuzzArenaDecode \
 	./internal/query:FuzzMergeEquivalence \
 	./internal/query:FuzzTopKEquivalence
 FUZZ_TIME ?= 10s
 
 .PHONY: check test race vet faults fuzz-smoke bench bench-smoke \
 	bench-merge-report shard bench-shard-report federation \
-	bench-peer-report topk bench-topk-report obs api-guard trace-demo
+	bench-peer-report topk bench-topk-report arena bench-arena-report \
+	obs api-guard trace-demo
 
-check: test vet race faults fuzz-smoke bench-smoke topk shard delta federation obs
+check: test vet race faults fuzz-smoke bench-smoke topk shard delta arena federation obs
 
 test:
 	$(GO) build ./...
@@ -80,7 +89,8 @@ vet:
 race:
 	$(GO) test -race ./internal/serving/... ./internal/query/... \
 		./internal/ingest/... ./internal/server/... ./internal/shard/... \
-		./internal/delta/... ./internal/peer/... ./cmd/xontoserve/...
+		./internal/delta/... ./internal/peer/... ./internal/arena/... \
+		./cmd/xontoserve/...
 
 faults:
 	$(GO) vet $(FAULT_PKGS)
@@ -162,6 +172,25 @@ delta:
 
 bench-delta-report:
 	BENCH_DELTA=1 $(GO) test . -run TestWriteDeltaBenchReport -count=1 -v
+
+# The memory-mapped serving lane: the single-file format end to end
+# (round-trip, corruption and truncate-at-every-byte crash soaks,
+# stray-temp cleanup, load/mmap failpoints), the borrowed-bytes
+# cursor differential in internal/dil, and the mmap==heap byte-
+# identical differentials at every layer — core (all strategies,
+# DIL and RDIL), server (HTTP path, cold attach, delta overlay),
+# shard (1/2/4-way, rolling reload) — with the generation-pinned
+# munmap-after-drain races under the race detector.
+arena:
+	$(GO) vet ./internal/arena/...
+	$(GO) test -race -count=1 ./internal/arena/...
+	$(GO) test -race -count=1 ./internal/dil -run 'TestSegment|TestBorrowed'
+	$(GO) test -race -count=1 ./internal/core -run 'TestArena'
+	$(GO) test -race -count=1 ./internal/server -run 'TestArena|TestEnableArena'
+	$(GO) test -race -count=1 ./internal/shard -run 'TestShardedArena|TestFederatedArena'
+
+bench-arena-report:
+	BENCH_ARENA=1 $(GO) test . -run TestWriteArenaBenchReport -count=1 -v
 
 obs: api-guard
 	$(GO) vet ./internal/obs/...

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/arena"
 	"repro/internal/cda"
 	"repro/internal/core"
 	"repro/internal/ontology"
@@ -57,6 +58,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xontorank <gen|index|search|stats> [flags]
   gen     generate a synthetic ontology and CDA corpus into a directory
   index   build the XOnto-DIL index for a strategy and persist it
+          (-arena also writes a memory-mapped single-file arena;
+          "index verify <file.xarn>" checks an arena end to end)
   search  run a keyword query (quote phrases inside the query string)
   stats   print corpus and ontology statistics
   verify  check corpus/ontology referential integrity`)
@@ -162,15 +165,24 @@ func newSystem(dir, strategy string) (*core.System, error) {
 }
 
 func cmdIndex(args []string) error {
+	// `index verify <file>` inspects an arena file instead of building.
+	if len(args) > 0 && args[0] == "verify" {
+		return cmdIndexVerify(args[1:])
+	}
 	fs := flag.NewFlagSet("index", flag.ExitOnError)
 	data := fs.String("data", "data", "data directory written by gen")
 	strategy := fs.String("strategy", "Relationships", "XRANK|Graph|Taxonomy|Relationships")
 	storeDir := fs.String("store", "", "index store directory (default <data>/index)")
+	arenaOut := fs.Bool("arena", false, "also write a single-file memory-mapped arena (xontoserve -mmap-index serves it)")
+	arenaDir := fs.String("arena-dir", "", "arena output directory with -arena (default <data>/arena)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *storeDir == "" {
 		*storeDir = filepath.Join(*data, "index")
+	}
+	if *arenaDir == "" {
+		*arenaDir = filepath.Join(*data, "arena")
 	}
 	sys, err := newSystem(*data, *strategy)
 	if err != nil {
@@ -191,6 +203,55 @@ func cmdIndex(args []string) error {
 	fmt.Printf("indexed %d keywords, %d postings, %.1f KB (full-text %v, ontoscore %v, dil %v)\n",
 		stats.Keywords, stats.TotalPostings, float64(stats.TotalBytes)/1024,
 		stats.FullTextTime, stats.OntoScoreTime, stats.DILTime)
+	if *arenaOut {
+		path := arena.FileFor(*arenaDir, sys.Config().Strategy.String())
+		if err := os.MkdirAll(*arenaDir, 0o755); err != nil {
+			return err
+		}
+		if err := sys.WriteArena(path, 1, core.CorpusFingerprint(sys.Corpus())); err != nil {
+			return err
+		}
+		a, err := arena.Open(path)
+		if err != nil {
+			return fmt.Errorf("arena written but does not open: %w", err)
+		}
+		fmt.Printf("arena %s: %d keywords, %d postings, %d bytes\n",
+			path, a.Len(), a.Postings(), a.MappedBytes())
+		a.Close()
+	}
+	return nil
+}
+
+// cmdIndexVerify checks an arena file end to end — superblock magic,
+// version, and CRC, offset-table ordering, and every segment's CRC and
+// structure — printing per-keyword statistics and a summary. A corrupt
+// file exits non-zero naming the first failure.
+func cmdIndexVerify(args []string) error {
+	fs := flag.NewFlagSet("index verify", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "print only the summary line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: xontorank index verify [-q] <file.xarn>")
+	}
+	path := fs.Arg(0)
+	each := func(ks arena.KeywordStat) {
+		if !*quiet {
+			fmt.Printf("%-32s postings=%-8d blocks=%-5d bytes=%d\n",
+				ks.Keyword, ks.Postings, ks.Blocks, ks.Bytes)
+		}
+	}
+	rep, err := arena.Verify(path, each)
+	if err != nil {
+		return fmt.Errorf("verify %s: %w", path, err)
+	}
+	h := rep.Header
+	fmt.Printf("%s: OK\n", path)
+	fmt.Printf("  format v%d, written %s, generation %d\n", h.Version, h.Created.Format("2006-01-02 15:04:05"), h.Generation)
+	fmt.Printf("  fingerprints: corpus=%#x global=%#x config=%#x\n", h.CorpusFP, h.GlobalFP, h.ConfigFP)
+	fmt.Printf("  %d keywords, %d postings, %d blocks, %d segment bytes (file %d bytes)\n",
+		rep.Keywords, rep.TotalPostings, rep.TotalBlocks, rep.TotalBytes, h.FileLen)
 	return nil
 }
 

@@ -52,6 +52,16 @@
 // -peer-timeout instead of failing it. -live-ingest and federation are
 // mutually exclusive.
 //
+// With -mmap-index, each generation serves its postings from
+// memory-mapped single-file arenas under <data>/arena (per-shard
+// subdirectories when -shards > 1) instead of decoding the index to
+// heap: cold start is a superblock parse, the OS page cache tiers the
+// postings, and reload swaps are mmap-flip-munmap on the generation
+// refcount. -arena-rebuild (default true) rewrites missing or stale
+// files from the live corpus; any unusable file falls back to heap
+// serving for that strategy. Ignored with -peers (federated
+// statistics cannot be fingerprint-pinned).
+//
 // Endpoints: /search, /fragment, /concepts, /ontoscore, /stats,
 // /metrics, /admin/reload, /admin/ingest (with -live-ingest), /healthz
 // (shallow liveness), /readyz (deep readiness: data directory
@@ -131,6 +141,9 @@ type app struct {
 	compactMaxDocs  int
 	compactMaxTombs int
 
+	mmapIndex    bool
+	arenaRebuild bool
+
 	scfg          serving.Config
 	ccfg          core.Config
 	shutdownGrace time.Duration
@@ -179,6 +192,12 @@ func newApp(fs *flag.FlagSet, args []string) *app {
 		"live delta documents that trigger an early compaction (0 disables)")
 	fs.IntVar(&a.compactMaxTombs, "compact-max-tombstones", 512,
 		"tombstones that trigger an early compaction (0 disables)")
+	fs.BoolVar(&a.mmapIndex, "mmap-index", false,
+		"serve postings zero-copy from single-file index arenas under <data>/arena: millisecond cold start "+
+			"when compatible arenas exist, heap fallback otherwise (requires -data)")
+	fs.BoolVar(&a.arenaRebuild, "arena-rebuild", true,
+		"with -mmap-index, rebuild missing or stale arena files at startup, on reload, and after compaction "+
+			"(false: only pre-built files from `xontorank index -arena` are attached)")
 	fs.BoolVar(&a.debug, "debug", false, "expose net/http/pprof under /debug/pprof/ (admin use only)")
 	fs.BoolVar(&a.jsonLog, "json-log", false, "emit structured JSON access/degradation logs on stderr (trace-correlated)")
 	fs.IntVar(&a.scfg.CacheCapacity, "cache-size", a.scfg.CacheCapacity, "query result cache capacity (entries)")
@@ -354,17 +373,36 @@ func (a *app) run(ctx context.Context) error {
 	h := server.NewServing(corpus, coll, a.ccfg, a.scfg)
 	h.SetLogf(a.logf)
 	h.SetLastIngest(report)
+	arenaDir := ""
+	if a.mmapIndex {
+		if a.data == "" {
+			return fmt.Errorf("-mmap-index requires -data (arena files need a durable directory)")
+		}
+		arenaDir = filepath.Join(a.data, "arena")
+	}
 	if a.shards > 1 || len(peerClients) > 0 {
 		c := h.EnableSharding(shard.Config{
-			Shards:  a.shards,
-			Timeout: a.shardTimeout,
-			Quorum:  a.shardQuorum,
-			Peers:   peerClients,
+			Shards:       a.shards,
+			Timeout:      a.shardTimeout,
+			Quorum:       a.shardQuorum,
+			Peers:        peerClients,
+			ArenaDir:     arenaDir,
+			ArenaRebuild: a.arenaRebuild,
 		})
 		a.logf("sharding: %s", c.Summary())
 		if len(peerClients) > 0 {
 			a.logf("federation: coordinator over %d peers, peer-timeout=%v hedge-after=%v",
 				len(peerClients), a.peerTimeout, a.peerHedgeAfter)
+		}
+		if arenaDir != "" {
+			a.logf("mmap-index: %d bytes of shard arenas mapped under %s", c.MappedArenaBytes(), arenaDir)
+		}
+	} else if arenaDir != "" {
+		if err := h.EnableArena(server.ArenaConfig{Dir: arenaDir, Rebuild: a.arenaRebuild}); err != nil {
+			return err
+		}
+		for _, st := range h.ArenaStatuses() {
+			a.logf("mmap-index: %s mapped (%d keywords, %d bytes)", st.Path, st.Keywords, st.Bytes)
 		}
 	}
 	if a.shardRole == "peer" {

@@ -1,0 +1,22 @@
+package arena
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestMain enforces the failpoint hygiene contract: any test that arms
+// a failpoint must disarm it, or the whole package run fails.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := faultinject.CheckDisabled(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

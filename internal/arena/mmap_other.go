@@ -1,0 +1,21 @@
+//go:build !unix
+
+package arena
+
+import (
+	"io"
+	"os"
+)
+
+const mmapSupported = false
+
+// mmapFile on platforms without syscall.Mmap reads the whole file into
+// heap. Every arena invariant holds — only the page-cache tiering is
+// lost — so the format and the serving path stay portable.
+func mmapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

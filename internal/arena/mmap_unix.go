@@ -1,0 +1,24 @@
+//go:build unix
+
+package arena
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform serves arenas straight
+// off the page cache; when false, Open falls back to reading the file
+// into heap (same semantics, no tiering).
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and returns the mapping plus
+// its releaser. The file descriptor may be closed after mapping; the
+// mapping stays valid until munmap.
+func mmapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

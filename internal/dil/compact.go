@@ -74,6 +74,62 @@ type CompactList struct {
 	// terminate a whole merge once the running threshold exceeds the sum
 	// of the lists' remaining maxima.
 	tailMax []float64
+
+	// Borrowed mode (segment.go): when raw is non-nil the list serves
+	// directly out of an arena segment — rawBlocks is the explicit skip
+	// table and raw the front-coded posting payload — and the heap
+	// arenas above are all nil. The backing bytes typically alias an
+	// mmap'd file; whoever constructed the list guarantees they outlive
+	// it.
+	rawBlocks []byte
+	raw       []byte
+}
+
+// Borrowed reports whether the list serves postings out of borrowed
+// bytes (an arena segment) rather than decoded heap arenas.
+func (c *CompactList) Borrowed() bool { return c.raw != nil }
+
+// nblocks returns the skip-entry count in either representation.
+func (c *CompactList) nblocks() int {
+	if c.raw != nil {
+		return len(c.rawBlocks) / segBlockEntrySize
+	}
+	return len(c.blocks)
+}
+
+// blockPayloadOff returns where block b's restart point lives: a comps
+// index in heap mode, a payload byte offset in borrowed mode. The two
+// are never mixed — the Cursor's off field lives in the same space as
+// its list.
+func (c *CompactList) blockPayloadOff(b int) int {
+	if c.raw != nil {
+		return int(binary.LittleEndian.Uint32(c.rawBlocks[b*segBlockEntrySize:]))
+	}
+	return c.blocks[b].compOff
+}
+
+// blockFirstDoc returns the document ID of block b's first posting.
+func (c *CompactList) blockFirstDoc(b int) int32 {
+	if c.raw != nil {
+		return int32(binary.LittleEndian.Uint32(c.rawBlocks[b*segBlockEntrySize+4:]))
+	}
+	return c.blocks[b].firstDoc
+}
+
+// blockMaxScore returns the largest posting score inside block b.
+func (c *CompactList) blockMaxScore(b int) float64 {
+	if c.raw != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(c.rawBlocks[b*segBlockEntrySize+8:]))
+	}
+	return c.blocks[b].maxScore
+}
+
+// blockTailMax returns the suffix maximum over blocks b..end.
+func (c *CompactList) blockTailMax(b int) float64 {
+	if c.raw != nil {
+		return math.Float64frombits(binary.LittleEndian.Uint64(c.rawBlocks[b*segBlockEntrySize+16:]))
+	}
+	return c.tailMax[b]
 }
 
 // buildTailMax computes the suffix maxima over the block maxScores.
@@ -145,28 +201,43 @@ func Compact(l List) *CompactList {
 func (c *CompactList) Len() int { return c.n }
 
 // Blocks returns the number of blocks (skip entries).
-func (c *CompactList) Blocks() int { return len(c.blocks) }
+func (c *CompactList) Blocks() int { return c.nblocks() }
 
 // BlockMaxScore returns the maximum posting score of block b (the
 // skip entry's score bound).
-func (c *CompactList) BlockMaxScore(b int) float64 { return c.blocks[b].maxScore }
+func (c *CompactList) BlockMaxScore(b int) float64 { return c.blockMaxScore(b) }
 
 // TailMaxScore returns the maximum posting score in blocks b..end (the
 // suffix maximum of the block bounds): no posting at or after block b
 // scores above it.
-func (c *CompactList) TailMaxScore(b int) float64 { return c.tailMax[b] }
+func (c *CompactList) TailMaxScore(b int) float64 { return c.blockTailMax(b) }
 
-// MemBytes estimates the resident size of the arenas, for stats.
+// MemBytes estimates the resident size of the arenas, for stats. For a
+// borrowed list this is the size of the backing byte range, which is
+// mapped rather than heap-resident.
 func (c *CompactList) MemBytes() int {
+	if c.raw != nil {
+		return len(c.rawBlocks) + len(c.raw)
+	}
 	return 8*len(c.scores) + 4*len(c.prefixLens) + 4*len(c.suffixLens) +
 		4*len(c.comps) + 24*len(c.blocks) + 8*len(c.tailMax)
 }
 
 // List reconstructs the original posting list. The returned postings
-// own independent Dewey slices.
+// own independent Dewey slices (heap-allocated even in borrowed mode,
+// so they outlive the backing segment).
 func (c *CompactList) List() List {
 	if c.n == 0 {
 		return nil
+	}
+	if c.raw != nil {
+		out := make(List, 0, c.n)
+		cu := NewCursor(c)
+		for cu.Valid() {
+			out = append(out, Posting{ID: cu.Cur().Clone(), Score: cu.Score()})
+			cu.Advance()
+		}
+		return out
 	}
 	out := make(List, c.n)
 	var cur xmltree.Dewey
@@ -190,6 +261,10 @@ func (c *CompactList) AppendBinary(buf []byte) []byte {
 	buf = binary.AppendUvarint(buf, compactMagic)
 	buf = binary.AppendUvarint(buf, uint64(c.n))
 	buf = binary.AppendUvarint(buf, BlockSize)
+	if c.raw != nil {
+		// The borrowed payload is byte-identical to the stream body.
+		return append(buf, c.raw...)
+	}
 	off := 0
 	for i := 0; i < c.n; i++ {
 		buf = binary.AppendUvarint(buf, uint64(c.prefixLens[i]))
@@ -210,6 +285,9 @@ func (c *CompactList) AppendBinary(buf []byte) []byte {
 // arithmetically.
 func (c *CompactList) EncodedSize() int {
 	n := uvarintLen(compactMagic) + uvarintLen(uint64(c.n)) + uvarintLen(BlockSize)
+	if c.raw != nil {
+		return n + len(c.raw)
+	}
 	off := 0
 	for i := 0; i < c.n; i++ {
 		n += uvarintLen(uint64(c.prefixLens[i])) + uvarintLen(uint64(c.suffixLens[i]))

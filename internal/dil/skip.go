@@ -1,6 +1,8 @@
 package dil
 
 import (
+	"encoding/binary"
+	"math"
 	"sort"
 
 	"repro/internal/xmltree"
@@ -23,9 +25,10 @@ type Cursor struct {
 	cl *CompactList
 	pl List
 
-	i   int           // current posting index
-	off int           // comps offset of the next suffix to decode (compact)
-	cur xmltree.Dewey // scratch holding the current identifier (compact)
+	i     int           // current posting index
+	off   int           // offset of the next suffix to decode (compact): a comps index for a heap list, a payload byte offset for a borrowed one
+	cur   xmltree.Dewey // scratch holding the current identifier (compact)
+	score float64       // current posting's score (borrowed lists decode it inline)
 
 	// suf[i] is the maximum score of pl[i:], built lazily on the first
 	// RemainingMax call over a plain list (compact lists carry their
@@ -78,9 +81,51 @@ func (cu *Cursor) Reset() {
 // mode). cu.off must already point at the posting's suffix.
 func (cu *Cursor) decode() {
 	c := cu.cl
+	if c.raw != nil {
+		cu.decodeBorrowed()
+		return
+	}
 	pl, sl := int(c.prefixLens[cu.i]), int(c.suffixLens[cu.i])
 	cu.cur = append(cu.cur[:pl], c.comps[cu.off:cu.off+sl]...)
 	cu.off += sl
+}
+
+// decodeBorrowed parses posting cu.i straight out of the borrowed
+// payload bytes: uvarint prefix and suffix lengths, the suffix
+// components, then the 8-byte score. The structure was fully validated
+// by BorrowSegment, so this path skips bounds and canonicality checks;
+// the one-byte varint fast path keeps it competitive with the heap
+// decoder's array reads (Dewey components are almost always < 128).
+func (cu *Cursor) decodeBorrowed() {
+	raw := cu.cl.raw
+	off := cu.off
+	pl, sl := uint64(raw[off]), uint64(raw[off+1])
+	off += 2
+	if pl >= 0x80 {
+		var n int
+		pl, n = binary.Uvarint(raw[off-2:])
+		off += n - 2
+		sl = uint64(raw[off])
+		off++
+	}
+	if sl >= 0x80 {
+		var n int
+		sl, n = binary.Uvarint(raw[off-1:])
+		off += n - 1
+	}
+	cu.cur = cu.cur[:pl]
+	for j := uint64(0); j < sl; j++ {
+		v := uint64(raw[off])
+		off++
+		if v >= 0x80 {
+			var n int
+			v, n = binary.Uvarint(raw[off-1:])
+			off += n - 1
+		}
+		cu.cur = append(cu.cur, int32(v))
+	}
+	cu.score = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+	cu.off = off + 8
 }
 
 // Valid reports whether the cursor is positioned on a posting.
@@ -111,6 +156,9 @@ func (cu *Cursor) Cur() xmltree.Dewey {
 // Score returns the current posting's node score.
 func (cu *Cursor) Score() float64 {
 	if cu.cl != nil {
+		if cu.cl.raw != nil {
+			return cu.score
+		}
 		return cu.cl.scores[cu.i]
 	}
 	return cu.pl[cu.i].Score
@@ -135,7 +183,7 @@ func (cu *Cursor) Advance() bool {
 			// Entering the next block sequentially: realign to its
 			// restart point (off already equals it, but be explicit so
 			// seeks and advances share one invariant).
-			cu.off = cu.cl.blocks[cu.i/BlockSize].compOff
+			cu.off = cu.cl.blockPayloadOff(cu.i / BlockSize)
 		}
 		cu.decode()
 	}
@@ -168,12 +216,12 @@ func (cu *Cursor) SeekDoc(doc int32) bool {
 	// it — jumping there would overshoot postings of the target
 	// document itself.
 	cb := cu.i / BlockSize
-	rest := c.blocks[cb+1:]
-	j := sort.Search(len(rest), func(j int) bool { return rest[j].firstDoc >= doc })
+	rest := c.nblocks() - cb - 1
+	j := sort.Search(rest, func(j int) bool { return c.blockFirstDoc(cb+1+j) >= doc })
 	if b := cb + j; b > cb {
 		cu.blocksSkipped += int64(b - cb - 1)
 		cu.i = b * BlockSize
-		cu.off = c.blocks[b].compOff
+		cu.off = c.blockPayloadOff(b)
 		cu.decode()
 	}
 	for cu.cur[0] < doc {
@@ -197,7 +245,7 @@ func (cu *Cursor) RemainingMax() float64 {
 		return 0
 	}
 	if cu.cl != nil {
-		return cu.cl.tailMax[cu.i/BlockSize]
+		return cu.cl.blockTailMax(cu.i / BlockSize)
 	}
 	if !cu.haveSuf {
 		if cap(cu.suf) < len(cu.pl) {
@@ -238,14 +286,14 @@ func (cu *Cursor) DocBound(doc int32) float64 {
 	}
 	c := cu.cl
 	bound := 0.0
-	for b := cu.i / BlockSize; b < len(c.blocks); b++ {
+	for b := cu.i / BlockSize; b < c.nblocks(); b++ {
 		// A later block whose first document is already past doc cannot
 		// contain doc's postings; the current block always may.
-		if b > cu.i/BlockSize && c.blocks[b].firstDoc > doc {
+		if b > cu.i/BlockSize && c.blockFirstDoc(b) > doc {
 			break
 		}
-		if c.blocks[b].maxScore > bound {
-			bound = c.blocks[b].maxScore
+		if m := c.blockMaxScore(b); m > bound {
+			bound = m
 		}
 	}
 	return bound

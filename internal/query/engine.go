@@ -174,17 +174,35 @@ func NewEngine(source ListSource, builder KeywordBuilder, params Params) *Engine
 // CacheMetrics reports the on-demand keyword cache counters.
 func (e *Engine) CacheMetrics() serving.CacheMetrics { return e.cache.Metrics() }
 
+// SetSource replaces the engine's list source. The server uses it to
+// repoint a system at a memory-mapped arena after construction; it
+// must not be called while queries are in flight (generations install
+// arenas before a generation starts serving).
+func (e *Engine) SetSource(source ListSource) { e.source = source }
+
 // Breaker exposes the circuit breaker guarding the ontology path (for
 // /readyz and /metrics).
 func (e *Engine) Breaker() *resilience.Breaker { return e.breaker }
 
 // resolved is one keyword's resolved posting list. The compact form is
-// set only when the list came from a CompactSource (the prebuilt
-// index); on-demand built lists merge through plain cursors.
+// set only when the list came from a CompactSource (the prebuilt index
+// or a mapped arena); on-demand built lists merge through plain
+// cursors. When the merge path needs no materialized list (the fast
+// merge reads cursors), a compact source may resolve with list nil and
+// only compact set — postings then stream zero-copy from the source's
+// backing bytes and are never decoded into heap.
 type resolved struct {
 	list    dil.List
 	compact *dil.CompactList
 	delta   bool // true when a live delta overlay changed the list
+}
+
+// n returns the posting count in whichever representation is present.
+func (r resolved) n() int {
+	if r.list != nil || r.compact == nil {
+		return len(r.list)
+	}
+	return r.compact.Len()
 }
 
 // list resolves one keyword's posting list, building and caching it on
@@ -193,11 +211,11 @@ type resolved struct {
 // the ontology path failed or the breaker was open (see degrade.go).
 // Each resolution is recorded as a "query.keyword" span whose source
 // attribute says how it was answered (index, cache, built).
-func (e *Engine) list(ctx context.Context, kw string, ov OverlayView) (resolved, bool, error) {
+func (e *Engine) list(ctx context.Context, kw string, ov OverlayView, needList bool) (resolved, bool, error) {
 	ctx, sp := obs.StartSpan(ctx, "query.keyword")
 	sp.SetAttr("keyword", kw)
 	defer sp.End()
-	r, degraded, err := e.listInner(ctx, sp, kw, ov)
+	r, degraded, err := e.listInner(ctx, sp, kw, ov, needList)
 	if err == nil && ov != nil {
 		r, degraded, err = e.combine(ctx, sp, kw, ov, r, degraded)
 	}
@@ -207,7 +225,7 @@ func (e *Engine) list(ctx context.Context, kw string, ov OverlayView) (resolved,
 	if err != nil {
 		sp.SetAttr("error", err.Error())
 	} else {
-		sp.SetAttr("postings", len(r.list))
+		sp.SetAttr("postings", r.n())
 	}
 	return r, degraded, err
 }
@@ -250,7 +268,7 @@ func (e *Engine) combine(ctx context.Context, sp *obs.Span, kw string, ov Overla
 	return r, degraded, nil
 }
 
-func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string, ov OverlayView) (resolved, bool, error) {
+func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string, ov OverlayView, needList bool) (resolved, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return resolved{}, false, err
 	}
@@ -265,10 +283,20 @@ func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string, ov Over
 		sp.SetAttr("base_bypassed", true)
 	}
 	if tag == "" {
+		cs, compactable := e.source.(CompactSource)
+		if !needList && compactable {
+			// Zero-copy path: the fast merge reads cursors directly, so a
+			// compact source (prebuilt index or mapped arena) resolves
+			// without materializing a heap list at all.
+			if c := cs.Compact(kw); c != nil {
+				sp.SetAttr("source", "index")
+				return resolved{compact: c}, false, nil
+			}
+		}
 		if l := e.source.List(kw); l != nil {
 			sp.SetAttr("source", "index")
 			r := resolved{list: l}
-			if cs, ok := e.source.(CompactSource); ok {
+			if compactable {
 				r.compact = cs.Compact(kw)
 			}
 			return r, false, nil
@@ -306,14 +334,14 @@ func (e *Engine) listInner(ctx context.Context, sp *obs.Span, kw string, ov Over
 // the keywords whose lists degraded to IR-only scoring. The whole stage
 // is one "query.resolve_keywords" span with a "query.keyword" child per
 // keyword.
-func (e *Engine) resolve(ctx context.Context, keywords []Keyword, ov OverlayView) ([]resolved, []string, error) {
+func (e *Engine) resolve(ctx context.Context, keywords []Keyword, ov OverlayView, needList bool) ([]resolved, []string, error) {
 	ctx, sp := obs.StartSpan(ctx, "query.resolve_keywords")
 	sp.SetAttr("keywords", len(keywords))
 	defer sp.End()
 	lists := make([]resolved, len(keywords))
 	degraded := make([]bool, len(keywords))
 	if len(keywords) == 1 {
-		l, deg, err := e.list(ctx, string(keywords[0]), ov)
+		l, deg, err := e.list(ctx, string(keywords[0]), ov, needList)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -326,7 +354,7 @@ func (e *Engine) resolve(ctx context.Context, keywords []Keyword, ov OverlayView
 		wg.Add(1)
 		go func(i int, kw string) {
 			defer wg.Done()
-			lists[i], degraded[i], errs[i] = e.list(ctx, kw, ov)
+			lists[i], degraded[i], errs[i] = e.list(ctx, kw, ov, needList)
 		}(i, string(kw))
 	}
 	wg.Wait()
@@ -459,7 +487,12 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	if e.overlay != nil {
 		ov = e.overlay.Acquire()
 	}
-	res, degraded, err := e.resolve(ctx, req.Keywords, ov)
+	// Every merge path except the default fast one walks materialized
+	// lists: RDIL's ranked access, the legacy reference merge, and the
+	// delta overlay's combine. Only when none of them is in play may a
+	// keyword resolve compact-only and stream zero-copy.
+	needList := req.Ranked || e.params.LegacyMerge || legacyMergeEnv || ov != nil
+	res, degraded, err := e.resolve(ctx, req.Keywords, ov, needList)
 	if err != nil {
 		return nil, err
 	}
@@ -474,7 +507,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	lists := make([]dil.List, len(res))
 	compact := make([]*dil.CompactList, len(res))
 	for i, r := range res {
-		if len(r.list) == 0 {
+		if r.n() == 0 {
 			return resp, nil
 		}
 		lists[i], compact[i] = r.list, r.compact

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/obs"
@@ -32,6 +33,12 @@ type generation struct {
 	corpus  *xmltree.Corpus
 	coll    *ontology.Collection
 	systems map[ontoscore.Strategy]*core.System
+
+	// arenas are the memory-mapped index files this generation's systems
+	// serve postings from (EnableArena; empty otherwise). The generation
+	// owns their references: the mappings stay valid for every request
+	// pinned to the generation and are unmapped when the refcount drains.
+	arenas []*arena.Arena
 
 	// refs counts pins plus one for being (or having been) the active
 	// generation; 0 means drained.
@@ -72,11 +79,17 @@ func (g *generation) acquire() bool {
 	}
 }
 
-// release unpins; the last release marks the generation drained and
+// release unpins; the last release marks the generation drained,
+// unmaps its arenas (no pinned request can still be reading them), and
 // fires the hook.
 func (g *generation) release() {
-	if g.refs.Add(-1) == 0 && g.onRelease != nil {
-		g.onRelease(g.num)
+	if g.refs.Add(-1) == 0 {
+		for _, a := range g.arenas {
+			a.Close()
+		}
+		if g.onRelease != nil {
+			g.onRelease(g.num)
+		}
 	}
 }
 
@@ -231,6 +244,12 @@ func (s *Server) reloadLocked(ctx context.Context) (*ReloadStatus, error) {
 			return nil, fmt.Errorf("reload: rebasing delta segment: %w", err)
 		}
 	}
+	// Attach (or rebuild) memory-mapped arenas on the cold generation
+	// before it starts serving: the new corpus has a new fingerprint, so
+	// with Rebuild on this is also where a compaction or reload
+	// materializes fresh arena files. Never fatal — a missing or stale
+	// arena just means heap serving for that strategy.
+	s.attachArenas(next)
 	// Roll the shard cluster before flipping the server generation:
 	// per-shard swaps are independent, so one failed shard keeps its
 	// previous partition while the rest advance with the new corpus.

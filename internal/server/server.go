@@ -147,6 +147,11 @@ type Server struct {
 	compactor *delta.Compactor
 	dcfg      DeltaConfig
 
+	// acfg, when Dir is set, turns on memory-mapped index serving
+	// (EnableArena): each generation maps one arena file per strategy
+	// and unmaps it when it drains.
+	acfg ArenaConfig
+
 	readyMu sync.Mutex
 	ready   []readyCheck
 }

@@ -54,6 +54,10 @@ func (c *Cluster) Reload(ctx context.Context, corpus *xmltree.Corpus, coll *onto
 	c.exchangeStats(gens)
 	c.installCalibrators(gens)
 	c.installDelta(gens)
+	// The new corpus carries a new fingerprint, so stale files are
+	// refused and — with ArenaRebuild — fresh per-shard arenas are
+	// written for the incoming generations before any of them serve.
+	c.wireArenas(gens, corpus.Fingerprint())
 	buildUS := time.Since(start).Microseconds()
 
 	results := make([]ReloadResult, 0, local)

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/dil"
 	"repro/internal/ir"
@@ -83,6 +84,18 @@ type Config struct {
 	// Breaker tunes the per-shard circuit breaker (zero value:
 	// resilience defaults).
 	Breaker resilience.BreakerConfig
+	// ArenaDir, when set, serves each shard's postings from
+	// memory-mapped arena files under
+	// <ArenaDir>/shard-<i>-of-<n>/<Strategy>.xarn; a missing or stale
+	// file falls back to heap serving (and is rebuilt with
+	// ArenaRebuild). Ignored when Peers are configured: stored shard
+	// scores depend on the federation-wide statistics exchange, which
+	// the arena fingerprints cannot pin.
+	ArenaDir string
+	// ArenaRebuild makes missing or incompatible shard arenas get
+	// rebuilt (full per-shard index build + atomic write) at cluster
+	// construction and on every reload.
+	ArenaRebuild bool
 	// Logf receives cluster lifecycle logs; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -131,6 +144,11 @@ type shardGen struct {
 	systems  map[ontoscore.Strategy]*core.System
 	manifest Manifest
 
+	// arenas are the memory-mapped index files this shard generation
+	// serves from (Config.ArenaDir; empty otherwise), unmapped when the
+	// generation drains.
+	arenas []*arena.Arena
+
 	// refs counts pins plus one for being (or having been) the slot's
 	// active generation; 0 means drained.
 	refs      atomic.Int64
@@ -151,8 +169,13 @@ func (g *shardGen) acquire() bool {
 }
 
 func (g *shardGen) release() {
-	if g.refs.Add(-1) == 0 && g.onRelease != nil {
-		g.onRelease(g.shard, g.num)
+	if g.refs.Add(-1) == 0 {
+		for _, a := range g.arenas {
+			a.Close()
+		}
+		if g.onRelease != nil {
+			g.onRelease(g.shard, g.num)
+		}
 	}
 }
 
@@ -280,6 +303,10 @@ func New(corpus *xmltree.Corpus, coll *ontology.Collection, cfg Config) *Cluster
 		c.systems[st] = &Sharded{c: c, st: st}
 	}
 	c.installCalibrators(gens)
+	// Arenas attach last: a rebuild runs each shard's index build, which
+	// must see the merged global statistics and the cluster calibrator
+	// (installed above) for stored scores to match single-node ranking.
+	c.wireArenas(gens, corpus.Fingerprint())
 	c.cfg.Logf("shard: cluster up: %d local shards, %d peers, %d local documents, per-shard timeout %v, quorum %d",
 		cfg.Shards, len(cfg.Peers), corpus.Len(), cfg.Timeout, cfg.Quorum)
 	return c

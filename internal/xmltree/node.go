@@ -295,6 +295,37 @@ func (c *Corpus) DocByName(name string) *Document { return c.named[name] }
 // shared; callers must not modify it.
 func (c *Corpus) Docs() []*Document { return c.docs }
 
+// Fingerprint summarizes the corpus identity as one FNV-1a hash over
+// every document's ID, name, and element count, in corpus order. Two
+// corpora with equal fingerprints hold the same documents under the
+// same Dewey document components — the staleness check persisted
+// index arenas run before serving (internal/arena).
+func (c *Corpus) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, d := range c.docs {
+		mix(uint64(uint32(d.ID)))
+		mix(uint64(len(d.Name)))
+		for i := 0; i < len(d.Name); i++ {
+			h ^= uint64(d.Name[i])
+			h *= prime64
+		}
+		mix(uint64(d.Size()))
+	}
+	mix(uint64(len(c.docs)))
+	return h
+}
+
 // Len is the number of documents in the corpus.
 func (c *Corpus) Len() int { return len(c.docs) }
 
